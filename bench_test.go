@@ -1,0 +1,249 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one per table
+// or in-text claim. Each benchmark runs a full experiment and reports the
+// headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces Tables I-III, the STL summary, the ablations and the
+// one-fault-sim cost claim in a single run. Set GPUSTL_BENCH_SCALE to
+// small|medium|paper to change the experiment size (default: small).
+package gpustl
+
+import (
+	"os"
+	"sync"
+	"testing"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *Env
+	benchEnvErr  error
+)
+
+func env(b *testing.B) *Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		scale := Small
+		if s := os.Getenv("GPUSTL_BENCH_SCALE"); s != "" {
+			scale, benchEnvErr = ScaleByName(s)
+			if benchEnvErr != nil {
+				return
+			}
+		}
+		benchEnv, benchEnvErr = BuildEnv(ParamsFor(scale))
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkTableI regenerates Table I: size, ARC %, duration and FC of the
+// six PTPs plus the combined rows.
+func BenchmarkTableI(b *testing.B) {
+	e := env(b)
+	var last *TableIResult
+	for i := 0; i < b.N; i++ {
+		t1, err := TableI(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t1
+	}
+	for _, r := range last.Rows {
+		b.ReportMetric(r.FC, "FC%/"+r.Name)
+	}
+}
+
+// BenchmarkTableII regenerates Table II: Decoder Unit compaction with
+// cross-PTP fault dropping (IMM, MEM, CNTRL, combined).
+func BenchmarkTableII(b *testing.B) {
+	e := env(b)
+	var last *CompactionTables
+	for i := 0; i < b.N; i++ {
+		t2, err := TableII(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t2
+	}
+	for _, r := range last.Rows {
+		b.ReportMetric(-r.SizePct, "size-red%/"+r.Name)
+		b.ReportMetric(r.DiffFC, "diffFC/"+r.Name)
+	}
+}
+
+// BenchmarkTableIII regenerates Table III: functional-unit compaction
+// (TPGEN, RAND, combined, SFU_IMM with reverse-order patterns).
+func BenchmarkTableIII(b *testing.B) {
+	e := env(b)
+	var last *CompactionTables
+	for i := 0; i < b.N; i++ {
+		t3, err := TableIII(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t3
+	}
+	for _, r := range last.Rows {
+		b.ReportMetric(-r.SizePct, "size-red%/"+r.Name)
+		b.ReportMetric(r.DiffFC, "diffFC/"+r.Name)
+	}
+}
+
+// BenchmarkSTLSummary regenerates the Section IV whole-STL claims: the
+// candidate PTPs' share of the STL and the overall size/duration reduction.
+func BenchmarkSTLSummary(b *testing.B) {
+	e := env(b)
+	var last *STLSummaryResult
+	for i := 0; i < b.N; i++ {
+		t2, err := TableII(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t3, err := TableIII(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum, err := STLSummary(e, t2, t3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = sum
+	}
+	b.ReportMetric(last.CandidateSizeShare, "cand-size-share%")
+	b.ReportMetric(last.CandidateDurShare, "cand-dur-share%")
+	b.ReportMetric(last.STLSizeReduction, "stl-size-red%")
+	b.ReportMetric(last.STLDurReduction, "stl-dur-red%")
+}
+
+// BenchmarkBaselineCompare quantifies the one-fault-simulation claim
+// against the iterative prior-work baseline.
+func BenchmarkBaselineCompare(b *testing.B) {
+	e := env(b)
+	var last *BaselineCompareResult
+	for i := 0; i < b.N; i++ {
+		bc, err := BaselineCompare(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = bc
+	}
+	b.ReportMetric(float64(last.BaselineFaultSims), "baseline-fault-sims")
+	b.ReportMetric(last.BaselineMillis/last.ProposedMillis, "speedup-x")
+}
+
+// BenchmarkAblations runs the design-choice studies: fault dropping,
+// reverse-order patterns, SB vs instruction granularity.
+func BenchmarkAblations(b *testing.B) {
+	e := env(b)
+	var last *AblationResult
+	for i := 0; i < b.N; i++ {
+		ab, err := Ablations(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = ab
+	}
+	b.ReportMetric(last.MEMWithDropPct, "MEM-drop%")
+	b.ReportMetric(last.MEMWithoutDropPct, "MEM-alone%")
+	b.ReportMetric(last.SFUReversePct, "SFU-reverse%")
+	b.ReportMetric(last.SFUForwardPct, "SFU-forward%")
+	b.ReportMetric(last.SBGranPct, "SB-gran%")
+	b.ReportMetric(last.InsGranPct, "instr-gran%")
+}
+
+// BenchmarkCompactOnePTP measures the compactor's raw throughput on a
+// single mid-size PTP (the unit of work behind every table row).
+func BenchmarkCompactOnePTP(b *testing.B) {
+	mod, err := BuildModule(ModuleDU)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := SampleFaults(mod, 4000, 1)
+	ptp := GenerateIMM(200, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewCompactor(DefaultGPUConfig(), mod, faults, CompactorOptions{})
+		if _, err := c.CompactPTP(ptp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompactToBudget measures the budget-constrained extension (one
+// knapsack selection on top of the single logic + fault simulation).
+func BenchmarkCompactToBudget(b *testing.B) {
+	mod, err := BuildModule(ModuleDU)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := SampleFaults(mod, 4000, 1)
+	ptp := GenerateIMM(200, 1)
+	ref, err := NewCompactor(DefaultGPUConfig(), mod, faults, CompactorOptions{}).CompactPTP(ptp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := ref.OrigDuration / 10
+	b.ResetTimer()
+	var fc float64
+	for i := 0; i < b.N; i++ {
+		c := NewCompactor(DefaultGPUConfig(), mod, faults, CompactorOptions{})
+		res, err := c.CompactToBudget(ptp, budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fc = res.CompFC
+	}
+	b.ReportMetric(fc, "FC%@10%budget")
+	b.ReportMetric(ref.OrigFC, "FC%unconstrained")
+}
+
+// BenchmarkLogicSimulation measures the GPU simulator's throughput on the
+// IMM PTP (instructions simulated per op).
+func BenchmarkLogicSimulation(b *testing.B) {
+	ptp := GenerateIMM(300, 1)
+	g, err := NewGPU(DefaultGPUConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := Kernel{
+		Prog: ptp.Prog, Blocks: 1, ThreadsPerBlock: 32,
+		GlobalBase: ptp.Data.Base, GlobalData: ptp.Data.Words,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Run(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultSimulation measures the optimized module-level fault
+// simulator on the DU with the IMM pattern stream.
+func BenchmarkFaultSimulation(b *testing.B) {
+	mod, err := BuildModule(ModuleDU)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ptp := GenerateIMM(300, 1)
+	col := NewTraceCollector(ModuleDU)
+	col.LiteRows = true
+	g, err := NewGPU(DefaultGPUConfig(), col)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := g.Run(Kernel{
+		Prog: ptp.Prog, Blocks: 1, ThreadsPerBlock: 32,
+		GlobalBase: ptp.Data.Base, GlobalData: ptp.Data.Words,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	faults := AllFaults(mod)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		camp := NewFaultCampaign(mod, faults)
+		camp.Simulate(col.Patterns, SimOptions{})
+	}
+}

@@ -1,0 +1,101 @@
+// Command faultsim runs the optimized module-level stuck-at fault
+// simulation on a test-pattern file, printing the Fault Sim Report
+// summary: coverage, detections per pattern-block, and the first
+// detections.
+//
+// Usage:
+//
+//	faultsim -patterns FILE.vcde [-sample N] [-seed S] [-reverse] [-top K]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gpustl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("faultsim: ")
+	var (
+		patFile = flag.String("patterns", "", "VCDE pattern file (from ptpgen -vcde)")
+		sample  = flag.Int("sample", 0, "sample the fault list to N faults (0 = full)")
+		seed    = flag.Int64("seed", 1, "sampling seed")
+		reverse = flag.Bool("reverse", false, "apply patterns in reverse order")
+		top     = flag.Int("top", 10, "print the K most effective patterns")
+	)
+	flag.Parse()
+	if *patFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*patFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, patterns, err := gpustl.ReadVCDE(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("patterns: %d for module %v (%d lanes)\n", len(patterns), h.Module, h.Lanes)
+
+	mod, err := gpustl.BuildModule(h.Module)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var faults []gpustl.Fault
+	if *sample > 0 {
+		faults = gpustl.SampleFaults(mod, *sample, *seed)
+	} else {
+		faults = gpustl.AllFaults(mod)
+	}
+	fmt.Printf("fault list: %d stuck-at faults (%d gates x %d lanes)\n",
+		len(faults), mod.NL.NumGates(), mod.Lanes)
+
+	camp := gpustl.NewFaultCampaign(mod, faults)
+	rep := camp.Simulate(patterns, gpustl.SimOptions{Reverse: *reverse})
+
+	fmt.Printf("detected: %d / %d faults (FC %.2f%%)\n",
+		camp.Detected(), camp.Total(), camp.Coverage())
+
+	fmt.Println("coverage by functional group:")
+	for _, g := range camp.CoverageByGroup() {
+		name := g.Group
+		if name == "" {
+			name = "(ungrouped)"
+		}
+		fmt.Printf("  %-18s %6d / %6d  (%.2f%%)\n", name, g.Detected, g.Total, g.Pct())
+	}
+
+	// Most effective patterns.
+	type eff struct {
+		idx int
+		n   int32
+	}
+	var best []eff
+	for i, n := range rep.DetectedPerPattern {
+		if n > 0 {
+			best = append(best, eff{i, n})
+		}
+	}
+	fmt.Printf("effective patterns: %d of %d\n", len(best), rep.NumPatterns)
+	for i := 0; i < len(best)-1; i++ {
+		for j := i + 1; j < len(best); j++ {
+			if best[j].n > best[i].n {
+				best[i], best[j] = best[j], best[i]
+			}
+		}
+	}
+	if len(best) > *top {
+		best = best[:*top]
+	}
+	for _, b := range best {
+		fmt.Printf("  pattern %6d  cc %10d  lane %d  pc %6d: %5d faults\n",
+			b.idx, rep.CCs[b.idx], rep.Lanes[b.idx], rep.PCs[b.idx], b.n)
+	}
+}

@@ -1,0 +1,87 @@
+// Command netlist inspects the generated gate-level modules: size, depth,
+// functional-group inventory, fault universe, and optional structural
+// Verilog export for external EDA tools.
+//
+// Usage:
+//
+//	netlist -module DU|SP|SFU|FP32 [-verilog out.v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gpustl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netlist: ")
+	var (
+		module  = flag.String("module", "SP", "module: DU|SP|SFU|FP32")
+		verilog = flag.String("verilog", "", "write structural Verilog to this file")
+	)
+	flag.Parse()
+
+	var kind gpustl.ModuleKind
+	switch *module {
+	case "DU":
+		kind = gpustl.ModuleDU
+	case "SP":
+		kind = gpustl.ModuleSP
+	case "SFU":
+		kind = gpustl.ModuleSFU
+	case "FP32":
+		kind = gpustl.ModuleFP32
+	default:
+		log.Fatalf("unknown module %q", *module)
+	}
+	m, err := gpustl.BuildModule(kind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nl := m.NL
+	faults := gpustl.AllFaults(m)
+	fmt.Printf("module %s: %d gates, %d nets, depth %d, %d inputs, %d outputs, %d lanes\n",
+		nl.Name, nl.NumGates(), nl.NumNets(), nl.Levels(),
+		len(nl.Inputs), len(nl.Outputs), m.Lanes)
+	fmt.Printf("stuck-at fault universe: %d per lane, %d total\n",
+		len(faults)/m.Lanes, len(faults))
+
+	// Group inventory.
+	counts := map[string]int{}
+	for id := int32(0); id < int32(len(nl.Gates)); id++ {
+		g := nl.Gates[id]
+		if g.NumIn() == 0 {
+			continue
+		}
+		counts[nl.GroupOf(id)]++
+	}
+	fmt.Println("functional groups:")
+	for _, name := range nl.Groups() {
+		if counts[name] == 0 {
+			continue
+		}
+		label := name
+		if label == "" {
+			label = "(ungrouped)"
+		}
+		fmt.Printf("  %-18s %6d gates\n", label, counts[name])
+	}
+
+	if *verilog != "" {
+		f, err := os.Create(*verilog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := gpustl.WriteVerilog(f, nl); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *verilog)
+	}
+}

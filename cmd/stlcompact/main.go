@@ -1,0 +1,169 @@
+// Command stlcompact runs the five-stage compaction method over the STL's
+// PTPs for one target module, with cross-PTP fault dropping, and prints a
+// Table II/III-style report.
+//
+// Usage:
+//
+//	stlcompact -target DU|SP|SFU [-n N] [-seed S] [-faults K] [-reverse]
+//	           [-instr] [-baseline] [-load FILE.json] [-save DIR]
+//
+// With -load, the PTPs are read from a saved STL file (see -save and the
+// gpustl.WriteSTL format) instead of being generated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"gpustl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stlcompact: ")
+	var (
+		target   = flag.String("target", "DU", "target module: DU|SP|SFU")
+		n        = flag.Int("n", 120, "PTP scale (SB count / ATPG sample base)")
+		seed     = flag.Int64("seed", 1, "seed")
+		nFaults  = flag.Int("faults", 4000, "fault-list sample (0 = full list)")
+		reverse  = flag.Bool("reverse", false, "apply patterns in reverse order (paper: SFU_IMM)")
+		instrG   = flag.Bool("instr", false, "instruction-granularity removal (ablation)")
+		baseline = flag.Bool("baseline", false, "also run the iterative prior-work baseline")
+		loadPath = flag.String("load", "", "load PTPs from a saved STL JSON file instead of generating")
+		saveDir  = flag.String("save", "", "write original and compacted PTPs to this directory")
+	)
+	flag.Parse()
+
+	var kind gpustl.ModuleKind
+	switch *target {
+	case "DU":
+		kind = gpustl.ModuleDU
+	case "SP":
+		kind = gpustl.ModuleSP
+	case "SFU":
+		kind = gpustl.ModuleSFU
+	default:
+		log.Fatalf("unknown target %q", *target)
+	}
+
+	mod, err := gpustl.BuildModule(kind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var faults []gpustl.Fault
+	if *nFaults > 0 {
+		faults = gpustl.SampleFaults(mod, *nFaults, *seed)
+	} else {
+		faults = gpustl.AllFaults(mod)
+	}
+
+	var ptps []*gpustl.PTP
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lib, err := gpustl.ReadSTL(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range lib.PTPs {
+			if p.Target == kind {
+				ptps = append(ptps, p)
+			}
+		}
+		if len(ptps) == 0 {
+			log.Fatalf("no PTPs targeting %v in %s", kind, *loadPath)
+		}
+		runCompaction(kind, mod, faults, ptps, *reverse, *instrG, *baseline, *saveDir)
+		return
+	}
+	switch kind {
+	case gpustl.ModuleDU:
+		ptps = []*gpustl.PTP{
+			gpustl.GenerateIMM(*n, *seed+1),
+			gpustl.GenerateMEM(*n, *seed+2),
+			gpustl.GenerateCNTRL(max(2, *n/10), *seed+3),
+		}
+	case gpustl.ModuleSP:
+		opt := gpustl.DefaultATPGOptions(*seed + 4)
+		opt.SampleFaults = *n * 10
+		res := gpustl.GenerateATPG(mod, opt)
+		tpgen, dropped := gpustl.ConvertTPGEN(res, *seed+4)
+		log.Printf("TPGEN: %d ATPG patterns, %d unconvertible", len(res.Patterns), dropped)
+		ptps = []*gpustl.PTP{tpgen, gpustl.GenerateRAND(*n, *seed+5)}
+	case gpustl.ModuleSFU:
+		opt := gpustl.DefaultATPGOptions(*seed + 6)
+		opt.SampleFaults = *n * 10
+		res := gpustl.GenerateATPG(mod, opt)
+		sfu, dropped := gpustl.ConvertSFUIMM(res, *seed+6)
+		log.Printf("SFU_IMM: %d ATPG patterns, %d unconvertible", len(res.Patterns), dropped)
+		ptps = []*gpustl.PTP{sfu}
+	}
+
+	runCompaction(kind, mod, faults, ptps, *reverse, *instrG, *baseline, *saveDir)
+}
+
+func runCompaction(kind gpustl.ModuleKind, mod *gpustl.Module, faults []gpustl.Fault,
+	ptps []*gpustl.PTP, reverse, instrG, baseline bool, saveDir string) {
+
+	comp := gpustl.NewCompactor(gpustl.DefaultGPUConfig(), mod, faults, gpustl.CompactorOptions{
+		ReversePatterns:        reverse,
+		InstructionGranularity: instrG,
+	})
+	fmt.Printf("compacting %d PTP(s) for %v (%d faults, %d gates x %d lanes)\n\n",
+		len(ptps), kind, len(faults), mod.NL.NumGates(), mod.Lanes)
+	fmt.Printf("%-8s  %10s  %8s  %12s  %8s  %8s  %10s\n",
+		"PTP", "size", "(%)", "duration", "(%)", "DiffFC", "time")
+	compacted := gpustl.STL{}
+	original := gpustl.STL{}
+	for _, p := range ptps {
+		res, err := comp.CompactPTP(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s  %4d->%-4d  %+8.2f  %6d->%-6d  %+8.2f  %+8.2f  %10v\n",
+			p.Name, res.OrigSize, res.CompSize, -res.SizeReduction(),
+			res.OrigDuration, res.CompDuration, -res.DurationReduction(),
+			res.FCDiff(), res.CompactionTime)
+		original.PTPs = append(original.PTPs, p)
+		compacted.PTPs = append(compacted.PTPs, res.Compacted)
+	}
+
+	if saveDir != "" {
+		save := func(name string, lib *gpustl.STL) {
+			path := filepath.Join(saveDir, name)
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := gpustl.WriteSTL(f, lib); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		save("stl_original.json", &original)
+		save("stl_compacted.json", &compacted)
+	}
+
+	if baseline {
+		fmt.Println("\niterative baseline (one fault sim per candidate Small Block):")
+		b := gpustl.NewBaseline(gpustl.DefaultGPUConfig(), mod, faults)
+		for _, p := range ptps {
+			res, err := b.CompactPTP(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8s  %4d->%-4d  %+8.2f  FC %.2f->%.2f  %4d fault sims  %10v\n",
+				p.Name, res.OrigSize, res.CompSize, -res.SizeReduction(),
+				res.OrigFC, res.CompFC, res.FaultSims, res.Time)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Pipeline-register testing: the sequential side of the library. The SM's
+// fetch/decode pipeline register bank only reveals faults across clock
+// cycles, so it needs the sequential fault simulator rather than the
+// combinational one. This example runs a PTP, replays its fetch stream on
+// the register bank, reports coverage per functional group, and shows the
+// Fig. 2 labeling working unchanged on the sequential report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpustl"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	pipe, err := gpustl.BuildModule(gpustl.ModulePIPE)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline register bank: %d gates, %d flip-flops\n",
+		pipe.NL.NumGates(), pipe.NL.NumDFFs())
+
+	// Any fetch-heavy PTP exercises the registers; use IMM.
+	ptp := gpustl.GenerateIMM(60, 7)
+	col := gpustl.NewTraceCollector(gpustl.ModulePIPE)
+	g, err := gpustl.NewGPU(gpustl.DefaultGPUConfig(), col)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := g.Run(gpustl.Kernel{
+		Prog: ptp.Prog, Blocks: 1, ThreadsPerBlock: 32,
+		GlobalBase: ptp.Data.Base, GlobalData: ptp.Data.Words,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fetch stream: %d registered cycles from %s\n", len(col.Patterns), ptp.Name)
+
+	camp, err := gpustl.NewSeqFaultCampaign(pipe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := camp.Simulate(col.Patterns)
+	fmt.Printf("sequential fault simulation: %d/%d stem faults detected (%.2f%%)\n",
+		camp.Detected(), camp.Total(), camp.Coverage())
+
+	// The same labeling algorithm consumes the sequential report.
+	essential := gpustl.LabelDetailed(len(ptp.Prog), rep, col.CCToPC())
+	fmt.Printf("Fig. 2 labeling on the sequential report: %s\n", essential)
+	fmt.Println("\nRegister faults are detected by the first few distinct instruction")
+	fmt.Println("words, so almost the whole PTP is unessential for this target —")
+	fmt.Println("pipeline registers need only a handful of carefully varied fetches.")
+}

@@ -1,0 +1,3 @@
+module gpustl
+
+go 1.22

@@ -1,0 +1,414 @@
+// Package gpustl is a library for building, analyzing and — above all —
+// compacting Self-Test Libraries (STLs) for GPU in-field testing. It is an
+// open reimplementation of the method of Guerrero-Balaguera, Rodriguez
+// Condia and Sonza Reorda, "A Compaction Method for STLs for GPU in-field
+// test" (DATE 2022), together with every substrate the method needs:
+//
+//   - a FlexGripPlus-like SIMT GPU simulator with a 52-opcode SASS-like
+//     ISA, an assembler, and per-cycle tracing hooks;
+//   - gate-level models of the Decoder Unit, SP datapath and SFU datapath,
+//     with a bit-parallel stuck-at fault simulator and a PODEM-based ATPG;
+//   - the STL itself: pseudorandom and ATPG-derived Parallel Test Programs
+//     (PTPs) following the paper's Table I recipes;
+//   - the five-stage compaction method (partitioning, logic tracing, one
+//     fault simulation + labeling, Small-Block reduction, reassembly) and
+//     the iterative prior-work baseline it is compared against;
+//   - experiment drivers that regenerate the paper's Tables I–III, the
+//     whole-STL summary, and ablation studies.
+//
+// Quick start:
+//
+//	env, _ := gpustl.BuildEnv(gpustl.ParamsFor(gpustl.Small))
+//	t2, _ := gpustl.TableII(env) // compacts IMM, MEM, CNTRL
+//	t2.Render(os.Stdout, "Decoder Unit compaction")
+//
+// or, one PTP at a time:
+//
+//	mod, _ := gpustl.BuildModule(gpustl.ModuleDU)
+//	comp := gpustl.NewCompactor(gpustl.DefaultGPUConfig(), mod,
+//		gpustl.AllFaults(mod), gpustl.CompactorOptions{})
+//	res, _ := comp.CompactPTP(gpustl.GenerateIMM(500, 1))
+//	fmt.Printf("-%.2f%% size, FC %+.2f\n", res.SizeReduction(), res.FCDiff())
+package gpustl
+
+import (
+	"gpustl/internal/asm"
+	"gpustl/internal/atpg"
+	"gpustl/internal/baseline"
+	"gpustl/internal/circuits"
+	"gpustl/internal/core"
+	"gpustl/internal/experiments"
+	"gpustl/internal/fault"
+	"gpustl/internal/gpu"
+	"gpustl/internal/isa"
+	"gpustl/internal/netlist"
+	"gpustl/internal/ptpgen"
+	"gpustl/internal/signature"
+	"gpustl/internal/stl"
+	"gpustl/internal/trace"
+	"gpustl/internal/vcde"
+)
+
+// ---------------------------------------------------------------------------
+// ISA and assembler.
+
+// Instruction is one decoded GPU instruction.
+type Instruction = isa.Instruction
+
+// Opcode identifies one of the 52 SASS-like instructions.
+type Opcode = isa.Opcode
+
+// Assemble parses assembly text into a program.
+func Assemble(src string) ([]Instruction, error) { return asm.Assemble(src) }
+
+// Disassemble renders a program as assembly text.
+func Disassemble(prog []Instruction) string { return asm.Disassemble(prog) }
+
+// ---------------------------------------------------------------------------
+// GPU simulator.
+
+// GPUConfig configures the simulated SM (lanes, memories, timing).
+type GPUConfig = gpu.Config
+
+// Kernel is a program plus launch configuration.
+type Kernel = gpu.Kernel
+
+// GPU is the FlexGripPlus-like simulator.
+type GPU = gpu.GPU
+
+// Monitor receives per-cycle execution events.
+type Monitor = gpu.Monitor
+
+// DefaultGPUConfig returns the paper's configuration: one SM, 8 SP cores,
+// 2 SFUs.
+func DefaultGPUConfig() GPUConfig { return gpu.DefaultConfig() }
+
+// NewGPU creates a simulator; mon may be nil.
+func NewGPU(cfg GPUConfig, mon Monitor) (*GPU, error) { return gpu.New(cfg, mon) }
+
+// ---------------------------------------------------------------------------
+// Gate-level modules and faults.
+
+// ModuleKind selects a GPU module (DU, SP, SFU).
+type ModuleKind = circuits.ModuleKind
+
+// Module kinds.
+const (
+	ModuleDU   = circuits.ModuleDU
+	ModuleSP   = circuits.ModuleSP
+	ModuleSFU  = circuits.ModuleSFU
+	ModuleFP32 = circuits.ModuleFP32
+	ModulePIPE = circuits.ModulePIPE // sequential: fetch/decode pipeline registers
+)
+
+// Module is a gate-level netlist plus its lane count in the SM.
+type Module = circuits.Module
+
+// Fault is one stuck-at fault in one module lane.
+type Fault = fault.Fault
+
+// FaultCampaign is a persistent fault-simulation context with dropping.
+type FaultCampaign = fault.Campaign
+
+// GroupCoverage is the per-functional-group campaign outcome returned by
+// FaultCampaign.CoverageByGroup.
+type GroupCoverage = fault.GroupCoverage
+
+// TimedPattern is a module test pattern with tracing metadata.
+type TimedPattern = fault.TimedPattern
+
+// SimOptions tunes a fault-simulation run.
+type SimOptions = fault.SimOptions
+
+// FaultSimReport is the Fault Sim Report of one simulation run.
+type FaultSimReport = fault.Report
+
+// BuildModule elaborates the gate-level model of a module with its default
+// lane count (DU: 1, SP: 8, SFU: 2).
+func BuildModule(kind ModuleKind) (*Module, error) { return circuits.Build(kind, 0) }
+
+// AllFaults returns the module's full lane-expanded stuck-at fault list.
+func AllFaults(m *Module) []Fault {
+	return fault.ExpandLanes(fault.AllSites(m.NL), m.Lanes)
+}
+
+// SampleFaults returns a deterministic random sample of the module's
+// faults, for tractable medium-scale campaigns.
+func SampleFaults(m *Module, n int, seed int64) []Fault {
+	c := fault.NewCampaign(m)
+	c.SampleFaults(n, seed)
+	return c.Faults()
+}
+
+// NewFaultCampaign creates a campaign over an explicit fault list.
+func NewFaultCampaign(m *Module, faults []Fault) *FaultCampaign {
+	return fault.NewCampaignWithFaults(m, faults)
+}
+
+// SeqFaultCampaign fault-simulates a sequential module (ModulePIPE):
+// the pattern stream is one ordered test sequence and faulty state
+// persists across clock cycles.
+type SeqFaultCampaign = fault.SeqCampaign
+
+// NewSeqFaultCampaign creates a sequential campaign over the module's
+// stem stuck-at faults.
+func NewSeqFaultCampaign(m *Module) (*SeqFaultCampaign, error) {
+	return fault.NewSeqCampaign(m)
+}
+
+// ---------------------------------------------------------------------------
+// STL model and generators.
+
+// PTP is a Parallel Test Program.
+type PTP = stl.PTP
+
+// STL is an ordered set of PTPs.
+type STL = stl.STL
+
+// SB is a Small Block (the removal granularity of the reduction stage).
+type SB = stl.SB
+
+// Region is a half-open instruction index range.
+type Region = stl.Region
+
+// WritePTP / ReadPTP serialize a PTP as JSON with the program embedded as
+// assembly text; WriteSTL / ReadSTL handle whole libraries.
+var (
+	WritePTP = stl.WritePTP
+	ReadPTP  = stl.ReadPTP
+	WriteSTL = stl.WriteSTL
+	ReadSTL  = stl.ReadSTL
+)
+
+// SegmentSBs derives a Small Block structure from code, for externally
+// authored PTPs without generator metadata.
+func SegmentSBs(prog []Instruction, regions []Region) []SB {
+	return stl.SegmentSBs(prog, regions)
+}
+
+// GenerateIMM builds the pseudorandom immediate-format DU PTP.
+func GenerateIMM(numSBs int, seed int64) *PTP { return ptpgen.IMM(numSBs, seed) }
+
+// GenerateMEM builds the memory-access DU PTP.
+func GenerateMEM(numSBs int, seed int64) *PTP { return ptpgen.MEM(numSBs, seed) }
+
+// GenerateCNTRL builds the control-flow DU PTP (1024 threads, parametric
+// loops).
+func GenerateCNTRL(sections int, seed int64) *PTP { return ptpgen.CNTRL(sections, seed) }
+
+// GenerateRAND builds the pseudorandom SP-core PTP.
+func GenerateRAND(numSBs int, seed int64) *PTP { return ptpgen.RAND(numSBs, seed) }
+
+// GenerateFPRAND builds a pseudorandom PTP for the FP32 units (an
+// extension beyond the paper's STL, enabled by the FP32 gate model).
+func GenerateFPRAND(numSBs int, seed int64) *PTP { return ptpgen.FPRAND(numSBs, seed) }
+
+// GenerateDIVG builds a divergence-stack test PTP: nested divergence on
+// the thread-id bits to the given depth, fully protected from compaction
+// (the control-unit STL parts the paper excludes).
+func GenerateDIVG(depth, repeats int, seed int64) *PTP {
+	return ptpgen.DIVG(depth, repeats, seed)
+}
+
+// ATPGOptions tunes the test pattern generator.
+type ATPGOptions = atpg.Options
+
+// ATPGResult is the outcome of a generation run.
+type ATPGResult = atpg.Result
+
+// DefaultATPGOptions returns a reasonable ATPG configuration.
+func DefaultATPGOptions(seed int64) ATPGOptions { return atpg.DefaultOptions(seed) }
+
+// GenerateATPG runs random-pattern + PODEM test generation on a module.
+func GenerateATPG(m *Module, opt ATPGOptions) *ATPGResult { return atpg.Generate(m, opt) }
+
+// StaticCompactPatterns performs classic reverse-order static test-set
+// compaction, preserving the pattern set's coverage exactly.
+var StaticCompactPatterns = atpg.StaticCompact
+
+// ConvertTPGEN parses ATPG SP patterns into the TPGEN PTP; the second
+// result counts patterns without an instruction equivalent.
+func ConvertTPGEN(res *ATPGResult, seed int64) (*PTP, int) {
+	return ptpgen.TPGEN(res.Patterns, seed)
+}
+
+// ConvertSFUIMM parses ATPG SFU patterns into the SFU_IMM PTP.
+func ConvertSFUIMM(res *ATPGResult, seed int64) (*PTP, int) {
+	return ptpgen.SFUIMM(res.Patterns, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Tracing.
+
+// TraceCollector is the hardware-monitor equivalent: attach it to a GPU
+// run to obtain the Tracing Report and the module test-pattern stream.
+type TraceCollector = trace.Collector
+
+// NewTraceCollector creates a collector extracting patterns for target.
+func NewTraceCollector(target ModuleKind) *TraceCollector {
+	return trace.NewCollector(target)
+}
+
+// GLReport summarizes a gate-level logic simulation of a pattern stream.
+type GLReport = trace.GLReport
+
+// VerifyGL replays an extracted pattern stream on the module's gate-level
+// netlist and cross-checks the outputs against the golden reference — the
+// paper's stage-2 gate-level logic simulation.
+func VerifyGL(m *Module, patterns []TimedPattern) (*GLReport, error) {
+	return trace.VerifyGL(m, patterns)
+}
+
+// ---------------------------------------------------------------------------
+// The compaction method and the baseline.
+
+// CompactorOptions tunes the five-stage method.
+type CompactorOptions = core.Options
+
+// Compactor runs the paper's five-stage compaction with a persistent
+// (fault-dropping) campaign.
+type Compactor = core.Compactor
+
+// CompactionResult reports one PTP's compaction.
+type CompactionResult = core.Result
+
+// NewCompactor creates a compactor over the module's fault list. Besides
+// CompactPTP (the paper's five stages), the Compactor offers
+// CompactToBudget, which fits a PTP into a clock-cycle budget by greedy
+// detections-per-cycle selection — an implemented extension of the paper's
+// in-field time-constraint motivation.
+func NewCompactor(cfg GPUConfig, m *Module, faults []Fault, opt CompactorOptions) *Compactor {
+	return core.New(cfg, m, faults, opt)
+}
+
+// LabelDetail is the inspectable output of the Fig. 2 labeling algorithm,
+// with per-warp attribution of fault detections to instructions.
+type LabelDetail = core.LabelDetail
+
+// LabelDetailed runs the labeling algorithm keeping per-warp detail.
+var LabelDetailed = core.LabelDetailed
+
+// Propagates computes, per instruction, whether its result can reach an
+// observable point (backward liveness toward stores).
+func Propagates(prog []Instruction) []bool { return core.Propagates(prog) }
+
+// CollapseEquivalent removes structurally equivalent stuck-at faults.
+var CollapseEquivalent = fault.CollapseEquivalent
+
+// WriteVerilog emits a netlist as structural Verilog for external tools.
+var WriteVerilog = netlist.WriteVerilog
+
+// STLCompactionResult is the outcome of compacting a whole STL.
+type STLCompactionResult = core.STLResult
+
+// ModuleSet supplies modules and fault lists for STL-wide compaction.
+type ModuleSet = core.ModuleSet
+
+// NewModuleSet builds modules and (optionally sampled) fault lists for
+// the module kinds an STL targets.
+func NewModuleSet(lib *STL, sample int, seed int64) (*ModuleSet, error) {
+	return core.NewModuleSet(lib, sample, seed)
+}
+
+// CompactWholeSTL runs the five-stage method over every candidate PTP,
+// sharing one fault campaign per target module, and reassembles the STL;
+// PTPs with no admissible regions pass through untouched.
+func CompactWholeSTL(cfg GPUConfig, ms *ModuleSet, lib *STL, opt CompactorOptions) (*STLCompactionResult, error) {
+	return core.CompactSTL(cfg, ms, lib, opt)
+}
+
+// BaselineCompactor is the iterative prior-work method (one fault
+// simulation per candidate removal).
+type BaselineCompactor = baseline.Compactor
+
+// BaselineResult reports an iterative compaction run.
+type BaselineResult = baseline.Result
+
+// NewBaseline creates the iterative baseline compactor.
+func NewBaseline(cfg GPUConfig, m *Module, faults []Fault) *BaselineCompactor {
+	return baseline.New(cfg, m, faults)
+}
+
+// ---------------------------------------------------------------------------
+// Signatures.
+
+// SignatureFold is one Signature-per-Thread update step (rotate-left-1
+// XOR), as the generated PTPs compute it.
+func SignatureFold(sig, value uint32) uint32 { return signature.Fold(sig, value) }
+
+// MISR is a 32-bit multiple-input signature register.
+type MISR = signature.MISR
+
+// NewMISR creates a MISR (poly 0 selects the default polynomial).
+func NewMISR(seed, poly uint32) *MISR { return signature.NewMISR(seed, poly) }
+
+// ---------------------------------------------------------------------------
+// Pattern files.
+
+// VCDEHeader describes a pattern file.
+type VCDEHeader = vcde.Header
+
+// WriteVCDE and ReadVCDE serialize pattern streams in the VCDE-like text
+// format used between the tracing stage and the fault injector.
+var (
+	WriteVCDE = vcde.Write
+	ReadVCDE  = vcde.Read
+)
+
+// ---------------------------------------------------------------------------
+// Experiments (paper tables).
+
+// Scale selects the experiment size (Small, Medium, Paper).
+type Scale = experiments.Scale
+
+// Experiment scales.
+const (
+	Small  = experiments.Small
+	Medium = experiments.Medium
+	Paper  = experiments.Paper
+)
+
+// ExperimentParams holds the experiment knobs.
+type ExperimentParams = experiments.Params
+
+// Env is a built experiment environment (modules, faults, the six PTPs).
+type Env = experiments.Env
+
+// ParamsFor returns a scale's default parameters.
+func ParamsFor(s Scale) ExperimentParams { return experiments.ParamsFor(s) }
+
+// ScaleByName parses "small", "medium" or "paper".
+func ScaleByName(name string) (Scale, error) { return experiments.ScaleByName(name) }
+
+// BuildEnv constructs the experiment environment.
+func BuildEnv(p ExperimentParams) (*Env, error) { return experiments.BuildEnv(p) }
+
+// TableIResult holds the Table I rows.
+type TableIResult = experiments.TableIResult
+
+// CompactionTables holds the rows of Table II or Table III.
+type CompactionTables = experiments.CompactionResult
+
+// STLSummaryResult holds the whole-STL summary claims.
+type STLSummaryResult = experiments.STLSummaryResult
+
+// AblationResult holds the ablation studies.
+type AblationResult = experiments.AblationResult
+
+// BaselineCompareResult holds the proposed-vs-baseline cost comparison.
+type BaselineCompareResult = experiments.BaselineCompareResult
+
+// ExtensionsResult holds the beyond-the-paper studies (FP32 compaction,
+// sequential pipeline-register coverage).
+type ExtensionsResult = experiments.ExtensionsResult
+
+// Experiment drivers, one per paper artifact.
+var (
+	TableI          = experiments.TableI
+	TableII         = experiments.TableII
+	TableIII        = experiments.TableIII
+	STLSummary      = experiments.STLSummary
+	Ablations       = experiments.Ablations
+	BaselineCompare = experiments.BaselineCompare
+	Extensions      = experiments.Extensions
+)

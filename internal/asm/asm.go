@@ -1,0 +1,499 @@
+// Package asm implements a textual assembler and disassembler for the
+// SASS-like ISA in package isa.
+//
+// The accepted syntax, one instruction per line:
+//
+//	; full-line comment (also # and //)
+//	start:                      ; label
+//	    MVI   R1, 0x10          ; immediate move
+//	    IADD  R3, R1, R2        ; register format
+//	    ISETI R5, R4, 100, LT, P1
+//	    @P1  BRA start          ; guarded branch to a label
+//	    @!P0 IADDI R1, R1, 1    ; inverted guard
+//	    GLD  R2, [R1+16]        ; memory operand
+//	    GST  [R1+16], R2
+//	    S2R  R0, SR_TID
+//	    EXIT
+//
+// Branch-like instructions (SSY, BRA, CAL) take a label or a numeric
+// displacement; labels are resolved to relative displacements in
+// instruction units.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gpustl/internal/isa"
+)
+
+// Error describes an assembly failure with its source line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+var specialRegs = map[string]int32{
+	"SR_TID":   isa.SRTid,
+	"SR_NTID":  isa.SRNTid,
+	"SR_CTAID": isa.SRCTAid,
+	"SR_WARP":  isa.SRWarp,
+	"SR_LANE":  isa.SRLane,
+}
+
+var specialRegNames = map[int32]string{
+	isa.SRTid:   "SR_TID",
+	isa.SRNTid:  "SR_NTID",
+	isa.SRCTAid: "SR_CTAID",
+	isa.SRWarp:  "SR_WARP",
+	isa.SRLane:  "SR_LANE",
+}
+
+// Assemble parses the program text and returns the instruction sequence.
+func Assemble(src string) ([]isa.Instruction, error) {
+	lines := strings.Split(src, "\n")
+
+	type pending struct {
+		srcLine int
+		pc      int
+		label   string
+	}
+	var (
+		prog    []isa.Instruction
+		labels  = make(map[string]int)
+		fixups  []pending
+		lineNum int
+	)
+	for _, raw := range lines {
+		lineNum++
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels, possibly followed by an instruction on the same line.
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:colon])
+			if !isIdent(name) {
+				return nil, errf(lineNum, "invalid label %q", name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, errf(lineNum, "duplicate label %q", name)
+			}
+			labels[name] = len(prog)
+			line = strings.TrimSpace(line[colon+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		in, labelRef, err := parseInstruction(line, lineNum)
+		if err != nil {
+			return nil, err
+		}
+		if labelRef != "" {
+			fixups = append(fixups, pending{lineNum, len(prog), labelRef})
+		}
+		prog = append(prog, in)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, errf(f.srcLine, "undefined label %q", f.label)
+		}
+		// Displacement is relative to the next instruction.
+		prog[f.pc].Imm = int32(target - (f.pc + 1))
+	}
+	return prog, nil
+}
+
+func stripComment(line string) string {
+	for _, marker := range []string{";", "#", "//"} {
+		if i := strings.Index(line, marker); i >= 0 {
+			line = line[:i]
+		}
+	}
+	return line
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseInstruction parses one instruction line. It returns the instruction
+// and, for label-referencing branches, the label name to fix up.
+func parseInstruction(line string, lineNum int) (isa.Instruction, string, error) {
+	in := isa.Instruction{Pg: isa.PredAlways, PSense: true}
+
+	// Optional @P guard prefix.
+	if strings.HasPrefix(line, "@") {
+		sp := strings.IndexAny(line, " \t")
+		if sp < 0 {
+			return in, "", errf(lineNum, "guard with no instruction")
+		}
+		guard := line[1:sp]
+		line = strings.TrimSpace(line[sp:])
+		sense := true
+		if strings.HasPrefix(guard, "!") {
+			sense = false
+			guard = guard[1:]
+		}
+		p, err := parsePred(guard)
+		if err != nil {
+			return in, "", errf(lineNum, "%v", err)
+		}
+		in.Pg, in.PSense = p, sense
+	}
+
+	sp := strings.IndexAny(line, " \t")
+	mnem := line
+	rest := ""
+	if sp >= 0 {
+		mnem = line[:sp]
+		rest = strings.TrimSpace(line[sp:])
+	}
+	op, ok := isa.OpcodeByName(strings.ToUpper(mnem))
+	if !ok {
+		return in, "", errf(lineNum, "unknown mnemonic %q", mnem)
+	}
+	in.Op = op
+
+	ops := splitOperands(rest)
+	lbl, err := parseOperands(&in, ops, lineNum)
+	return in, lbl, err
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'R' && s[0] != 'r') {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumGPR {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parsePred(s string) (uint8, error) {
+	if len(s) != 2 || (s[0] != 'P' && s[0] != 'p') {
+		return 0, fmt.Errorf("expected predicate register, got %q", s)
+	}
+	n := int(s[1] - '0')
+	if n < 0 || n >= isa.NumPred {
+		return 0, fmt.Errorf("bad predicate %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v > 0xffffffff || v < -0x80000000 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return int32(uint32(v)), nil
+}
+
+// parseMem parses "[Rn+off]" or "[Rn]" memory operands.
+func parseMem(s string) (uint8, int32, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("expected memory operand [Rn+off], got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	reg := body
+	off := ""
+	if i := strings.IndexAny(body, "+-"); i > 0 {
+		reg, off = body[:i], body[i:]
+	}
+	r, err := parseReg(strings.TrimSpace(reg))
+	if err != nil {
+		return 0, 0, err
+	}
+	var imm int32
+	if off != "" {
+		imm, err = parseImm(strings.TrimSpace(strings.TrimPrefix(off, "+")))
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return r, imm, nil
+}
+
+func parseCond(s string) (isa.Cond, error) {
+	for c := isa.Cond(0); int(c) < isa.NumConds; c++ {
+		if strings.EqualFold(c.String(), s) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("bad condition %q", s)
+}
+
+func parseOperands(in *isa.Instruction, ops []string, line int) (string, error) {
+	need := func(n int) error {
+		if len(ops) != n {
+			return errf(line, "%v expects %d operands, got %d", in.Op, n, len(ops))
+		}
+		return nil
+	}
+	var err error
+	switch in.Op {
+	case isa.OpNOP, isa.OpRET, isa.OpEXIT, isa.OpBAR:
+		return "", need(0)
+
+	case isa.OpMOV, isa.OpNOT, isa.OpINEG,
+		isa.OpF2I, isa.OpI2F,
+		isa.OpRCP, isa.OpRSQ, isa.OpSIN, isa.OpCOS, isa.OpLG2, isa.OpEX2:
+		if err = need(2); err != nil {
+			return "", err
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		if in.Ra, err = parseReg(ops[1]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		return "", nil
+
+	case isa.OpMVI:
+		if err = need(2); err != nil {
+			return "", err
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		if in.Imm, err = parseImm(ops[1]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		return "", nil
+
+	case isa.OpS2R:
+		if err = need(2); err != nil {
+			return "", err
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		sr, ok := specialRegs[strings.ToUpper(ops[1])]
+		if !ok {
+			return "", errf(line, "unknown special register %q", ops[1])
+		}
+		in.Imm = sr
+		return "", nil
+
+	case isa.OpIADD, isa.OpISUB, isa.OpIMUL, isa.OpIMAD, isa.OpIMIN, isa.OpIMAX,
+		isa.OpAND, isa.OpOR, isa.OpXOR, isa.OpSHL, isa.OpSHR,
+		isa.OpFADD, isa.OpFMUL, isa.OpFFMA, isa.OpFMIN, isa.OpFMAX:
+		if err = need(3); err != nil {
+			return "", err
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		if in.Ra, err = parseReg(ops[1]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		if in.Rb, err = parseReg(ops[2]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		return "", nil
+
+	case isa.OpIADDI, isa.OpISUBI, isa.OpIMULI, isa.OpANDI, isa.OpORI,
+		isa.OpXORI, isa.OpSHLI, isa.OpSHRI:
+		if err = need(3); err != nil {
+			return "", err
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		if in.Ra, err = parseReg(ops[1]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		if in.Imm, err = parseImm(ops[2]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		return "", nil
+
+	case isa.OpISET, isa.OpFSET:
+		// ISET Rd, Ra, Rb, COND, Pd
+		if err = need(5); err != nil {
+			return "", err
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		if in.Ra, err = parseReg(ops[1]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		if in.Rb, err = parseReg(ops[2]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		if in.Cond, err = parseCond(ops[3]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		p, err := parsePred(ops[4])
+		if err != nil {
+			return "", errf(line, "%v", err)
+		}
+		in.Pd = p & 1
+		return "", nil
+
+	case isa.OpISETI:
+		// ISETI Rd, Ra, imm, COND, Pd
+		if err = need(5); err != nil {
+			return "", err
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		if in.Ra, err = parseReg(ops[1]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		if in.Imm, err = parseImm(ops[2]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		if in.Cond, err = parseCond(ops[3]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		p, err := parsePred(ops[4])
+		if err != nil {
+			return "", errf(line, "%v", err)
+		}
+		in.Pd = p & 1
+		return "", nil
+
+	case isa.OpGLD, isa.OpSLD, isa.OpLDC:
+		// GLD Rd, [Ra+off]
+		if err = need(2); err != nil {
+			return "", err
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		if in.Ra, in.Imm, err = parseMem(ops[1]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		return "", nil
+
+	case isa.OpGST, isa.OpSST:
+		// GST [Ra+off], Rb
+		if err = need(2); err != nil {
+			return "", err
+		}
+		if in.Ra, in.Imm, err = parseMem(ops[0]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		if in.Rb, err = parseReg(ops[1]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		return "", nil
+
+	case isa.OpSSY, isa.OpBRA, isa.OpCAL:
+		if err = need(1); err != nil {
+			return "", err
+		}
+		if isIdent(ops[0]) {
+			return ops[0], nil // label fixup
+		}
+		if in.Imm, err = parseImm(ops[0]); err != nil {
+			return "", errf(line, "%v", err)
+		}
+		return "", nil
+	}
+	return "", errf(line, "unhandled opcode %v", in.Op)
+}
+
+// Disassemble renders the program as assembly text, one instruction per
+// line, with branch displacements shown numerically.
+func Disassemble(prog []isa.Instruction) string {
+	var b strings.Builder
+	for _, in := range prog {
+		b.WriteString(Format(in))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Format renders a single instruction in the assembler's input syntax.
+func Format(in isa.Instruction) string {
+	var b strings.Builder
+	if in.Pg != isa.PredAlways {
+		if in.PSense {
+			fmt.Fprintf(&b, "@P%d ", in.Pg)
+		} else {
+			fmt.Fprintf(&b, "@!P%d ", in.Pg)
+		}
+	}
+	b.WriteString(in.Op.String())
+	switch in.Op {
+	case isa.OpNOP, isa.OpRET, isa.OpEXIT, isa.OpBAR:
+	case isa.OpMOV, isa.OpNOT, isa.OpINEG, isa.OpF2I, isa.OpI2F,
+		isa.OpRCP, isa.OpRSQ, isa.OpSIN, isa.OpCOS, isa.OpLG2, isa.OpEX2:
+		fmt.Fprintf(&b, " R%d, R%d", in.Rd, in.Ra)
+	case isa.OpMVI:
+		fmt.Fprintf(&b, " R%d, %d", in.Rd, in.Imm)
+	case isa.OpS2R:
+		name, ok := specialRegNames[in.Imm]
+		if !ok {
+			name = fmt.Sprintf("SR_%d", in.Imm)
+		}
+		fmt.Fprintf(&b, " R%d, %s", in.Rd, name)
+	case isa.OpIADD, isa.OpISUB, isa.OpIMUL, isa.OpIMAD, isa.OpIMIN,
+		isa.OpIMAX, isa.OpAND, isa.OpOR, isa.OpXOR, isa.OpSHL, isa.OpSHR,
+		isa.OpFADD, isa.OpFMUL, isa.OpFFMA, isa.OpFMIN, isa.OpFMAX:
+		fmt.Fprintf(&b, " R%d, R%d, R%d", in.Rd, in.Ra, in.Rb)
+	case isa.OpIADDI, isa.OpISUBI, isa.OpIMULI, isa.OpANDI, isa.OpORI,
+		isa.OpXORI, isa.OpSHLI, isa.OpSHRI:
+		fmt.Fprintf(&b, " R%d, R%d, %d", in.Rd, in.Ra, in.Imm)
+	case isa.OpISET, isa.OpFSET:
+		fmt.Fprintf(&b, " R%d, R%d, R%d, %v, P%d", in.Rd, in.Ra, in.Rb, in.Cond, in.Pd)
+	case isa.OpISETI:
+		fmt.Fprintf(&b, " R%d, R%d, %d, %v, P%d", in.Rd, in.Ra, in.Imm, in.Cond, in.Pd)
+	case isa.OpGLD, isa.OpSLD, isa.OpLDC:
+		fmt.Fprintf(&b, " R%d, [R%d+%d]", in.Rd, in.Ra, in.Imm)
+	case isa.OpGST, isa.OpSST:
+		fmt.Fprintf(&b, " [R%d+%d], R%d", in.Ra, in.Imm, in.Rb)
+	case isa.OpSSY, isa.OpBRA, isa.OpCAL:
+		fmt.Fprintf(&b, " %d", in.Imm)
+	}
+	return b.String()
+}

@@ -1,0 +1,30 @@
+package asm
+
+import "testing"
+
+// FuzzAssemble checks the assembler never panics on arbitrary text, and
+// that whatever it accepts survives a disassemble/assemble round trip.
+func FuzzAssemble(f *testing.F) {
+	f.Add("MVI R1, 5\nIADD R2, R1, R1\nGST [R2+0], R1\nEXIT")
+	f.Add("loop: IADDI R1, R1, 1\n@P0 BRA loop")
+	f.Add("x: y: EXIT")
+	f.Add("@!P3 SIN R9, R8 ; comment")
+	f.Add("S2R R0, SR_TID # c")
+	f.Add("ISETI R1, R2, -3, GE, P1")
+	f.Add("BRA 0\nSSY -1\nCAL 2\nRET")
+	f.Add("\x00\xff broken")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		text := Disassemble(prog)
+		prog2, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("disassembly does not reassemble: %v\n%s", err, text)
+		}
+		if len(prog2) != len(prog) {
+			t.Fatalf("round trip length %d != %d", len(prog2), len(prog))
+		}
+	})
+}

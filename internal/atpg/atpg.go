@@ -1,0 +1,214 @@
+package atpg
+
+import (
+	"math/rand"
+
+	"gpustl/internal/circuits"
+	"gpustl/internal/fault"
+	"gpustl/internal/netlist"
+)
+
+// Options tunes a generation run.
+type Options struct {
+	Seed int64
+
+	// RandomBlocks is the maximum number of 64-pattern random blocks.
+	RandomBlocks int
+	// UselessLimit stops the random phase after this many consecutive
+	// blocks that detect nothing new.
+	UselessLimit int
+	// UsePodem enables the deterministic phase for the random-resistant
+	// remainder.
+	UsePodem bool
+	// MaxBacktracks bounds each PODEM run.
+	MaxBacktracks int
+	// SampleFaults caps the targeted fault list (0 = all faults). Fault
+	// sampling keeps medium-scale campaigns tractable.
+	SampleFaults int
+	// Collapse applies structural fault collapsing before generation.
+	Collapse bool
+	// KeepAllBlocks emits every pattern of the first N useful random
+	// blocks instead of only the first-detecting ones. Commercial ATPG
+	// pattern files carry exactly this kind of early redundancy (easy
+	// faults are detected by many patterns); the paper's TPGEN/SFU_IMM
+	// compaction rates presuppose it. 0 keeps strict selection.
+	KeepAllBlocks int
+}
+
+// DefaultOptions returns a reasonable configuration.
+func DefaultOptions(seed int64) Options {
+	return Options{
+		Seed:          seed,
+		RandomBlocks:  256,
+		UselessLimit:  8,
+		UsePodem:      true,
+		MaxBacktracks: 300,
+	}
+}
+
+// Result is the outcome of a generation run.
+type Result struct {
+	Patterns []circuits.Pattern
+
+	TotalFaults  int // faults targeted
+	RandomDet    int // detected in the random phase
+	PodemDet     int // detected by PODEM-generated patterns
+	Untestable   int // PODEM proved/abandoned without a pattern
+	RandPatterns int // patterns kept from the random phase
+}
+
+// Coverage returns the achieved fault coverage over the targeted list.
+func (r *Result) Coverage() float64 {
+	if r.TotalFaults == 0 {
+		return 0
+	}
+	return 100 * float64(r.RandomDet+r.PodemDet) / float64(r.TotalFaults)
+}
+
+// Generate produces a compact detecting pattern set for the module's
+// stuck-at faults: a random phase keeps only patterns that first-detect at
+// least one fault; PODEM then targets the remainder, fault-simulating each
+// new pattern to drop collateral detections.
+//
+// ATPG works on a single lane of the module (the same patterns reach every
+// lane when the converted PTP executes across all threads).
+func Generate(m *circuits.Module, opt Options) *Result {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	oneLane := &circuits.Module{Kind: m.Kind, NL: m.NL, Lanes: 1}
+
+	sites := fault.AllSites(m.NL)
+	if opt.Collapse {
+		sites = fault.CollapseEquivalent(m.NL, sites)
+	}
+	camp := fault.NewCampaignWithFaults(oneLane, fault.ExpandLanes(sites, 1))
+	if opt.SampleFaults > 0 {
+		camp.SampleFaults(opt.SampleFaults, opt.Seed)
+	}
+	res := &Result{TotalFaults: camp.Total()}
+
+	numIn := len(m.NL.Inputs)
+	randomPattern := func() circuits.Pattern {
+		var p circuits.Pattern
+		p.W[0] = rng.Uint64()
+		p.W[1] = rng.Uint64()
+		// Mask to the input count.
+		if numIn < 64 {
+			p.W[0] &= 1<<uint(numIn) - 1
+			p.W[1] = 0
+		} else if numIn < 128 {
+			p.W[1] &= 1<<uint(numIn-64) - 1
+		}
+		return p
+	}
+
+	// Random phase.
+	useless := 0
+	usefulBlocks := 0
+	for blk := 0; blk < opt.RandomBlocks && useless < opt.UselessLimit; blk++ {
+		stream := make([]fault.TimedPattern, 64)
+		for i := range stream {
+			stream[i] = fault.TimedPattern{CC: uint64(blk*64 + i), Pat: randomPattern()}
+		}
+		rep := camp.Simulate(stream, fault.SimOptions{})
+		if rep.DetectedThisRun() == 0 {
+			useless++
+			continue
+		}
+		useless = 0
+		res.RandomDet += rep.DetectedThisRun()
+		if usefulBlocks < opt.KeepAllBlocks {
+			for i := range stream {
+				res.Patterns = append(res.Patterns, stream[i].Pat)
+				res.RandPatterns++
+			}
+		} else {
+			for i, n := range rep.DetectedPerPattern {
+				if n > 0 {
+					res.Patterns = append(res.Patterns, stream[i].Pat)
+					res.RandPatterns++
+				}
+			}
+		}
+		usefulBlocks++
+	}
+
+	// Deterministic phase.
+	if opt.UsePodem {
+		for id, f := range camp.Faults() {
+			if camp.IsDetected(fault.ID(id)) {
+				continue
+			}
+			pd := newPodem(m.NL, f.Site, opt.MaxBacktracks)
+			pat, ok := pd.run()
+			if !ok {
+				res.Untestable++
+				continue
+			}
+			rep := camp.Simulate([]fault.TimedPattern{{Pat: pat}}, fault.SimOptions{})
+			if rep.DetectedThisRun() == 0 {
+				// The PODEM pattern must detect its target; a miss means a
+				// modeling bug — treat conservatively as untestable.
+				res.Untestable++
+				continue
+			}
+			res.PodemDet += rep.DetectedThisRun()
+			res.Patterns = append(res.Patterns, pat)
+		}
+	}
+	return res
+}
+
+// StaticCompact performs classic static test-set compaction: the patterns
+// are replayed in reverse order against a fresh campaign over the same
+// fault list, and only patterns that first-detect at least one fault are
+// kept (reverse-order fault simulation drops the early redundancy that
+// greedy generation accumulates). The kept patterns preserve the original
+// set's coverage exactly.
+func StaticCompact(m *circuits.Module, patterns []circuits.Pattern, opt Options) []circuits.Pattern {
+	oneLane := &circuits.Module{Kind: m.Kind, NL: m.NL, Lanes: 1}
+	sites := fault.AllSites(m.NL)
+	if opt.Collapse {
+		sites = fault.CollapseEquivalent(m.NL, sites)
+	}
+	camp := fault.NewCampaignWithFaults(oneLane, fault.ExpandLanes(sites, 1))
+	if opt.SampleFaults > 0 {
+		camp.SampleFaults(opt.SampleFaults, opt.Seed)
+	}
+	stream := make([]fault.TimedPattern, len(patterns))
+	for i, p := range patterns {
+		stream[i] = fault.TimedPattern{CC: uint64(i), Pat: p}
+	}
+	rep := camp.Simulate(stream, fault.SimOptions{Reverse: true})
+	// rep is in reversed order; keep detecting patterns, restoring the
+	// original relative order.
+	keepRev := make([]bool, len(patterns))
+	for i, n := range rep.DetectedPerPattern {
+		if n > 0 {
+			keepRev[i] = true
+		}
+	}
+	var out []circuits.Pattern
+	for i := range patterns {
+		// Stream entry j in the reversed order corresponds to original
+		// index len-1-j.
+		if keepRev[len(patterns)-1-i] {
+			out = append(out, patterns[i])
+		}
+	}
+	return out
+}
+
+// GenerateForSites runs PODEM for an explicit list of fault sites and
+// returns one pattern per testable fault (no random phase, no dropping) —
+// a building block for tests and focused campaigns.
+func GenerateForSites(nl *netlist.Netlist, sites []netlist.FaultSite, maxBacktracks int) (pats []circuits.Pattern, untestable int) {
+	for _, s := range sites {
+		pd := newPodem(nl, s, maxBacktracks)
+		if pat, ok := pd.run(); ok {
+			pats = append(pats, pat)
+		} else {
+			untestable++
+		}
+	}
+	return pats, untestable
+}

@@ -1,0 +1,379 @@
+// Package atpg implements automatic test pattern generation for the
+// gate-level modules of package circuits: a random-pattern phase with
+// fault dropping followed by PODEM path sensitization for the
+// random-resistant remainder.
+//
+// It stands in for the commercial ATPG tool the paper uses to build the
+// TPGEN and SFU_IMM PTPs; the generated patterns feed the
+// pattern-to-instruction parsers of package ptpgen.
+package atpg
+
+import (
+	"gpustl/internal/circuits"
+	"gpustl/internal/netlist"
+)
+
+// Three-valued logic constants for the good/faulty circuit pair.
+const (
+	v0 byte = 0
+	v1 byte = 1
+	vX byte = 2
+)
+
+// tval is a net's value in the composite (good, faulty) circuit. The five
+// classic PODEM values map as: 0=(0,0), 1=(1,1), D=(1,0), D'=(0,1),
+// X=anything containing vX.
+type tval struct{ g, f byte }
+
+func (t tval) isD() bool { return t.g != vX && t.f != vX && t.g != t.f }
+
+// podem is one PODEM run for a single fault.
+type podem struct {
+	nl    *netlist.Netlist
+	fault netlist.FaultSite
+
+	pi   []byte // primary-input assignments (v0/v1/vX), indexed like Inputs
+	val  []tval // per-net composite values after imply
+	inIx map[int32]int
+
+	backtracks    int
+	maxBacktracks int
+}
+
+// newPodem prepares a run.
+func newPodem(nl *netlist.Netlist, f netlist.FaultSite, maxBacktracks int) *podem {
+	p := &podem{
+		nl:            nl,
+		fault:         f,
+		pi:            make([]byte, len(nl.Inputs)),
+		val:           make([]tval, len(nl.Gates)),
+		inIx:          make(map[int32]int, len(nl.Inputs)),
+		maxBacktracks: maxBacktracks,
+	}
+	for i, net := range nl.Inputs {
+		p.pi[i] = vX
+		p.inIx[net] = i
+	}
+	return p
+}
+
+func not3(a byte) byte {
+	switch a {
+	case v0:
+		return v1
+	case v1:
+		return v0
+	}
+	return vX
+}
+
+func and3(a, b byte) byte {
+	if a == v0 || b == v0 {
+		return v0
+	}
+	if a == v1 && b == v1 {
+		return v1
+	}
+	return vX
+}
+
+func or3(a, b byte) byte {
+	if a == v1 || b == v1 {
+		return v1
+	}
+	if a == v0 && b == v0 {
+		return v0
+	}
+	return vX
+}
+
+func xor3(a, b byte) byte {
+	if a == vX || b == vX {
+		return vX
+	}
+	if a == b {
+		return v0
+	}
+	return v1
+}
+
+func mux3(s, lo, hi byte) byte {
+	switch s {
+	case v0:
+		return lo
+	case v1:
+		return hi
+	}
+	if lo == hi && lo != vX {
+		return lo
+	}
+	return vX
+}
+
+func eval3(k netlist.Kind, a, b, s byte) byte {
+	switch k {
+	case netlist.KBuf:
+		return a
+	case netlist.KNot:
+		return not3(a)
+	case netlist.KAnd:
+		return and3(a, b)
+	case netlist.KOr:
+		return or3(a, b)
+	case netlist.KXor:
+		return xor3(a, b)
+	case netlist.KNand:
+		return not3(and3(a, b))
+	case netlist.KNor:
+		return not3(or3(a, b))
+	case netlist.KXnor:
+		return not3(xor3(a, b))
+	case netlist.KMux:
+		return mux3(a, b, s)
+	case netlist.KConst1:
+		return v1
+	}
+	return v0 // KConst0
+}
+
+// imply forward-simulates the composite circuit from the current PI
+// assignments.
+func (p *podem) imply() {
+	sa := v0
+	if p.fault.SA1 {
+		sa = v1
+	}
+	for _, id := range p.nl.Order() {
+		g := &p.nl.Gates[id]
+		var t tval
+		switch g.Kind {
+		case netlist.KInput:
+			v := p.pi[p.inIx[id]]
+			t = tval{v, v}
+		case netlist.KConst0:
+			t = tval{v0, v0}
+		case netlist.KConst1:
+			t = tval{v1, v1}
+		default:
+			var ig, fg [3]byte
+			for pin := 0; pin < g.NumIn(); pin++ {
+				in := p.val[g.In[pin]]
+				ig[pin] = in.g
+				fg[pin] = in.f
+				if id == p.fault.Gate && int8(pin) == p.fault.Pin {
+					fg[pin] = sa
+				}
+			}
+			t = tval{eval3(g.Kind, ig[0], ig[1], ig[2]), eval3(g.Kind, fg[0], fg[1], fg[2])}
+		}
+		if id == p.fault.Gate && p.fault.Pin < 0 {
+			t.f = sa
+		}
+		p.val[id] = t
+	}
+}
+
+// sa returns the stuck value in three-valued encoding.
+func (p *podem) sa() byte {
+	if p.fault.SA1 {
+		return v1
+	}
+	return v0
+}
+
+// siteNet returns the net whose fault-free value activates the fault: the
+// gate output for stem faults, the driving net of the pin for pin faults.
+func (p *podem) siteNet() int32 {
+	if p.fault.Pin < 0 {
+		return p.fault.Gate
+	}
+	return p.nl.Gates[p.fault.Gate].In[p.fault.Pin]
+}
+
+// siteGood returns the current fault-free value at the fault site.
+func (p *podem) siteGood() byte { return p.val[p.siteNet()].g }
+
+// detected reports whether a D/D' reaches a primary output.
+func (p *podem) detected() bool {
+	for _, o := range p.nl.Outputs {
+		if p.val[o].isD() {
+			return true
+		}
+	}
+	return false
+}
+
+// dFrontier returns gates whose output is X in the good or faulty circuit
+// while at least one input carries a D. For input-pin faults the faulted
+// gate itself joins the frontier as soon as the pin is activated (the pin
+// discrepancy is a D that exists on no net).
+func (p *podem) dFrontier() []int32 {
+	var out []int32
+	for _, id := range p.nl.Order() {
+		g := &p.nl.Gates[id]
+		if g.NumIn() == 0 {
+			continue
+		}
+		v := p.val[id]
+		if v.g != vX && v.f != vX {
+			continue
+		}
+		if p.fault.Pin >= 0 && id == p.fault.Gate {
+			if sg := p.siteGood(); sg != vX && sg != p.sa() {
+				out = append(out, id)
+				continue
+			}
+		}
+		for pin := 0; pin < g.NumIn(); pin++ {
+			if p.val[g.In[pin]].isD() {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// objective returns the next (net, value) goal: justify the activation
+// value at the fault site, then advance the D-frontier.
+func (p *podem) objective() (int32, byte, bool) {
+	switch p.siteGood() {
+	case vX:
+		return p.siteNet(), not3(p.sa()), true
+	case p.sa():
+		return 0, 0, false // activation impossible under current assignments
+	}
+	df := p.dFrontier()
+	for _, id := range df {
+		g := &p.nl.Gates[id]
+		// Find an X input and demand the non-controlling value.
+		for pin := 0; pin < g.NumIn(); pin++ {
+			in := g.In[pin]
+			if p.val[in].g != vX {
+				continue
+			}
+			var want byte
+			switch g.Kind {
+			case netlist.KAnd, netlist.KNand:
+				want = v1
+			case netlist.KOr, netlist.KNor:
+				want = v0
+			case netlist.KXor, netlist.KXnor:
+				want = v0
+			case netlist.KMux:
+				if pin == 0 {
+					// Select the side carrying the D.
+					if p.val[g.In[2]].isD() {
+						want = v1
+					} else {
+						want = v0
+					}
+				} else {
+					want = v0
+				}
+			default:
+				want = v1
+			}
+			return in, want, true
+		}
+	}
+	return 0, 0, false
+}
+
+// backtrace maps an objective to a primary-input assignment by walking
+// X-paths backwards, accounting for inversions.
+func (p *podem) backtrace(net int32, v byte) (int, byte, bool) {
+	for hops := 0; hops < len(p.nl.Gates); hops++ {
+		g := &p.nl.Gates[net]
+		if g.Kind == netlist.KInput {
+			return p.inIx[net], v, true
+		}
+		if g.NumIn() == 0 {
+			return 0, 0, false // constant: cannot justify
+		}
+		// Pick the first X input.
+		next := int32(-1)
+		for pin := 0; pin < g.NumIn(); pin++ {
+			if p.val[g.In[pin]].g == vX {
+				next = g.In[pin]
+				break
+			}
+		}
+		if next < 0 {
+			return 0, 0, false
+		}
+		switch g.Kind {
+		case netlist.KNot, netlist.KNand, netlist.KNor:
+			v = not3(v)
+		}
+		net = next
+	}
+	return 0, 0, false
+}
+
+// decision is one PI assignment on the implicit decision stack.
+type decision struct {
+	pi      int
+	value   byte
+	flipped bool
+}
+
+// run executes the PODEM search. It returns the generated pattern and
+// true on success; (zero, false) when the fault is untestable or the
+// backtrack budget is exhausted.
+func (p *podem) run() (circuits.Pattern, bool) {
+	var stack []decision
+	p.imply()
+	for {
+		if p.detected() {
+			return p.pattern(), true
+		}
+		net, want, ok := p.objective()
+		feasible := ok
+		var pi int
+		var v byte
+		if feasible {
+			pi, v, feasible = p.backtrace(net, want)
+		}
+		if feasible {
+			stack = append(stack, decision{pi: pi, value: v})
+			p.pi[pi] = v
+			p.imply()
+			continue
+		}
+		// Backtrack.
+		for {
+			if len(stack) == 0 {
+				return circuits.Pattern{}, false
+			}
+			d := &stack[len(stack)-1]
+			if !d.flipped {
+				d.flipped = true
+				d.value = not3(d.value)
+				p.pi[d.pi] = d.value
+				p.backtracks++
+				if p.backtracks > p.maxBacktracks {
+					return circuits.Pattern{}, false
+				}
+				p.imply()
+				break
+			}
+			p.pi[d.pi] = vX
+			stack = stack[:len(stack)-1]
+		}
+		if p.detected() {
+			return p.pattern(), true
+		}
+	}
+}
+
+// pattern freezes the current PI assignment, filling X's with 0.
+func (p *podem) pattern() circuits.Pattern {
+	var pat circuits.Pattern
+	for i, v := range p.pi {
+		if v == v1 {
+			pat.W[i/64] |= 1 << (uint(i) % 64)
+		}
+	}
+	return pat
+}

@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"testing"
+
+	"gpustl/internal/circuits"
+	"gpustl/internal/core"
+	"gpustl/internal/fault"
+	"gpustl/internal/gpu"
+	"gpustl/internal/ptpgen"
+)
+
+func setup(t testing.TB, kind circuits.ModuleKind, nFaults int, seed int64) (*circuits.Module, []fault.Fault) {
+	t.Helper()
+	m, err := circuits.Build(kind, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fault.NewCampaign(m)
+	c.SampleFaults(nFaults, seed)
+	return m, c.Faults()
+}
+
+func TestBaselineCompacts(t *testing.T) {
+	m, faults := setup(t, circuits.ModuleDU, 1500, 1)
+	p := ptpgen.IMM(25, 2)
+	b := New(gpu.DefaultConfig(), m, faults)
+	res, err := b.CompactPTP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompSize >= res.OrigSize {
+		t.Errorf("no compaction: %d -> %d", res.OrigSize, res.CompSize)
+	}
+	// The defining property: one fault simulation per candidate plus the
+	// initial and final evaluations.
+	if res.FaultSims < len(p.SBs) {
+		t.Errorf("fault sims = %d, want >= %d (one per SB)", res.FaultSims, len(p.SBs))
+	}
+	// Strict tolerance: FC must be preserved.
+	if res.CompFC < res.OrigFC {
+		t.Errorf("FC lost: %.3f -> %.3f", res.OrigFC, res.CompFC)
+	}
+	t.Logf("baseline IMM: %d->%d instrs, FC %.2f->%.2f, %d fault sims, %v",
+		res.OrigSize, res.CompSize, res.OrigFC, res.CompFC, res.FaultSims, res.Time)
+}
+
+func TestBaselineVsProposedCost(t *testing.T) {
+	m, faults := setup(t, circuits.ModuleDU, 1200, 3)
+	p := ptpgen.IMM(20, 4)
+
+	b := New(gpu.DefaultConfig(), m, faults)
+	bres, err := b.CompactPTP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := core.New(gpu.DefaultConfig(), m, faults, core.Options{})
+	cres, err := c.CompactPTP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The proposed method must be far cheaper (it runs one fault sim; the
+	// baseline runs one per SB) while achieving comparable compaction.
+	if bres.Time < cres.CompactionTime {
+		t.Logf("warning: baseline wall-time %v below proposed %v at this tiny scale",
+			bres.Time, cres.CompactionTime)
+	}
+	if bres.FaultSims <= 2 {
+		t.Errorf("baseline did not iterate: %d fault sims", bres.FaultSims)
+	}
+	t.Logf("cost: baseline %d fault sims in %v; proposed 1 fault sim in %v; sizes %d vs %d",
+		bres.FaultSims, bres.Time, cres.CompactionTime, bres.CompSize, cres.CompSize)
+}
+
+func TestBaselineToleranceTradesFC(t *testing.T) {
+	m, faults := setup(t, circuits.ModuleDU, 1000, 5)
+	p := ptpgen.IMM(15, 6)
+
+	strict := New(gpu.DefaultConfig(), m, faults)
+	sres, err := strict.CompactPTP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose := New(gpu.DefaultConfig(), m, faults)
+	loose.Tolerance = 2.0
+	lres, err := loose.CompactPTP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.CompSize > sres.CompSize {
+		t.Errorf("loose tolerance removed less: %d vs %d", lres.CompSize, sres.CompSize)
+	}
+}
+
+func TestBaselineRespectsProtected(t *testing.T) {
+	m, faults := setup(t, circuits.ModuleDU, 800, 7)
+	p := ptpgen.IMM(10, 8)
+	b := New(gpu.DefaultConfig(), m, faults)
+	res, err := b.CompactPTP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prologue and epilogue must survive.
+	got := res.Compacted.Prog
+	if got[0].Op != p.Prog[0].Op || got[len(got)-1].Op != p.Prog[len(p.Prog)-1].Op {
+		t.Error("protected scaffolding damaged")
+	}
+}

@@ -1,0 +1,241 @@
+// Package circuits builds the gate-level models of the GPU modules the
+// paper fault-simulates: the Decoder Unit (DU), the SP integer datapath and
+// the SFU transcendental datapath. It stands in for the synthesis step the
+// authors performed with the Nangate 15 nm OpenCell library: each generator
+// elaborates a realistic structural netlist over the primitives of package
+// netlist.
+//
+// The package also defines the per-module test-pattern encoding: the
+// mapping from microarchitectural events (a fetched instruction word, an
+// operand tuple entering an SP lane, an SFU operation) to the bit vector
+// applied to the module's primary inputs.
+package circuits
+
+import "gpustl/internal/netlist"
+
+// bus helpers ---------------------------------------------------------------
+
+// constBus returns a bus driving the binary value v over width bits.
+func constBus(b *netlist.Builder, v uint64, width int) []int32 {
+	bus := make([]int32, width)
+	for i := range bus {
+		if v>>uint(i)&1 == 1 {
+			bus[i] = b.Const1()
+		} else {
+			bus[i] = b.Const0()
+		}
+	}
+	return bus
+}
+
+// notBus inverts every bit of a bus.
+func notBus(b *netlist.Builder, a []int32) []int32 {
+	out := make([]int32, len(a))
+	for i := range a {
+		out[i] = b.Not(a[i])
+	}
+	return out
+}
+
+// xorBus computes a ^ b bitwise.
+func xorBus(b *netlist.Builder, x, y []int32) []int32 {
+	out := make([]int32, len(x))
+	for i := range x {
+		out[i] = b.Xor(x[i], y[i])
+	}
+	return out
+}
+
+// andBus computes a & b bitwise.
+func andBus(b *netlist.Builder, x, y []int32) []int32 {
+	out := make([]int32, len(x))
+	for i := range x {
+		out[i] = b.And(x[i], y[i])
+	}
+	return out
+}
+
+// orBus computes a | b bitwise.
+func orBus(b *netlist.Builder, x, y []int32) []int32 {
+	out := make([]int32, len(x))
+	for i := range x {
+		out[i] = b.Or(x[i], y[i])
+	}
+	return out
+}
+
+// muxBus selects hi when sel=1, else lo, bitwise.
+func muxBus(b *netlist.Builder, sel int32, lo, hi []int32) []int32 {
+	out := make([]int32, len(lo))
+	for i := range lo {
+		out[i] = b.Mux(sel, lo[i], hi[i])
+	}
+	return out
+}
+
+// fanBus replicates a single net across width bits.
+func fanBus(b *netlist.Builder, n int32, width int) []int32 {
+	out := make([]int32, width)
+	for i := range out {
+		out[i] = b.Buf(n)
+	}
+	return out
+}
+
+// fullAdder returns (sum, carry) of a+b+c.
+func fullAdder(b *netlist.Builder, x, y, c int32) (sum, carry int32) {
+	axb := b.Xor(x, y)
+	sum = b.Xor(axb, c)
+	carry = b.Or(b.And(x, y), b.And(axb, c))
+	return sum, carry
+}
+
+// rippleAdder returns a+b+cin over len(a) bits plus the carry out.
+func rippleAdder(b *netlist.Builder, x, y []int32, cin int32) (sum []int32, cout int32) {
+	sum = make([]int32, len(x))
+	c := cin
+	for i := range x {
+		sum[i], c = fullAdder(b, x[i], y[i], c)
+	}
+	return sum, c
+}
+
+// addSub computes a+b when sub=0 and a-b when sub=1; also returns the final
+// carry (i.e. NOT borrow for subtraction) and the overflow flag.
+func addSub(b *netlist.Builder, x, y []int32, sub int32) (sum []int32, cout, ovf int32) {
+	yx := make([]int32, len(y))
+	for i := range y {
+		yx[i] = b.Xor(y[i], sub)
+	}
+	sum = make([]int32, len(x))
+	c := sub
+	var cPrev int32
+	for i := range x {
+		cPrev = c
+		sum[i], c = fullAdder(b, x[i], yx[i], c)
+	}
+	// Signed overflow = carry-into-MSB XOR carry-out-of-MSB.
+	ovf = b.Xor(cPrev, c)
+	return sum, c, ovf
+}
+
+// shiftLeft builds a logical barrel left-shifter: out = a << (amt[0..k-1]).
+func shiftLeft(b *netlist.Builder, a []int32, amt []int32) []int32 {
+	cur := a
+	for s, sel := range amt {
+		shift := 1 << uint(s)
+		next := make([]int32, len(cur))
+		for i := range cur {
+			var shifted int32
+			if i >= shift {
+				shifted = cur[i-shift]
+			} else {
+				shifted = b.Const0()
+			}
+			next[i] = b.Mux(sel, cur[i], shifted)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// shiftRight builds a logical barrel right-shifter.
+func shiftRight(b *netlist.Builder, a []int32, amt []int32) []int32 {
+	cur := a
+	for s, sel := range amt {
+		shift := 1 << uint(s)
+		next := make([]int32, len(cur))
+		for i := range cur {
+			var shifted int32
+			if i+shift < len(cur) {
+				shifted = cur[i+shift]
+			} else {
+				shifted = b.Const0()
+			}
+			next[i] = b.Mux(sel, cur[i], shifted)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// mulLow builds an array multiplier producing the low len(a) bits of a*b.
+func mulLow(b *netlist.Builder, x, y []int32) []int32 {
+	w := len(x)
+	// acc starts as the first partial product row.
+	acc := make([]int32, w)
+	for i := range acc {
+		acc[i] = b.And(x[i], y[0])
+	}
+	for row := 1; row < w; row++ {
+		// Partial product row: (x & y[row]) << row, truncated to w bits.
+		width := w - row
+		pp := make([]int32, width)
+		for i := 0; i < width; i++ {
+			pp[i] = b.And(x[i], y[row])
+		}
+		// Add into acc[row:].
+		c := b.Const0()
+		for i := 0; i < width; i++ {
+			acc[row+i], c = fullAdder(b, acc[row+i], pp[i], c)
+		}
+	}
+	return acc
+}
+
+// mulFull builds an array multiplier producing all len(x)+len(y) bits.
+func mulFull(b *netlist.Builder, x, y []int32) []int32 {
+	wx, wy := len(x), len(y)
+	out := make([]int32, wx+wy)
+	for i := range out {
+		out[i] = b.Const0()
+	}
+	for row := 0; row < wy; row++ {
+		pp := make([]int32, wx)
+		for i := range pp {
+			pp[i] = b.And(x[i], y[row])
+		}
+		c := b.Const0()
+		for i := 0; i < wx; i++ {
+			out[row+i], c = fullAdder(b, out[row+i], pp[i], c)
+		}
+		// Propagate the final carry up.
+		for i := row + wx; i < len(out) && c != b.Const0(); i++ {
+			out[i], c = fullAdder(b, out[i], b.Const0(), c)
+		}
+	}
+	return out
+}
+
+// isZero returns a net that is 1 when the whole bus is 0.
+func isZero(b *netlist.Builder, a []int32) int32 {
+	return b.Not(b.OrN(a...))
+}
+
+// equalBus returns a net that is 1 when the two buses are equal.
+func equalBus(b *netlist.Builder, x, y []int32) int32 {
+	diffs := make([]int32, len(x))
+	for i := range x {
+		diffs[i] = b.Xor(x[i], y[i])
+	}
+	return isZero(b, diffs)
+}
+
+// decodeField builds a one-hot decoder over the given field bits: output n
+// is 1 when the field's binary value equals n. Inverted literals are shared.
+func decodeField(b *netlist.Builder, field []int32, count int) []int32 {
+	inv := notBus(b, field)
+	out := make([]int32, count)
+	for v := 0; v < count; v++ {
+		lits := make([]int32, len(field))
+		for i := range field {
+			if v>>uint(i)&1 == 1 {
+				lits[i] = field[i]
+			} else {
+				lits[i] = inv[i]
+			}
+		}
+		out[v] = b.AndN(lits...)
+	}
+	return out
+}

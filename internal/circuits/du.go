@@ -1,0 +1,207 @@
+package circuits
+
+import (
+	"gpustl/internal/isa"
+	"gpustl/internal/netlist"
+)
+
+// DU module input layout (bit index within a Pattern):
+//
+//	iw[64]  bits  0..63   raw instruction word from the fetch stage
+//	pc[24]  bits 64..87   program counter of the fetched instruction
+const (
+	duPCWidth = 24
+	duInputs  = 64 + duPCWidth
+)
+
+// EncodeDUPattern packs a fetched instruction word and its PC into a DU
+// test pattern. Every decoded warp instruction applies one such pattern.
+func EncodeDUPattern(word isa.Word, pc int) Pattern {
+	var p Pattern
+	p.W[0] = uint64(word)
+	p.W[1] = uint64(uint32(pc)) & (1<<duPCWidth - 1)
+	return p
+}
+
+// duCtrlWord is the 16-bit microcode control word the DU emits per opcode:
+//
+//	[3:0]  SP function (SPFn) for ALU-class ops
+//	[5:4]  memory space (0 global, 1 shared, 2 constant)
+//	[8:6]  SFU function
+//	[9]    register write enable
+//	[10]   predicate write enable
+//	[11]   immediate operand select
+//	[12]   branch/control redirect
+//	[13]   memory-unit dispatch
+//	[14]   SFU dispatch
+//	[15]   store (memory write)
+func duCtrlWord(op isa.Opcode) uint16 {
+	var w uint16
+	if fn, _, _, _, ok := SPFnOf(op, 0, 0, 0); ok {
+		w |= uint16(fn) & 0xf
+	}
+	switch op {
+	case isa.OpGLD, isa.OpGST:
+		// space 0
+	case isa.OpSLD, isa.OpSST:
+		w |= 1 << 4
+	case isa.OpLDC:
+		w |= 2 << 4
+	}
+	if fn, ok := SFUFnOf(op); ok {
+		w |= uint16(fn&0x7) << 6
+	}
+	if isa.WritesRd(op) {
+		w |= 1 << 9
+	}
+	if isa.SetsPred(op) {
+		w |= 1 << 10
+	}
+	if isa.HasImm(op) || op == isa.OpMVI {
+		w |= 1 << 11
+	}
+	if isa.IsBranch(op) || op == isa.OpSSY {
+		w |= 1 << 12
+	}
+	if isa.ClassOf(op) == isa.ClassMem {
+		w |= 1 << 13
+	}
+	if isa.ClassOf(op) == isa.ClassSFU {
+		w |= 1 << 14
+	}
+	if op == isa.OpGST || op == isa.OpSST {
+		w |= 1 << 15
+	}
+	return w
+}
+
+// DUOutputs is the golden reference of the DU netlist outputs for one
+// pattern, used by tests.
+type DUOutputs struct {
+	Valid    bool
+	Class    [5]bool // one-hot by isa.Class
+	Ctrl     uint16
+	Rd       uint8
+	Ra       uint8
+	Rb       uint8
+	Pg       uint8
+	PSense   bool
+	Cond     uint8
+	Pd       uint8
+	ImmPar   bool   // parity of the 32-bit immediate field
+	BranchPC uint32 // pc + 1 + imm, truncated to 24 bits
+}
+
+// DUGolden computes the reference decode of a raw word.
+func DUGolden(word isa.Word, pc int) DUOutputs {
+	u := uint64(word)
+	op := isa.Opcode(u >> 58 & 0x3f)
+	imm := uint32(u >> 8)
+	var out DUOutputs
+	out.Rd = uint8(u >> 52 & 0x3f)
+	out.Ra = uint8(u >> 46 & 0x3f)
+	out.Rb = uint8(u >> 40 & 0x3f)
+	out.Pg = uint8(u >> 5 & 0x7)
+	out.PSense = u>>4&1 == 1
+	out.Cond = uint8(u >> 1 & 0x7)
+	out.Pd = uint8(u & 1)
+	var par uint32
+	for i := 0; i < 32; i++ {
+		par ^= imm >> uint(i) & 1
+	}
+	out.ImmPar = par == 1
+	out.BranchPC = (uint32(pc) + 1 + imm) & (1<<duPCWidth - 1)
+	if int(op) >= isa.NumOpcodes {
+		return out // Valid=false, no class, zero ctrl
+	}
+	out.Valid = true
+	out.Class[isa.ClassOf(op)] = true
+	out.Ctrl = duCtrlWord(op)
+	return out
+}
+
+// BuildDU elaborates the instruction Decoder Unit: a full one-hot opcode
+// decoder, the class- and microcode-generation OR planes, register/
+// predicate field extraction, an immediate parity tree and the branch
+// target adder. Its inputs (the raw fetched word and PC) are the patterns
+// every instruction of a PTP applies once per warp — which is why the
+// decoder-unit PTPs exercise all instruction formats.
+func BuildDU() (*netlist.Netlist, error) {
+	b := netlist.NewBuilder("DU")
+
+	iw := b.InputBus("iw", 64)
+	pc := b.InputBus("pc", duPCWidth)
+
+	opBits := iw[58:64]
+	rd := iw[52:58]
+	ra := iw[46:52]
+	rb := iw[40:46]
+	imm := iw[8:40]
+	pg := iw[5:8]
+	psen := iw[4]
+	cond := iw[1:4]
+	pd := iw[0]
+
+	// One-hot opcode decode (64 minterms; the upper 12 feed only Valid).
+	b.SetGroup("opcode-decode")
+	opHot := decodeField(b, opBits, 64)
+	valid := b.OrN(opHot[:isa.NumOpcodes]...)
+
+	// Class one-hot OR planes.
+	b.SetGroup("class-plane")
+	var classTerms [5][]int32
+	for op := 0; op < isa.NumOpcodes; op++ {
+		cl := isa.ClassOf(isa.Opcode(op))
+		classTerms[cl] = append(classTerms[cl], opHot[op])
+	}
+	for cl := 0; cl < 5; cl++ {
+		b.Output("class_"+isa.Class(cl).String(), b.OrN(classTerms[cl]...))
+	}
+
+	// Microcode control-word OR planes.
+	b.SetGroup("ctrl-plane")
+	ctrl := make([]int32, 16)
+	for bit := 0; bit < 16; bit++ {
+		var terms []int32
+		for op := 0; op < isa.NumOpcodes; op++ {
+			if duCtrlWord(isa.Opcode(op))>>uint(bit)&1 == 1 {
+				terms = append(terms, opHot[op])
+			}
+		}
+		ctrl[bit] = b.OrN(terms...)
+	}
+
+	// Field extraction buffers (the DU drives these to the operand-read
+	// stage; buffering makes the field wires observable fault sites).
+	b.SetGroup("fields")
+	b.Output("valid", valid)
+	b.OutputBus("ctrl", ctrl)
+	b.OutputBus("rd", fanOutBus(b, rd))
+	b.OutputBus("ra", fanOutBus(b, ra))
+	b.OutputBus("rb", fanOutBus(b, rb))
+	b.OutputBus("pg", fanOutBus(b, pg))
+	b.Output("psense", b.Buf(psen))
+	b.OutputBus("cond", fanOutBus(b, cond))
+	b.Output("pd", b.Buf(pd))
+
+	// Immediate parity tree (ECC-style check bit over the 32-bit field).
+	b.SetGroup("imm-parity")
+	b.Output("imm_par", b.XorN(imm...))
+
+	// Branch target adder: pc + 1 + imm[0:24].
+	b.SetGroup("branch-adder")
+	one := constBus(b, 1, duPCWidth)
+	pc1, _ := rippleAdder(b, pc, one, b.Const0())
+	tgt, _ := rippleAdder(b, pc1, imm[:duPCWidth], b.Const0())
+	b.OutputBus("branch_pc", tgt)
+
+	return b.Build()
+}
+
+func fanOutBus(b *netlist.Builder, bus []int32) []int32 {
+	out := make([]int32, len(bus))
+	for i, n := range bus {
+		out[i] = b.Buf(n)
+	}
+	return out
+}

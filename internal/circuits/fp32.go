@@ -1,0 +1,258 @@
+package circuits
+
+import (
+	"math/bits"
+
+	"gpustl/internal/isa"
+)
+
+// The FP32 datapath models the 8 single-precision floating-point units the
+// FlexGripPlus SM contains alongside the SP cores. The paper's STL does not
+// target them, but the unit is part of the described GPU; building it makes
+// the substrate complete and lets downstream users craft FP-targeted PTPs.
+//
+// Arithmetic follows a simplified, fully specified "FP32-T" semantics that
+// the netlist and the golden model implement bit-identically:
+//
+//   - round toward zero (truncate) everywhere;
+//   - denormal inputs are treated as zero, denormal results flush to zero;
+//   - exponent overflow saturates to infinity (exp=255, mantissa=0);
+//   - exp=255 carries no NaN/Inf special cases — it behaves as a huge
+//     finite value (in-field test patterns care about toggling datapath
+//     bits, not IEEE corner semantics);
+//   - FMA is "truncate-then-add": the product is truncated to FP32-T and
+//     then added, sharing the adder (fused-lite).
+
+// FP32Fn selects the FP32 datapath function.
+type FP32Fn uint8
+
+// FP32 datapath functions.
+const (
+	FPAdd FP32Fn = iota // r = a + b
+	FPMul               // r = a * b
+	FPMa                // r = a*b + c (truncate-then-add)
+	FPMin               // r = min(a, b)
+	FPMax               // r = max(a, b)
+	FPF2I               // r = int32(a), truncate, clamp
+	FPI2F               // r = float32(int32(a)), truncate
+	fpFnCount
+)
+
+// NumFP32Fns is the number of FP32 datapath functions.
+const NumFP32Fns = int(fpFnCount)
+
+// FP32 module input layout (bit index within a Pattern):
+//
+//	a[32]  bits  0..31
+//	b[32]  bits 32..63
+//	c[32]  bits 64..95
+//	fn[3]  bits 96..98
+const fp32Inputs = 99
+
+// EncodeFP32Pattern packs an FP32 operation into a test pattern.
+func EncodeFP32Pattern(fn FP32Fn, a, b, c uint32) Pattern {
+	var p Pattern
+	p.W[0] = uint64(a) | uint64(b)<<32
+	p.W[1] = uint64(c) | uint64(fn&0x7)<<32
+	return p
+}
+
+// DecodeFP32Pattern unpacks an FP32 pattern.
+func DecodeFP32Pattern(p Pattern) (fnRaw uint8, a, b, c uint32) {
+	return uint8(p.W[1] >> 32 & 0x7), uint32(p.W[0]), uint32(p.W[0] >> 32), uint32(p.W[1])
+}
+
+// FP32FnOf maps an FPU-class opcode to its datapath function with operand
+// routing. ok=false for opcodes outside the FP32 unit.
+func FP32FnOf(op isa.Opcode, a, b, c uint32) (fn FP32Fn, ra, rb, rc uint32, ok bool) {
+	switch op {
+	case isa.OpFADD:
+		return FPAdd, a, b, 0, true
+	case isa.OpFMUL:
+		return FPMul, a, b, 0, true
+	case isa.OpFFMA:
+		return FPMa, a, b, c, true
+	case isa.OpFMIN:
+		return FPMin, a, b, 0, true
+	case isa.OpFMAX:
+		return FPMax, a, b, 0, true
+	case isa.OpF2I:
+		return FPF2I, a, 0, 0, true
+	case isa.OpI2F:
+		return FPI2F, a, 0, 0, true
+	}
+	return 0, 0, 0, 0, false
+}
+
+// ---------------------------------------------------------------------------
+// Golden model (bit-exact reference of the netlist).
+
+type fpUnpacked struct {
+	zero bool
+	sign uint32 // 0/1
+	exp  int32  // biased, 1..255
+	man  uint32 // 24 bits with implicit leading 1
+}
+
+func fpUnpack(x uint32) fpUnpacked {
+	e := int32(x >> 23 & 0xff)
+	if e == 0 {
+		return fpUnpacked{zero: true, sign: x >> 31}
+	}
+	return fpUnpacked{
+		sign: x >> 31,
+		exp:  e,
+		man:  1<<23 | x&0x7fffff,
+	}
+}
+
+func fpPack(sign uint32, exp int32, man23 uint32) uint32 {
+	switch {
+	case exp <= 0:
+		return 0 // flush to zero (keep sign out: +0)
+	case exp >= 255:
+		return sign<<31 | 255<<23
+	}
+	return sign<<31 | uint32(exp)<<23 | man23&0x7fffff
+}
+
+// fpMulT computes a*b in FP32-T.
+func fpMulT(a, b uint32) uint32 {
+	x, y := fpUnpack(a), fpUnpack(b)
+	sign := x.sign ^ y.sign
+	if x.zero || y.zero {
+		return 0
+	}
+	p := uint64(x.man) * uint64(y.man) // 48 bits
+	e := x.exp + y.exp - 127
+	var man uint32
+	if p>>47&1 == 1 {
+		man = uint32(p >> 24)
+		e++
+	} else {
+		man = uint32(p >> 23)
+	}
+	return fpPack(sign, e, man)
+}
+
+// fpAddT computes a+b in FP32-T.
+func fpAddT(a, b uint32) uint32 {
+	x, y := fpUnpack(a), fpUnpack(b)
+	if x.zero && y.zero {
+		return 0
+	}
+	if x.zero {
+		return b
+	}
+	if y.zero {
+		return a
+	}
+	// Order by magnitude: big = max(|a|, |b|).
+	bigFirst := x.exp > y.exp || (x.exp == y.exp && x.man >= y.man)
+	big, small := x, y
+	if !bigFirst {
+		big, small = y, x
+	}
+	d := big.exp - small.exp
+	if d > 31 {
+		d = 31
+	}
+	mbig := big.man << 2                  // 26 bits
+	msmall := (small.man << 2) >> uint(d) // aligned, guard bits
+	sub := x.sign != y.sign
+	var sum uint32 // 27 bits
+	if sub {
+		sum = mbig - msmall
+	} else {
+		sum = mbig + msmall
+	}
+	if sum == 0 {
+		return 0
+	}
+	lz := int32(bits.LeadingZeros32(sum)) - 5 // zeros within the 27-bit frame
+	norm := sum << uint(lz)                   // leading 1 at bit 26
+	man := norm >> 3                          // 24 bits
+	e := big.exp + 1 - lz
+	return fpPack(big.sign, e, man)
+}
+
+// fpMinMaxT computes min or max using the order-flip comparison.
+func fpMinMaxT(a, b uint32, wantMax bool) uint32 {
+	key := func(v uint32) uint32 {
+		if v>>31 == 1 {
+			return ^v
+		}
+		return v ^ 0x80000000
+	}
+	aLess := key(a) < key(b)
+	if aLess != wantMax {
+		return a
+	}
+	return b
+}
+
+// fpF2IT converts to int32 with truncation and clamping.
+func fpF2IT(a uint32) uint32 {
+	x := fpUnpack(a)
+	if x.zero {
+		return 0
+	}
+	t := x.exp - 127 - 23 // shift applied to the 24-bit mantissa
+	var mag uint32
+	switch {
+	case t >= 8:
+		// |value| >= 2^31: clamp.
+		if x.sign == 1 {
+			return 0x80000000
+		}
+		return 0x7fffffff
+	case t >= 0:
+		mag = x.man << uint(t)
+	case t > -32:
+		mag = x.man >> uint(-t)
+	default:
+		mag = 0
+	}
+	if x.sign == 1 {
+		return -mag
+	}
+	return mag
+}
+
+// fpI2FT converts int32 to FP32-T with truncation.
+func fpI2FT(a uint32) uint32 {
+	if a == 0 {
+		return 0
+	}
+	sign := a >> 31
+	mag := a
+	if sign == 1 {
+		mag = -a
+	}
+	lz := int32(bits.LeadingZeros32(mag))
+	norm := mag << uint(lz) // leading 1 at bit 31
+	man := norm >> 8        // 24 bits
+	e := 158 - lz
+	return fpPack(sign, e, man)
+}
+
+// FP32Golden is the bit-exact reference model of the FP32 netlist.
+func FP32Golden(fn FP32Fn, a, b, c uint32) uint32 {
+	switch fn {
+	case FPAdd:
+		return fpAddT(a, b)
+	case FPMul:
+		return fpMulT(a, b)
+	case FPMa:
+		return fpAddT(fpMulT(a, b), c)
+	case FPMin:
+		return fpMinMaxT(a, b, false)
+	case FPMax:
+		return fpMinMaxT(a, b, true)
+	case FPF2I:
+		return fpF2IT(a)
+	case FPI2F:
+		return fpI2FT(a)
+	}
+	return 0
+}

@@ -1,0 +1,175 @@
+package circuits
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gpustl/internal/isa"
+	"gpustl/internal/netlist"
+)
+
+func buildFP32(t testing.TB) *netlist.Netlist {
+	t.Helper()
+	nl, err := BuildFP32()
+	if err != nil {
+		t.Fatalf("BuildFP32: %v", err)
+	}
+	return nl
+}
+
+func evalFP32(ev *netlist.Evaluator, fn FP32Fn, a, b, c uint32) uint32 {
+	p := EncodeFP32Pattern(fn, a, b, c)
+	out := ev.EvalOnce(p.Bools(fp32Inputs))
+	var r uint32
+	for i := 0; i < 32; i++ {
+		if out[i] {
+			r |= 1 << uint(i)
+		}
+	}
+	return r
+}
+
+// fpInteresting draws operands biased toward FP corner structures.
+func fpInteresting(r *rand.Rand) uint32 {
+	switch r.Intn(6) {
+	case 0:
+		return 0
+	case 1: // denormal
+		return uint32(r.Intn(2))<<31 | uint32(r.Intn(1<<23))
+	case 2: // exp 255
+		return uint32(r.Intn(2))<<31 | 255<<23 | uint32(r.Intn(1<<23))
+	case 3: // small integers as floats
+		return math.Float32bits(float32(r.Intn(64) - 32))
+	default:
+		return r.Uint32()
+	}
+}
+
+func TestFP32AgainstGolden(t *testing.T) {
+	ev := netlist.NewEvaluator(buildFP32(t))
+	r := rand.New(rand.NewSource(51))
+	check := func(fn FP32Fn, a, b, c uint32) {
+		t.Helper()
+		got := evalFP32(ev, fn, a, b, c)
+		want := FP32Golden(fn, a, b, c)
+		if got != want {
+			t.Fatalf("FP32 fn=%d a=%#x b=%#x c=%#x: netlist %#x != golden %#x",
+				fn, a, b, c, got, want)
+		}
+	}
+	for fn := FP32Fn(0); int(fn) < NumFP32Fns; fn++ {
+		// Directed corners.
+		corners := []uint32{0, 0x80000000, 0x3f800000, 0xbf800000, // ±0, ±1
+			0x7f7fffff, 0x00800000, 0x7f800000, 0x00000001, 0x7fffffff}
+		for _, a := range corners {
+			for _, b := range corners {
+				check(fn, a, b, 0x40490fdb) // c = pi
+			}
+		}
+		for i := 0; i < 2000; i++ {
+			check(fn, fpInteresting(r), fpInteresting(r), fpInteresting(r))
+		}
+	}
+}
+
+// TestFP32AddCancellation stresses the normalize path with near-equal
+// operands of opposite sign.
+func TestFP32AddCancellation(t *testing.T) {
+	ev := netlist.NewEvaluator(buildFP32(t))
+	r := rand.New(rand.NewSource(53))
+	for i := 0; i < 3000; i++ {
+		a := r.Uint32()&0x7fffff | uint32(64+r.Intn(128))<<23
+		// b = a with a few low mantissa bits flipped, opposite sign.
+		b := a ^ uint32(r.Intn(1<<uint(1+r.Intn(8)))) | 1<<31
+		got := evalFP32(ev, FPAdd, a, b, 0)
+		want := FP32Golden(FPAdd, a, b, 0)
+		if got != want {
+			t.Fatalf("cancel a=%#x b=%#x: %#x != %#x", a, b, got, want)
+		}
+	}
+}
+
+// TestFP32AddAlignment stresses large exponent differences.
+func TestFP32AddAlignment(t *testing.T) {
+	ev := netlist.NewEvaluator(buildFP32(t))
+	r := rand.New(rand.NewSource(55))
+	for i := 0; i < 2000; i++ {
+		ea := 1 + r.Intn(254)
+		eb := 1 + r.Intn(254)
+		a := uint32(ea)<<23 | uint32(r.Intn(1<<23)) | uint32(r.Intn(2))<<31
+		b := uint32(eb)<<23 | uint32(r.Intn(1<<23)) | uint32(r.Intn(2))<<31
+		got := evalFP32(ev, FPAdd, a, b, 0)
+		want := FP32Golden(FPAdd, a, b, 0)
+		if got != want {
+			t.Fatalf("align a=%#x b=%#x: %#x != %#x", a, b, got, want)
+		}
+	}
+}
+
+// TestFP32TruncationSemantics spot-checks FP32-T against IEEE float32 on
+// values where truncation and round-to-nearest agree.
+func TestFP32TruncationSemantics(t *testing.T) {
+	cases := [][2]float32{{1, 2}, {3.5, -1.25}, {-5, 3}, {1024, 0.5}}
+	for _, c := range cases {
+		got := math.Float32frombits(FP32Golden(FPAdd,
+			math.Float32bits(c[0]), math.Float32bits(c[1]), 0))
+		if got != c[0]+c[1] {
+			t.Errorf("add(%g,%g) = %g", c[0], c[1], got)
+		}
+		gotm := math.Float32frombits(FP32Golden(FPMul,
+			math.Float32bits(c[0]), math.Float32bits(c[1]), 0))
+		if gotm != c[0]*c[1] {
+			t.Errorf("mul(%g,%g) = %g", c[0], c[1], gotm)
+		}
+	}
+	// F2I truncates toward zero; I2F is exact for small ints.
+	if int32(FP32Golden(FPF2I, math.Float32bits(-7.99), 0, 0)) != -7 {
+		t.Error("f2i(-7.99)")
+	}
+	for i := int32(-300); i <= 300; i += 17 {
+		got := math.Float32frombits(FP32Golden(FPI2F, uint32(i), 0, 0))
+		if got != float32(i) {
+			t.Errorf("i2f(%d) = %g", i, got)
+		}
+	}
+}
+
+func TestFP32FnOfRouting(t *testing.T) {
+	fn, a, b, c, ok := FP32FnOf(isa.OpFFMA, 1, 2, 3)
+	if !ok || fn != FPMa || a != 1 || b != 2 || c != 3 {
+		t.Errorf("FFMA routing: %d %d %d %d %v", fn, a, b, c, ok)
+	}
+	if _, _, _, _, ok := FP32FnOf(isa.OpIADD, 1, 2, 3); ok {
+		t.Error("IADD mapped to FP32")
+	}
+	if _, _, _, _, ok := FP32FnOf(isa.OpSIN, 1, 2, 3); ok {
+		t.Error("SIN mapped to FP32")
+	}
+}
+
+func TestFP32ModuleBuild(t *testing.T) {
+	m, err := Build(ModuleFP32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Lanes != 8 {
+		t.Errorf("lanes = %d, want 8 (FlexGripPlus has 8 FP32 units)", m.Lanes)
+	}
+	n := m.NL.NumGates()
+	if n < 5000 || n > 40000 {
+		t.Errorf("FP32 gates = %d", n)
+	}
+	t.Logf("FP32: %d gates, %d inputs", n, len(m.NL.Inputs))
+	if len(m.NL.Inputs) != fp32Inputs {
+		t.Errorf("inputs = %d, want %d", len(m.NL.Inputs), fp32Inputs)
+	}
+}
+
+func TestFP32PatternRoundTrip(t *testing.T) {
+	p := EncodeFP32Pattern(FPMa, 0xdeadbeef, 0x12345678, 0xcafebabe)
+	fn, a, b, c := DecodeFP32Pattern(p)
+	if FP32Fn(fn) != FPMa || a != 0xdeadbeef || b != 0x12345678 || c != 0xcafebabe {
+		t.Fatalf("round trip: %d %#x %#x %#x", fn, a, b, c)
+	}
+}

@@ -1,0 +1,286 @@
+package circuits
+
+import "gpustl/internal/netlist"
+
+// Gate-level elaboration of the FP32 datapath. Every step mirrors the
+// golden model in fp32.go bit for bit; see that file for the FP32-T
+// semantics.
+
+// fpBus is an unpacked operand in gates.
+type fpBus struct {
+	zero int32
+	sign int32
+	exp  []int32 // 8 bits, biased
+	man  []int32 // 24 bits with the implicit leading 1
+}
+
+func fpUnpackNet(b *netlist.Builder, x []int32) fpBus {
+	exp := x[23:31]
+	z := isZero(b, exp)
+	man := make([]int32, 24)
+	copy(man, x[0:23])
+	man[23] = b.Not(z) // implicit bit for normals
+	return fpBus{zero: z, sign: x[31], exp: exp, man: man}
+}
+
+// zext widens a bus with constant zeros.
+func zext(b *netlist.Builder, bus []int32, w int) []int32 {
+	out := make([]int32, w)
+	for i := range out {
+		if i < len(bus) {
+			out[i] = bus[i]
+		} else {
+			out[i] = b.Const0()
+		}
+	}
+	return out
+}
+
+// subConst computes bus - k over len(bus) bits (two's complement).
+func subConst(b *netlist.Builder, bus []int32, k uint64) []int32 {
+	kc := constBus(b, (^k)&(1<<uint(len(bus))-1), len(bus))
+	sum, _ := rippleAdder(b, bus, kc, b.Const1())
+	return sum
+}
+
+// addConst computes bus + k.
+func addConst(b *netlist.Builder, bus []int32, k uint64) []int32 {
+	sum, _ := rippleAdder(b, bus, constBus(b, k, len(bus)), b.Const0())
+	return sum
+}
+
+// ltUnsigned returns the borrow of x - y: 1 when x < y (equal widths).
+func ltUnsigned(b *netlist.Builder, x, y []int32) int32 {
+	_, cout, _ := addSub(b, x, y, b.Const1())
+	return b.Not(cout)
+}
+
+// negate computes two's complement of the bus.
+func negate(b *netlist.Builder, bus []int32) []int32 {
+	return addConst(b, notBus(b, bus), 1)
+}
+
+// normalizeLeft32 shifts the 32-bit bus left until bit 31 is the leading 1
+// and returns the normalized bus plus the 5-bit shift count (31 when the
+// input is zero; callers gate that case).
+func normalizeLeft32(b *netlist.Builder, bus []int32) (norm []int32, count []int32) {
+	cur := bus
+	count = make([]int32, 5)
+	for s := 4; s >= 0; s-- {
+		k := 1 << uint(s)
+		topZero := b.Not(b.OrN(cur[32-k:]...))
+		next := make([]int32, 32)
+		for i := 0; i < 32; i++ {
+			var shifted int32
+			if i >= k {
+				shifted = cur[i-k]
+			} else {
+				shifted = b.Const0()
+			}
+			next[i] = b.Mux(topZero, cur[i], shifted)
+		}
+		cur = next
+		count[s] = topZero
+	}
+	return cur, count
+}
+
+// ge255 reports e10 >= 255 for a 10-bit non-negative value.
+func ge255(b *netlist.Builder, e10 []int32) int32 {
+	return b.And(b.Not(e10[9]), b.Or(e10[8], b.AndN(e10[0:8]...)))
+}
+
+// packFP assembles the 32-bit result word: flush-to-+0 when forceZero or
+// the exponent is <= 0, saturate to inf when the exponent is >= 255.
+func packFP(b *netlist.Builder, sign int32, e10 []int32, man24 []int32, forceZero int32) []int32 {
+	under := b.Or(e10[9], isZero(b, e10))
+	z := b.Or(forceZero, under)
+	over := b.And(ge255(b, e10), b.Not(z))
+	nz := b.Not(z)
+	keepMan := b.And(nz, b.Not(over))
+	out := make([]int32, 32)
+	for i := 0; i < 23; i++ {
+		out[i] = b.And(man24[i], keepMan)
+	}
+	for i := 0; i < 8; i++ {
+		out[23+i] = b.And(nz, b.Or(over, e10[i]))
+	}
+	out[31] = b.And(sign, nz)
+	return out
+}
+
+// fpMulNet elaborates the FP32-T multiplier; returns the packed word.
+func fpMulNet(b *netlist.Builder, x, y fpBus) []int32 {
+	sign := b.Xor(x.sign, y.sign)
+	z := b.Or(x.zero, y.zero)
+	p := mulFull(b, x.man, y.man) // 48 bits
+	norm := p[47]
+	man := muxBus(b, norm, p[23:47], p[24:48])
+	eSum, _ := rippleAdder(b, zext(b, x.exp, 10), zext(b, y.exp, 10), norm)
+	e10 := subConst(b, eSum, 127)
+	return packFP(b, sign, e10, man, z)
+}
+
+// fpAddNet elaborates the FP32-T adder on two raw 32-bit words.
+func fpAddNet(b *netlist.Builder, xw, yw []int32) []int32 {
+	x := fpUnpackNet(b, xw)
+	y := fpUnpackNet(b, yw)
+
+	// Magnitude order on {exp, frac} (31 bits).
+	xKey := append(append([]int32{}, xw[0:23]...), x.exp...)
+	yKey := append(append([]int32{}, yw[0:23]...), y.exp...)
+	xLess := ltUnsigned(b, xKey, yKey)
+
+	bigSign := b.Mux(xLess, x.sign, y.sign)
+	bigExp := muxBus(b, xLess, x.exp, y.exp)
+	bigMan := muxBus(b, xLess, x.man, y.man)
+	smallExp := muxBus(b, xLess, y.exp, x.exp)
+	smallMan := muxBus(b, xLess, y.man, x.man)
+
+	d, _, _ := addSub(b, bigExp, smallExp, b.Const1())
+	dge32 := b.OrN(d[5:]...)
+	amt := make([]int32, 5)
+	for i := range amt {
+		amt[i] = b.Or(d[i], dge32) // saturate to 31
+	}
+
+	mbig := zext(b, bigMan, 26) // << 2 by wiring
+	copy(mbig[2:], bigMan)
+	mbig[0], mbig[1] = b.Const0(), b.Const0()
+	msmallFull := zext(b, smallMan, 26)
+	copy(msmallFull[2:], smallMan)
+	msmallFull[0], msmallFull[1] = b.Const0(), b.Const0()
+	msmall := shiftRight(b, msmallFull, amt)
+
+	sub := b.Xor(x.sign, y.sign)
+	sum, _, _ := addSub(b, zext(b, mbig, 27), zext(b, msmall, 27), sub)
+	zeroSum := isZero(b, sum)
+
+	norm32, lz5 := normalizeLeft32(b, zext(b, sum, 32))
+	man24 := norm32[8:32]
+	// e = ebig + 6 - lz32, computed in 10 bits.
+	e10 := addConst(b, zext(b, bigExp, 10), 6)
+	eAdj, _, _ := addSub(b, e10, zext(b, lz5, 10), b.Const1())
+
+	core := packFP(b, bigSign, eAdj, man24, zeroSum)
+
+	// Zero-operand bypasses: both zero -> 0, x zero -> y raw, y zero -> x raw.
+	out := make([]int32, 32)
+	zeroBoth := b.And(x.zero, y.zero)
+	for i := 0; i < 32; i++ {
+		v := b.Mux(x.zero, core[i], yw[i])
+		v = b.Mux(y.zero, v, xw[i])
+		out[i] = b.And(v, b.Not(zeroBoth))
+	}
+	return out
+}
+
+// fpMinMaxNet elaborates the order-flip comparator selection.
+func fpMinMaxNet(b *netlist.Builder, aw, bw []int32) (minv, maxv []int32) {
+	key := func(w []int32) []int32 {
+		k := make([]int32, 32)
+		for i := 0; i < 31; i++ {
+			k[i] = b.Xor(w[i], w[31])
+		}
+		k[31] = b.Not(w[31])
+		return k
+	}
+	aLess := ltUnsigned(b, key(aw), key(bw))
+	minv = muxBus(b, aLess, bw, aw)
+	maxv = muxBus(b, aLess, aw, bw)
+	return minv, maxv
+}
+
+// fpF2INet elaborates float-to-int32 with truncation and clamping.
+func fpF2INet(b *netlist.Builder, aw []int32) []int32 {
+	x := fpUnpackNet(b, aw)
+	t := subConst(b, zext(b, x.exp, 10), 150)
+	tneg := t[9]
+	geClamp := b.And(b.Not(tneg), b.OrN(t[3:9]...)) // t >= 8
+
+	man32 := zext(b, x.man, 32)
+	shl := shiftLeft(b, man32, t[0:3])
+	nt := negate(b, t)
+	ntSat := b.OrN(nt[5:]...)
+	amt := make([]int32, 5)
+	for i := range amt {
+		amt[i] = b.Or(nt[i], ntSat)
+	}
+	shr := shiftRight(b, man32, amt)
+	mag := muxBus(b, tneg, shl, shr)
+	neg := negate(b, mag)
+	val := muxBus(b, x.sign, mag, neg)
+
+	out := make([]int32, 32)
+	for i := 0; i < 32; i++ {
+		var clampBit int32
+		if i == 31 {
+			clampBit = x.sign // 0x7fffffff / 0x80000000
+		} else {
+			clampBit = b.Not(x.sign)
+		}
+		v := b.Mux(geClamp, val[i], clampBit)
+		out[i] = b.And(v, b.Not(x.zero))
+	}
+	return out
+}
+
+// fpI2FNet elaborates int32-to-float with truncation.
+func fpI2FNet(b *netlist.Builder, aw []int32) []int32 {
+	sign := aw[31]
+	neg := negate(b, aw)
+	mag := muxBus(b, sign, aw, neg)
+	z := isZero(b, aw)
+	norm32, lz5 := normalizeLeft32(b, mag)
+	man24 := norm32[8:32]
+	e10, _, _ := addSub(b, constBus(b, 158, 10), zext(b, lz5, 10), b.Const1())
+	return packFP(b, sign, e10, man24, z)
+}
+
+// BuildFP32 elaborates the full FP32 unit with its function-select plane.
+func BuildFP32() (*netlist.Netlist, error) {
+	b := netlist.NewBuilder("FP32")
+	a := b.InputBus("a", 32)
+	bb := b.InputBus("b", 32)
+	cc := b.InputBus("c", 32)
+	fn := b.InputBus("fn", 3)
+
+	b.SetGroup("fn-decode")
+	fnHot := decodeField(b, fn, NumFP32Fns)
+
+	b.SetGroup("unpack")
+	xa := fpUnpackNet(b, a)
+	xb := fpUnpackNet(b, bb)
+	b.SetGroup("fp-multiplier")
+	mulOut := fpMulNet(b, xa, xb)
+
+	// The adder serves FADD (a+b) and FMA (mul+c) through input muxes.
+	b.SetGroup("fp-adder")
+	isMa := fnHot[FPMa]
+	addX := muxBus(b, isMa, a, mulOut)
+	addY := muxBus(b, isMa, bb, cc)
+	addOut := fpAddNet(b, addX, addY)
+
+	b.SetGroup("fp-minmax")
+	minOut, maxOut := fpMinMaxNet(b, a, bb)
+	b.SetGroup("f2i")
+	f2iOut := fpF2INet(b, a)
+	b.SetGroup("i2f")
+	i2fOut := fpI2FNet(b, a)
+
+	b.SetGroup("result-select")
+	cands := [NumFP32Fns][]int32{
+		FPAdd: addOut, FPMul: mulOut, FPMa: addOut,
+		FPMin: minOut, FPMax: maxOut, FPF2I: f2iOut, FPI2F: i2fOut,
+	}
+	out := make([]int32, 32)
+	for i := 0; i < 32; i++ {
+		terms := make([]int32, 0, NumFP32Fns)
+		for f := 0; f < NumFP32Fns; f++ {
+			terms = append(terms, b.And(fnHot[f], cands[f][i]))
+		}
+		out[i] = b.OrN(terms...)
+	}
+	b.OutputBus("y", out)
+	return b.Build()
+}

@@ -1,0 +1,96 @@
+package circuits
+
+import "gpustl/internal/netlist"
+
+// The PIPE module is the SM's fetch→decode pipeline register bank — the
+// sequential element class the paper's companion work (its ref [21],
+// "Testing permanent faults in pipeline registers of GPGPUs") targets.
+// It registers the fetched instruction word, its PC and a valid bit, with
+// stall (enable) and flush controls:
+//
+//	valid' = !flush AND (en ? 1 : valid)
+//	iw'    = en ? iw_in : iw
+//	pc'    = en ? pc_in : pc
+//
+// Faults in the register bank are only observable across clock cycles, so
+// this module exercises the sequential fault-simulation path
+// (fault.SeqCampaign over netlist.SeqEvaluator).
+
+// PIPE module input layout (bit index within a Pattern):
+//
+//	iw[64]  bits  0..63
+//	pc[24]  bits 64..87
+//	en      bit  88
+//	flush   bit  89
+const pipeInputs = 90
+
+// EncodePIPEPattern packs one pipeline cycle.
+func EncodePIPEPattern(word uint64, pc uint32, en, flush bool) Pattern {
+	var p Pattern
+	p.W[0] = word
+	p.W[1] = uint64(pc) & (1<<duPCWidth - 1)
+	if en {
+		p.W[1] |= 1 << 24
+	}
+	if flush {
+		p.W[1] |= 1 << 25
+	}
+	return p
+}
+
+// DecodePIPEPattern unpacks a pipeline cycle.
+func DecodePIPEPattern(p Pattern) (word uint64, pc uint32, en, flush bool) {
+	return p.W[0], uint32(p.W[1]) & (1<<duPCWidth - 1),
+		p.W[1]>>24&1 == 1, p.W[1]>>25&1 == 1
+}
+
+// PipeState is the golden model of the pipeline register bank.
+type PipeState struct {
+	IW    uint64
+	PC    uint32
+	Valid bool
+}
+
+// Step advances the golden model one clock and returns the registered
+// outputs visible *after* the clock edge.
+func (s *PipeState) Step(word uint64, pc uint32, en, flush bool) PipeState {
+	next := *s
+	if en {
+		next.IW = word
+		next.PC = pc & (1<<duPCWidth - 1)
+		next.Valid = true
+	}
+	if flush {
+		next.Valid = false
+	}
+	*s = next
+	return next
+}
+
+// BuildPIPE elaborates the pipeline register bank.
+func BuildPIPE() (*netlist.Netlist, error) {
+	b := netlist.NewBuilder("PIPE")
+	iw := b.InputBus("iw", 64)
+	pc := b.InputBus("pc", duPCWidth)
+	en := b.Input("en")
+	flush := b.Input("flush")
+
+	b.SetGroup("data-regs")
+	qIW := b.DFFBus(64)
+	qPC := b.DFFBus(duPCWidth)
+	for i, q := range qIW {
+		b.ConnectD(q, b.Mux(en, q, iw[i]))
+	}
+	for i, q := range qPC {
+		b.ConnectD(q, b.Mux(en, q, pc[i]))
+	}
+
+	b.SetGroup("valid-logic")
+	qValid := b.DFF()
+	b.ConnectD(qValid, b.And(b.Not(flush), b.Or(en, qValid)))
+
+	b.OutputBus("q_iw", qIW)
+	b.OutputBus("q_pc", qPC)
+	b.Output("q_valid", qValid)
+	return b.Build()
+}

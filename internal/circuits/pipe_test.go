@@ -1,0 +1,84 @@
+package circuits
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpustl/internal/netlist"
+)
+
+func buildPIPE(t testing.TB) *netlist.Netlist {
+	t.Helper()
+	nl, err := BuildPIPE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// pipeOutputs reads the registered word/pc/valid from the evaluator.
+func pipeOutputs(e *netlist.SeqEvaluator) (uint64, uint32, bool) {
+	var iw uint64
+	for i := 0; i < 64; i++ {
+		if e.OutputBit(i) {
+			iw |= 1 << uint(i)
+		}
+	}
+	var pc uint32
+	for i := 0; i < duPCWidth; i++ {
+		if e.OutputBit(64 + i) {
+			pc |= 1 << uint(i)
+		}
+	}
+	return iw, pc, e.OutputBit(64 + duPCWidth)
+}
+
+func TestPIPEAgainstGolden(t *testing.T) {
+	nl := buildPIPE(t)
+	if nl.NumDFFs() != 64+duPCWidth+1 {
+		t.Fatalf("DFFs = %d", nl.NumDFFs())
+	}
+	e := netlist.NewSeqEvaluator(nl)
+	var golden PipeState // state entering the next step
+	r := rand.New(rand.NewSource(81))
+	for step := 0; step < 500; step++ {
+		word := r.Uint64()
+		pc := r.Uint32() & (1<<duPCWidth - 1)
+		en := r.Intn(4) != 0
+		flush := r.Intn(8) == 0
+		p := EncodePIPEPattern(word, pc, en, flush)
+		in := make([]bool, pipeInputs)
+		for i := range in {
+			in[i] = p.Bit(i)
+		}
+		visible := golden // the pre-clock state the outputs show
+		e.Step(in)
+		gotIW, gotPC, gotValid := pipeOutputs(e)
+		if gotIW != visible.IW || gotPC != visible.PC || gotValid != visible.Valid {
+			t.Fatalf("step %d: netlist (%#x,%#x,%v) != golden (%#x,%#x,%v)",
+				step, gotIW, gotPC, gotValid, visible.IW, visible.PC, visible.Valid)
+		}
+		golden.Step(word, pc, en, flush)
+	}
+}
+
+func TestPIPEPatternRoundTrip(t *testing.T) {
+	p := EncodePIPEPattern(0xdeadbeefcafebabe, 0x123456, true, false)
+	w, pc, en, flush := DecodePIPEPattern(p)
+	if w != 0xdeadbeefcafebabe || pc != 0x123456 || !en || flush {
+		t.Fatalf("round trip: %#x %#x %v %v", w, pc, en, flush)
+	}
+}
+
+func TestPIPEModuleBuild(t *testing.T) {
+	m, err := Build(ModulePIPE, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Lanes != 1 || m.NL.NumDFFs() == 0 {
+		t.Fatalf("lanes=%d dffs=%d", m.Lanes, m.NL.NumDFFs())
+	}
+	if len(m.NL.Inputs) != pipeInputs {
+		t.Fatalf("inputs = %d, want %d", len(m.NL.Inputs), pipeInputs)
+	}
+}

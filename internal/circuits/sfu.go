@@ -1,0 +1,232 @@
+package circuits
+
+import (
+	"math"
+
+	"gpustl/internal/isa"
+	"gpustl/internal/netlist"
+)
+
+// SFUFn selects the SFU operation.
+type SFUFn uint8
+
+// SFU operations.
+const (
+	SFURcp SFUFn = iota
+	SFURsq
+	SFUSin
+	SFUCos
+	SFULg2
+	SFUEx2
+	sfuFnCount
+)
+
+// NumSFUFns is the number of SFU operations.
+const NumSFUFns = int(sfuFnCount)
+
+// SFUFnOf maps an SFU-class opcode to its function code.
+func SFUFnOf(op isa.Opcode) (SFUFn, bool) {
+	switch op {
+	case isa.OpRCP:
+		return SFURcp, true
+	case isa.OpRSQ:
+		return SFURsq, true
+	case isa.OpSIN:
+		return SFUSin, true
+	case isa.OpCOS:
+		return SFUCos, true
+	case isa.OpLG2:
+		return SFULg2, true
+	case isa.OpEX2:
+		return SFUEx2, true
+	}
+	return 0, false
+}
+
+// SFU module input layout (bit index within a Pattern):
+//
+//	a[32]  bits  0..31   FP32 operand
+//	fn[3]  bits 32..34   SFU function select
+const sfuInputs = 35
+
+// EncodeSFUPattern packs an SFU operation into a test pattern.
+func EncodeSFUPattern(fn SFUFn, a uint32) Pattern {
+	var p Pattern
+	p.W[0] = uint64(a) | uint64(fn&0x7)<<32
+	return p
+}
+
+// The SFU datapath models the quadratic-interpolation scheme real special
+// function units use: a segment table indexed by the top mantissa bits
+// supplies coefficients (c0, c1, c2); the low mantissa bits form the
+// in-segment offset d; the core computes
+//
+//	y = c0 + (c1*d)>>16 + (c2*((d*d)>>16))>>16
+//
+// in fixed point, and per-function pre/post scaling adjusts the exponent
+// and sign. The shared table approximates 2^x over one octave; the fn
+// input steers the exponent bias and sign-flip planes.
+const (
+	sfuSegBits = 7 // 128 segments
+	sfuC0Bits  = 26
+	sfuC1Bits  = 18
+	sfuC2Bits  = 10
+)
+
+// sfuROM returns the coefficient tables of the interpolator.
+func sfuROM() (c0, c1, c2 []uint32) {
+	n := 1 << sfuSegBits
+	c0 = make([]uint32, n)
+	c1 = make([]uint32, n)
+	c2 = make([]uint32, n)
+	ln2 := math.Ln2
+	for i := 0; i < n; i++ {
+		x0 := float64(i) / float64(n)
+		f := math.Exp2(x0)
+		c0[i] = uint32(math.Round(f * (1 << 24)))
+		c1[i] = uint32(math.Round(ln2 * f * (1 << 24) / float64(n)))
+		c2[i] = uint32(math.Round(0.5 * ln2 * ln2 * f * (1 << 24) / float64(n*n)))
+	}
+	return c0, c1, c2
+}
+
+// Per-function exponent bias and sign-flip constants (the fn-dependent
+// pre/post scaling plane).
+var sfuBias = [NumSFUFns]uint32{
+	SFURcp: 0x81, SFURsq: 0x7e, SFUSin: 0x7f,
+	SFUCos: 0x80, SFULg2: 0x7d, SFUEx2: 0x82,
+}
+
+var sfuFlip = [NumSFUFns]bool{
+	SFUSin: true, SFULg2: true,
+}
+
+// SFUGolden is the bit-exact reference model of the SFU netlist.
+func SFUGolden(fn SFUFn, a uint32) uint32 {
+	c0t, c1t, c2t := sfuROMTables()
+	sign := a >> 31 & 1
+	exp := a >> 23 & 0xff
+	man := a & 0x7fffff
+	idx := man >> 16
+	d := uint64(man & 0xffff)
+
+	dd := (d * d) >> 16
+	y := uint64(c0t[idx]) + (uint64(c1t[idx])*d)>>16 + (uint64(c2t[idx])*dd)>>16
+	y &= 1<<sfuC0Bits - 1
+
+	eo := (exp + sfuBias[fn]) & 0xff
+	so := sign
+	if int(fn) < NumSFUFns && sfuFlip[fn] {
+		so ^= 1
+	}
+	mant := uint32(y>>1) & 0x7fffff
+	return mant | eo<<23 | so<<31
+}
+
+var romC0, romC1, romC2 []uint32
+
+func sfuROMTables() (c0, c1, c2 []uint32) {
+	if romC0 == nil {
+		romC0, romC1, romC2 = sfuROM()
+	}
+	return romC0, romC1, romC2
+}
+
+// BuildSFU elaborates the SFU transcendental datapath.
+func BuildSFU() (*netlist.Netlist, error) {
+	b := netlist.NewBuilder("SFU")
+
+	a := b.InputBus("a", 32)
+	fn := b.InputBus("fn", 3)
+
+	sign := a[31]
+	exp := a[23:31]
+	man := a[0:23]
+	idx := man[16:23]
+	d := man[0:16]
+
+	c0t, c1t, c2t := sfuROMTables()
+
+	// Segment-table one-hot decode and coefficient OR planes.
+	b.SetGroup("segment-decode")
+	segHot := decodeField(b, idx, 1<<sfuSegBits)
+	romPlane := func(table []uint32, bits int) []int32 {
+		out := make([]int32, bits)
+		for bit := 0; bit < bits; bit++ {
+			var terms []int32
+			for i, v := range table {
+				if v>>uint(bit)&1 == 1 {
+					terms = append(terms, segHot[i])
+				}
+			}
+			out[bit] = b.OrN(terms...)
+		}
+		return out
+	}
+	b.SetGroup("coefficient-rom")
+	c0 := romPlane(c0t, sfuC0Bits)
+	c1 := romPlane(c1t, sfuC1Bits)
+	c2 := romPlane(c2t, sfuC2Bits)
+
+	// dd = (d*d) >> 16, 16 bits.
+	b.SetGroup("squarer")
+	ddFull := mulFull(b, d, d)
+	dd := ddFull[16:32]
+
+	// t1 = (c1*d) >> 16, sized to the c0 width.
+	b.SetGroup("linear-mul")
+	t1Full := mulFull(b, c1, d)
+	t1 := t1Full[16:]
+	// t2 = (c2*dd) >> 16.
+	b.SetGroup("quadratic-mul")
+	t2Full := mulFull(b, c2, dd)
+	t2 := t2Full[16:]
+
+	zext := func(bus []int32, w int) []int32 {
+		out := make([]int32, w)
+		for i := range out {
+			if i < len(bus) {
+				out[i] = bus[i]
+			} else {
+				out[i] = b.Const0()
+			}
+		}
+		return out
+	}
+	b.SetGroup("accumulate")
+	s1, _ := rippleAdder(b, c0, zext(t1, sfuC0Bits), b.Const0())
+	y, _ := rippleAdder(b, s1, zext(t2, sfuC0Bits), b.Const0())
+
+	// Exponent bias plane: per-fn 8-bit constant.
+	b.SetGroup("exponent-path")
+	fnHot := decodeField(b, fn, NumSFUFns)
+	bias := make([]int32, 8)
+	for bit := 0; bit < 8; bit++ {
+		var terms []int32
+		for f := 0; f < NumSFUFns; f++ {
+			if sfuBias[f]>>uint(bit)&1 == 1 {
+				terms = append(terms, fnHot[f])
+			}
+		}
+		bias[bit] = b.OrN(terms...)
+	}
+	eo, _ := rippleAdder(b, exp, bias, b.Const0())
+
+	var flipTerms []int32
+	for f := 0; f < NumSFUFns; f++ {
+		if sfuFlip[f] {
+			flipTerms = append(flipTerms, fnHot[f])
+		}
+	}
+	so := b.Xor(sign, b.OrN(flipTerms...))
+
+	out := make([]int32, 32)
+	for i := 0; i < 23; i++ {
+		out[i] = b.Buf(y[i+1])
+	}
+	copy(out[23:31], eo)
+	out[31] = so
+	b.OutputBus("y", out)
+
+	return b.Build()
+}

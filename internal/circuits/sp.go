@@ -1,0 +1,246 @@
+package circuits
+
+import (
+	"gpustl/internal/isa"
+	"gpustl/internal/netlist"
+)
+
+// SPFn selects the SP datapath function. It is the control word the Decoder
+// Unit hands to the SP cores and the first input field of SP test patterns.
+type SPFn uint8
+
+// SP datapath functions.
+const (
+	SPAdd  SPFn = iota // r = a + b
+	SPSub              // r = a - b
+	SPMul              // r = a * b (low 32)
+	SPMad              // r = a * b + c
+	SPMin              // r = min(a, b) signed
+	SPMax              // r = max(a, b) signed
+	SPAnd              // r = a & b
+	SPOr               // r = a | b
+	SPXor              // r = a ^ b
+	SPNot              // r = ^a
+	SPShl              // r = a << (b & 31)
+	SPShr              // r = a >> (b & 31)
+	SPSet              // r = (a <cond> b) ? ~0 : 0 ; pr = comparison
+	SPPass             // r = b
+	spFnCount
+)
+
+// NumSPFns is the number of SP datapath functions.
+const NumSPFns = int(spFnCount)
+
+// SP module input layout (bit index within a Pattern):
+//
+//	a[32]    bits   0..31
+//	b[32]    bits  32..63
+//	c[32]    bits  64..95
+//	fn[4]    bits  96..99
+//	cond[3]  bits 100..102
+const (
+	spInputs = 103
+)
+
+// EncodeSPPattern packs an SP operand tuple into a test pattern.
+func EncodeSPPattern(fn SPFn, cond isa.Cond, a, b, c uint32) Pattern {
+	var p Pattern
+	p.W[0] = uint64(a) | uint64(b)<<32
+	p.W[1] = uint64(c) | uint64(fn&0xf)<<32 | uint64(cond&0x7)<<36
+	return p
+}
+
+// SPFnOf maps an ALU-class opcode to its SP datapath function and performs
+// operand routing (e.g. INEG becomes 0-a). It reports ok=false for opcodes
+// that do not enter the SP integer datapath (the FP32 ops, which execute in
+// the separate FP units that the paper does not fault-simulate).
+func SPFnOf(op isa.Opcode, a, b, c uint32) (fn SPFn, ra, rb, rc uint32, ok bool) {
+	switch op {
+	case isa.OpIADD, isa.OpIADDI:
+		return SPAdd, a, b, 0, true
+	case isa.OpISUB, isa.OpISUBI:
+		return SPSub, a, b, 0, true
+	case isa.OpIMUL, isa.OpIMULI:
+		return SPMul, a, b, 0, true
+	case isa.OpIMAD:
+		return SPMad, a, b, c, true
+	case isa.OpIMIN:
+		return SPMin, a, b, 0, true
+	case isa.OpIMAX:
+		return SPMax, a, b, 0, true
+	case isa.OpINEG:
+		return SPSub, 0, a, 0, true
+	case isa.OpAND, isa.OpANDI:
+		return SPAnd, a, b, 0, true
+	case isa.OpOR, isa.OpORI:
+		return SPOr, a, b, 0, true
+	case isa.OpXOR, isa.OpXORI:
+		return SPXor, a, b, 0, true
+	case isa.OpNOT:
+		return SPNot, a, 0, 0, true
+	case isa.OpSHL, isa.OpSHLI:
+		return SPShl, a, b, 0, true
+	case isa.OpSHR, isa.OpSHRI:
+		return SPShr, a, b, 0, true
+	case isa.OpISET, isa.OpISETI:
+		return SPSet, a, b, 0, true
+	case isa.OpMOV:
+		return SPPass, 0, a, 0, true
+	case isa.OpMVI, isa.OpS2R:
+		return SPPass, 0, b, 0, true
+	}
+	return 0, 0, 0, 0, false
+}
+
+// SPGolden is the bit-exact reference model of the SP netlist, used by
+// tests and by the functional-unit PTP generators' expected-value logic.
+func SPGolden(fn SPFn, cond isa.Cond, a, b, c uint32) (r uint32, pr bool) {
+	switch fn {
+	case SPAdd:
+		r = a + b
+	case SPSub:
+		r = a - b
+	case SPMul:
+		r = a * b
+	case SPMad:
+		r = a*b + c
+	case SPMin:
+		if int32(a) < int32(b) {
+			r = a
+		} else {
+			r = b
+		}
+	case SPMax:
+		if int32(a) > int32(b) {
+			r = a
+		} else {
+			r = b
+		}
+	case SPAnd:
+		r = a & b
+	case SPOr:
+		r = a | b
+	case SPXor:
+		r = a ^ b
+	case SPNot:
+		r = ^a
+	case SPShl:
+		r = a << (b & 31)
+	case SPShr:
+		r = a >> (b & 31)
+	case SPSet:
+		switch cond {
+		case isa.CondEQ:
+			pr = a == b
+		case isa.CondNE:
+			pr = a != b
+		case isa.CondLT:
+			pr = int32(a) < int32(b)
+		case isa.CondLE:
+			pr = int32(a) <= int32(b)
+		case isa.CondGT:
+			pr = int32(a) > int32(b)
+		case isa.CondGE:
+			pr = int32(a) >= int32(b)
+		}
+		if pr {
+			r = 0xffffffff
+		}
+	case SPPass:
+		r = b
+	}
+	return r, pr
+}
+
+// BuildSP elaborates the SP core integer datapath: a 32-bit adder/
+// subtractor with flags, an array multiplier with multiply-add, a logic
+// unit, a barrel shifter, a comparator with the six ISA conditions, and the
+// result-select plane. Outputs are the 32-bit result and the predicate bit
+// — the values the SP writes back, i.e. the module-level observation
+// points used by the optimized fault simulation.
+func BuildSP() (*netlist.Netlist, error) {
+	b := netlist.NewBuilder("SP")
+
+	a := b.InputBus("a", 32)
+	bb := b.InputBus("b", 32)
+	cc := b.InputBus("c", 32)
+	fn := b.InputBus("fn", 4)
+	cond := b.InputBus("cond", 3)
+
+	b.SetGroup("fn-decode")
+	fnHot := decodeField(b, fn, NumSPFns)
+	sel := func(f SPFn) int32 { return fnHot[f] }
+
+	// Adder/subtractor. Subtraction serves SUB and all comparisons.
+	b.SetGroup("addsub")
+	isSub := b.OrN(sel(SPSub), sel(SPMin), sel(SPMax), sel(SPSet))
+	sum, coutAS, ovf := addSub(b, a, bb, isSub)
+
+	// Comparator flags from a-b.
+	b.SetGroup("comparator")
+	zero := isZero(b, sum)
+	neg := sum[31]
+	ltS := b.Xor(neg, ovf) // signed a < b
+	eq := zero
+	ne := b.Not(zero)
+	le := b.Or(ltS, eq)
+	gt := b.Not(le)
+	ge := b.Not(ltS)
+	_ = coutAS
+
+	condHot := decodeField(b, cond, isa.NumConds)
+	cmp := b.OrN(
+		b.And(condHot[isa.CondEQ], eq),
+		b.And(condHot[isa.CondNE], ne),
+		b.And(condHot[isa.CondLT], ltS),
+		b.And(condHot[isa.CondLE], le),
+		b.And(condHot[isa.CondGT], gt),
+		b.And(condHot[isa.CondGE], ge),
+	)
+
+	// Multiplier and multiply-add.
+	b.SetGroup("multiplier")
+	prod := mulLow(b, a, bb)
+	mad, _ := rippleAdder(b, prod, cc, b.Const0())
+
+	// Logic unit.
+	b.SetGroup("logic")
+	landv := andBus(b, a, bb)
+	lorv := orBus(b, a, bb)
+	lxorv := xorBus(b, a, bb)
+	lnotv := notBus(b, a)
+
+	// Barrel shifter on b[0..4].
+	b.SetGroup("shifter")
+	amt := bb[:5]
+	shl := shiftLeft(b, a, amt)
+	shr := shiftRight(b, a, amt)
+
+	// Min/max via the comparator.
+	b.SetGroup("minmax")
+	minv := muxBus(b, ltS, bb, a) // lt ? a : b
+	maxv := muxBus(b, ltS, a, bb)
+
+	setv := fanBus(b, cmp, 32)
+
+	// Result-select plane: r[i] = OR over fn candidates.
+	b.SetGroup("result-select")
+	cands := [NumSPFns][]int32{
+		SPAdd: sum, SPSub: sum, SPMul: prod, SPMad: mad,
+		SPMin: minv, SPMax: maxv,
+		SPAnd: landv, SPOr: lorv, SPXor: lxorv, SPNot: lnotv,
+		SPShl: shl, SPShr: shr, SPSet: setv, SPPass: bb,
+	}
+	result := make([]int32, 32)
+	for i := 0; i < 32; i++ {
+		terms := make([]int32, 0, NumSPFns)
+		for f := 0; f < NumSPFns; f++ {
+			terms = append(terms, b.And(fnHot[f], cands[f][i]))
+		}
+		result[i] = b.OrN(terms...)
+	}
+
+	b.OutputBus("r", result)
+	b.Output("pr", b.And(sel(SPSet), cmp))
+	return b.Build()
+}

@@ -1,0 +1,501 @@
+// Package core implements the paper's contribution: the five-stage
+// compaction method for Parallel Test Programs of GPU Self-Test Libraries.
+//
+//	stage 1 — PTP partitioning: basic blocks, CFG, Admissible Regions for
+//	          Compaction (package stl), candidate Small Blocks;
+//	stage 2 — logic tracing: one RTL-style simulation with the hardware
+//	          monitor (package trace) collecting the Tracing Report and the
+//	          target module's test-pattern stream;
+//	stage 3 — ONE optimized gate-level fault simulation of the target
+//	          module (package fault), with cross-PTP fault dropping, and
+//	          the instruction-labeling algorithm of Fig. 2;
+//	stage 4 — PTP reduction: the Fig. 3 algorithm removes Small Blocks
+//	          whose instructions are all unessential;
+//	stage 5 — reassembling: rebuild the program, relocate input data,
+//	          repair branch displacements, and re-evaluate fault coverage.
+//
+// The headline property is preserved: compacting a PTP costs one logic
+// simulation and one fault simulation, instead of one fault simulation per
+// candidate removal as in prior CPU-oriented methods (package baseline).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gpustl/internal/circuits"
+	"gpustl/internal/fault"
+	"gpustl/internal/gpu"
+	"gpustl/internal/isa"
+	"gpustl/internal/stl"
+	"gpustl/internal/trace"
+)
+
+// Options tunes the compactor.
+type Options struct {
+	// ReversePatterns applies the extracted pattern stream in reverse
+	// order during the stage-3 fault simulation (the paper uses this for
+	// SFU_IMM, where it improves the compaction rate).
+	ReversePatterns bool
+	// InstructionGranularity removes individual unessential instructions
+	// instead of whole Small Blocks (an ablation of the SB design choice;
+	// unsound for programs with cross-instruction operand dependences
+	// inside SBs, but useful to quantify why the paper removes SBs).
+	InstructionGranularity bool
+	// KeepCampaign prevents the stage-3 fault simulation from dropping
+	// faults in the shared campaign (ablation of cross-PTP dropping).
+	KeepCampaign bool
+	// ObservableFC filters the FC evaluation to patterns of instructions
+	// whose results propagate to an observable point (stores/signature),
+	// approximating the paper's system-level fault coverage.
+	ObservableFC bool
+	// Workers parallelizes the fault simulations across this many
+	// goroutines (0/1 = serial). Results are identical at any setting.
+	Workers int
+}
+
+// Compactor compacts the PTPs of an STL that target one GPU module. It
+// owns the persistent fault campaign, so PTPs compacted in sequence drop
+// each other's faults exactly as the paper's fault list report prescribes.
+type Compactor struct {
+	GPU      gpu.Config
+	Module   *circuits.Module
+	Campaign *fault.Campaign
+	Opt      Options
+}
+
+// New creates a compactor over the module's given fault list.
+func New(cfg gpu.Config, m *circuits.Module, faults []fault.Fault, opt Options) *Compactor {
+	return &Compactor{
+		GPU:      cfg,
+		Module:   m,
+		Campaign: fault.NewCampaignWithFaults(m, faults),
+		Opt:      opt,
+	}
+}
+
+// Result reports one PTP's compaction, mirroring the columns of Tables II
+// and III.
+type Result struct {
+	Original  *stl.PTP
+	Compacted *stl.PTP
+
+	OrigSize, CompSize         int
+	OrigDuration, CompDuration uint64
+	OrigFC, CompFC             float64 // standalone FC (%), fresh fault list
+
+	TotalSBs, RemovedSBs   int
+	Essential, Unessential int // labeled instructions inside candidate SBs
+	DetectedThisRun        int // faults newly detected in the shared campaign
+	CompactionTime         time.Duration
+}
+
+// SizeReduction returns the size compaction percentage (positive =
+// smaller).
+func (r *Result) SizeReduction() float64 {
+	return 100 * (1 - float64(r.CompSize)/float64(r.OrigSize))
+}
+
+// DurationReduction returns the duration compaction percentage.
+func (r *Result) DurationReduction() float64 {
+	return 100 * (1 - float64(r.CompDuration)/float64(r.OrigDuration))
+}
+
+// FCDiff returns CompFC - OrigFC in percentage points (the "Diff FC"
+// column: negative = coverage lost).
+func (r *Result) FCDiff() float64 { return r.CompFC - r.OrigFC }
+
+// runTrace executes the PTP with the tracing monitor attached.
+func (c *Compactor) runTrace(p *stl.PTP, lite bool) (*trace.Collector, gpu.Result, error) {
+	col := trace.NewCollector(c.Module.Kind)
+	col.LiteRows = lite
+	g, err := gpu.New(c.GPU, col)
+	if err != nil {
+		return nil, gpu.Result{}, err
+	}
+	res, err := g.Run(gpu.Kernel{
+		Prog:            p.Prog,
+		Blocks:          p.Kernel.Blocks,
+		ThreadsPerBlock: p.Kernel.ThreadsPerBlock,
+		GlobalBase:      p.Data.Base,
+		GlobalData:      p.Data.Words,
+	})
+	if err != nil {
+		return nil, res, fmt.Errorf("core: logic simulation of %s: %w", p.Name, err)
+	}
+	return col, res, nil
+}
+
+// evaluateFC runs a standalone fault simulation of the PTP's pattern
+// stream against a fresh copy of the campaign's fault list and returns the
+// coverage percentage. With ObservableFC, only patterns from instructions
+// whose results reach an observable point count.
+func (c *Compactor) evaluateFC(p *stl.PTP, patterns []fault.TimedPattern) float64 {
+	stream := patterns
+	if c.Opt.ObservableFC {
+		prop := Propagates(p.Prog)
+		stream = make([]fault.TimedPattern, 0, len(patterns))
+		for _, tp := range patterns {
+			if int(tp.PC) < len(prop) && prop[tp.PC] {
+				stream = append(stream, tp)
+			}
+		}
+	}
+	fc := fault.NewCampaignWithFaults(c.Module, c.Campaign.Faults())
+	fc.Simulate(stream, fault.SimOptions{Workers: c.Opt.Workers})
+	return fc.Coverage()
+}
+
+// CompactPTP runs the five stages on one PTP and returns the result. The
+// shared campaign is updated with the faults this PTP detects (unless
+// KeepCampaign is set).
+func (c *Compactor) CompactPTP(p *stl.PTP) (*Result, error) {
+	if p.Target != c.Module.Kind {
+		return nil, fmt.Errorf("core: PTP %s targets %v, compactor owns %v",
+			p.Name, p.Target, c.Module.Kind)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	// Stage 1 — partitioning: candidate SBs are those fully inside ARCs.
+	arcs := p.ARCs()
+	sbs := p.SBs
+	if len(sbs) == 0 {
+		sbs = stl.SegmentSBs(p.Prog, arcs)
+	}
+	candidates := make([]bool, len(sbs))
+	for i, sb := range sbs {
+		for _, r := range arcs {
+			if sb.Start >= r.Start && sb.End <= r.End {
+				candidates[i] = true
+				break
+			}
+		}
+	}
+
+	// Stage 2 — logic tracing (the ONE logic simulation).
+	col, res, err := c.runTrace(p, false)
+	if err != nil {
+		return nil, err
+	}
+
+	// Standalone FC of the original PTP (fresh fault list) for the Diff FC
+	// column; this is the paper's reference fault-injection campaign, not
+	// part of the compaction loop itself.
+	origFC := c.evaluateFC(p, col.Patterns)
+
+	// Stage 3 — the ONE optimized fault simulation, with fault dropping on
+	// the shared campaign, followed by instruction labeling (Fig. 2).
+	rep := c.Campaign.Simulate(col.Patterns, fault.SimOptions{
+		Reverse: c.Opt.ReversePatterns,
+		NoDrop:  c.Opt.KeepCampaign,
+		Workers: c.Opt.Workers,
+	})
+	essential := Label(len(p.Prog), rep, col.CCToPC())
+
+	// Stage 4 — reduction (Fig. 3).
+	var removed []int
+	nEss, nUness := 0, 0
+	if c.Opt.InstructionGranularity {
+		for i, sb := range sbs {
+			if !candidates[i] {
+				continue
+			}
+			for pc := sb.Start; pc < sb.End; pc++ {
+				if essential[pc] {
+					nEss++
+				} else {
+					nUness++
+					removed = append(removed, pc)
+				}
+			}
+		}
+	} else {
+		for i, sb := range sbs {
+			if !candidates[i] {
+				continue
+			}
+			allUness := true
+			for pc := sb.Start; pc < sb.End; pc++ {
+				if essential[pc] {
+					nEss++
+					allUness = false
+				} else {
+					nUness++
+				}
+			}
+			if allUness {
+				for pc := sb.Start; pc < sb.End; pc++ {
+					removed = append(removed, pc)
+				}
+			}
+		}
+	}
+	// Stage 5 — reassembling.
+	comp, err := Reassemble(p, sbs, removed)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	// Final evaluation: re-simulate the compacted PTP to measure its
+	// duration and standalone FC.
+	compCol, compRes, err := c.runTrace(comp, true)
+	if err != nil {
+		return nil, fmt.Errorf("core: compacted %s does not run: %w", p.Name, err)
+	}
+	compFC := c.evaluateFC(comp, compCol.Patterns)
+
+	nRemovedSBs := countRemovedSBs(sbs, removed)
+	return &Result{
+		Original:        p,
+		Compacted:       comp,
+		OrigSize:        len(p.Prog),
+		CompSize:        len(comp.Prog),
+		OrigDuration:    res.Cycles,
+		CompDuration:    compRes.Cycles,
+		OrigFC:          origFC,
+		CompFC:          compFC,
+		TotalSBs:        len(sbs),
+		RemovedSBs:      nRemovedSBs,
+		Essential:       nEss,
+		Unessential:     nUness,
+		DetectedThisRun: rep.DetectedThisRun(),
+		CompactionTime:  elapsed,
+	}, nil
+}
+
+func countRemovedSBs(sbs []stl.SB, removed []int) int {
+	rm := make(map[int]bool, len(removed))
+	for _, pc := range removed {
+		rm[pc] = true
+	}
+	n := 0
+	for _, sb := range sbs {
+		all := true
+		for pc := sb.Start; pc < sb.End; pc++ {
+			if !rm[pc] {
+				all = false
+				break
+			}
+		}
+		if all {
+			n++
+		}
+	}
+	return n
+}
+
+// Label implements the instruction-labeling algorithm of Fig. 2: an
+// instruction is essential when at least one clock cycle of its execution
+// (any warp) carries a pattern that detected a fault in the Fault Sim
+// Report; otherwise it is unessential. The FSR is joined to instructions
+// through the clock-cycle index of the Tracing Report.
+func Label(progLen int, rep *fault.Report, idx *trace.CCIndex) []bool {
+	essential := make([]bool, progLen)
+	for i, n := range rep.DetectedPerPattern {
+		if n == 0 {
+			continue
+		}
+		_, pc, ok := idx.Lookup(rep.CCs[i])
+		if !ok || int(pc) >= progLen {
+			continue
+		}
+		essential[pc] = true
+	}
+	return essential
+}
+
+// Propagates computes, per instruction, whether its result can reach an
+// observable point (a global/shared store), via backward liveness over the
+// program. Control-flow boundaries are treated conservatively (everything
+// live), so instructions in and around loops always count as propagating.
+func Propagates(prog []isa.Instruction) []bool {
+	out := make([]bool, len(prog))
+	live := make([]bool, isa.NumGPR)
+	allLive := func() {
+		for i := range live {
+			live[i] = true
+		}
+	}
+	allLive() // conservative at the program tail
+	for pc := len(prog) - 1; pc >= 0; pc-- {
+		in := prog[pc]
+		switch {
+		case in.Op == isa.OpGST || in.Op == isa.OpSST:
+			out[pc] = true
+			live[in.Ra] = true
+			live[in.Rb] = true
+		case isa.ClassOf(in.Op) == isa.ClassCtrl:
+			out[pc] = true // not removable anyway
+			allLive()      // join point: be conservative
+		case isa.WritesRd(in.Op):
+			if in.Pg != isa.PredAlways {
+				// Predicated write: the old value may survive; stay
+				// conservative and keep the register live.
+				out[pc] = true
+				if isa.ReadsRa(in.Op) {
+					live[in.Ra] = true
+				}
+				if isa.ReadsRb(in.Op) {
+					live[in.Rb] = true
+				}
+				continue
+			}
+			if live[in.Rd] {
+				out[pc] = true
+				live[in.Rd] = false
+				if isa.ReadsRa(in.Op) {
+					live[in.Ra] = true
+				}
+				if isa.ReadsRb(in.Op) {
+					live[in.Rb] = true
+				}
+				if isa.ReadsRd(in.Op) {
+					live[in.Rd] = true
+				}
+			}
+		default:
+			// Loads to dead registers, NOPs: not propagating.
+		}
+	}
+	return out
+}
+
+// Reassemble builds the compacted PTP: instructions in removed (indices
+// into p.Prog) are deleted, branch displacements are repaired, the data
+// segment is rebuilt with only the surviving SBs' data (relocating their
+// address immediates), and the SB/protected metadata is remapped.
+func Reassemble(p *stl.PTP, sbs []stl.SB, removed []int) (*stl.PTP, error) {
+	n := len(p.Prog)
+	rm := make([]bool, n)
+	for _, pc := range removed {
+		if pc < 0 || pc >= n {
+			return nil, fmt.Errorf("core: removed index %d out of range", pc)
+		}
+		rm[pc] = true
+	}
+
+	// newIdx maps old pc -> new pc for survivors; nextIdx maps any old pc
+	// (and n) to the next surviving instruction's new index, for branch
+	// targets that pointed into removed code.
+	newIdx := make([]int, n+1)
+	cnt := 0
+	for pc := 0; pc < n; pc++ {
+		if rm[pc] {
+			newIdx[pc] = -1
+		} else {
+			newIdx[pc] = cnt
+			cnt++
+		}
+	}
+	newIdx[n] = cnt
+	nextIdx := make([]int, n+1)
+	next := cnt
+	for pc := n; pc >= 0; pc-- {
+		if pc < n && !rm[pc] {
+			next = newIdx[pc]
+		}
+		nextIdx[pc] = next
+	}
+
+	comp := &stl.PTP{
+		Name:   p.Name,
+		Target: p.Target,
+		Kernel: p.Kernel,
+		Data:   stl.DataSegment{Base: p.Data.Base},
+	}
+
+	// Rebuild the data segment from surviving SBs, tracking relocations.
+	type reloc struct {
+		addrOld int // old instruction index to patch
+		newOff  int
+	}
+	var relocs []reloc
+	for _, sb := range sbs {
+		if sb.DataLen == 0 || rm[sb.AddrInstr] {
+			continue
+		}
+		newOff := len(comp.Data.Words)
+		comp.Data.Words = append(comp.Data.Words,
+			p.Data.Words[sb.DataOff:sb.DataOff+sb.DataLen]...)
+		relocs = append(relocs, reloc{addrOld: sb.AddrInstr, newOff: newOff})
+	}
+	relocOf := make(map[int]int, len(relocs))
+	for _, r := range relocs {
+		relocOf[r.addrOld] = r.newOff
+	}
+
+	// Emit surviving instructions with repaired branches and relocated
+	// data addresses.
+	for pc := 0; pc < n; pc++ {
+		if rm[pc] {
+			continue
+		}
+		in := p.Prog[pc]
+		switch in.Op {
+		case isa.OpBRA, isa.OpSSY, isa.OpCAL:
+			oldTgt := pc + 1 + int(in.Imm)
+			if oldTgt < 0 {
+				oldTgt = 0
+			}
+			if oldTgt > n {
+				oldTgt = n
+			}
+			var newTgt int
+			if oldTgt == n {
+				newTgt = cnt
+			} else if newIdx[oldTgt] >= 0 {
+				newTgt = newIdx[oldTgt]
+			} else {
+				newTgt = nextIdx[oldTgt]
+			}
+			in.Imm = int32(newTgt - (newIdx[pc] + 1))
+		default:
+			if off, ok := relocOf[pc]; ok {
+				in.Imm = int32(p.Data.Base + uint32(off)*4)
+			}
+		}
+		comp.Prog = append(comp.Prog, in)
+	}
+
+	// Remap SB metadata (SBs with at least one surviving instruction).
+	for _, sb := range sbs {
+		lastNew := -1
+		for pc := sb.End - 1; pc >= sb.Start; pc-- {
+			if !rm[pc] {
+				lastNew = newIdx[pc]
+				break
+			}
+		}
+		if lastNew < 0 {
+			continue // fully removed
+		}
+		ns := stl.SB{Start: nextIdx[sb.Start], End: lastNew + 1, AddrInstr: -1}
+		if sb.DataLen > 0 && !rm[sb.AddrInstr] {
+			ns.DataOff = relocOf[sb.AddrInstr]
+			ns.DataLen = sb.DataLen
+			ns.AddrInstr = newIdx[sb.AddrInstr]
+		}
+		comp.SBs = append(comp.SBs, ns)
+	}
+
+	// Remap protected regions.
+	for _, r := range p.Protected {
+		ns := stl.Region{Start: nextIdx[r.Start], End: newIdx[r.End-1] + 1}
+		if ns.End > ns.Start {
+			comp.Protected = append(comp.Protected, ns)
+		}
+	}
+
+	if len(comp.Prog) == 0 {
+		return nil, errors.New("core: compaction removed the whole program")
+	}
+	if err := comp.Validate(); err != nil {
+		return nil, fmt.Errorf("core: reassembled PTP invalid: %w", err)
+	}
+	return comp, nil
+}

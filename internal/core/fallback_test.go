@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+
+	"gpustl/internal/circuits"
+	"gpustl/internal/gpu"
+	"gpustl/internal/ptpgen"
+)
+
+// TestCompactWithoutSBMetadata exercises the SegmentSBs fallback: an
+// externally authored PTP arrives without generator metadata, so stage 1
+// derives the Small Blocks from the code (store-terminated runs).
+func TestCompactWithoutSBMetadata(t *testing.T) {
+	m := module(t, circuits.ModuleDU)
+	p := ptpgen.IMM(40, 71)
+	p.SBs = nil // simulate an external PTP
+
+	c := New(gpu.DefaultConfig(), m, sampledFaults(t, m, 2500, 72), Options{})
+	res, err := c.CompactPTP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSBs == 0 {
+		t.Fatal("SegmentSBs derived nothing")
+	}
+	if res.SizeReduction() <= 0 {
+		t.Errorf("no compaction via derived SBs: %.2f%%", res.SizeReduction())
+	}
+	// The compacted PTP must still run and keep the protected scaffolding.
+	if err := res.Compacted.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("derived %d SBs, removed %d, -%.2f%% size, FC %+.2f",
+		res.TotalSBs, res.RemovedSBs, res.SizeReduction(), res.FCDiff())
+}

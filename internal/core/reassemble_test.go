@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpustl/internal/gpu"
+	"gpustl/internal/isa"
+	"gpustl/internal/ptpgen"
+	"gpustl/internal/stl"
+)
+
+// TestReassembleRandomRemovalsProperty removes random SB subsets from
+// generated PTPs and checks the structural invariants of the result:
+// valid PTP, correct size, surviving SBs unchanged in content, branch
+// targets in range, data relocation consistent, and the program still runs.
+func TestReassembleRandomRemovalsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	gens := []func() *stl.PTP{
+		func() *stl.PTP { return ptpgen.IMM(20+r.Intn(30), r.Int63()) },
+		func() *stl.PTP { return ptpgen.MEM(15+r.Intn(25), r.Int63()) },
+		func() *stl.PTP { return ptpgen.CNTRL(6+r.Intn(8), r.Int63()) },
+		func() *stl.PTP { return ptpgen.RAND(20+r.Intn(30), r.Int63()) },
+	}
+	for trial := 0; trial < 40; trial++ {
+		p := gens[trial%len(gens)]()
+		// Random subset of SBs to remove.
+		var removed []int
+		var removedSBs int
+		for _, sb := range p.SBs {
+			if r.Intn(3) != 0 {
+				continue
+			}
+			removedSBs++
+			for pc := sb.Start; pc < sb.End; pc++ {
+				removed = append(removed, pc)
+			}
+		}
+		comp, err := Reassemble(p, p.SBs, removed)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, p.Name, err)
+		}
+		if got, want := len(comp.Prog), len(p.Prog)-len(removed); got != want {
+			t.Fatalf("trial %d: size %d, want %d", trial, got, want)
+		}
+		if got, want := len(comp.SBs), len(p.SBs)-removedSBs; got != want {
+			t.Fatalf("trial %d: SBs %d, want %d", trial, got, want)
+		}
+		// Branch targets stay in range.
+		for pc, in := range comp.Prog {
+			if in.Op == isa.OpBRA || in.Op == isa.OpSSY || in.Op == isa.OpCAL {
+				tgt := pc + 1 + int(in.Imm)
+				if tgt < 0 || tgt > len(comp.Prog) {
+					t.Fatalf("trial %d: branch at %d targets %d (len %d)",
+						trial, pc, tgt, len(comp.Prog))
+				}
+			}
+		}
+		// Surviving SBs' instructions are identical to the originals
+		// except for relocated data addresses.
+		oi := 0
+		for _, sb := range p.SBs {
+			rm := false
+			for _, x := range removed {
+				if x == sb.Start {
+					rm = true
+					break
+				}
+			}
+			if rm {
+				continue
+			}
+			ns := comp.SBs[oi]
+			oi++
+			if ns.Len() != sb.Len() {
+				t.Fatalf("trial %d: surviving SB length %d != %d", trial, ns.Len(), sb.Len())
+			}
+			for k := 0; k < sb.Len(); k++ {
+				a, b := p.Prog[sb.Start+k], comp.Prog[ns.Start+k]
+				if sb.DataLen > 0 && sb.Start+k == sb.AddrInstr {
+					// Only the immediate may change (relocation).
+					a.Imm, b.Imm = 0, 0
+				}
+				if a != b {
+					t.Fatalf("trial %d: SB instruction changed: %+v != %+v", trial, a, b)
+				}
+			}
+		}
+		// Data relocation: surviving SBs' words must match the originals.
+		for i, ns := range comp.SBs {
+			if ns.DataLen == 0 {
+				continue
+			}
+			in := comp.Prog[ns.AddrInstr]
+			if uint32(in.Imm) != comp.Data.Base+uint32(ns.DataOff)*4 {
+				t.Fatalf("trial %d SB %d: address %#x, want %#x",
+					trial, i, uint32(in.Imm), comp.Data.Base+uint32(ns.DataOff)*4)
+			}
+		}
+		// The compacted PTP must still run to completion.
+		g, err := gpu.New(gpu.DefaultConfig(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Run(gpu.Kernel{
+			Prog: comp.Prog, Blocks: comp.Kernel.Blocks,
+			ThreadsPerBlock: comp.Kernel.ThreadsPerBlock,
+			GlobalBase:      comp.Data.Base, GlobalData: comp.Data.Words,
+		}); err != nil {
+			t.Fatalf("trial %d (%s): compacted program failed: %v", trial, p.Name, err)
+		}
+	}
+}
+
+// TestReassembleNoRemovalIsIdentity checks that an empty removal set is a
+// faithful copy.
+func TestReassembleNoRemovalIsIdentity(t *testing.T) {
+	p := ptpgen.MEM(10, 5)
+	comp, err := Reassemble(p, p.SBs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.Prog) != len(p.Prog) {
+		t.Fatalf("size changed: %d != %d", len(comp.Prog), len(p.Prog))
+	}
+	for i := range p.Prog {
+		if comp.Prog[i] != p.Prog[i] {
+			t.Fatalf("instruction %d changed", i)
+		}
+	}
+	if len(comp.Data.Words) != len(p.Data.Words) {
+		t.Fatalf("data changed: %d != %d words", len(comp.Data.Words), len(p.Data.Words))
+	}
+}
+
+// TestReassembleRejectsBadIndices checks input validation.
+func TestReassembleRejectsBadIndices(t *testing.T) {
+	p := ptpgen.IMM(5, 1)
+	if _, err := Reassemble(p, p.SBs, []int{-1}); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := Reassemble(p, p.SBs, []int{len(p.Prog)}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	// Removing everything must fail, not produce an empty program.
+	all := make([]int, len(p.Prog))
+	for i := range all {
+		all[i] = i
+	}
+	if _, err := Reassemble(p, p.SBs, all); err == nil {
+		t.Error("whole-program removal accepted")
+	}
+}

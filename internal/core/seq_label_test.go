@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"gpustl/internal/circuits"
+	"gpustl/internal/fault"
+	"gpustl/internal/gpu"
+	"gpustl/internal/ptpgen"
+	"gpustl/internal/trace"
+)
+
+// TestSequentialLabelingFlow exercises the stage-2/3 pipeline against the
+// sequential pipeline-register module: run a PTP, extract the PIPE cycle
+// stream, sequential-fault-simulate it, and join the detections back to
+// instructions with the Fig. 2 labeling — demonstrating that the
+// compaction analysis extends to sequential targets.
+func TestSequentialLabelingFlow(t *testing.T) {
+	m, err := circuits.Build(circuits.ModulePIPE, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ptpgen.IMM(40, 51) // any fetch-heavy PTP exercises the pipe
+
+	col := trace.NewCollector(circuits.ModulePIPE)
+	g, err := gpu.New(gpu.DefaultConfig(), col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(gpu.Kernel{
+		Prog: p.Prog, Blocks: 1, ThreadsPerBlock: 32,
+		GlobalBase: p.Data.Base, GlobalData: p.Data.Words,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Patterns) != len(p.Prog) {
+		t.Fatalf("PIPE patterns = %d, want %d", len(col.Patterns), len(p.Prog))
+	}
+
+	camp, err := fault.NewSeqCampaign(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := camp.Simulate(col.Patterns)
+	if rep.DetectedThisRun() == 0 {
+		t.Fatal("no detections")
+	}
+
+	essential := Label(len(p.Prog), rep, col.CCToPC())
+	nEss := 0
+	for _, e := range essential {
+		if e {
+			nEss++
+		}
+	}
+	if nEss == 0 || nEss == len(p.Prog) {
+		t.Fatalf("labeling degenerate: %d/%d essential", nEss, len(p.Prog))
+	}
+	// Register faults are toggled by the first few distinct words; the
+	// essential set concentrates early in the program.
+	firstHalfEss := 0
+	for pc := 0; pc < len(p.Prog)/2; pc++ {
+		if essential[pc] {
+			firstHalfEss++
+		}
+	}
+	if firstHalfEss*2 < nEss {
+		t.Errorf("essential instructions not front-loaded: %d of %d in first half",
+			firstHalfEss, nEss)
+	}
+
+	// The reduction/reassembly stages consume the labeling unchanged.
+	var removed []int
+	for _, sb := range p.SBs {
+		all := true
+		for pc := sb.Start; pc < sb.End; pc++ {
+			if essential[pc] {
+				all = false
+				break
+			}
+		}
+		if all {
+			for pc := sb.Start; pc < sb.End; pc++ {
+				removed = append(removed, pc)
+			}
+		}
+	}
+	comp, err := Reassemble(p, p.SBs, removed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.Prog) >= len(p.Prog) {
+		t.Errorf("sequential labeling removed nothing: %d -> %d", len(p.Prog), len(comp.Prog))
+	}
+	t.Logf("sequential flow: %d/%d essential, %d -> %d instructions, PIPE coverage %.2f%%",
+		nEss, len(p.Prog), len(p.Prog), len(comp.Prog), camp.Coverage())
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gpustl/internal/baseline"
+	"gpustl/internal/core"
+	"gpustl/internal/report"
+)
+
+// AblationResult compares design choices the paper calls out: cross-PTP
+// fault dropping (the MEM/RAND discussion), reverse-order pattern
+// application for SFU_IMM, and SB- versus instruction-granularity removal.
+type AblationResult struct {
+	// MEM compacted after IMM (with dropping) vs alone (fresh campaign).
+	MEMWithDropPct    float64
+	MEMWithoutDropPct float64
+
+	// SFU_IMM with reverse vs forward pattern order.
+	SFUReversePct float64
+	SFUForwardPct float64
+
+	// IMM with SB-granularity vs instruction-granularity removal.
+	SBGranPct     float64
+	SBGranFCDiff  float64
+	InsGranPct    float64
+	InsGranFCDiff float64
+}
+
+// Ablations runs the three studies.
+func Ablations(e *Env) (*AblationResult, error) {
+	out := &AblationResult{}
+
+	// 1. Fault dropping.
+	withDrop := core.New(e.Cfg, e.DU, e.DUFaults, core.Options{})
+	if _, err := withDrop.CompactPTP(e.IMM); err != nil {
+		return nil, err
+	}
+	r, err := withDrop.CompactPTP(e.MEM)
+	if err != nil {
+		return nil, err
+	}
+	out.MEMWithDropPct = r.SizeReduction()
+
+	alone := core.New(e.Cfg, e.DU, e.DUFaults, core.Options{})
+	if r, err = alone.CompactPTP(e.MEM); err != nil {
+		return nil, err
+	}
+	out.MEMWithoutDropPct = r.SizeReduction()
+
+	// 2. Pattern order for the ATPG-based SFU PTP.
+	rev := core.New(e.Cfg, e.SFU, e.SFUFaults, core.Options{ReversePatterns: true})
+	if r, err = rev.CompactPTP(e.SFUIMM); err != nil {
+		return nil, err
+	}
+	out.SFUReversePct = r.SizeReduction()
+	fwd := core.New(e.Cfg, e.SFU, e.SFUFaults, core.Options{})
+	if r, err = fwd.CompactPTP(e.SFUIMM); err != nil {
+		return nil, err
+	}
+	out.SFUForwardPct = r.SizeReduction()
+
+	// 3. Removal granularity.
+	sb := core.New(e.Cfg, e.DU, e.DUFaults, core.Options{})
+	if r, err = sb.CompactPTP(e.IMM); err != nil {
+		return nil, err
+	}
+	out.SBGranPct, out.SBGranFCDiff = r.SizeReduction(), r.FCDiff()
+	ins := core.New(e.Cfg, e.DU, e.DUFaults, core.Options{InstructionGranularity: true})
+	if r, err = ins.CompactPTP(e.IMM); err != nil {
+		return nil, err
+	}
+	out.InsGranPct, out.InsGranFCDiff = r.SizeReduction(), r.FCDiff()
+
+	return out, nil
+}
+
+// Render writes the ablation table.
+func (a *AblationResult) Render(w io.Writer) {
+	tb := report.Table{
+		Title:   "ABLATIONS (size reduction %, higher = more compaction)",
+		Headers: []string{"Study", "Variant A", "Variant B"},
+	}
+	tb.AddRow("MEM: after IMM (drop) vs alone",
+		report.Pct(a.MEMWithDropPct), report.Pct(a.MEMWithoutDropPct))
+	tb.AddRow("SFU_IMM: reverse vs forward patterns",
+		report.Pct(a.SFUReversePct), report.Pct(a.SFUForwardPct))
+	tb.AddRow(fmt.Sprintf("IMM: SB (FC%+.2f) vs instr (FC%+.2f)",
+		a.SBGranFCDiff, a.InsGranFCDiff),
+		report.Pct(a.SBGranPct), report.Pct(a.InsGranPct))
+	tb.Render(w)
+}
+
+// BaselineCompareResult quantifies the headline claim: the proposed method
+// needs ONE fault simulation per PTP where the iterative prior work needs
+// one per candidate block.
+type BaselineCompareResult struct {
+	ProposedFaultSims int
+	BaselineFaultSims int
+	ProposedMillis    float64
+	BaselineMillis    float64
+	ProposedSizePct   float64
+	BaselineSizePct   float64
+}
+
+// BaselineCompare compacts the IMM PTP with both methods.
+func BaselineCompare(e *Env) (*BaselineCompareResult, error) {
+	prop := core.New(e.Cfg, e.DU, e.DUFaults, core.Options{})
+	pr, err := prop.CompactPTP(e.IMM)
+	if err != nil {
+		return nil, err
+	}
+	base := baseline.New(e.Cfg, e.DU, e.DUFaults)
+	br, err := base.CompactPTP(e.IMM)
+	if err != nil {
+		return nil, err
+	}
+	return &BaselineCompareResult{
+		ProposedFaultSims: 1,
+		BaselineFaultSims: br.FaultSims,
+		ProposedMillis:    float64(pr.CompactionTime.Microseconds()) / 1000,
+		BaselineMillis:    float64(br.Time.Microseconds()) / 1000,
+		ProposedSizePct:   pr.SizeReduction(),
+		BaselineSizePct:   br.SizeReduction(),
+	}, nil
+}
+
+// Render writes the comparison.
+func (b *BaselineCompareResult) Render(w io.Writer) {
+	tb := report.Table{
+		Title:   "COMPACTION COST: PROPOSED (ONE FAULT SIM) VS ITERATIVE BASELINE",
+		Headers: []string{"Method", "Fault sims", "Time (ms)", "Size reduction (%)"},
+	}
+	tb.AddRow("proposed", fmt.Sprintf("%d", b.ProposedFaultSims),
+		fmt.Sprintf("%.1f", b.ProposedMillis), report.Pct(b.ProposedSizePct))
+	tb.AddRow("iterative baseline", fmt.Sprintf("%d", b.BaselineFaultSims),
+		fmt.Sprintf("%.1f", b.BaselineMillis), report.Pct(b.BaselineSizePct))
+	tb.Render(w)
+}

@@ -1,0 +1,384 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gpustl/internal/core"
+	"gpustl/internal/fault"
+	"gpustl/internal/ptpgen"
+	"gpustl/internal/report"
+	"gpustl/internal/stl"
+)
+
+// PTPStats is one row of Table I.
+type PTPStats struct {
+	Module   string
+	Name     string
+	Size     int
+	ARCPct   float64
+	Duration uint64
+	FC       float64
+}
+
+// TableIResult reproduces Table I: the main features of the evaluated
+// PTPs, including the combined rows.
+type TableIResult struct {
+	Rows []PTPStats
+}
+
+// TableI measures every PTP's size, admissible-region percentage, duration
+// and standalone FC, plus the two combined-group rows.
+func TableI(e *Env) (*TableIResult, error) {
+	out := &TableIResult{}
+	statsOf := func(p *stl.PTP) (PTPStats, error) {
+		col, cycles, err := e.RunPTP(p)
+		if err != nil {
+			return PTPStats{}, err
+		}
+		camp := fault.NewCampaignWithFaults(e.ModuleOf(p), e.FaultsOf(p))
+		camp.Simulate(col.Patterns, fault.SimOptions{})
+		return PTPStats{
+			Module:   p.Target.String(),
+			Name:     p.Name,
+			Size:     len(p.Prog),
+			ARCPct:   100 * p.ARCFraction(),
+			Duration: cycles,
+			FC:       camp.Coverage(),
+		}, nil
+	}
+
+	var (
+		groupSize int
+		groupDur  uint64
+	)
+	for _, p := range []*stl.PTP{e.IMM, e.MEM, e.CNTRL} {
+		s, err := statsOf(p)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, s)
+		groupSize += s.Size
+		groupDur += s.Duration
+	}
+	duFC, err := e.GroupFC(e.IMM, e.MEM, e.CNTRL)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, PTPStats{
+		Module: "DU", Name: "IMM+MEM+CNTRL", Size: groupSize,
+		ARCPct: groupARC(e.IMM, e.MEM, e.CNTRL), Duration: groupDur, FC: duFC,
+	})
+
+	groupSize, groupDur = 0, 0
+	for _, p := range []*stl.PTP{e.TPGEN, e.RAND} {
+		s, err := statsOf(p)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, s)
+		groupSize += s.Size
+		groupDur += s.Duration
+	}
+	spFC, err := e.GroupFC(e.TPGEN, e.RAND)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, PTPStats{
+		Module: "SP", Name: "TPGEN+RAND", Size: groupSize,
+		ARCPct: groupARC(e.TPGEN, e.RAND), Duration: groupDur, FC: spFC,
+	})
+
+	s, err := statsOf(e.SFUIMM)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, s)
+	return out, nil
+}
+
+func groupARC(ptps ...*stl.PTP) float64 {
+	instrs, arc := 0, 0.0
+	for _, p := range ptps {
+		instrs += len(p.Prog)
+		arc += p.ARCFraction() * float64(len(p.Prog))
+	}
+	return 100 * arc / float64(instrs)
+}
+
+// Table converts the rows into a renderable report.Table.
+func (t *TableIResult) Table() report.Table {
+	tb := report.Table{
+		Title:   "TABLE I. MAIN FEATURES OF THE EVALUATED PTPS",
+		Headers: []string{"Target", "PTP", "Size (instr)", "ARC (%)", "Duration (cc)", "FC (%)"},
+	}
+	for _, r := range t.Rows {
+		tb.AddRow(r.Module, r.Name, report.Int(r.Size), report.Pct(r.ARCPct),
+			report.Uint(r.Duration), report.Pct(r.FC))
+	}
+	return tb
+}
+
+// Render writes Table I in the paper's layout.
+func (t *TableIResult) Render(w io.Writer) {
+	tb := t.Table()
+	tb.Render(w)
+}
+
+// CompactRow is one row of Tables II / III.
+type CompactRow struct {
+	Name           string
+	CompSize       int
+	SizePct        float64 // negative = reduction, as printed in the paper
+	CompDuration   uint64
+	DurPct         float64
+	DiffFC         float64
+	CompactionTime time.Duration
+
+	// Extra diagnostics beyond the paper's columns.
+	OrigSize     int
+	OrigDuration uint64
+	OrigFC       float64
+	CompFC       float64
+	RemovedSBs   int
+	TotalSBs     int
+}
+
+func rowFromResult(name string, r *core.Result) CompactRow {
+	return CompactRow{
+		Name:           name,
+		CompSize:       r.CompSize,
+		SizePct:        -r.SizeReduction(),
+		CompDuration:   r.CompDuration,
+		DurPct:         -r.DurationReduction(),
+		DiffFC:         r.FCDiff(),
+		CompactionTime: r.CompactionTime,
+		OrigSize:       r.OrigSize,
+		OrigDuration:   r.OrigDuration,
+		OrigFC:         r.OrigFC,
+		CompFC:         r.CompFC,
+		RemovedSBs:     r.RemovedSBs,
+		TotalSBs:       r.TotalSBs,
+	}
+}
+
+// CompactionResult holds one table's compaction rows plus the compacted
+// PTPs for downstream use.
+type CompactionResult struct {
+	Rows      []CompactRow
+	Compacted map[string]*stl.PTP
+}
+
+// Table converts the rows into a renderable report.Table.
+func (t *CompactionResult) Table(title string) report.Table {
+	tb := report.Table{
+		Title: title,
+		Headers: []string{"PTP", "Size (instr)", "(%)", "Duration (cc)", "(%)",
+			"Diff FC (%)", "Compaction time"},
+	}
+	for _, r := range t.Rows {
+		tb.AddRow(r.Name, report.Int(r.CompSize), report.SignedPct(r.SizePct),
+			report.Uint(r.CompDuration), report.SignedPct(r.DurPct),
+			report.SignedPct(r.DiffFC), report.Dur(r.CompactionTime))
+	}
+	return tb
+}
+
+// Render writes the rows in the layout of Tables II and III.
+func (t *CompactionResult) Render(w io.Writer, title string) {
+	tb := t.Table(title)
+	tb.Render(w)
+}
+
+// TableII compacts the Decoder Unit PTPs in the paper's order (IMM, then
+// MEM, then CNTRL) with cross-PTP fault dropping, and adds the combined
+// row.
+func TableII(e *Env) (*CompactionResult, error) {
+	c := core.New(e.Cfg, e.DU, e.DUFaults, core.Options{Workers: e.Params.Workers})
+	out := &CompactionResult{Compacted: map[string]*stl.PTP{}}
+
+	var results []*core.Result
+	for _, p := range []*stl.PTP{e.IMM, e.MEM, e.CNTRL} {
+		r, err := c.CompactPTP(p)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+		out.Rows = append(out.Rows, rowFromResult(p.Name, r))
+		out.Compacted[p.Name] = r.Compacted
+	}
+	combined, err := combinedRow(e, "IMM+MEM+CNTRL", results)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, combined)
+	return out, nil
+}
+
+// TableIII compacts the functional-unit PTPs: TPGEN then RAND on the SP
+// campaign (with dropping), the combined row, and SFU_IMM with the
+// reverse-order pattern application the paper reports for it.
+func TableIII(e *Env) (*CompactionResult, error) {
+	out := &CompactionResult{Compacted: map[string]*stl.PTP{}}
+
+	sp := core.New(e.Cfg, e.SP, e.SPFaults, core.Options{Workers: e.Params.Workers})
+	var results []*core.Result
+	for _, p := range []*stl.PTP{e.TPGEN, e.RAND} {
+		r, err := sp.CompactPTP(p)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+		out.Rows = append(out.Rows, rowFromResult(p.Name, r))
+		out.Compacted[p.Name] = r.Compacted
+	}
+	combined, err := combinedRow(e, "TPGEN+RAND", results)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, combined)
+
+	sfu := core.New(e.Cfg, e.SFU, e.SFUFaults, core.Options{
+		ReversePatterns: true, Workers: e.Params.Workers})
+	r, err := sfu.CompactPTP(e.SFUIMM)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, rowFromResult("SFU_IMM", r))
+	out.Compacted["SFU_IMM"] = r.Compacted
+	return out, nil
+}
+
+// combinedRow aggregates a group of compaction results and evaluates the
+// combined original and compacted FC on fresh campaigns.
+func combinedRow(e *Env, name string, results []*core.Result) (CompactRow, error) {
+	var row CompactRow
+	row.Name = name
+	var totalTime time.Duration
+	var origs, comps []*stl.PTP
+	for _, r := range results {
+		row.OrigSize += r.OrigSize
+		row.CompSize += r.CompSize
+		row.OrigDuration += r.OrigDuration
+		row.CompDuration += r.CompDuration
+		row.RemovedSBs += r.RemovedSBs
+		row.TotalSBs += r.TotalSBs
+		totalTime += r.CompactionTime
+		origs = append(origs, r.Original)
+		comps = append(comps, r.Compacted)
+	}
+	row.SizePct = -100 * (1 - float64(row.CompSize)/float64(row.OrigSize))
+	row.DurPct = -100 * (1 - float64(row.CompDuration)/float64(row.OrigDuration))
+	row.CompactionTime = totalTime
+	origFC, err := e.GroupFC(origs...)
+	if err != nil {
+		return row, err
+	}
+	compFC, err := e.GroupFC(comps...)
+	if err != nil {
+		return row, err
+	}
+	row.OrigFC, row.CompFC = origFC, compFC
+	row.DiffFC = compFC - origFC
+	return row, nil
+}
+
+// STLSummaryResult reproduces the whole-STL claims of Section IV: the
+// DU+FU PTPs' share of the STL, and the overall size/duration reduction
+// after compacting only those PTPs.
+type STLSummaryResult struct {
+	// Shares of the six compaction-candidate PTPs within the whole STL
+	// (paper: 90.69% of size, 75.70% of duration).
+	CandidateSizeShare float64
+	CandidateDurShare  float64
+
+	// Whole-STL reductions (paper: 80.71% size, 64.43% duration).
+	STLSizeReduction float64
+	STLDurReduction  float64
+
+	TotalSize    int
+	TotalDur     uint64
+	RestSize     int
+	RestDuration uint64
+}
+
+// Render writes the summary.
+func (s *STLSummaryResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "STL summary\n")
+	fmt.Fprintf(w, "  whole-STL size: %s instructions, duration: %s cc\n",
+		report.Int(s.TotalSize), report.Uint(s.TotalDur))
+	fmt.Fprintf(w, "  DU+FU PTPs share: %.2f%% of size, %.2f%% of duration\n",
+		s.CandidateSizeShare, s.CandidateDurShare)
+	fmt.Fprintf(w, "  whole-STL reduction after compaction: %.2f%% size, %.2f%% duration\n",
+		s.STLSizeReduction, s.STLDurReduction)
+}
+
+// STLSummary composes the six PTPs with an uncompacted control-unit
+// remainder (the STL parts the paper excludes from compaction) and
+// computes the whole-STL reduction implied by Tables II and III.
+func STLSummary(e *Env, t2, t3 *CompactionResult) (*STLSummaryResult, error) {
+	var restSize int
+	var restCC uint64
+	for _, rest := range RestOfSTL(e) {
+		_, cc, err := e.RunPTP(rest)
+		if err != nil {
+			return nil, err
+		}
+		restSize += len(rest.Prog)
+		restCC += cc
+	}
+
+	var candSize, candCompSize int
+	var candDur, candCompDur uint64
+	for _, rows := range [][]CompactRow{t2.Rows, t3.Rows} {
+		for _, r := range rows {
+			if r.Name == "IMM+MEM+CNTRL" || r.Name == "TPGEN+RAND" {
+				continue // combined rows double-count
+			}
+			candSize += r.OrigSize
+			candCompSize += r.CompSize
+			candDur += r.OrigDuration
+			candCompDur += r.CompDuration
+		}
+	}
+
+	total := candSize + restSize
+	totalDur := candDur + restCC
+	out := &STLSummaryResult{
+		CandidateSizeShare: 100 * float64(candSize) / float64(total),
+		CandidateDurShare:  100 * float64(candDur) / float64(totalDur),
+		STLSizeReduction:   100 * float64(candSize-candCompSize) / float64(total),
+		STLDurReduction:    100 * float64(candDur-candCompDur) / float64(totalDur),
+		TotalSize:          total,
+		TotalDur:           totalDur,
+		RestSize:           restSize,
+		RestDuration:       restCC,
+	}
+	return out, nil
+}
+
+// RestOfSTL generates the non-candidate remainder of the STL: PTPs
+// carefully devised for control units, excluded from compaction because
+// any instruction removal would break their test algorithms. It is sized
+// so the six candidate PTPs hold roughly the paper's ~90% share of the
+// STL's instructions.
+func RestOfSTL(e *Env) []*stl.PTP {
+	candSize := 0
+	for _, p := range e.PTPs() {
+		candSize += len(p.Prog)
+	}
+	// A full-depth divergence-stack walk plus CNTRL-style control tests.
+	divg := ptpgen.DIVG(5, 2, e.Params.Seed+31)
+	// Together ~10.3% of the STL (90.69% candidate share in the paper).
+	sections := (candSize/10 - len(divg.Prog)) / 22
+	if sections < 2 {
+		sections = 2
+	}
+	// 256 threads: the remainder's runtime share should not dwarf the
+	// candidates' (the paper's non-candidate PTPs hold ~24% of the STL
+	// duration).
+	rest := ptpgen.CNTRLThreads(sections, 256, e.Params.Seed+30)
+	rest.Name = "OTHERS"
+	return []*stl.PTP{rest, divg}
+}

@@ -1,0 +1,72 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpustl/internal/netlist"
+)
+
+// TestCollapseEquivalenceSemantics verifies the collapsing rules on the
+// real SP netlist: every fault the rules remove must have detection
+// behaviour identical to its retained representative (the gate-output
+// fault of matching polarity) on random pattern blocks.
+func TestCollapseEquivalenceSemantics(t *testing.T) {
+	m := spModule(t)
+	nl := m.NL
+	ev := netlist.NewEvaluator(nl)
+
+	r := rand.New(rand.NewSource(91))
+	inputs := make([]uint64, len(nl.Inputs))
+	for i := range inputs {
+		inputs[i] = r.Uint64()
+	}
+	ev.Run(inputs)
+
+	// Collect removed faults and their representatives.
+	all := AllSites(nl)
+	kept := map[netlist.FaultSite]bool{}
+	for _, s := range CollapseEquivalent(nl, all) {
+		kept[s] = true
+	}
+	checked := 0
+	for _, s := range all {
+		if kept[s] || s.Pin < 0 {
+			continue
+		}
+		g := nl.Gates[s.Gate]
+		// The representative is the output fault with the dominant
+		// polarity per the collapsing rules.
+		var rep netlist.FaultSite
+		switch g.Kind {
+		case netlist.KBuf:
+			rep = netlist.FaultSite{Gate: s.Gate, Pin: -1, SA1: s.SA1}
+		case netlist.KNot:
+			rep = netlist.FaultSite{Gate: s.Gate, Pin: -1, SA1: !s.SA1}
+		case netlist.KAnd:
+			rep = netlist.FaultSite{Gate: s.Gate, Pin: -1, SA1: false}
+		case netlist.KNand:
+			rep = netlist.FaultSite{Gate: s.Gate, Pin: -1, SA1: true}
+		case netlist.KOr:
+			rep = netlist.FaultSite{Gate: s.Gate, Pin: -1, SA1: true}
+		case netlist.KNor:
+			rep = netlist.FaultSite{Gate: s.Gate, Pin: -1, SA1: false}
+		default:
+			t.Fatalf("unexpected collapsed fault on %v", g.Kind)
+		}
+		got := ev.FaultDetect(s)
+		want := ev.FaultDetect(rep)
+		if got != want {
+			t.Fatalf("fault %v (kind %v) detection %#x != representative %v detection %#x",
+				s, g.Kind, got, rep, want)
+		}
+		checked++
+		if checked >= 3000 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no collapsed faults checked")
+	}
+	t.Logf("verified %d collapsed-fault equivalences", checked)
+}

@@ -1,0 +1,503 @@
+// Package fault implements permanent stuck-at fault modeling and an
+// optimized gate-level fault simulator for the GPU modules of package
+// circuits.
+//
+// The simulator follows the paper's "optimized fault simulation": instead
+// of fault-simulating the whole GPU, only the target module is simulated,
+// with module-level fault observability — a fault counts as detected when a
+// test pattern produces a discrepancy at the module's outputs. Patterns are
+// the per-clock-cycle input vectors extracted by the logic-tracing stage.
+//
+// Faults are simulated serially with 64 patterns in parallel (one per bit
+// of a machine word) and evaluation restricted to each fault's fan-out
+// cone; detected faults are dropped immediately. A persistent fault list
+// lets several PTPs targeting the same module share one campaign, which is
+// the cross-PTP fault-dropping mechanism of the paper's stage 3.
+package fault
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"gpustl/internal/circuits"
+	"gpustl/internal/netlist"
+)
+
+// ID identifies a fault within a campaign's master list.
+type ID int32
+
+// Fault is a single stuck-at fault in one lane (instance) of the module.
+type Fault struct {
+	Lane int16
+	Site netlist.FaultSite
+}
+
+// String renders the fault with its lane.
+func (f Fault) String() string { return fmt.Sprintf("lane%d.%v", f.Lane, f.Site) }
+
+// AllSites enumerates the uncollapsed single-stuck-at fault universe of a
+// netlist: every gate output and every gate input pin, stuck at 0 and 1.
+// Primary inputs contribute their (output) stem faults; constants are
+// excluded (a stuck constant is undetectable by construction).
+func AllSites(nl *netlist.Netlist) []netlist.FaultSite {
+	var sites []netlist.FaultSite
+	for id := int32(0); id < int32(len(nl.Gates)); id++ {
+		g := nl.Gates[id]
+		if g.Kind == netlist.KConst0 || g.Kind == netlist.KConst1 {
+			continue
+		}
+		for _, sa1 := range []bool{false, true} {
+			sites = append(sites, netlist.FaultSite{Gate: id, Pin: -1, SA1: sa1})
+		}
+		for p := 0; p < g.NumIn(); p++ {
+			for _, sa1 := range []bool{false, true} {
+				sites = append(sites, netlist.FaultSite{Gate: id, Pin: int8(p), SA1: sa1})
+			}
+		}
+	}
+	return sites
+}
+
+// CollapseEquivalent removes structurally equivalent faults within each
+// gate (classic fault collapsing rules): for AND/NAND, an input sa0 is
+// equivalent to the output sa0 (saX for the inverting forms); dually for
+// OR/NOR with sa1; for BUF/NOT every input fault collapses into an output
+// fault. The returned list is a subset of sites.
+func CollapseEquivalent(nl *netlist.Netlist, sites []netlist.FaultSite) []netlist.FaultSite {
+	keep := make([]netlist.FaultSite, 0, len(sites))
+	for _, s := range sites {
+		if s.Pin < 0 {
+			keep = append(keep, s)
+			continue
+		}
+		g := nl.Gates[s.Gate]
+		switch g.Kind {
+		case netlist.KBuf, netlist.KNot:
+			continue // input faults equivalent to output faults
+		case netlist.KAnd, netlist.KNand:
+			if !s.SA1 {
+				continue // input sa0 ≡ output sa0 (AND) / sa1 (NAND)
+			}
+		case netlist.KOr, netlist.KNor:
+			if s.SA1 {
+				continue
+			}
+		}
+		keep = append(keep, s)
+	}
+	return keep
+}
+
+// ExpandLanes replicates the per-netlist fault sites across the module's
+// lane instances, producing the campaign master list.
+func ExpandLanes(sites []netlist.FaultSite, lanes int) []Fault {
+	out := make([]Fault, 0, len(sites)*lanes)
+	for l := 0; l < lanes; l++ {
+		for _, s := range sites {
+			out = append(out, Fault{Lane: int16(l), Site: s})
+		}
+	}
+	return out
+}
+
+// TimedPattern is one module test pattern with the tracing metadata needed
+// to join it against the logic-trace report: the clock cycle it was applied
+// on, the lane it entered, and (for validation) the warp and PC of the
+// instruction that generated it.
+type TimedPattern struct {
+	CC   uint64
+	Lane int16
+	Warp int16
+	PC   int32
+	Pat  circuits.Pattern
+}
+
+// Campaign is a persistent fault-simulation context for one module. The
+// fault list survives across Simulate calls, so PTPs applied in sequence
+// drop each other's faults, as in the paper's stage-3 fault list report.
+type Campaign struct {
+	Module *circuits.Module
+
+	faults   []Fault
+	detected []bool
+	nDet     int
+
+	ev *netlist.Evaluator
+}
+
+// NewCampaign creates a campaign over the module's full uncollapsed
+// stuck-at fault list.
+func NewCampaign(m *circuits.Module) *Campaign {
+	sites := AllSites(m.NL)
+	return &Campaign{
+		Module:   m,
+		faults:   ExpandLanes(sites, m.Lanes),
+		detected: make([]bool, len(sites)*m.Lanes),
+		ev:       netlist.NewEvaluator(m.NL),
+	}
+}
+
+// NewCampaignWithFaults creates a campaign over an explicit fault list.
+func NewCampaignWithFaults(m *circuits.Module, faults []Fault) *Campaign {
+	fs := make([]Fault, len(faults))
+	copy(fs, faults)
+	return &Campaign{
+		Module:   m,
+		faults:   fs,
+		detected: make([]bool, len(fs)),
+		ev:       netlist.NewEvaluator(m.NL),
+	}
+}
+
+// SampleFaults reduces the campaign to a deterministic random sample of n
+// faults (all faults kept when n >= total). Sampling is the standard way to
+// keep large campaigns tractable; the paper-scale configuration uses the
+// full list.
+func (c *Campaign) SampleFaults(n int, seed int64) {
+	if n >= len(c.faults) {
+		return
+	}
+	r := rand.New(rand.NewSource(seed))
+	idx := r.Perm(len(c.faults))[:n]
+	sort.Ints(idx)
+	nf := make([]Fault, n)
+	for i, j := range idx {
+		nf[i] = c.faults[j]
+	}
+	c.faults = nf
+	c.detected = make([]bool, n)
+	c.nDet = 0
+}
+
+// Faults returns the campaign's master fault list (do not mutate).
+func (c *Campaign) Faults() []Fault { return c.faults }
+
+// Total returns the master fault-list size.
+func (c *Campaign) Total() int { return len(c.faults) }
+
+// Detected returns how many faults have been detected so far.
+func (c *Campaign) Detected() int { return c.nDet }
+
+// Remaining returns how many faults are still undetected.
+func (c *Campaign) Remaining() int { return len(c.faults) - c.nDet }
+
+// Coverage returns the cumulative fault coverage in percent.
+func (c *Campaign) Coverage() float64 {
+	if len(c.faults) == 0 {
+		return 0
+	}
+	return 100 * float64(c.nDet) / float64(len(c.faults))
+}
+
+// GroupCoverage is the campaign outcome for one functional group of the
+// module's netlist.
+type GroupCoverage struct {
+	Group    string
+	Total    int
+	Detected int
+}
+
+// Pct returns the group's coverage percentage.
+func (g GroupCoverage) Pct() float64 {
+	if g.Total == 0 {
+		return 0
+	}
+	return 100 * float64(g.Detected) / float64(g.Total)
+}
+
+// CoverageByGroup aggregates the campaign state per functional group of
+// the netlist (as tagged by the circuit builders), summed over lanes —
+// the diagnostic view of which datapath blocks a PTP tests well.
+func (c *Campaign) CoverageByGroup() []GroupCoverage {
+	byName := make(map[string]*GroupCoverage)
+	order := []string{}
+	for id, f := range c.faults {
+		g := c.Module.NL.GroupOf(f.Site.Gate)
+		gc, ok := byName[g]
+		if !ok {
+			gc = &GroupCoverage{Group: g}
+			byName[g] = gc
+			order = append(order, g)
+		}
+		gc.Total++
+		if c.detected[id] {
+			gc.Detected++
+		}
+	}
+	out := make([]GroupCoverage, 0, len(order))
+	sort.Strings(order)
+	for _, g := range order {
+		out = append(out, *byName[g])
+	}
+	return out
+}
+
+// Reset clears all detections, restoring the full fault list.
+func (c *Campaign) Reset() {
+	for i := range c.detected {
+		c.detected[i] = false
+	}
+	c.nDet = 0
+}
+
+// IsDetected reports whether fault id has been detected.
+func (c *Campaign) IsDetected(id ID) bool { return c.detected[id] }
+
+// Detection records the first pattern that detected a fault.
+type Detection struct {
+	Fault   ID
+	Pattern int32 // index into the simulated stream
+	CC      uint64
+}
+
+// Report is the Fault Sim Report (FSR) of one Simulate run: per-pattern
+// detection counts plus the individual first detections, in stream order.
+type Report struct {
+	NumPatterns int
+	// DetectedPerPattern[i] counts faults first detected by stream entry i.
+	DetectedPerPattern []int32
+	// Detections lists each fault detected during this run.
+	Detections []Detection
+	// ActivatedPerPattern counts locally activated faults per pattern; only
+	// filled when Simulate is called with activations enabled.
+	ActivatedPerPattern []int32
+
+	// Copied stream metadata, so the FSR is self-contained like the
+	// paper's text-file report.
+	CCs   []uint64
+	Lanes []int16
+	PCs   []int32
+	Warps []int16
+}
+
+// DetectedThisRun returns the number of faults the run detected.
+func (r *Report) DetectedThisRun() int { return len(r.Detections) }
+
+// SimOptions tunes a Simulate run.
+type SimOptions struct {
+	// Reverse applies the pattern stream in reverse order (used by the
+	// paper for the SFU_IMM PTP, where reverse-order application improved
+	// compaction).
+	Reverse bool
+	// RecordActivations additionally counts locally activated faults per
+	// pattern (slower; for small-scale analysis). Forces serial execution.
+	RecordActivations bool
+	// NoDrop evaluates every fault against every pattern instead of
+	// dropping at first detection (only with RecordActivations analyses).
+	NoDrop bool
+	// Workers runs the fault-serial loop on this many goroutines, each
+	// with its own evaluator over a shard of the fault list. Results are
+	// bit-identical to the serial run (first detections are per-fault).
+	// 0 or 1 means serial.
+	Workers int
+}
+
+// Simulate runs the pattern stream against the campaign's remaining
+// faults, dropping faults at first detection, and returns the FSR.
+func (c *Campaign) Simulate(stream []TimedPattern, opt SimOptions) *Report {
+	ordered := stream
+	if opt.Reverse {
+		ordered = make([]TimedPattern, len(stream))
+		for i, p := range stream {
+			ordered[len(stream)-1-i] = p
+		}
+	}
+
+	rep := &Report{
+		NumPatterns:        len(ordered),
+		DetectedPerPattern: make([]int32, len(ordered)),
+		CCs:                make([]uint64, len(ordered)),
+		Lanes:              make([]int16, len(ordered)),
+		PCs:                make([]int32, len(ordered)),
+		Warps:              make([]int16, len(ordered)),
+	}
+	if opt.RecordActivations {
+		rep.ActivatedPerPattern = make([]int32, len(ordered))
+	}
+	for i, p := range ordered {
+		rep.CCs[i] = p.CC
+		rep.Lanes[i] = p.Lane
+		rep.PCs[i] = p.PC
+		rep.Warps[i] = p.Warp
+	}
+
+	// Split the stream by lane, keeping global stream indices.
+	laneIdx := make([][]int32, c.Module.Lanes)
+	for i, p := range ordered {
+		if int(p.Lane) >= len(laneIdx) {
+			continue // pattern for a lane this module build does not have
+		}
+		laneIdx[p.Lane] = append(laneIdx[p.Lane], int32(i))
+	}
+
+	// Partition the remaining faults into shards, one per worker, each
+	// grouped by lane. With one worker this is the plain serial loop.
+	workers := opt.Workers
+	if workers <= 1 || opt.RecordActivations {
+		workers = 1
+	}
+	shards := make([][][]ID, workers)
+	for w := range shards {
+		shards[w] = make([][]ID, c.Module.Lanes)
+	}
+	next := 0
+	for id, f := range c.faults {
+		if c.detected[id] || int(f.Lane) >= c.Module.Lanes {
+			continue
+		}
+		shards[next][f.Lane] = append(shards[next][f.Lane], ID(id))
+		next = (next + 1) % workers
+	}
+
+	results := make([]*shardResult, workers)
+	if workers == 1 {
+		results[0] = c.simulateShard(ordered, laneIdx, shards[0], c.ev, opt, rep)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ev := netlist.NewEvaluator(c.Module.NL)
+				results[w] = c.simulateShard(ordered, laneIdx, shards[w], ev, opt, rep)
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Merge shard results into the report and the campaign state.
+	for _, sr := range results {
+		if sr == nil {
+			continue
+		}
+		for i, n := range sr.perPattern {
+			rep.DetectedPerPattern[i] += n
+		}
+		rep.Detections = append(rep.Detections, sr.detections...)
+		if !opt.NoDrop {
+			for _, d := range sr.detections {
+				c.detected[d.Fault] = true
+				c.nDet++
+			}
+		}
+	}
+	sort.Slice(rep.Detections, func(i, j int) bool {
+		if rep.Detections[i].Pattern != rep.Detections[j].Pattern {
+			return rep.Detections[i].Pattern < rep.Detections[j].Pattern
+		}
+		return rep.Detections[i].Fault < rep.Detections[j].Fault
+	})
+	return rep
+}
+
+// shardResult carries one worker's detections, to be merged serially.
+type shardResult struct {
+	perPattern []int32
+	detections []Detection
+}
+
+// simulateShard runs the fault-serial, 64-pattern-parallel loop for one
+// shard of the fault list on a private evaluator. It only reads shared
+// state (ordered stream, lane indices, fault list, report metadata);
+// activation recording (serial-only) is the one exception, writing
+// rep.ActivatedPerPattern directly.
+func (c *Campaign) simulateShard(ordered []TimedPattern, laneIdx [][]int32,
+	laneFaults [][]ID, ev *netlist.Evaluator, opt SimOptions, rep *Report) *shardResult {
+
+	sr := &shardResult{perPattern: make([]int32, len(ordered))}
+	inputs := make([]uint64, len(c.Module.NL.Inputs))
+
+	var seen map[ID]bool // NoDrop: first detection per fault already recorded
+	if opt.NoDrop {
+		seen = make(map[ID]bool)
+	}
+
+	for lane := 0; lane < c.Module.Lanes; lane++ {
+		idxs := laneIdx[lane]
+		remaining := laneFaults[lane]
+		if len(idxs) == 0 || len(remaining) == 0 {
+			continue
+		}
+		for blk := 0; blk < len(idxs); blk += 64 {
+			end := blk + 64
+			if end > len(idxs) {
+				end = len(idxs)
+			}
+			n := end - blk
+			for i := range inputs {
+				inputs[i] = 0
+			}
+			for s := 0; s < n; s++ {
+				ordered[idxs[blk+s]].Pat.ApplyTo(inputs, uint(s))
+			}
+			ev.Run(inputs)
+
+			w := 0
+			for _, id := range remaining {
+				f := c.faults[id]
+				det := ev.FaultDetect(f.Site)
+				if n < 64 {
+					det &= (1 << uint(n)) - 1
+				}
+				if opt.RecordActivations {
+					act := activationMask(ev, c.Module.NL, f.Site)
+					if n < 64 {
+						act &= (1 << uint(n)) - 1
+					}
+					for s := 0; s < n; s++ {
+						if act>>uint(s)&1 == 1 {
+							rep.ActivatedPerPattern[idxs[blk+s]]++
+						}
+					}
+				}
+				if det == 0 {
+					remaining[w] = id
+					w++
+					continue
+				}
+				if opt.NoDrop {
+					if !seen[id] {
+						seen[id] = true
+						first := bits.TrailingZeros64(det)
+						gi := idxs[blk+first]
+						sr.perPattern[gi]++
+						sr.detections = append(sr.detections, Detection{
+							Fault: id, Pattern: gi, CC: rep.CCs[gi],
+						})
+					}
+					remaining[w] = id
+					w++
+					continue
+				}
+				first := bits.TrailingZeros64(det)
+				gi := idxs[blk+first]
+				sr.perPattern[gi]++
+				sr.detections = append(sr.detections, Detection{
+					Fault: id, Pattern: gi, CC: rep.CCs[gi],
+				})
+			}
+			remaining = remaining[:w]
+			if len(remaining) == 0 && !opt.RecordActivations {
+				break
+			}
+		}
+	}
+	return sr
+}
+
+// activationMask computes, for the evaluator's current block, on which
+// patterns the fault site's forced value differs from the fault-free value.
+func activationMask(ev *netlist.Evaluator, nl *netlist.Netlist, s netlist.FaultSite) uint64 {
+	var sa uint64
+	if s.SA1 {
+		sa = ^uint64(0)
+	}
+	if s.Pin < 0 {
+		return ev.Value(s.Gate) ^ sa
+	}
+	in := nl.Gates[s.Gate].In[s.Pin]
+	return ev.Value(in) ^ sa
+}

@@ -1,0 +1,72 @@
+package gpu
+
+import "testing"
+
+// TestExactCycleAccounting pins the timing model: the cycle count of a
+// known program must equal the sum of the per-stage formula, so timing
+// regressions (which would silently shift every Table I/II/III duration)
+// are caught exactly.
+func TestExactCycleAccounting(t *testing.T) {
+	tim := DefaultTiming
+	fixed := uint64(tim.Fetch + tim.Decode + tim.Read + tim.Write)
+
+	aluCC := fixed + uint64((WarpSize/8)*tim.ALUPass)
+	memCC := fixed + uint64((WarpSize/8)*tim.MemPass)
+	sfuCC := fixed + uint64((WarpSize/2)*tim.SFUPass)
+	ctlCC := fixed + uint64(tim.CtrlExec)
+
+	cases := []struct {
+		name string
+		src  string
+		want uint64
+	}{
+		{"alu", "IADD R1, R2, R3\nEXIT", aluCC + ctlCC},
+		{"mem", "GST [R1+0], R2\nEXIT", memCC + ctlCC},
+		{"sfu", "SIN R1, R2\nEXIT", sfuCC + ctlCC},
+		{"mix", "MVI R1, 5\nGLD R2, [R1+0]\nRCP R3, R2\nEXIT",
+			aluCC + memCC + sfuCC + ctlCC}, // MVI is ALU-class
+	}
+	for _, c := range cases {
+		res := run(t, c.src, 32, nil)
+		if res.Cycles != c.want {
+			t.Errorf("%s: %d cc, want %d", c.name, res.Cycles, c.want)
+		}
+	}
+
+	// Two warps double everything (the SM runs one warp at a time).
+	res := run(t, "IADD R1, R2, R3\nEXIT", 64, nil)
+	if res.Cycles != 2*(aluCC+ctlCC) {
+		t.Errorf("2 warps: %d cc, want %d", res.Cycles, 2*(aluCC+ctlCC))
+	}
+
+	// Wider SM: fewer passes.
+	cfg := DefaultConfig()
+	cfg.NumSPs = 32
+	g, _ := New(cfg, nil)
+	r32, err := g.Run(Kernel{Prog: mustProg(t, "IADD R1, R2, R3\nEXIT"),
+		Blocks: 1, ThreadsPerBlock: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want32 := (fixed + uint64(tim.ALUPass)) + ctlCC
+	if r32.Cycles != want32 {
+		t.Errorf("32 SPs: %d cc, want %d", r32.Cycles, want32)
+	}
+}
+
+// TestTimingConfigurable checks a custom timing flows through.
+func TestTimingConfigurable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Timing = Timing{Fetch: 1, Decode: 1, Read: 1, Write: 1,
+		ALUPass: 1, FPUPass: 1, SFUPass: 1, MemPass: 1, CtrlExec: 1}
+	g, _ := New(cfg, nil)
+	res, err := g.Run(Kernel{Prog: mustProg(t, "IADD R1, R2, R3\nEXIT"),
+		Blocks: 1, ThreadsPerBlock: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 (fixed) + 4 passes + 4 (fixed) + 1 ctrl = 13.
+	if res.Cycles != 13 {
+		t.Errorf("unit timing: %d cc, want 13", res.Cycles)
+	}
+}

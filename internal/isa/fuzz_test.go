@@ -1,0 +1,25 @@
+package isa
+
+import "testing"
+
+// FuzzDecode checks that arbitrary 64-bit words never panic the decoder
+// and that successfully decoded words re-encode to the same bits.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(uint64(Encode(Instruction{Op: OpIADD, Rd: 1, Ra: 2, Rb: 3, Pg: PredAlways})))
+	f.Add(uint64(Encode(Instruction{Op: OpBRA, Imm: -5, Pg: 1, PSense: true})))
+	f.Fuzz(func(t *testing.T, w uint64) {
+		in, err := Decode(Word(w))
+		if err != nil {
+			return
+		}
+		if got := Encode(in); uint64(got) != w {
+			t.Fatalf("re-encode of %#x gives %#x", w, uint64(got))
+		}
+		// Derived properties must be callable on any decoded instruction.
+		_ = ClassOf(in.Op)
+		_ = HasImm(in.Op)
+		_ = in.Op.String()
+	})
+}

@@ -1,0 +1,30 @@
+package isa
+
+import "testing"
+
+// TestEncodingStability pins the binary encoding of representative
+// instructions. Serialized artifacts (VCDE pattern files, DU netlist
+// inputs, saved traces) consume raw words; any change to these values is
+// a breaking format change and must be made deliberately.
+func TestEncodingStability(t *testing.T) {
+	pin := map[string]struct {
+		in   Instruction
+		want uint64
+	}{
+		"nop":  {Instruction{Op: OpNOP, Pg: PredAlways, PSense: true}, 0xf0},
+		"iadd": {Instruction{Op: OpIADD, Rd: 3, Ra: 1, Rb: 2, Pg: PredAlways, PSense: true}, 0x10304200000000f0},
+		"mvi":  {Instruction{Op: OpMVI, Rd: 63, Imm: -1, Pg: PredAlways, PSense: true}, 0xbf000fffffffff0},
+		"bra":  {Instruction{Op: OpBRA, Imm: -3, Pg: 0, PSense: true}, 0xbc0000fffffffd10},
+		"gst":  {Instruction{Op: OpGST, Ra: 10, Rb: 11, Imm: 64, Pg: PredAlways, PSense: true}, 0xa8028b00000040f0},
+		"iset": {Instruction{Op: OpISETI, Rd: 5, Ra: 4, Imm: 100, Cond: CondLT, Pd: 1, Pg: PredAlways, PSense: true}, 0x68510000000064f5},
+		"sin":  {Instruction{Op: OpSIN, Rd: 8, Ra: 7, Pg: 2, PSense: false}, 0x9481c00000000040},
+		"exit": {Instruction{Op: OpEXIT, Pg: PredAlways, PSense: true}, 0xcc000000000000f0},
+	}
+	for name, c := range pin {
+		got := uint64(Encode(c.in))
+		if got != c.want {
+			t.Errorf("%s: Encode = %#x, want %#x (breaking encoding change!)",
+				name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package isa defines the SASS-like instruction-set architecture of the
+// simulated GPU model used throughout this repository.
+//
+// The ISA mirrors the one supported by FlexGripPlus (a G80-compatible
+// open-source GPU model): 52 assembly opcodes spanning integer and
+// floating-point arithmetic, logic and shift operations, memory accesses to
+// the global/shared/constant spaces, Special Function Unit (SFU)
+// transcendentals, predicate-setting comparisons, and SIMT control flow
+// (SSY/BRA divergence, BAR, CAL/RET, EXIT).
+//
+// Instructions are 64-bit words. The package provides the binary
+// encoding/decoding used by the GPU fetch/decode stages and by the
+// gate-level Decoder Unit model, which consumes raw instruction words as its
+// test patterns.
+package isa
+
+import "fmt"
+
+// Opcode identifies one of the 52 supported assembly instructions.
+type Opcode uint8
+
+// The 52 opcodes of the simulated SASS-like ISA.
+const (
+	OpNOP Opcode = iota // no operation
+
+	// Data movement.
+	OpMOV // Rd = Ra
+	OpMVI // Rd = imm
+	OpS2R // Rd = special register (thread/block identifiers)
+
+	// Integer arithmetic.
+	OpIADD  // Rd = Ra + Rb
+	OpIADDI // Rd = Ra + imm
+	OpISUB  // Rd = Ra - Rb
+	OpISUBI // Rd = Ra - imm
+	OpIMUL  // Rd = Ra * Rb (low 32 bits)
+	OpIMULI // Rd = Ra * imm
+	OpIMAD  // Rd = Ra * Rb + Rd
+	OpIMIN  // Rd = min(Ra, Rb) signed
+	OpIMAX  // Rd = max(Ra, Rb) signed
+	OpINEG  // Rd = -Ra
+
+	// Bitwise logic and shifts.
+	OpAND  // Rd = Ra & Rb
+	OpANDI // Rd = Ra & imm
+	OpOR   // Rd = Ra | Rb
+	OpORI  // Rd = Ra | imm
+	OpXOR  // Rd = Ra ^ Rb
+	OpXORI // Rd = Ra ^ imm
+	OpNOT  // Rd = ^Ra
+	OpSHL  // Rd = Ra << (Rb & 31)
+	OpSHLI // Rd = Ra << (imm & 31)
+	OpSHR  // Rd = Ra >> (Rb & 31) logical
+	OpSHRI // Rd = Ra >> (imm & 31) logical
+
+	// Predicate-setting comparisons. Cond selects the comparison; the
+	// result (all-ones / zero) is written to Rd and mirrored into the
+	// predicate register named by the instruction's Pd field.
+	OpISET  // Rd, Pd = Ra <cond> Rb (integer)
+	OpISETI // Rd, Pd = Ra <cond> imm
+	OpFSET  // Rd, Pd = Ra <cond> Rb (float)
+
+	// Floating point (FP32 units).
+	OpFADD // Rd = Ra + Rb
+	OpFMUL // Rd = Ra * Rb
+	OpFFMA // Rd = Ra * Rb + Rd
+	OpFMIN // Rd = min(Ra, Rb)
+	OpFMAX // Rd = max(Ra, Rb)
+	OpF2I  // Rd = int32(float(Ra))
+	OpI2F  // Rd = float32(int(Ra))
+
+	// SFU transcendentals (operate on FP32 values).
+	OpRCP // Rd = 1 / Ra
+	OpRSQ // Rd = 1 / sqrt(Ra)
+	OpSIN // Rd = sin(Ra)
+	OpCOS // Rd = cos(Ra)
+	OpLG2 // Rd = log2(Ra)
+	OpEX2 // Rd = 2**Ra
+
+	// Memory. Addresses are byte addresses formed as Ra + imm.
+	OpGLD // Rd = global[Ra + imm]
+	OpGST // global[Ra + imm] = Rb
+	OpSLD // Rd = shared[Ra + imm]
+	OpSST // shared[Ra + imm] = Rb
+	OpLDC // Rd = constant[Ra + imm]
+
+	// Control flow.
+	OpSSY  // push reconvergence point at PC+imm on the divergence stack
+	OpBRA  // branch to PC+imm (predicated; may diverge)
+	OpBAR  // block-wide barrier
+	OpCAL  // call subroutine at PC+imm
+	OpRET  // return from subroutine
+	OpEXIT // thread exit
+
+	opcodeCount // sentinel; must equal 52
+)
+
+// NumOpcodes is the number of defined opcodes (52, as in FlexGripPlus).
+const NumOpcodes = int(opcodeCount)
+
+// Cond is the comparison condition used by ISET/ISETI/FSET.
+type Cond uint8
+
+// Comparison conditions.
+const (
+	CondEQ Cond = iota
+	CondNE
+	CondLT
+	CondLE
+	CondGT
+	CondGE
+	condCount
+)
+
+// NumConds is the number of comparison conditions.
+const NumConds = int(condCount)
+
+// String returns the assembly mnemonic of the condition.
+func (c Cond) String() string {
+	switch c {
+	case CondEQ:
+		return "EQ"
+	case CondNE:
+		return "NE"
+	case CondLT:
+		return "LT"
+	case CondLE:
+		return "LE"
+	case CondGT:
+		return "GT"
+	case CondGE:
+		return "GE"
+	}
+	return fmt.Sprintf("Cond(%d)", uint8(c))
+}
+
+// Special registers readable through S2R.
+const (
+	SRTid   = 0 // thread index within the block
+	SRNTid  = 1 // threads per block
+	SRCTAid = 2 // block index within the grid
+	SRWarp  = 3 // warp index within the block
+	SRLane  = 4 // lane index within the warp
+)
+
+// NumGPR is the number of general-purpose registers per thread.
+const NumGPR = 64
+
+// NumPred is the number of single-bit predicate registers per thread.
+const NumPred = 4
+
+// PredAlways marks an instruction as unconditional: no predicate guard.
+const PredAlways = 7
+
+// Instruction is the decoded form of one 64-bit instruction word.
+type Instruction struct {
+	Op   Opcode
+	Rd   uint8 // destination register (or store-source selector for GST/SST)
+	Ra   uint8 // first source register
+	Rb   uint8 // second source register (register formats only)
+	Imm  int32 // immediate operand / branch displacement / address offset
+	Cond Cond  // comparison condition (ISET/ISETI/FSET)
+	Pd   uint8 // predicate destination (ISET/ISETI/FSET)
+	// Guard predicate: the instruction executes in lanes where predicate
+	// register Pg equals PSense. Pg == PredAlways disables the guard.
+	Pg     uint8
+	PSense bool
+}
+
+// Word is a raw 64-bit encoded instruction.
+type Word uint64
+
+// Bit layout of the 64-bit instruction word. All field widths are chosen so
+// that every architectural field has a dedicated, non-overlapping range;
+// the Decoder Unit netlist extracts exactly these slices.
+//
+//	[63:58] opcode     (6 bits)
+//	[57:52] Rd         (6 bits)
+//	[51:46] Ra         (6 bits)
+//	[45:40] Rb         (6 bits)
+//	[39: 8] imm32      (32 bits)
+//	[ 7: 5] Pg         (3 bits; 7 = always)
+//	[    4] PSense
+//	[ 3: 1] Cond       (3 bits)
+//	[    0] Pd         (1 bit: predicate P0/P1 destination pair selector)
+//
+// Pd has only one encoded bit; predicate destinations are restricted to
+// P0/P1 in the binary format (the assembler accepts P0..P3 and folds).
+const (
+	shiftOp   = 58
+	shiftRd   = 52
+	shiftRa   = 46
+	shiftRb   = 40
+	shiftImm  = 8
+	shiftPg   = 5
+	shiftPSen = 4
+	shiftCond = 1
+	shiftPd   = 0
+)
+
+// Encode packs the instruction into its 64-bit binary word.
+func Encode(in Instruction) Word {
+	var w uint64
+	w |= uint64(in.Op&0x3f) << shiftOp
+	w |= uint64(in.Rd&0x3f) << shiftRd
+	w |= uint64(in.Ra&0x3f) << shiftRa
+	w |= uint64(in.Rb&0x3f) << shiftRb
+	w |= uint64(uint32(in.Imm)) << shiftImm
+	w |= uint64(in.Pg&0x7) << shiftPg
+	if in.PSense {
+		w |= 1 << shiftPSen
+	}
+	w |= uint64(in.Cond&0x7) << shiftCond
+	w |= uint64(in.Pd&0x1) << shiftPd
+	return Word(w)
+}
+
+// Decode unpacks a 64-bit word into its instruction fields. Decoding never
+// fails structurally; ErrBadOpcode is returned for out-of-range opcodes so
+// callers can treat corrupted words as illegal instructions.
+func Decode(w Word) (Instruction, error) {
+	u := uint64(w)
+	in := Instruction{
+		Op:     Opcode(u >> shiftOp & 0x3f),
+		Rd:     uint8(u >> shiftRd & 0x3f),
+		Ra:     uint8(u >> shiftRa & 0x3f),
+		Rb:     uint8(u >> shiftRb & 0x3f),
+		Imm:    int32(uint32(u >> shiftImm)),
+		Pg:     uint8(u >> shiftPg & 0x7),
+		PSense: u>>shiftPSen&1 == 1,
+		Cond:   Cond(u >> shiftCond & 0x7),
+		Pd:     uint8(u >> shiftPd & 0x1),
+	}
+	if int(in.Op) >= NumOpcodes {
+		return in, fmt.Errorf("isa: %w: %d", ErrBadOpcode, in.Op)
+	}
+	if int(in.Cond) >= NumConds {
+		return in, fmt.Errorf("isa: %w: bad cond %d", ErrBadOpcode, in.Cond)
+	}
+	return in, nil
+}
+
+// ErrBadOpcode reports an instruction word whose opcode field does not name
+// a defined instruction.
+var ErrBadOpcode = fmt.Errorf("illegal opcode")
+
+// Class groups opcodes by the functional unit that executes them; the GPU
+// timing model and the gate-level module mapping both key off it.
+type Class uint8
+
+// Functional-unit classes.
+const (
+	ClassALU  Class = iota // SP integer/logic datapath
+	ClassFPU               // SP floating-point datapath
+	ClassSFU               // special function unit
+	ClassMem               // load/store pipeline
+	ClassCtrl              // control flow, barriers, NOP
+)
+
+// String returns a short name for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassALU:
+		return "ALU"
+	case ClassFPU:
+		return "FPU"
+	case ClassSFU:
+		return "SFU"
+	case ClassMem:
+		return "MEM"
+	case ClassCtrl:
+		return "CTRL"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// ClassOf returns the functional-unit class executing op.
+func ClassOf(op Opcode) Class {
+	switch op {
+	case OpFADD, OpFMUL, OpFFMA, OpFMIN, OpFMAX, OpF2I, OpI2F, OpFSET:
+		return ClassFPU
+	case OpRCP, OpRSQ, OpSIN, OpCOS, OpLG2, OpEX2:
+		return ClassSFU
+	case OpGLD, OpGST, OpSLD, OpSST, OpLDC:
+		return ClassMem
+	case OpNOP, OpSSY, OpBRA, OpBAR, OpCAL, OpRET, OpEXIT:
+		return ClassCtrl
+	default:
+		return ClassALU
+	}
+}
+
+// HasImm reports whether op carries a meaningful immediate operand.
+func HasImm(op Opcode) bool {
+	switch op {
+	case OpMVI, OpIADDI, OpISUBI, OpIMULI, OpANDI, OpORI, OpXORI,
+		OpSHLI, OpSHRI, OpISETI,
+		OpGLD, OpGST, OpSLD, OpSST, OpLDC,
+		OpSSY, OpBRA, OpCAL:
+		return true
+	}
+	return false
+}
+
+// ReadsRb reports whether op reads the Rb register field.
+func ReadsRb(op Opcode) bool {
+	switch op {
+	case OpIADD, OpISUB, OpIMUL, OpIMAD, OpIMIN, OpIMAX,
+		OpAND, OpOR, OpXOR, OpSHL, OpSHR,
+		OpISET, OpFSET,
+		OpFADD, OpFMUL, OpFFMA, OpFMIN, OpFMAX,
+		OpGST, OpSST:
+		return true
+	}
+	return false
+}
+
+// ReadsRa reports whether op reads the Ra register field.
+func ReadsRa(op Opcode) bool {
+	switch op {
+	case OpNOP, OpMVI, OpS2R, OpSSY, OpBRA, OpBAR, OpCAL, OpRET, OpEXIT:
+		return false
+	}
+	return true
+}
+
+// ReadsRd reports whether op reads its destination register as an input
+// (the multiply-add accumulators).
+func ReadsRd(op Opcode) bool {
+	return op == OpIMAD || op == OpFFMA
+}
+
+// WritesRd reports whether op writes a general-purpose destination register.
+func WritesRd(op Opcode) bool {
+	switch op {
+	case OpNOP, OpGST, OpSST, OpSSY, OpBRA, OpBAR, OpCAL, OpRET, OpEXIT:
+		return false
+	}
+	return true
+}
+
+// IsBranch reports whether op can redirect control flow.
+func IsBranch(op Opcode) bool {
+	switch op {
+	case OpBRA, OpCAL, OpRET, OpEXIT:
+		return true
+	}
+	return false
+}
+
+// SetsPred reports whether op writes a predicate register.
+func SetsPred(op Opcode) bool {
+	return op == OpISET || op == OpISETI || op == OpFSET
+}
+
+var opNames = [NumOpcodes]string{
+	OpNOP: "NOP", OpMOV: "MOV", OpMVI: "MVI", OpS2R: "S2R",
+	OpIADD: "IADD", OpIADDI: "IADDI", OpISUB: "ISUB", OpISUBI: "ISUBI",
+	OpIMUL: "IMUL", OpIMULI: "IMULI", OpIMAD: "IMAD",
+	OpIMIN: "IMIN", OpIMAX: "IMAX", OpINEG: "INEG",
+	OpAND: "AND", OpANDI: "ANDI", OpOR: "OR", OpORI: "ORI",
+	OpXOR: "XOR", OpXORI: "XORI", OpNOT: "NOT",
+	OpSHL: "SHL", OpSHLI: "SHLI", OpSHR: "SHR", OpSHRI: "SHRI",
+	OpISET: "ISET", OpISETI: "ISETI", OpFSET: "FSET",
+	OpFADD: "FADD", OpFMUL: "FMUL", OpFFMA: "FFMA",
+	OpFMIN: "FMIN", OpFMAX: "FMAX", OpF2I: "F2I", OpI2F: "I2F",
+	OpRCP: "RCP", OpRSQ: "RSQ", OpSIN: "SIN", OpCOS: "COS",
+	OpLG2: "LG2", OpEX2: "EX2",
+	OpGLD: "GLD", OpGST: "GST", OpSLD: "SLD", OpSST: "SST", OpLDC: "LDC",
+	OpSSY: "SSY", OpBRA: "BRA", OpBAR: "BAR",
+	OpCAL: "CAL", OpRET: "RET", OpEXIT: "EXIT",
+}
+
+// String returns the assembly mnemonic of the opcode.
+func (op Opcode) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Opcode(%d)", uint8(op))
+}
+
+// OpcodeByName returns the opcode with the given mnemonic.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := nameToOp[name]
+	return op, ok
+}
+
+var nameToOp = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op, n := range opNames {
+		m[n] = Opcode(op)
+	}
+	return m
+}()

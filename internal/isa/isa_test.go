@@ -1,0 +1,173 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeCount(t *testing.T) {
+	if NumOpcodes != 52 {
+		t.Fatalf("NumOpcodes = %d, want 52 (FlexGripPlus ISA size)", NumOpcodes)
+	}
+}
+
+func TestOpcodeNamesComplete(t *testing.T) {
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		name := op.String()
+		if name == "" {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+		got, ok := OpcodeByName(name)
+		if !ok || got != op {
+			t.Errorf("OpcodeByName(%q) = %v, %v; want %v, true", name, got, ok, op)
+		}
+	}
+}
+
+func TestOpcodeByNameUnknown(t *testing.T) {
+	if _, ok := OpcodeByName("BOGUS"); ok {
+		t.Fatal("OpcodeByName accepted an unknown mnemonic")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instruction{
+		{Op: OpNOP, Pg: PredAlways},
+		{Op: OpIADD, Rd: 3, Ra: 1, Rb: 2, Pg: PredAlways},
+		{Op: OpMVI, Rd: 63, Imm: -1, Pg: PredAlways},
+		{Op: OpMVI, Rd: 0, Imm: 0x7fffffff, Pg: PredAlways},
+		{Op: OpMVI, Rd: 0, Imm: -0x80000000, Pg: PredAlways},
+		{Op: OpISETI, Rd: 5, Ra: 4, Imm: 100, Cond: CondLT, Pd: 1, Pg: PredAlways},
+		{Op: OpBRA, Imm: -12, Pg: 2, PSense: true},
+		{Op: OpGST, Rd: 0, Ra: 10, Rb: 11, Imm: 1024, Pg: PredAlways},
+		{Op: OpEXIT, Pg: PredAlways},
+	}
+	for _, in := range cases {
+		w := Encode(in)
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%+v)): %v", in, err)
+		}
+		if out != in {
+			t.Errorf("round trip: got %+v, want %+v", out, in)
+		}
+	}
+}
+
+// randomInstruction draws an instruction with all fields in their encodable
+// ranges.
+func randomInstruction(r *rand.Rand) Instruction {
+	return Instruction{
+		Op:     Opcode(r.Intn(NumOpcodes)),
+		Rd:     uint8(r.Intn(NumGPR)),
+		Ra:     uint8(r.Intn(NumGPR)),
+		Rb:     uint8(r.Intn(NumGPR)),
+		Imm:    int32(r.Uint32()),
+		Cond:   Cond(r.Intn(NumConds)),
+		Pd:     uint8(r.Intn(2)),
+		Pg:     uint8(r.Intn(8)),
+		PSense: r.Intn(2) == 1,
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		in := randomInstruction(r)
+		out, err := Decode(Encode(in))
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeBadOpcode(t *testing.T) {
+	w := Word(uint64(NumOpcodes) << 58)
+	if _, err := Decode(w); err == nil {
+		t.Fatal("Decode accepted an out-of-range opcode")
+	}
+	w = Word(uint64(63) << 58)
+	if _, err := Decode(w); err == nil {
+		t.Fatal("Decode accepted opcode 63")
+	}
+}
+
+func TestDecodeBadCond(t *testing.T) {
+	in := Instruction{Op: OpISET, Pg: PredAlways}
+	w := Encode(in) | Word(uint64(7)<<1) // force cond=7, undefined
+	if _, err := Decode(w); err == nil {
+		t.Fatal("Decode accepted an out-of-range condition")
+	}
+}
+
+func TestClassOfCoversAllOpcodes(t *testing.T) {
+	want := map[Opcode]Class{
+		OpIADD: ClassALU, OpSHLI: ClassALU, OpISET: ClassALU,
+		OpFADD: ClassFPU, OpFFMA: ClassFPU, OpFSET: ClassFPU, OpI2F: ClassFPU,
+		OpRCP: ClassSFU, OpSIN: ClassSFU, OpEX2: ClassSFU,
+		OpGLD: ClassMem, OpSST: ClassMem, OpLDC: ClassMem,
+		OpNOP: ClassCtrl, OpBRA: ClassCtrl, OpEXIT: ClassCtrl, OpBAR: ClassCtrl,
+	}
+	for op, cls := range want {
+		if got := ClassOf(op); got != cls {
+			t.Errorf("ClassOf(%v) = %v, want %v", op, got, cls)
+		}
+	}
+	// Every opcode must map to a class with a printable name.
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		if ClassOf(op).String() == "" {
+			t.Errorf("ClassOf(%v) has empty name", op)
+		}
+	}
+}
+
+func TestOperandPredicates(t *testing.T) {
+	if !HasImm(OpMVI) || HasImm(OpIADD) {
+		t.Error("HasImm wrong for MVI/IADD")
+	}
+	if !ReadsRb(OpGST) || ReadsRb(OpGLD) {
+		t.Error("ReadsRb wrong for GST/GLD")
+	}
+	if ReadsRa(OpMVI) || !ReadsRa(OpGLD) {
+		t.Error("ReadsRa wrong for MVI/GLD")
+	}
+	if !ReadsRd(OpIMAD) || !ReadsRd(OpFFMA) || ReadsRd(OpIADD) {
+		t.Error("ReadsRd wrong")
+	}
+	if WritesRd(OpGST) || WritesRd(OpBRA) || !WritesRd(OpGLD) || !WritesRd(OpSIN) {
+		t.Error("WritesRd wrong")
+	}
+	if !IsBranch(OpBRA) || !IsBranch(OpEXIT) || IsBranch(OpSSY) || IsBranch(OpBAR) {
+		t.Error("IsBranch wrong")
+	}
+	if !SetsPred(OpISETI) || SetsPred(OpIADD) {
+		t.Error("SetsPred wrong")
+	}
+}
+
+func TestCondString(t *testing.T) {
+	names := map[Cond]string{CondEQ: "EQ", CondNE: "NE", CondLT: "LT",
+		CondLE: "LE", CondGT: "GT", CondGE: "GE"}
+	for c, n := range names {
+		if c.String() != n {
+			t.Errorf("Cond(%d).String() = %q, want %q", c, c.String(), n)
+		}
+	}
+}
+
+func TestEncodeFieldIsolation(t *testing.T) {
+	// Changing one field must not disturb the decode of the others.
+	base := Instruction{Op: OpIADD, Rd: 1, Ra: 2, Rb: 3, Imm: 4, Pg: PredAlways}
+	mut := base
+	mut.Imm = -99
+	a, _ := Decode(Encode(base))
+	b, _ := Decode(Encode(mut))
+	if a.Rd != b.Rd || a.Ra != b.Ra || a.Rb != b.Rb || a.Op != b.Op {
+		t.Fatal("immediate field overlaps register/opcode fields")
+	}
+	if b.Imm != -99 {
+		t.Fatalf("imm = %d, want -99", b.Imm)
+	}
+}

@@ -1,0 +1,266 @@
+package netlist
+
+import "fmt"
+
+// FaultSite identifies a single stuck-at fault: the output (Pin == -1) or
+// an input pin of a gate, stuck at 1 (SA1) or 0.
+type FaultSite struct {
+	Gate int32
+	Pin  int8 // -1 for the output net, 0..2 for input pins
+	SA1  bool
+}
+
+// String renders the fault in the usual pin/polarity notation.
+func (f FaultSite) String() string {
+	v := 0
+	if f.SA1 {
+		v = 1
+	}
+	if f.Pin < 0 {
+		return fmt.Sprintf("g%d.out/sa%d", f.Gate, v)
+	}
+	return fmt.Sprintf("g%d.in%d/sa%d", f.Gate, f.Pin, v)
+}
+
+// Evaluator computes 64 patterns at once over a Netlist (one pattern per
+// bit of a uint64) and evaluates single-stuck-at faulty circuits by
+// propagating differences through the fault's fan-out cone only.
+type Evaluator struct {
+	nl   *Netlist
+	good []uint64
+
+	// Faulty-cone scratch, reset lazily via epoch stamps.
+	faulty []uint64
+	stamp  []uint32
+	sched  []uint32
+	epoch  uint32
+	bucket [][]int32
+	lvls   []int32
+}
+
+// NewEvaluator creates an evaluator for a combinational netlist. It
+// panics on sequential netlists — use NewSeqEvaluator for those.
+func NewEvaluator(nl *Netlist) *Evaluator {
+	if nl.NumDFFs() > 0 {
+		panic("netlist: NewEvaluator on a sequential netlist; use NewSeqEvaluator")
+	}
+	return &Evaluator{
+		nl:     nl,
+		good:   make([]uint64, len(nl.Gates)),
+		faulty: make([]uint64, len(nl.Gates)),
+		stamp:  make([]uint32, len(nl.Gates)),
+		sched:  make([]uint32, len(nl.Gates)),
+		bucket: make([][]int32, nl.maxLvl+1),
+	}
+}
+
+// Netlist returns the circuit under evaluation.
+func (e *Evaluator) Netlist() *Netlist { return e.nl }
+
+func gateFn(k Kind, a, b, s uint64) uint64 {
+	switch k {
+	case KBuf:
+		return a
+	case KNot:
+		return ^a
+	case KAnd:
+		return a & b
+	case KOr:
+		return a | b
+	case KXor:
+		return a ^ b
+	case KNand:
+		return ^(a & b)
+	case KNor:
+		return ^(a | b)
+	case KXnor:
+		return ^(a ^ b)
+	case KMux:
+		// In[0]=sel (passed as a), In[1]=lo (b), In[2]=hi (s).
+		return (a & s) | (^a & b)
+	case KConst1:
+		return ^uint64(0)
+	}
+	return 0 // KConst0, KInput handled by caller
+}
+
+// Run evaluates the fault-free circuit for a block of up to 64 patterns.
+// inputs[i] packs the values of primary input i, one pattern per bit.
+func (e *Evaluator) Run(inputs []uint64) {
+	if len(inputs) != len(e.nl.Inputs) {
+		panic(fmt.Sprintf("netlist: Run got %d input vectors, circuit has %d inputs",
+			len(inputs), len(e.nl.Inputs)))
+	}
+	for i, net := range e.nl.Inputs {
+		e.good[net] = inputs[i]
+	}
+	for _, id := range e.nl.order {
+		g := &e.nl.Gates[id]
+		switch g.Kind {
+		case KInput:
+			// already loaded
+		case KConst0:
+			e.good[id] = 0
+		case KConst1:
+			e.good[id] = ^uint64(0)
+		default:
+			e.good[id] = gateFn(g.Kind, e.good[g.In[0]],
+				e.in64(g, 1), e.in64(g, 2))
+		}
+	}
+}
+
+func (e *Evaluator) in64(g *Gate, pin int) uint64 {
+	if g.In[pin] < 0 {
+		return 0
+	}
+	return e.good[g.In[pin]]
+}
+
+// Output returns the packed good value of primary output i after Run.
+func (e *Evaluator) Output(i int) uint64 { return e.good[e.nl.Outputs[i]] }
+
+// Value returns the packed good value of an arbitrary net after Run.
+func (e *Evaluator) Value(net int32) uint64 { return e.good[net] }
+
+// get reads a net's value in the current faulty evaluation.
+func (e *Evaluator) get(net int32) uint64 {
+	if e.stamp[net] == e.epoch {
+		return e.faulty[net]
+	}
+	return e.good[net]
+}
+
+// mark records a faulty value on a net and schedules its consumers.
+func (e *Evaluator) mark(net int32, val uint64) {
+	if e.stamp[net] != e.epoch {
+		e.stamp[net] = e.epoch
+		for _, c := range e.nl.fanout[net] {
+			if e.sched[c] != e.epoch {
+				e.sched[c] = e.epoch
+				l := e.nl.level[c]
+				if len(e.bucket[l]) == 0 {
+					e.lvls = append(e.lvls, l)
+				}
+				e.bucket[l] = append(e.bucket[l], c)
+			}
+		}
+	}
+	e.faulty[net] = val
+}
+
+// evalFaultyGate computes gate id under the current faulty values, forcing
+// pin forcedPin (if >= 0) to forcedVal.
+func (e *Evaluator) evalFaultyGate(id int32, forcedPin int8, forcedVal uint64) uint64 {
+	g := &e.nl.Gates[id]
+	switch g.Kind {
+	case KInput, KConst0, KConst1:
+		return e.get(id)
+	}
+	var v [3]uint64
+	for p := 0; p < g.NumIn(); p++ {
+		if int8(p) == forcedPin {
+			v[p] = forcedVal
+		} else {
+			v[p] = e.get(g.In[p])
+		}
+	}
+	return gateFn(g.Kind, v[0], v[1], v[2])
+}
+
+// FaultDetect evaluates the circuit with the given stuck-at fault against
+// the pattern block loaded by the last Run. It returns a packed mask with
+// bit i set when pattern i produces a primary-output discrepancy.
+func (e *Evaluator) FaultDetect(f FaultSite) uint64 {
+	e.epoch++
+	if e.epoch == 0 { // uint32 wrap: clear stamps once every 2^32 faults
+		for i := range e.stamp {
+			e.stamp[i] = 0
+			e.sched[i] = 0
+		}
+		e.epoch = 1
+	}
+	e.lvls = e.lvls[:0]
+
+	var sa uint64
+	if f.SA1 {
+		sa = ^uint64(0)
+	}
+	if f.Pin < 0 {
+		if sa != e.good[f.Gate] {
+			e.mark(f.Gate, sa)
+		}
+	} else {
+		v := e.evalFaultyGate(f.Gate, f.Pin, sa)
+		if v != e.good[f.Gate] {
+			e.mark(f.Gate, v)
+		}
+	}
+
+	// Propagate level by level. Levels only ever grow, so a simple index
+	// walk over the recorded levels in ascending order is sound; new levels
+	// are appended and the slice re-sorted cheaply via insertion position.
+	for i := 0; i < len(e.lvls); i++ {
+		// Find the smallest unprocessed level (few levels are touched, so a
+		// linear scan is cheap and avoids a heap).
+		minJ := i
+		for j := i + 1; j < len(e.lvls); j++ {
+			if e.lvls[j] < e.lvls[minJ] {
+				minJ = j
+			}
+		}
+		e.lvls[i], e.lvls[minJ] = e.lvls[minJ], e.lvls[i]
+		l := e.lvls[i]
+		gates := e.bucket[l]
+		for k := 0; k < len(gates); k++ { // bucket may grow? no: same level never regrows
+			id := gates[k]
+			v := e.evalFaultyGate(id, -1, 0)
+			if v != e.good[id] {
+				e.mark(id, v)
+			} else if e.stamp[id] == e.epoch {
+				// A previously marked gate converged back to good.
+				e.faulty[id] = v
+			}
+		}
+		e.bucket[l] = gates[:0]
+	}
+
+	var detect uint64
+	for _, out := range e.nl.Outputs {
+		if e.stamp[out] == e.epoch {
+			detect |= e.faulty[out] ^ e.good[out]
+		}
+	}
+	return detect
+}
+
+// EvalOnce evaluates the fault-free circuit on a single pattern given as
+// booleans and returns the outputs. It is a convenience for tests and the
+// ATPG engine; bulk work should use Run.
+func (e *Evaluator) EvalOnce(pattern []bool) []bool {
+	in := make([]uint64, len(pattern))
+	for i, b := range pattern {
+		if b {
+			in[i] = 1
+		}
+	}
+	e.Run(in)
+	out := make([]bool, len(e.nl.Outputs))
+	for i := range out {
+		out[i] = e.Output(i)&1 == 1
+	}
+	return out
+}
+
+// PackInputsU64 packs word-level pattern values into per-bit input vectors.
+// words[p] holds the pattern-p value of a bus whose bit i feeds input
+// busStart+i; the packed vectors are OR-ed into dst.
+func PackInputsU64(dst []uint64, busStart int, width int, words []uint64) {
+	for p, w := range words {
+		for i := 0; i < width; i++ {
+			if w>>uint(i)&1 == 1 {
+				dst[busStart+i] |= 1 << uint(p)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCircuit builds a random combinational DAG with the given number of
+// inputs and gates; every gate kind is exercised.
+func randomCircuit(t testing.TB, r *rand.Rand, nIn, nGates int) *Netlist {
+	t.Helper()
+	b := NewBuilder("random")
+	nets := make([]int32, 0, nIn+nGates)
+	for i := 0; i < nIn; i++ {
+		nets = append(nets, b.InputBus("i", 1)...)
+	}
+	pick := func() int32 { return nets[r.Intn(len(nets))] }
+	for g := 0; g < nGates; g++ {
+		var n int32
+		switch Kind(2 + r.Intn(NumKinds-2)) { // skip KInput, KConst0 as random picks
+		case KConst1:
+			n = b.Const1()
+		case KBuf:
+			n = b.Buf(pick())
+		case KNot:
+			n = b.Not(pick())
+		case KAnd:
+			n = b.And(pick(), pick())
+		case KOr:
+			n = b.Or(pick(), pick())
+		case KXor:
+			n = b.Xor(pick(), pick())
+		case KNand:
+			n = b.Nand(pick(), pick())
+		case KNor:
+			n = b.Nor(pick(), pick())
+		case KXnor:
+			n = b.Xnor(pick(), pick())
+		case KMux:
+			n = b.Mux(pick(), pick(), pick())
+		default:
+			n = b.Buf(pick())
+		}
+		nets = append(nets, n)
+	}
+	// A handful of outputs drawn from the deepest nets.
+	for i := 0; i < 4; i++ {
+		b.Output("o", nets[len(nets)-1-i*3])
+	}
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatalf("random circuit invalid: %v", err)
+	}
+	return nl
+}
+
+// TestRandomCircuitsPackedVsSingle cross-checks the 64-way packed
+// evaluator against per-pattern evaluation on random circuits.
+func TestRandomCircuitsPackedVsSingle(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		nl := randomCircuit(t, r, 4+r.Intn(12), 20+r.Intn(200))
+		ev := NewEvaluator(nl)
+		nIn := len(nl.Inputs)
+
+		inputs := make([]uint64, nIn)
+		for i := range inputs {
+			inputs[i] = r.Uint64()
+		}
+		ev.Run(inputs)
+		packed := make([]uint64, len(nl.Outputs))
+		for i := range packed {
+			packed[i] = ev.Output(i)
+		}
+
+		ev2 := NewEvaluator(nl)
+		for p := 0; p < 64; p += 7 {
+			pat := make([]bool, nIn)
+			for i := range pat {
+				pat[i] = inputs[i]>>uint(p)&1 == 1
+			}
+			out := ev2.EvalOnce(pat)
+			for i := range out {
+				if got := packed[i]>>uint(p)&1 == 1; got != out[i] {
+					t.Fatalf("trial %d pattern %d output %d: packed %v single %v",
+						trial, p, i, got, out[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRandomCircuitsFaultDetectVsBrute cross-checks cone-limited faulty
+// evaluation against the whole-circuit oracle on random circuits and
+// random fault samples.
+func TestRandomCircuitsFaultDetectVsBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 12; trial++ {
+		nl := randomCircuit(t, r, 4+r.Intn(10), 30+r.Intn(150))
+		ev := NewEvaluator(nl)
+		inputs := make([]uint64, len(nl.Inputs))
+		for i := range inputs {
+			inputs[i] = r.Uint64()
+		}
+		ev.Run(inputs)
+
+		for probe := 0; probe < 40; probe++ {
+			gid := int32(r.Intn(len(nl.Gates)))
+			g := nl.Gates[gid]
+			pin := int8(-1)
+			if n := g.NumIn(); n > 0 && r.Intn(2) == 0 {
+				pin = int8(r.Intn(n))
+			}
+			f := FaultSite{Gate: gid, Pin: pin, SA1: r.Intn(2) == 1}
+			got := ev.FaultDetect(f)
+			want := bruteFaultDetect(nl, inputs, f)
+			if got != want {
+				t.Fatalf("trial %d fault %v: got %#x want %#x", trial, f, got, want)
+			}
+		}
+	}
+}
+
+// TestRandomCircuitsLevelInvariant checks the levelization invariant on
+// random circuits.
+func TestRandomCircuitsLevelInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 10; trial++ {
+		nl := randomCircuit(t, r, 6, 120)
+		seen := make([]bool, len(nl.Gates))
+		prevLevel := int32(-1)
+		for _, id := range nl.Order() {
+			if seen[id] {
+				t.Fatal("duplicate in order")
+			}
+			seen[id] = true
+			if nl.Level(id) < prevLevel {
+				t.Fatal("order not level-sorted")
+			}
+			prevLevel = nl.Level(id)
+			for p := 0; p < nl.Gates[id].NumIn(); p++ {
+				if !seen[nl.Gates[id].In[p]] {
+					t.Fatal("gate ordered before its input")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package netlist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sequential extension: D flip-flops. A DFF's output behaves as a state
+// source during combinational evaluation (level 0, like a primary input);
+// its D input is sampled when the clock ticks. DFFs are created as
+// placeholders first and connected after the downstream logic exists, so
+// feedback through registers is expressible while the combinational part
+// stays acyclic.
+
+// DFF declares a flip-flop and returns its output (Q) net. Connect its D
+// input later with ConnectD; Build fails on dangling DFFs.
+func (b *Builder) DFF() int32 {
+	n := b.add(KDFF)
+	b.gates[n].In[0] = -1
+	return n
+}
+
+// DFFBus declares width flip-flops.
+func (b *Builder) DFFBus(width int) []int32 {
+	out := make([]int32, width)
+	for i := range out {
+		out[i] = b.DFF()
+	}
+	return out
+}
+
+// ConnectD wires net d to the flip-flop's data input.
+func (b *Builder) ConnectD(dff, d int32) {
+	if int(dff) >= len(b.gates) || b.gates[dff].Kind != KDFF {
+		panic(fmt.Sprintf("netlist: ConnectD on non-DFF net %d", dff))
+	}
+	b.gates[dff].In[0] = d
+}
+
+// NumDFFs returns the flip-flop count of the netlist.
+func (n *Netlist) NumDFFs() int {
+	c := 0
+	for _, g := range n.Gates {
+		if g.Kind == KDFF {
+			c++
+		}
+	}
+	return c
+}
+
+// SeqEvaluator simulates a sequential netlist cycle by cycle with 64
+// machines in parallel: bit 0 of every packed word is the fault-free
+// machine, bits 1..63 carry faulty machines, each with one stem stuck-at
+// fault forced after every evaluation (parallel-fault sequential
+// simulation). Faulty state diverges naturally across cycles through the
+// flip-flops.
+type SeqEvaluator struct {
+	nl    *Netlist
+	vals  []uint64
+	state []uint64 // per-DFF packed Q values
+	dffs  []int32
+
+	force0 map[int32]uint64 // per-net force-to-0 machine masks
+	force1 map[int32]uint64
+}
+
+// NewSeqEvaluator creates a sequential evaluator with no faults loaded.
+func NewSeqEvaluator(nl *Netlist) *SeqEvaluator {
+	e := &SeqEvaluator{
+		nl:     nl,
+		vals:   make([]uint64, len(nl.Gates)),
+		force0: map[int32]uint64{},
+		force1: map[int32]uint64{},
+	}
+	for id, g := range nl.Gates {
+		if g.Kind == KDFF {
+			e.dffs = append(e.dffs, int32(id))
+		}
+	}
+	e.state = make([]uint64, len(e.dffs))
+	return e
+}
+
+// LoadFaults assigns up to 63 stem (gate-output) stuck-at faults to
+// machines 1..len(faults). It resets the state.
+func (e *SeqEvaluator) LoadFaults(faults []FaultSite) error {
+	if len(faults) > 63 {
+		return errors.New("netlist: at most 63 faults per sequential batch")
+	}
+	for k := range e.force0 {
+		delete(e.force0, k)
+	}
+	for k := range e.force1 {
+		delete(e.force1, k)
+	}
+	for i, f := range faults {
+		if f.Pin >= 0 {
+			return fmt.Errorf("netlist: sequential simulation supports stem faults only (got %v)", f)
+		}
+		bit := uint64(1) << uint(i+1)
+		if f.SA1 {
+			e.force1[f.Gate] |= bit
+		} else {
+			e.force0[f.Gate] |= bit
+		}
+	}
+	e.Reset()
+	return nil
+}
+
+// Reset clears all flip-flops (all machines).
+func (e *SeqEvaluator) Reset() {
+	for i := range e.state {
+		e.state[i] = 0
+	}
+}
+
+// Step applies one input vector (one bit per primary input, broadcast to
+// all machines), evaluates the cycle, clocks the flip-flops, and returns
+// a mask of machines whose primary outputs differ from machine 0.
+func (e *SeqEvaluator) Step(inputs []bool) uint64 {
+	if len(inputs) != len(e.nl.Inputs) {
+		panic("netlist: Step input arity")
+	}
+	for i, net := range e.nl.Inputs {
+		var v uint64
+		if inputs[i] {
+			v = ^uint64(0)
+		}
+		e.vals[net] = e.forced(net, v)
+	}
+	di := 0
+	for _, id := range e.nl.Order() {
+		g := &e.nl.Gates[id]
+		switch g.Kind {
+		case KInput:
+			// loaded above
+		case KConst0:
+			e.vals[id] = e.forced(id, 0)
+		case KConst1:
+			e.vals[id] = e.forced(id, ^uint64(0))
+		case KDFF:
+			// State source; order of e.dffs follows gate order.
+			e.vals[id] = e.forced(id, e.state[e.dffIndex(id, &di)])
+		default:
+			v := gateFn(g.Kind, e.vals[g.In[0]], e.seqIn(g, 1), e.seqIn(g, 2))
+			e.vals[id] = e.forced(id, v)
+		}
+	}
+	// Detection: any output bit differing from machine 0.
+	var det uint64
+	for _, out := range e.nl.Outputs {
+		v := e.vals[out]
+		good := v & 1
+		ref := uint64(0)
+		if good == 1 {
+			ref = ^uint64(0)
+		}
+		det |= v ^ ref
+	}
+	// Clock: sample D inputs.
+	for i, id := range e.dffs {
+		d := e.nl.Gates[id].In[0]
+		e.state[i] = e.vals[d]
+	}
+	return det &^ 1
+}
+
+func (e *SeqEvaluator) seqIn(g *Gate, pin int) uint64 {
+	if g.In[pin] < 0 {
+		return 0
+	}
+	return e.vals[g.In[pin]]
+}
+
+// dffIndex resolves the state slot of a DFF; e.dffs is in ascending gate
+// order and Order() visits level-0 gates in ascending id order, so a
+// moving cursor suffices.
+func (e *SeqEvaluator) dffIndex(id int32, cursor *int) int {
+	for e.dffs[*cursor] != id {
+		*cursor++
+		if *cursor >= len(e.dffs) {
+			*cursor = 0
+		}
+	}
+	return *cursor
+}
+
+func (e *SeqEvaluator) forced(net int32, v uint64) uint64 {
+	if m, ok := e.force1[net]; ok {
+		v |= m
+	}
+	if m, ok := e.force0[net]; ok {
+		v &^= m
+	}
+	return v
+}
+
+// OutputBit returns output i of machine 0 after the last Step.
+func (e *SeqEvaluator) OutputBit(i int) bool {
+	return e.vals[e.nl.Outputs[i]]&1 == 1
+}

@@ -1,0 +1,115 @@
+package ptpgen
+
+import (
+	"gpustl/internal/circuits"
+	"gpustl/internal/isa"
+	"gpustl/internal/stl"
+)
+
+// spOpFor maps an SP datapath function to the instruction realizing it.
+var spOpFor = map[circuits.SPFn]isa.Opcode{
+	circuits.SPAdd: isa.OpIADD,
+	circuits.SPSub: isa.OpISUB,
+	circuits.SPMul: isa.OpIMUL,
+	circuits.SPMad: isa.OpIMAD,
+	circuits.SPMin: isa.OpIMIN,
+	circuits.SPMax: isa.OpIMAX,
+	circuits.SPAnd: isa.OpAND,
+	circuits.SPOr:  isa.OpOR,
+	circuits.SPXor: isa.OpXOR,
+	circuits.SPNot: isa.OpNOT,
+	circuits.SPShl: isa.OpSHL,
+	circuits.SPShr: isa.OpSHR,
+	circuits.SPSet: isa.OpISET,
+	// SPPass is realized by MOV (operand routed through b).
+	circuits.SPPass: isa.OpMOV,
+}
+
+// TPGEN converts ATPG-generated SP test patterns into the TPGEN PTP, one
+// Small Block per pattern. Patterns with no instruction equivalent (ATPG
+// may produce function or condition encodings outside the legal set) are
+// dropped; the second return value counts them — the paper's "patterns
+// converted partially due to a lack of fully equivalent instructions".
+func TPGEN(pats []circuits.Pattern, seed int64) (*stl.PTP, int) {
+	e := newEmitter(seed)
+	e.prologue(0xC0FFEE05)
+	dropped := 0
+	for _, p := range pats {
+		fnRaw, condRaw, a, b, c := circuits.DecodeSPPattern(p)
+		if int(fnRaw) >= circuits.NumSPFns {
+			dropped++
+			continue
+		}
+		fn := circuits.SPFn(fnRaw)
+		if fn == circuits.SPSet && int(condRaw) >= isa.NumConds {
+			dropped++
+			continue
+		}
+		e.beginSB()
+		switch fn {
+		case circuits.SPMad:
+			e.mvi(regT0, a)
+			e.mvi(regT1, b)
+			e.mvi(regT3, c) // accumulator preload: IMAD reads Rd
+			e.op(isa.OpIMAD, regT3, regT0, regT1)
+		case circuits.SPNot:
+			e.mvi(regT0, a)
+			e.op(isa.OpNOT, regT3, regT0, 0)
+		case circuits.SPPass:
+			e.mvi(regT0, b)
+			e.op(isa.OpMOV, regT3, regT0, 0)
+		case circuits.SPSet:
+			e.mvi(regT0, a)
+			e.mvi(regT1, b)
+			e.emit(isa.Instruction{Op: isa.OpISET, Rd: regT3, Ra: regT0,
+				Rb: regT1, Cond: isa.Cond(condRaw), Pd: 1})
+		default:
+			e.mvi(regT0, a)
+			e.mvi(regT1, b)
+			e.op(spOpFor[fn], regT3, regT0, regT1)
+		}
+		e.fold(regT3)
+		e.sigStore()
+		e.endSB()
+	}
+	e.epilogue()
+	return e.finish("TPGEN", circuits.ModuleSP,
+		stl.KernelConfig{Blocks: 1, ThreadsPerBlock: 32}), dropped
+}
+
+// sfuOpFor maps an SFU function to its instruction.
+var sfuOpFor = [circuits.NumSFUFns]isa.Opcode{
+	circuits.SFURcp: isa.OpRCP,
+	circuits.SFURsq: isa.OpRSQ,
+	circuits.SFUSin: isa.OpSIN,
+	circuits.SFUCos: isa.OpCOS,
+	circuits.SFULg2: isa.OpLG2,
+	circuits.SFUEx2: isa.OpEX2,
+}
+
+// SFUIMM converts ATPG-generated SFU test patterns into the SFU_IMM PTP.
+// Each SB loads the operand bit pattern with an immediate move, executes
+// the SFU operation, and propagates through the SpT fold — SBs have no
+// data dependence on each other (beyond the signature), which is why the
+// paper observes zero FC loss when compacting this PTP.
+func SFUIMM(pats []circuits.Pattern, seed int64) (*stl.PTP, int) {
+	e := newEmitter(seed)
+	e.prologue(0xC0FFEE06)
+	dropped := 0
+	for _, p := range pats {
+		fnRaw, a := circuits.DecodeSFUPattern(p)
+		if int(fnRaw) >= circuits.NumSFUFns {
+			dropped++
+			continue
+		}
+		e.beginSB()
+		e.mvi(regT0, a)
+		e.op(sfuOpFor[fnRaw], regT3, regT0, 0)
+		e.fold(regT3)
+		e.sigStore()
+		e.endSB()
+	}
+	e.epilogue()
+	return e.finish("SFU_IMM", circuits.ModuleSFU,
+		stl.KernelConfig{Blocks: 1, ThreadsPerBlock: 32}), dropped
+}

@@ -1,0 +1,90 @@
+package ptpgen
+
+import (
+	"gpustl/internal/circuits"
+	"gpustl/internal/isa"
+	"gpustl/internal/stl"
+)
+
+// DIVG generates a divergence-stack test PTP in the style of the
+// control-unit STL parts the paper excludes from compaction (its refs [6],
+// [21]): nested two-way divergence on the thread-id bits down to `depth`
+// levels, pushing the SIMT stack to its deepest use, with a unique
+// signature constant folded at every leaf so any mis-reconvergence
+// corrupts some thread's signature. The whole body is protected — removing
+// any instruction breaks the devised stack walk, which is exactly why such
+// PTPs are excluded from compaction.
+func DIVG(depth, repeats int, seed int64) *stl.PTP {
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > 5 {
+		depth = 5
+	}
+	e := newEmitter(seed)
+	e.prologue(0xC0FFEE08)
+	bodyStart := len(e.prog)
+	leafID := 0
+	for rep := 0; rep < repeats; rep++ {
+		e.divgLevel(depth, &leafID)
+		e.sigStore()
+	}
+	e.prot = append(e.prot, stl.Region{Start: bodyStart, End: len(e.prog)})
+	e.epilogue()
+	p := e.finish("DIVG", circuits.ModuleDU,
+		stl.KernelConfig{Blocks: 1, ThreadsPerBlock: 32})
+	p.SBs = nil // nothing is a compaction candidate
+	return p
+}
+
+// DivgLeafConst is the signature constant folded at leaf id (exported for
+// the expected-signature computation in tests and diagnostics).
+func DivgLeafConst(id int) uint32 {
+	return 0x9E3779B9*uint32(id+1) ^ 0x5bd1e995
+}
+
+// divgLevel emits one divergence level: threads with tid bit (level-1)
+// set fall through into the first arm; the rest branch to the second.
+func (e *emitter) divgLevel(level int, leafID *int) {
+	if level == 0 {
+		e.mvi(regT0, DivgLeafConst(*leafID))
+		*leafID++
+		e.fold(regT0)
+		return
+	}
+	bit := int32(1) << uint(level-1)
+	m := e.op(isa.OpANDI, regT4, regTID, 0)
+	e.prog[m].Imm = bit
+	e.emit(isa.Instruction{Op: isa.OpISETI, Rd: regT4, Ra: regT4,
+		Imm: 0, Cond: isa.CondEQ, Pd: 0})
+	pSSY := e.emit(isa.Instruction{Op: isa.OpSSY})
+	pBra := e.emitGuarded(isa.Instruction{Op: isa.OpBRA, Pg: 0, PSense: true})
+
+	// First arm: bit set (P0 false falls through).
+	e.divgLevel(level-1, leafID)
+	pJmp := e.emit(isa.Instruction{Op: isa.OpBRA})
+
+	// Second arm: bit clear.
+	secondStart := len(e.prog)
+	e.divgLevel(level-1, leafID)
+	end := len(e.prog)
+
+	e.patchBranch(pSSY, end)
+	e.patchBranch(pBra, secondStart)
+	e.patchBranch(pJmp, end)
+}
+
+// DivgExpectedLeaf computes which leaf a thread visits per repeat, for
+// signature prediction: at each level, a set tid bit selects the first
+// (lower-id) half of the remaining leaves.
+func DivgExpectedLeaf(tid, depth int) int {
+	id := 0
+	span := 1 << uint(depth)
+	for level := depth; level >= 1; level-- {
+		span /= 2
+		if tid&(1<<uint(level-1)) == 0 {
+			id += span
+		}
+	}
+	return id
+}

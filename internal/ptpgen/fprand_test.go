@@ -1,0 +1,69 @@
+package ptpgen
+
+import (
+	"testing"
+
+	"gpustl/internal/circuits"
+	"gpustl/internal/isa"
+	"gpustl/internal/trace"
+)
+
+func TestFPRANDStructure(t *testing.T) {
+	p := FPRAND(40, 31)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Target != circuits.ModuleFP32 {
+		t.Errorf("target = %v", p.Target)
+	}
+	if len(p.SBs) != 40 {
+		t.Fatalf("SBs = %d", len(p.SBs))
+	}
+	// Every FP32 function must be exercised.
+	seen := map[isa.Opcode]bool{}
+	for _, in := range p.Prog {
+		seen[in.Op] = true
+	}
+	for _, op := range fpOps {
+		if !seen[op] {
+			t.Errorf("FPRAND does not cover %v", op)
+		}
+	}
+	if f := p.ARCFraction(); f < 0.98 {
+		t.Errorf("ARC fraction = %f", f)
+	}
+}
+
+func TestFPRANDAppliesFP32Patterns(t *testing.T) {
+	p := FPRAND(25, 33)
+	col := trace.NewCollector(circuits.ModuleFP32)
+	runPTP(t, p, col)
+	if len(col.Patterns) == 0 {
+		t.Fatal("no FP32 patterns")
+	}
+	// Patterns land on all 8 FP32 lanes and decode to legal functions.
+	lanes := map[int16]bool{}
+	for _, tp := range col.Patterns {
+		lanes[tp.Lane] = true
+		fn, _, _, _ := circuits.DecodeFP32Pattern(tp.Pat)
+		if int(fn) >= circuits.NumFP32Fns {
+			t.Fatalf("illegal fn %d in traced pattern", fn)
+		}
+	}
+	if len(lanes) != 8 {
+		t.Errorf("lanes covered: %d, want 8", len(lanes))
+	}
+	// The GL verification of the stage-2 gate-level simulation must pass
+	// on the extracted stream.
+	m, err := circuits.Build(circuits.ModuleFP32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := trace.VerifyGL(m, col.Patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("GL mismatch: %s", rep)
+	}
+}

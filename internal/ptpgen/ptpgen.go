@@ -1,0 +1,386 @@
+// Package ptpgen generates the Parallel Test Programs that compose the
+// evaluated STL, reproducing the construction recipes Table I documents:
+//
+//   - IMM    — pseudorandom DU test over every immediate-operand instruction
+//     format plus register formats; 1 block × 32 threads.
+//   - MEM    — pseudorandom DU test built from memory-access instructions
+//     (global and shared); 1 block × 32 threads.
+//   - CNTRL  — DU/control test mixing immediate, memory and register
+//     instructions to steer control-flow constructs; 1 block × 1024
+//     threads; contains parametric loops (the inadmissible ~10%).
+//   - RAND   — pseudorandom SP-core test; 1 block × 32 threads.
+//   - TPGEN  — SP-core test converted from ATPG patterns; 1 block × 32
+//     threads; patterns without an equivalent instruction are dropped
+//     (the paper's "partial" conversion).
+//   - SFUIMM — SFU test converted from ATPG patterns; 1 block × 32 threads.
+//
+// Every PTP follows the paper's three-part Small Block shape — load test
+// operands, execute, propagate to an observable point — with the
+// Signature-per-Thread fold (rotate-left-1 XOR, a MISR-like step) and a
+// signature store as the propagation part. Prologue/epilogue scaffolding is
+// emitted as protected regions so the compactor leaves it intact.
+package ptpgen
+
+import (
+	"math/rand"
+
+	"gpustl/internal/circuits"
+	"gpustl/internal/isa"
+	"gpustl/internal/stl"
+)
+
+// Register conventions of all generated PTPs.
+const (
+	regTID  = 0 // thread id
+	regOff  = 1 // tid*4 byte offset
+	regSig  = 2 // signature store address (sigBase + tid*4)
+	regAcc  = 3 // signature accumulator
+	regT0   = 4
+	regT1   = 5
+	regT2   = 6
+	regT3   = 7
+	regT4   = 8
+	regT5   = 9
+	regM0   = 10 // MISR fold temporaries
+	regM1   = 11
+	regLoop = 12 // loop counters (CNTRL)
+	regTrip = 13
+)
+
+// Memory map of the generated kernels (byte addresses).
+const (
+	SigBase   = 0x10000 // per-thread signature slots (up to 1024 threads)
+	DataBase  = 0x20000 // PTP input data segment
+	SharedOff = 0       // shared-memory scratch base
+)
+
+// emitter accumulates a PTP under construction.
+type emitter struct {
+	prog  []isa.Instruction
+	sbs   []stl.SB
+	prot  []stl.Region
+	data  []uint32
+	rng   *rand.Rand
+	sbAt  int // start of the SB being emitted
+	addrI int // AddrInstr of the SB being emitted
+	dOff  int // DataOff of the SB being emitted
+	dLen  int
+}
+
+func newEmitter(seed int64) *emitter {
+	return &emitter{rng: rand.New(rand.NewSource(seed)), addrI: -1, dOff: -1}
+}
+
+// emit appends an unguarded instruction (guard forced to "always").
+func (e *emitter) emit(in isa.Instruction) int {
+	in.Pg = isa.PredAlways
+	in.PSense = true
+	e.prog = append(e.prog, in)
+	return len(e.prog) - 1
+}
+
+// emitGuarded appends an instruction with its guard fields untouched.
+func (e *emitter) emitGuarded(in isa.Instruction) int {
+	e.prog = append(e.prog, in)
+	return len(e.prog) - 1
+}
+
+// store emits a store of rbVal to [raAddr+off].
+func (e *emitter) store(op isa.Opcode, raAddr uint8, off int32, rbVal uint8) int {
+	return e.emit(isa.Instruction{Op: op, Ra: raAddr, Imm: off, Rb: rbVal})
+}
+
+func (e *emitter) op(op isa.Opcode, rd, ra, rb uint8) int {
+	return e.emit(isa.Instruction{Op: op, Rd: rd, Ra: ra, Rb: rb})
+}
+
+func (e *emitter) opi(op isa.Opcode, rd, ra uint8, imm int32) int {
+	return e.emit(isa.Instruction{Op: op, Rd: rd, Ra: ra, Imm: imm})
+}
+
+func (e *emitter) mvi(rd uint8, imm uint32) int {
+	return e.opi(isa.OpMVI, rd, 0, int32(imm))
+}
+
+// beginSB marks the start of a Small Block.
+func (e *emitter) beginSB() {
+	e.sbAt = len(e.prog)
+	e.addrI = -1
+	e.dOff = -1
+	e.dLen = 0
+}
+
+// endSB closes the current Small Block.
+func (e *emitter) endSB() {
+	sb := stl.SB{Start: e.sbAt, End: len(e.prog), AddrInstr: -1}
+	if e.dLen > 0 {
+		sb.DataOff, sb.DataLen, sb.AddrInstr = e.dOff, e.dLen, e.addrI
+	}
+	e.sbs = append(e.sbs, sb)
+}
+
+// protect marks [from, len(prog)) as a protected region.
+func (e *emitter) protect(from int) {
+	e.prot = append(e.prot, stl.Region{Start: from, End: len(e.prog)})
+}
+
+// prologue emits the protected thread-setup code.
+func (e *emitter) prologue(sigSeed uint32) {
+	from := len(e.prog)
+	e.opi(isa.OpS2R, regTID, 0, isa.SRTid)
+	e.opi(isa.OpSHLI, regOff, regTID, 2)
+	e.mvi(regSig, SigBase)
+	e.op(isa.OpIADD, regSig, regSig, regOff)
+	e.mvi(regAcc, sigSeed)
+	e.op(isa.OpXOR, regAcc, regAcc, regTID)
+	e.protect(from)
+}
+
+// epilogue emits the protected final signature store and EXIT.
+func (e *emitter) epilogue() {
+	from := len(e.prog)
+	e.emit(isa.Instruction{Op: isa.OpGST, Ra: regSig, Rb: regAcc})
+	e.emit(isa.Instruction{Op: isa.OpEXIT})
+	e.protect(from)
+}
+
+// fold emits the SpT update: acc = rotl1(acc) ^ value — four SP-datapath
+// instructions, the software MISR step of the paper's PTPs.
+func (e *emitter) fold(valueReg uint8) {
+	e.opi(isa.OpSHLI, regM0, regAcc, 1)
+	e.opi(isa.OpSHRI, regM1, regAcc, 31)
+	e.op(isa.OpOR, regAcc, regM0, regM1)
+	e.op(isa.OpXOR, regAcc, regAcc, valueReg)
+}
+
+// sigStore emits the per-SB observable store of the signature.
+func (e *emitter) sigStore() {
+	e.emit(isa.Instruction{Op: isa.OpGST, Ra: regSig, Rb: regAcc})
+}
+
+func (e *emitter) finish(name string, target circuits.ModuleKind, kernel stl.KernelConfig) *stl.PTP {
+	p := &stl.PTP{
+		Name:      name,
+		Target:    target,
+		Prog:      e.prog,
+		Kernel:    kernel,
+		Data:      stl.DataSegment{Base: DataBase, Words: e.data},
+		SBs:       e.sbs,
+		Protected: e.prot,
+	}
+	return p
+}
+
+// immOps are the immediate-format opcodes the IMM PTP must cover.
+var immOps = []isa.Opcode{
+	isa.OpIADDI, isa.OpISUBI, isa.OpIMULI, isa.OpANDI, isa.OpORI,
+	isa.OpXORI, isa.OpSHLI, isa.OpSHRI, isa.OpISETI,
+}
+
+// regOps are register-format ALU opcodes mixed into IMM and RAND SBs.
+var regOps = []isa.Opcode{
+	isa.OpIADD, isa.OpISUB, isa.OpIMUL, isa.OpIMAD, isa.OpIMIN, isa.OpIMAX,
+	isa.OpAND, isa.OpOR, isa.OpXOR, isa.OpNOT, isa.OpSHL, isa.OpSHR,
+	isa.OpISET, isa.OpMOV, isa.OpINEG,
+}
+
+// randImm draws a 32-bit immediate biased toward corner values.
+func randImm(r *rand.Rand) uint32 {
+	switch r.Intn(5) {
+	case 0:
+		return uint32(r.Intn(64)) // small shift-friendly values
+	case 1:
+		corners := []uint32{0, 1, 0xffffffff, 0x80000000, 0x7fffffff, 0xaaaaaaaa, 0x55555555}
+		return corners[r.Intn(len(corners))]
+	default:
+		return r.Uint32()
+	}
+}
+
+// emitRandALUOp appends one random ALU operation writing rd.
+func (e *emitter) emitRandALUOp(rd uint8, srcs []uint8) {
+	r := e.rng
+	pick := func() uint8 { return srcs[r.Intn(len(srcs))] }
+	if r.Intn(2) == 0 {
+		op := immOps[r.Intn(len(immOps))]
+		in := isa.Instruction{Op: op, Rd: rd, Ra: pick(), Imm: int32(randImm(r))}
+		if op == isa.OpISETI {
+			in.Cond = isa.Cond(r.Intn(isa.NumConds))
+			in.Pd = 1 // keep P0 free for control PTPs
+		}
+		e.emit(in)
+		return
+	}
+	op := regOps[r.Intn(len(regOps))]
+	in := isa.Instruction{Op: op, Rd: rd, Ra: pick(), Rb: pick()}
+	if op == isa.OpISET {
+		in.Cond = isa.Cond(r.Intn(isa.NumConds))
+		in.Pd = 1
+	}
+	e.emit(in)
+}
+
+// immSB emits one IMM-style Small Block (15–18 instructions, as the paper
+// reports for the DU PTPs): operand loads, a run of immediate- and
+// register-format operations, the SpT fold and the observable store.
+func (e *emitter) immSB(coverIdx int) {
+	r := e.rng
+	e.beginSB()
+	e.mvi(regT0, randImm(r))
+	e.mvi(regT1, randImm(r))
+	// Guarantee format coverage: cycle deterministically through the
+	// immediate-format list, then pad with random ops.
+	covered := immOps[coverIdx%len(immOps)]
+	in := isa.Instruction{Op: covered, Rd: regT2, Ra: regT0, Imm: int32(randImm(r))}
+	if covered == isa.OpISETI {
+		in.Cond = isa.Cond(coverIdx % isa.NumConds)
+		in.Pd = 1
+	}
+	e.emit(in)
+	n := 7 + r.Intn(3)
+	srcs := []uint8{regT0, regT1, regT2}
+	for i := 0; i < n; i++ {
+		e.emitRandALUOp(uint8(regT2+r.Intn(3)), srcs)
+	}
+	e.fold(uint8(regT2 + r.Intn(3)))
+	e.sigStore()
+	e.endSB()
+}
+
+// IMM generates the IMM PTP for the Decoder Unit.
+func IMM(numSBs int, seed int64) *stl.PTP {
+	e := newEmitter(seed)
+	e.prologue(0xC0FFEE01)
+	for i := 0; i < numSBs; i++ {
+		e.immSB(i)
+	}
+	e.epilogue()
+	return e.finish("IMM", circuits.ModuleDU,
+		stl.KernelConfig{Blocks: 1, ThreadsPerBlock: 32})
+}
+
+// memSB emits one MEM-style Small Block: global loads from the SB's data
+// rows, a combining operation, a shared-memory store/load bounce, the SpT
+// fold and the observable store.
+func (e *emitter) memSB(threads int) {
+	r := e.rng
+	e.beginSB()
+	// Two data rows of one word per thread.
+	e.dOff = len(e.data)
+	for i := 0; i < 2*threads; i++ {
+		e.data = append(e.data, r.Uint32())
+	}
+	e.dLen = 2 * threads
+	e.addrI = e.mvi(regT0, DataBase+uint32(e.dOff)*4)
+	e.op(isa.OpIADD, regT1, regT0, regOff)
+	e.opi(isa.OpGLD, regT2, regT1, 0)
+	e.opi(isa.OpGLD, regT3, regT1, int32(threads)*4)
+	combine := []isa.Opcode{isa.OpIADD, isa.OpXOR, isa.OpIMUL, isa.OpOR, isa.OpISUB}
+	e.op(combine[r.Intn(len(combine))], regT4, regT2, regT3)
+	e.store(isa.OpSST, regOff, SharedOff, regT4)
+	e.opi(isa.OpSLD, regT5, regOff, SharedOff)
+	if r.Intn(3) == 0 {
+		e.opi(isa.OpLDC, regT2, regOff, 0)
+		e.op(isa.OpXOR, regT5, regT5, regT2)
+	}
+	e.fold(regT5)
+	e.sigStore()
+	e.endSB()
+}
+
+// MEM generates the MEM PTP for the Decoder Unit.
+func MEM(numSBs int, seed int64) *stl.PTP {
+	const threads = 32
+	e := newEmitter(seed)
+	e.prologue(0xC0FFEE02)
+	for i := 0; i < numSBs; i++ {
+		e.memSB(threads)
+	}
+	e.epilogue()
+	p := e.finish("MEM", circuits.ModuleDU,
+		stl.KernelConfig{Blocks: 1, ThreadsPerBlock: threads})
+	return p
+}
+
+// fpOps are the FP32-unit opcodes FPRAND cycles through.
+var fpOps = []isa.Opcode{
+	isa.OpFADD, isa.OpFMUL, isa.OpFFMA, isa.OpFMIN, isa.OpFMAX,
+	isa.OpF2I, isa.OpI2F,
+}
+
+// randFPBits draws an FP32 operand biased toward structured values.
+func randFPBits(r *rand.Rand) uint32 {
+	switch r.Intn(4) {
+	case 0: // moderate-exponent normals keep chains of FP ops meaningful
+		return r.Uint32()&0x807fffff | uint32(96+r.Intn(64))<<23
+	case 1:
+		corners := []uint32{0, 0x3f800000, 0xbf800000, 0x34000000, 0x4b000000}
+		return corners[r.Intn(len(corners))]
+	default:
+		return r.Uint32()
+	}
+}
+
+// FPRAND generates a pseudorandom PTP for the FP32 floating-point units —
+// an extension beyond the paper's STL (which targets DU, SPs and SFUs
+// only), enabled by the gate-level FP32 datapath. Each SB loads FP32 bit
+// patterns with immediate moves, runs a chain of FP operations, converts
+// the result to integer and folds it into the SpT.
+func FPRAND(numSBs int, seed int64) *stl.PTP {
+	e := newEmitter(seed)
+	e.prologue(0xC0FFEE07)
+	r := e.rng
+	for i := 0; i < numSBs; i++ {
+		e.beginSB()
+		e.mvi(regT0, randFPBits(r))
+		e.mvi(regT1, randFPBits(r))
+		e.mvi(regT2, randFPBits(r))
+		// Guarantee coverage of all FP functions, then add random ops.
+		ops := []isa.Opcode{fpOps[i%len(fpOps)]}
+		n := 2 + r.Intn(4)
+		for j := 0; j < n; j++ {
+			ops = append(ops, fpOps[r.Intn(len(fpOps))])
+		}
+		srcs := []uint8{regT0, regT1, regT2, regT3}
+		for _, op := range ops {
+			rd := uint8(regT3 + r.Intn(2))
+			in := isa.Instruction{Op: op, Rd: rd,
+				Ra: srcs[r.Intn(len(srcs))], Rb: srcs[r.Intn(len(srcs))]}
+			e.emit(in)
+		}
+		// Propagate through the integer SpT: convert and fold.
+		e.op(isa.OpF2I, regT5, uint8(regT3+r.Intn(2)), 0)
+		e.fold(regT5)
+		e.sigStore()
+		e.endSB()
+	}
+	e.epilogue()
+	return e.finish("FP_RAND", circuits.ModuleFP32,
+		stl.KernelConfig{Blocks: 1, ThreadsPerBlock: 32})
+}
+
+// RAND generates the pseudorandom SP-core PTP.
+func RAND(numSBs int, seed int64) *stl.PTP {
+	e := newEmitter(seed)
+	e.prologue(0xC0FFEE04)
+	r := e.rng
+	for i := 0; i < numSBs; i++ {
+		e.beginSB()
+		e.mvi(regT0, r.Uint32())
+		e.mvi(regT1, r.Uint32())
+		e.mvi(regT2, r.Uint32())
+		// Per-thread diversity: mix the tid into one operand.
+		e.op(isa.OpXOR, regT0, regT0, regTID)
+		n := 5 + r.Intn(5)
+		srcs := []uint8{regT0, regT1, regT2, regT3}
+		for j := 0; j < n; j++ {
+			e.emitRandALUOp(uint8(regT3+r.Intn(3)), srcs)
+		}
+		e.fold(uint8(regT3 + r.Intn(3)))
+		e.sigStore()
+		e.endSB()
+	}
+	e.epilogue()
+	return e.finish("RAND", circuits.ModuleSP,
+		stl.KernelConfig{Blocks: 1, ThreadsPerBlock: 32})
+}

@@ -1,0 +1,94 @@
+// Package report renders the experiment results as aligned text tables in
+// the style of the paper's Tables I–III.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	total := 0
+	for _, wd := range width {
+		total += wd + 2
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	line := strings.Repeat("-", total)
+	fmt.Fprintln(w, line)
+	printRow := func(cells []string) {
+		for i, c := range cells {
+			pad := 0
+			if i < len(width) {
+				pad = width[i] - len(c)
+			}
+			fmt.Fprintf(w, "%s%s  ", c, strings.Repeat(" ", pad))
+		}
+		fmt.Fprintln(w)
+	}
+	printRow(t.Headers)
+	fmt.Fprintln(w, line)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	fmt.Fprintln(w, line)
+}
+
+// Int formats an integer with thousands separators.
+func Int(v int) string {
+	s := fmt.Sprintf("%d", v)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// Uint formats a uint64 with thousands separators.
+func Uint(v uint64) string { return Int(int(v)) }
+
+// Pct formats a percentage with two decimals.
+func Pct(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// SignedPct formats a percentage with an explicit sign, as in the paper's
+// compaction and Diff FC columns.
+func SignedPct(v float64) string { return fmt.Sprintf("%+.2f", v) }
+
+// Dur formats a duration compactly.
+func Dur(d time.Duration) string { return d.Round(time.Millisecond).String() }

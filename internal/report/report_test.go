@@ -1,0 +1,97 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:   "T",
+		Headers: []string{"a", "long-header", "c"},
+		Rows:    [][]string{{"1", "2", "3"}, {"wide-cell", "x", "y"}},
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "T" {
+		t.Errorf("title line: %q", lines[0])
+	}
+	if !strings.Contains(out, "long-header") || !strings.Contains(out, "wide-cell") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	// Columns must be aligned: the header row and data rows share the
+	// position of the second column.
+	head := lines[2]
+	row := lines[5] // second data row (wide-cell)
+	hPos := strings.Index(head, "long-header")
+	rPos := strings.Index(row, "x")
+	if hPos != rPos {
+		t.Errorf("column misaligned: header at %d, cell at %d\n%s", hPos, rPos, out)
+	}
+}
+
+func TestTableAddRow(t *testing.T) {
+	tb := Table{Headers: []string{"x"}}
+	tb.AddRow("1")
+	tb.AddRow("2")
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestIntFormatting(t *testing.T) {
+	cases := map[int]string{
+		0:        "0",
+		5:        "5",
+		999:      "999",
+		1000:     "1,000",
+		1234567:  "1,234,567",
+		-1234567: "-1,234,567",
+		-12:      "-12",
+	}
+	for in, want := range cases {
+		if got := Int(in); got != want {
+			t.Errorf("Int(%d) = %q, want %q", in, got, want)
+		}
+	}
+	if got := Uint(16000000); got != "16,000,000" {
+		t.Errorf("Uint = %q", got)
+	}
+}
+
+func TestPctFormatting(t *testing.T) {
+	if Pct(98.642) != "98.64" {
+		t.Errorf("Pct = %q", Pct(98.642))
+	}
+	if SignedPct(-97.301) != "-97.30" {
+		t.Errorf("SignedPct = %q", SignedPct(-97.301))
+	}
+	if SignedPct(0.06) != "+0.06" {
+		t.Errorf("SignedPct = %q", SignedPct(0.06))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := Table{
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"1,000", "x"}, {"2", "y\"z"}},
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"1,000\",x\n2,\"y\"\"z\"\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestDurFormatting(t *testing.T) {
+	if got := Dur(1500 * time.Millisecond); got != "1.5s" {
+		t.Errorf("Dur = %q", got)
+	}
+}

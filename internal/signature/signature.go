@@ -1,0 +1,64 @@
+// Package signature implements the Signature-per-Thread (SpT) mechanism
+// the paper's PTPs use to make test results observable: each thread folds
+// every test operation's result into a running signature with a MISR-like
+// step and stores it to memory, where the memory bus is the observation
+// point.
+//
+// The PTP generators emit the same fold as GPU instructions
+// (rotate-left-by-1 then XOR); this package is the bit-exact software
+// reference used to predict and verify the stored signatures, plus a
+// polynomial MISR for library users who want a hardware-style compactor.
+package signature
+
+import "math/bits"
+
+// Fold is one SpT update step as the generated PTPs compute it in
+// software: sig' = rotl1(sig) XOR value.
+func Fold(sig, value uint32) uint32 {
+	return bits.RotateLeft32(sig, 1) ^ value
+}
+
+// FoldAll applies Fold over a value stream starting from seed.
+func FoldAll(seed uint32, values []uint32) uint32 {
+	sig := seed
+	for _, v := range values {
+		sig = Fold(sig, v)
+	}
+	return sig
+}
+
+// MISR is a 32-bit multiple-input signature register with configurable
+// feedback polynomial (taps given as a bit mask over state bits).
+type MISR struct {
+	state uint32
+	poly  uint32
+}
+
+// DefaultPoly is the CRC-32 (IEEE) polynomial in its common bit-reversed
+// form, a maximal-length choice for 32-bit MISRs.
+const DefaultPoly = 0xEDB88320
+
+// NewMISR creates a MISR with the given seed and feedback polynomial
+// (DefaultPoly when poly is 0).
+func NewMISR(seed, poly uint32) *MISR {
+	if poly == 0 {
+		poly = DefaultPoly
+	}
+	return &MISR{state: seed, poly: poly}
+}
+
+// Update folds one parallel input word into the signature.
+func (m *MISR) Update(v uint32) {
+	fb := m.state & 1
+	m.state >>= 1
+	if fb == 1 {
+		m.state ^= m.poly
+	}
+	m.state ^= v
+}
+
+// Value returns the current signature.
+func (m *MISR) Value() uint32 { return m.state }
+
+// Reset restores the seed state.
+func (m *MISR) Reset(seed uint32) { m.state = seed }

@@ -1,0 +1,102 @@
+package signature
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFoldMatchesManualRotate(t *testing.T) {
+	sig := uint32(0x80000001)
+	got := Fold(sig, 0)
+	want := uint32(0x00000003) // rotl1(0x80000001)
+	if got != want {
+		t.Fatalf("Fold = %#x, want %#x", got, want)
+	}
+	if Fold(0, 0xdeadbeef) != 0xdeadbeef {
+		t.Fatal("Fold with zero sig must equal value")
+	}
+}
+
+func TestFoldAll(t *testing.T) {
+	vals := []uint32{1, 2, 3}
+	sig := FoldAll(7, vals)
+	want := Fold(Fold(Fold(7, 1), 2), 3)
+	if sig != want {
+		t.Fatalf("FoldAll = %#x, want %#x", sig, want)
+	}
+}
+
+func TestFoldOrderSensitivity(t *testing.T) {
+	// The SpT must be order sensitive (that is what makes SB removal
+	// observable in subsequent signatures).
+	a := FoldAll(0, []uint32{10, 20, 30})
+	b := FoldAll(0, []uint32{30, 20, 10})
+	if a == b {
+		t.Fatal("signature insensitive to order")
+	}
+}
+
+func TestFoldValueSensitivityProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		seed := r.Uint32()
+		vals := make([]uint32, 1+r.Intn(20))
+		for i := range vals {
+			vals[i] = r.Uint32()
+		}
+		orig := FoldAll(seed, vals)
+		// Flip one bit of one value: the signature must change.
+		i := r.Intn(len(vals))
+		vals[i] ^= 1 << uint(r.Intn(32))
+		return FoldAll(seed, vals) != orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMISRBasics(t *testing.T) {
+	m := NewMISR(0, 0)
+	m.Update(0xdeadbeef)
+	if m.Value() == 0 {
+		t.Fatal("MISR stuck at zero")
+	}
+	m.Reset(5)
+	if m.Value() != 5 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestMISRDistinguishesStreams(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		vals := make([]uint32, 8)
+		for i := range vals {
+			vals[i] = r.Uint32()
+		}
+		a := NewMISR(1, 0)
+		b := NewMISR(1, 0)
+		for _, v := range vals {
+			a.Update(v)
+		}
+		j := r.Intn(len(vals))
+		vals[j] ^= 1 << uint(r.Intn(32))
+		for _, v := range vals {
+			b.Update(v)
+		}
+		if a.Value() == b.Value() {
+			t.Fatalf("aliasing on single-bit change (trial %d)", trial)
+		}
+	}
+}
+
+func TestMISRCustomPoly(t *testing.T) {
+	a := NewMISR(1, 0x04C11DB7)
+	b := NewMISR(1, 0)
+	a.Update(42)
+	b.Update(42)
+	if a.Value() == b.Value() {
+		t.Fatal("polynomial ignored")
+	}
+}

@@ -1,0 +1,150 @@
+package stl
+
+// Dominator-based loop analysis. Stage 1 must exclude exactly the basic
+// blocks inside parametric loops; the textbook-precise way to find loop
+// bodies is: compute dominators, classify an edge u→v as a back edge when
+// v dominates u, and collect the natural loop of each back edge by walking
+// predecessors from u up to v. This replaces a cruder "every block between
+// header and latch" interval rule, which over-excludes blocks that merely
+// sit between a loop's header and latch in program order without being
+// part of it.
+
+// predecessors builds the reverse CFG.
+func predecessors(blocks []BasicBlock) [][]int {
+	preds := make([][]int, len(blocks))
+	for u, b := range blocks {
+		for _, v := range b.Succs {
+			preds[v] = append(preds[v], u)
+		}
+	}
+	return preds
+}
+
+// reachable marks blocks reachable from entry (block 0).
+func reachable(blocks []BasicBlock) []bool {
+	seen := make([]bool, len(blocks))
+	if len(blocks) == 0 {
+		return seen
+	}
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range blocks[u].Succs {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// dominators computes the immediate-dominator-free dominance relation with
+// the classic iterative bit-set data-flow:
+//
+//	dom(entry) = {entry}
+//	dom(b)     = {b} ∪ ⋂ dom(p) over reachable predecessors p
+//
+// Block counts here are small (hundreds), so word-packed sets suffice.
+func dominators(blocks []BasicBlock) (dom [][]uint64, reach []bool) {
+	n := len(blocks)
+	words := (n + 63) / 64
+	reach = reachable(blocks)
+	preds := predecessors(blocks)
+
+	full := make([]uint64, words)
+	for i := 0; i < n; i++ {
+		full[i/64] |= 1 << uint(i%64)
+	}
+	dom = make([][]uint64, n)
+	for i := range dom {
+		dom[i] = make([]uint64, words)
+		if i == 0 {
+			dom[i][0] = 1
+		} else {
+			copy(dom[i], full)
+		}
+	}
+
+	changed := true
+	tmp := make([]uint64, words)
+	for changed {
+		changed = false
+		for b := 1; b < n; b++ {
+			if !reach[b] {
+				continue
+			}
+			copy(tmp, full)
+			any := false
+			for _, p := range preds[b] {
+				if !reach[p] {
+					continue
+				}
+				for w := range tmp {
+					tmp[w] &= dom[p][w]
+				}
+				any = true
+			}
+			if !any {
+				continue // a reachable non-entry block always has a reachable pred
+			}
+			tmp[b/64] |= 1 << uint(b%64)
+			for w := range tmp {
+				if tmp[w] != dom[b][w] {
+					dom[b][w] = tmp[w]
+					changed = true
+				}
+			}
+		}
+	}
+	return dom, reach
+}
+
+func domContains(set []uint64, b int) bool {
+	return set[b/64]>>uint(b%64)&1 == 1
+}
+
+// loopBlocks marks blocks belonging to any natural loop: for every back
+// edge u→v (v dominates u), the loop body is v plus all blocks that reach
+// u without passing through v.
+func loopBlocks(blocks []BasicBlock) []bool {
+	inLoop := make([]bool, len(blocks))
+	if len(blocks) == 0 {
+		return inLoop
+	}
+	dom, reach := dominators(blocks)
+	preds := predecessors(blocks)
+
+	for u, b := range blocks {
+		if !reach[u] {
+			continue
+		}
+		for _, v := range b.Succs {
+			if !domContains(dom[u], v) {
+				continue // not a back edge
+			}
+			// Natural loop of u→v: walk predecessors from u, stopping at v.
+			inLoop[v] = true
+			if u == v {
+				continue
+			}
+			stack := []int{u}
+			seen := map[int]bool{u: true, v: true}
+			inLoop[u] = true
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, p := range preds[x] {
+					if !seen[p] && reach[p] {
+						seen[p] = true
+						inLoop[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	return inLoop
+}

@@ -1,0 +1,163 @@
+package stl
+
+import (
+	"testing"
+)
+
+func TestDominatorsLinear(t *testing.T) {
+	p := prog(t, "MVI R1, 1\nBRA next\nnext: IADD R2, R1, R1\nEXIT")
+	blocks := BasicBlocks(p)
+	dom, reach := dominators(blocks)
+	for b := range blocks {
+		if !reach[b] {
+			t.Fatalf("block %d unreachable", b)
+		}
+		if !domContains(dom[b], 0) {
+			t.Fatalf("entry does not dominate block %d", b)
+		}
+		if !domContains(dom[b], b) {
+			t.Fatalf("block %d does not dominate itself", b)
+		}
+	}
+}
+
+func TestLoopBlocksNatural(t *testing.T) {
+	p := prog(t, `
+		MVI R1, 0
+	loop:
+		IADDI R1, R1, 1
+		ISETI R2, R1, 4, LT, P0
+		@P0 BRA loop
+		EXIT
+	`)
+	blocks := BasicBlocks(p)
+	in := loopBlocks(blocks)
+	if in[0] {
+		t.Error("entry marked in-loop")
+	}
+	found := false
+	for b := range blocks {
+		if in[b] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("loop not found")
+	}
+}
+
+// TestLoopBlocksSkippedOverCode is the case the old interval rule got
+// wrong: a block that sits between a loop's header and latch in program
+// order but is NOT part of the loop (it is jumped over) must stay
+// admissible.
+func TestLoopBlocksSkippedOverCode(t *testing.T) {
+	p := prog(t, `
+		MVI   R1, 0
+		BRA   loop
+	island:                   ; never part of the loop: entered only after it
+		MVI   R5, 7
+		GST   [R0+0], R5
+		BRA   done
+	loop:
+		IADDI R1, R1, 1
+		ISETI R2, R1, 4, LT, P0
+		@P0 BRA loop
+		BRA   island
+	done:
+		EXIT
+	`)
+	blocks := BasicBlocks(p)
+	in := loopBlocks(blocks)
+	// Find the island block (contains pc of "MVI R5, 7" = index 2).
+	for bi, b := range blocks {
+		if b.Start <= 2 && 2 < b.End {
+			if in[bi] {
+				t.Fatal("island block wrongly marked as loop body")
+			}
+		}
+		// The loop body (contains IADDI at pc 5).
+		if b.Start <= 5 && 5 < b.End {
+			if !in[bi] {
+				t.Fatal("loop body not marked")
+			}
+		}
+	}
+	// The island instructions must be admissible.
+	arcs := ARCs(p)
+	islandCovered := false
+	for _, r := range arcs {
+		if r.Contains(2) {
+			islandCovered = true
+		}
+		if r.Contains(5) {
+			t.Fatal("loop instruction inside ARC")
+		}
+	}
+	if !islandCovered {
+		t.Fatal("island excluded from ARCs (interval-rule over-approximation)")
+	}
+}
+
+func TestLoopBlocksSelfLoop(t *testing.T) {
+	p := prog(t, "spin: BRA spin")
+	blocks := BasicBlocks(p)
+	in := loopBlocks(blocks)
+	if !in[0] {
+		t.Fatal("self-loop not detected")
+	}
+}
+
+func TestLoopBlocksUnreachable(t *testing.T) {
+	p := prog(t, `
+		EXIT
+	dead:
+		IADDI R1, R1, 1
+		BRA dead
+	`)
+	blocks := BasicBlocks(p)
+	// Must not panic; unreachable loop blocks may or may not be marked,
+	// but reachable analysis must hold.
+	_, reach := dominators(blocks)
+	if !reach[0] {
+		t.Fatal("entry unreachable")
+	}
+	_ = loopBlocks(blocks)
+}
+
+func TestLoopBlocksNestedLoops(t *testing.T) {
+	p := prog(t, `
+		MVI R1, 0
+	outer:
+		MVI R2, 0
+	inner:
+		IADDI R2, R2, 1
+		ISETI R3, R2, 3, LT, P0
+		@P0 BRA inner
+		IADDI R1, R1, 1
+		ISETI R3, R1, 3, LT, P1
+		@P1 BRA outer
+		EXIT
+	`)
+	blocks := BasicBlocks(p)
+	in := loopBlocks(blocks)
+	// Everything from "outer" to the second branch is loop body; the
+	// entry (MVI R1) is not.
+	if in[0] {
+		t.Error("entry in loop")
+	}
+	marked := 0
+	for _, b := range in {
+		if b {
+			marked++
+		}
+	}
+	if marked < 2 {
+		t.Errorf("nested loops: only %d blocks marked", marked)
+	}
+	// pc 1 (MVI R2, outer header) must be in the outer loop.
+	for bi, b := range blocks {
+		if b.Start <= 1 && 1 < b.End && !in[bi] {
+			t.Error("outer header not marked")
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package stl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gpustl/internal/asm"
+	"gpustl/internal/circuits"
+)
+
+// ptpJSON is the on-disk representation of a PTP: JSON metadata with the
+// program embedded as assembly text, so saved PTPs stay human-readable and
+// hand-editable.
+type ptpJSON struct {
+	Name      string       `json:"name"`
+	Target    string       `json:"target"`
+	Kernel    KernelConfig `json:"kernel"`
+	DataBase  uint32       `json:"dataBase,omitempty"`
+	DataWords []uint32     `json:"dataWords,omitempty"`
+	SBs       []SB         `json:"sbs,omitempty"`
+	Protected []Region     `json:"protected,omitempty"`
+	Program   string       `json:"program"`
+}
+
+// WritePTP serializes the PTP as JSON with the program as assembly text.
+func WritePTP(w io.Writer, p *PTP) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	j := ptpJSON{
+		Name:      p.Name,
+		Target:    p.Target.String(),
+		Kernel:    p.Kernel,
+		DataBase:  p.Data.Base,
+		DataWords: p.Data.Words,
+		SBs:       p.SBs,
+		Protected: p.Protected,
+		Program:   asm.Disassemble(p.Prog),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}
+
+// ReadPTP parses a PTP written by WritePTP.
+func ReadPTP(r io.Reader) (*PTP, error) {
+	var j ptpJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("stl: decoding PTP: %w", err)
+	}
+	var target circuits.ModuleKind
+	found := false
+	for k := circuits.ModuleKind(0); int(k) < circuits.NumModuleKinds; k++ {
+		if k.String() == j.Target {
+			target = k
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("stl: unknown target module %q", j.Target)
+	}
+	prog, err := asm.Assemble(j.Program)
+	if err != nil {
+		return nil, fmt.Errorf("stl: assembling PTP %s: %w", j.Name, err)
+	}
+	p := &PTP{
+		Name:      j.Name,
+		Target:    target,
+		Prog:      prog,
+		Kernel:    j.Kernel,
+		Data:      DataSegment{Base: j.DataBase, Words: j.DataWords},
+		SBs:       j.SBs,
+		Protected: j.Protected,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// stlJSON wraps an ordered list of PTPs.
+type stlJSON struct {
+	PTPs []json.RawMessage `json:"ptps"`
+}
+
+// WriteSTL serializes a whole STL.
+func WriteSTL(w io.Writer, s *STL) error {
+	var j stlJSON
+	for _, p := range s.PTPs {
+		var buf bytes.Buffer
+		if err := WritePTP(&buf, p); err != nil {
+			return err
+		}
+		j.PTPs = append(j.PTPs, json.RawMessage(buf.Bytes()))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(j)
+}
+
+// ReadSTL parses an STL written by WriteSTL.
+func ReadSTL(r io.Reader) (*STL, error) {
+	var j stlJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("stl: decoding STL: %w", err)
+	}
+	out := &STL{}
+	for i, raw := range j.PTPs {
+		p, err := ReadPTP(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("stl: PTP %d: %w", i, err)
+		}
+		out.PTPs = append(out.PTPs, p)
+	}
+	return out, nil
+}

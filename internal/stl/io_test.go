@@ -1,0 +1,121 @@
+package stl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpustl/internal/circuits"
+)
+
+func samplePTP(t *testing.T) *PTP {
+	t.Helper()
+	p := &PTP{
+		Name:   "sample",
+		Target: circuits.ModuleDU,
+		Prog: prog(t, `
+			S2R  R0, SR_TID
+			SHLI R1, R0, 2
+			MVI  R2, 131072       ; data base
+			IADD R3, R2, R1
+			GLD  R4, [R3+0]
+			IADDI R4, R4, 1
+			GST  [R1+0], R4
+			EXIT`),
+		Kernel:    KernelConfig{Blocks: 1, ThreadsPerBlock: 32},
+		Data:      DataSegment{Base: 131072, Words: []uint32{1, 2, 3, 4}},
+		SBs:       []SB{{Start: 2, End: 7, DataOff: 0, DataLen: 4, AddrInstr: 2}},
+		Protected: []Region{{Start: 0, End: 2}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPTPRoundTrip(t *testing.T) {
+	p := samplePTP(t)
+	var buf bytes.Buffer
+	if err := WritePTP(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadPTP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || q.Target != p.Target || q.Kernel != p.Kernel {
+		t.Errorf("metadata: %+v", q)
+	}
+	if len(q.Prog) != len(p.Prog) {
+		t.Fatalf("program length %d != %d", len(q.Prog), len(p.Prog))
+	}
+	for i := range p.Prog {
+		if q.Prog[i] != p.Prog[i] {
+			t.Errorf("instruction %d: %+v != %+v", i, q.Prog[i], p.Prog[i])
+		}
+	}
+	if len(q.Data.Words) != 4 || q.Data.Base != p.Data.Base {
+		t.Errorf("data: %+v", q.Data)
+	}
+	if len(q.SBs) != 1 || q.SBs[0] != p.SBs[0] {
+		t.Errorf("SBs: %+v", q.SBs)
+	}
+	if len(q.Protected) != 1 || q.Protected[0] != p.Protected[0] {
+		t.Errorf("protected: %+v", q.Protected)
+	}
+}
+
+func TestPTPWriteIsReadable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePTP(&buf, samplePTP(t)); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	// The program must be embedded as assembly text.
+	if !strings.Contains(s, "S2R R0, SR_TID") {
+		t.Errorf("program not human-readable:\n%s", s)
+	}
+}
+
+func TestReadPTPErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"{",
+		`{"name":"x","target":"NOPE","kernel":{"Blocks":1,"ThreadsPerBlock":32},"program":"EXIT"}`,
+		`{"name":"x","target":"DU","kernel":{"Blocks":1,"ThreadsPerBlock":32},"program":"BOGUS"}`,
+		`{"name":"x","target":"DU","kernel":{"Blocks":0,"ThreadsPerBlock":32},"program":"EXIT"}`,
+	}
+	for _, src := range cases {
+		if _, err := ReadPTP(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadPTP(%q) succeeded", src)
+		}
+	}
+}
+
+func TestSTLRoundTrip(t *testing.T) {
+	s := &STL{PTPs: []*PTP{samplePTP(t), samplePTP(t)}}
+	s.PTPs[1].Name = "second"
+	var buf bytes.Buffer
+	if err := WriteSTL(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSTL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PTPs) != 2 || got.PTPs[0].Name != "sample" || got.PTPs[1].Name != "second" {
+		t.Fatalf("STL: %+v", got.PTPs)
+	}
+	if got.TotalSize() != s.TotalSize() {
+		t.Errorf("size %d != %d", got.TotalSize(), s.TotalSize())
+	}
+}
+
+func TestWritePTPRejectsInvalid(t *testing.T) {
+	p := samplePTP(t)
+	p.Kernel.Blocks = 0
+	var buf bytes.Buffer
+	if err := WritePTP(&buf, p); err == nil {
+		t.Fatal("invalid PTP serialized")
+	}
+}

@@ -1,0 +1,346 @@
+// Package stl models Self-Test Libraries for the GPU: Parallel Test
+// Programs (PTPs), their launch configuration and input data, and the
+// program analyses the compaction method's first stage needs — basic
+// blocks, the control-flow graph, Admissible Regions for Compaction (ARCs)
+// and Small Block (SB) segmentation.
+package stl
+
+import (
+	"errors"
+	"fmt"
+
+	"gpustl/internal/circuits"
+	"gpustl/internal/isa"
+)
+
+// KernelConfig is a PTP's launch configuration.
+type KernelConfig struct {
+	Blocks          int
+	ThreadsPerBlock int
+}
+
+// DataSegment is the PTP's input data in global memory.
+type DataSegment struct {
+	Base  uint32 // byte address, word aligned
+	Words []uint32
+}
+
+// SB is a Small Block: a short instruction sequence that loads test
+// operands, executes an operation, and propagates the result toward an
+// observable point — the removal granularity of the reduction stage.
+type SB struct {
+	Start, End int // instruction index range [Start, End)
+
+	// Input data owned by this SB within the PTP's data segment (words);
+	// DataLen == 0 when the SB has no memory inputs.
+	DataOff, DataLen int
+	// AddrInstr indexes the instruction whose immediate holds the SB's
+	// data address (Data.Base + 4*DataOff); -1 when not applicable. The
+	// reassembly stage patches it after data relocation.
+	AddrInstr int
+}
+
+// Len returns the SB's instruction count.
+func (s SB) Len() int { return s.End - s.Start }
+
+// PTP is one Parallel Test Program of an STL.
+type PTP struct {
+	Name   string
+	Target circuits.ModuleKind
+	Prog   []isa.Instruction
+	Kernel KernelConfig
+	Data   DataSegment
+
+	// SBs is the Small Block structure. Generators provide it as ground
+	// truth; SegmentSBs derives it from the code when absent.
+	SBs []SB
+
+	// Protected marks instruction ranges the compaction must never touch
+	// (prologue/epilogue and other carefully crafted test code — the
+	// paper's "other regions ... remain unaffected").
+	Protected []Region
+}
+
+// Size returns the PTP size in instructions (the paper's size metric).
+func (p *PTP) Size() int { return len(p.Prog) }
+
+// Clone deep-copies the PTP.
+func (p *PTP) Clone() *PTP {
+	q := &PTP{Name: p.Name, Target: p.Target, Kernel: p.Kernel}
+	q.Prog = append([]isa.Instruction(nil), p.Prog...)
+	q.Data = DataSegment{Base: p.Data.Base, Words: append([]uint32(nil), p.Data.Words...)}
+	q.SBs = append([]SB(nil), p.SBs...)
+	q.Protected = append([]Region(nil), p.Protected...)
+	return q
+}
+
+// Validate checks structural invariants.
+func (p *PTP) Validate() error {
+	if len(p.Prog) == 0 {
+		return errors.New("stl: empty PTP")
+	}
+	if p.Kernel.Blocks <= 0 || p.Kernel.ThreadsPerBlock <= 0 || p.Kernel.ThreadsPerBlock%32 != 0 {
+		return fmt.Errorf("stl: %s: bad kernel config %+v", p.Name, p.Kernel)
+	}
+	prev := -1
+	for i, sb := range p.SBs {
+		if sb.Start < 0 || sb.End > len(p.Prog) || sb.Start >= sb.End {
+			return fmt.Errorf("stl: %s: SB %d range [%d,%d) invalid", p.Name, i, sb.Start, sb.End)
+		}
+		if sb.Start < prev {
+			return fmt.Errorf("stl: %s: SB %d overlaps previous", p.Name, i)
+		}
+		prev = sb.End
+		if sb.DataLen > 0 {
+			if sb.DataOff < 0 || sb.DataOff+sb.DataLen > len(p.Data.Words) {
+				return fmt.Errorf("stl: %s: SB %d data range invalid", p.Name, i)
+			}
+			if sb.AddrInstr < sb.Start || sb.AddrInstr >= sb.End {
+				return fmt.Errorf("stl: %s: SB %d AddrInstr outside SB", p.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// STL is a Self-Test Library: an ordered set of PTPs.
+type STL struct {
+	PTPs []*PTP
+}
+
+// TotalSize returns the summed instruction count.
+func (s *STL) TotalSize() int {
+	n := 0
+	for _, p := range s.PTPs {
+		n += p.Size()
+	}
+	return n
+}
+
+// ByName returns the PTP with the given name.
+func (s *STL) ByName(name string) *PTP {
+	for _, p := range s.PTPs {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Basic blocks and control flow.
+
+// BasicBlock is a maximal single-entry, single-exit straight-line sequence.
+type BasicBlock struct {
+	Start, End int   // instruction range [Start, End)
+	Succs      []int // successor block indices
+}
+
+// BasicBlocks partitions the program into basic blocks and builds the CFG.
+func BasicBlocks(prog []isa.Instruction) []BasicBlock {
+	n := len(prog)
+	if n == 0 {
+		return nil
+	}
+	leader := make([]bool, n+1)
+	leader[0] = true
+	leader[n] = true
+	target := func(pc int, imm int32) int { return pc + 1 + int(imm) }
+	for pc, in := range prog {
+		switch in.Op {
+		case isa.OpBRA, isa.OpCAL, isa.OpSSY:
+			tgt := target(pc, in.Imm)
+			if tgt >= 0 && tgt <= n {
+				leader[tgt] = true
+			}
+			if in.Op != isa.OpSSY && pc+1 <= n {
+				leader[pc+1] = true
+			}
+		case isa.OpRET, isa.OpEXIT:
+			if pc+1 <= n {
+				leader[pc+1] = true
+			}
+		}
+	}
+	// Build blocks.
+	var blocks []BasicBlock
+	blockAt := make([]int, n+1)
+	start := 0
+	for pc := 1; pc <= n; pc++ {
+		if leader[pc] {
+			blocks = append(blocks, BasicBlock{Start: start, End: pc})
+			start = pc
+		}
+	}
+	for bi, b := range blocks {
+		for pc := b.Start; pc < b.End; pc++ {
+			blockAt[pc] = bi
+		}
+	}
+	blockAt[n] = len(blocks)
+	// Edges.
+	for bi := range blocks {
+		b := &blocks[bi]
+		last := prog[b.End-1]
+		addSucc := func(pc int) {
+			if pc < 0 || pc >= n {
+				return
+			}
+			t := blockAt[pc]
+			for _, s := range b.Succs {
+				if s == t {
+					return
+				}
+			}
+			b.Succs = append(b.Succs, t)
+		}
+		switch last.Op {
+		case isa.OpBRA:
+			addSucc(target(b.End-1, last.Imm))
+			if last.Pg != isa.PredAlways {
+				addSucc(b.End)
+			}
+		case isa.OpCAL:
+			addSucc(target(b.End-1, last.Imm))
+			addSucc(b.End) // the call returns here
+		case isa.OpRET, isa.OpEXIT:
+			if last.Op == isa.OpEXIT && last.Pg != isa.PredAlways {
+				addSucc(b.End) // predicated EXIT falls through
+			}
+		default:
+			addSucc(b.End)
+		}
+	}
+	return blocks
+}
+
+// Region is a half-open instruction index range.
+type Region struct {
+	Start, End int
+}
+
+// Len returns the region's instruction count.
+func (r Region) Len() int { return r.End - r.Start }
+
+// Contains reports whether pc lies in the region.
+func (r Region) Contains(pc int) bool { return pc >= r.Start && pc < r.End }
+
+// ARCs identifies the Admissible Regions for Compaction: maximal runs of
+// plain SIMT instructions (no control flow except NOP) inside basic blocks
+// that are not part of any loop. Blocks in parametric loops and all
+// control-flow instructions are excluded, as in stage 1 of the paper.
+func ARCs(prog []isa.Instruction) []Region {
+	blocks := BasicBlocks(prog)
+	inLoop := loopBlocks(blocks)
+	var regions []Region
+	for bi, b := range blocks {
+		if inLoop[bi] {
+			continue
+		}
+		start := -1
+		for pc := b.Start; pc < b.End; pc++ {
+			op := prog[pc].Op
+			plain := isa.ClassOf(op) != isa.ClassCtrl || op == isa.OpNOP
+			if plain && prog[pc].Pg == isa.PredAlways {
+				if start < 0 {
+					start = pc
+				}
+				continue
+			}
+			if start >= 0 {
+				regions = append(regions, Region{Start: start, End: pc})
+				start = -1
+			}
+		}
+		if start >= 0 {
+			regions = append(regions, Region{Start: start, End: b.End})
+		}
+	}
+	return regions
+}
+
+// ARCFraction returns the fraction (0..1) of the program inside ARCs — the
+// "ARC (%)" column of Table I.
+func ARCFraction(prog []isa.Instruction) float64 {
+	if len(prog) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range ARCs(prog) {
+		n += r.Len()
+	}
+	return float64(n) / float64(len(prog))
+}
+
+// ARCs returns the PTP's admissible regions: the raw program analysis
+// minus any protected ranges.
+func (p *PTP) ARCs() []Region {
+	raw := ARCs(p.Prog)
+	if len(p.Protected) == 0 {
+		return raw
+	}
+	var out []Region
+	for _, r := range raw {
+		out = append(out, subtractRegions(r, p.Protected)...)
+	}
+	return out
+}
+
+// subtractRegions removes the protected ranges from r, returning the
+// surviving sub-regions in order.
+func subtractRegions(r Region, prot []Region) []Region {
+	cur := []Region{r}
+	for _, p := range prot {
+		var next []Region
+		for _, c := range cur {
+			if p.End <= c.Start || p.Start >= c.End {
+				next = append(next, c)
+				continue
+			}
+			if p.Start > c.Start {
+				next = append(next, Region{Start: c.Start, End: p.Start})
+			}
+			if p.End < c.End {
+				next = append(next, Region{Start: p.End, End: c.End})
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// ARCFraction returns the fraction (0..1) of the PTP inside its admissible
+// regions — the "ARC (%)" column of Table I.
+func (p *PTP) ARCFraction() float64 {
+	if len(p.Prog) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range p.ARCs() {
+		n += r.Len()
+	}
+	return float64(n) / float64(len(p.Prog))
+}
+
+// SegmentSBs derives the Small Block structure of the ARC regions from the
+// code: within each region, an SB closes right after an instruction that
+// propagates a result to an observable point (a global or shared store);
+// trailing instructions with no store form a final SB. Generators normally
+// supply ground-truth SBs; this derives an equivalent segmentation for
+// externally supplied PTPs.
+func SegmentSBs(prog []isa.Instruction, regions []Region) []SB {
+	var sbs []SB
+	for _, r := range regions {
+		start := r.Start
+		for pc := r.Start; pc < r.End; pc++ {
+			if op := prog[pc].Op; op == isa.OpGST || op == isa.OpSST {
+				sbs = append(sbs, SB{Start: start, End: pc + 1, AddrInstr: -1})
+				start = pc + 1
+			}
+		}
+		if start < r.End {
+			sbs = append(sbs, SB{Start: start, End: r.End, AddrInstr: -1})
+		}
+	}
+	return sbs
+}

@@ -1,0 +1,262 @@
+package stl
+
+import (
+	"testing"
+
+	"gpustl/internal/asm"
+	"gpustl/internal/circuits"
+	"gpustl/internal/isa"
+)
+
+func prog(t *testing.T, src string) []isa.Instruction {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBasicBlocksStraightLine(t *testing.T) {
+	p := prog(t, "MVI R1, 1\nIADD R2, R1, R1\nGST [R2+0], R1\nEXIT")
+	bbs := BasicBlocks(p)
+	if len(bbs) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(bbs))
+	}
+	if bbs[0].Start != 0 || bbs[0].End != 4 || len(bbs[0].Succs) != 0 {
+		t.Fatalf("block: %+v", bbs[0])
+	}
+}
+
+func TestBasicBlocksBranch(t *testing.T) {
+	p := prog(t, `
+		ISETI R1, R0, 0, EQ, P0
+		@P0 BRA skip
+		MVI R2, 1
+	skip:
+		EXIT
+	`)
+	bbs := BasicBlocks(p)
+	if len(bbs) != 3 {
+		t.Fatalf("blocks = %d, want 3: %+v", len(bbs), bbs)
+	}
+	// Block 0 ends at the predicated branch with both successors.
+	if len(bbs[0].Succs) != 2 {
+		t.Fatalf("block 0 succs: %v", bbs[0].Succs)
+	}
+}
+
+func TestBasicBlocksLoop(t *testing.T) {
+	p := prog(t, `
+		MVI R1, 0
+	loop:
+		IADDI R1, R1, 1
+		ISETI R2, R1, 10, LT, P0
+		@P0 BRA loop
+		EXIT
+	`)
+	bbs := BasicBlocks(p)
+	inLoop := loopBlocks(bbs)
+	var loops int
+	for _, l := range inLoop {
+		if l {
+			loops++
+		}
+	}
+	if loops == 0 {
+		t.Fatal("no loop blocks detected")
+	}
+	// The entry block (MVI) must not be in the loop.
+	if inLoop[0] {
+		t.Error("entry block marked in-loop")
+	}
+}
+
+func TestARCsStraightLine(t *testing.T) {
+	p := prog(t, "MVI R1, 1\nIADD R2, R1, R1\nGST [R2+0], R1\nEXIT")
+	rs := ARCs(p)
+	if len(rs) != 1 || rs[0].Start != 0 || rs[0].End != 3 {
+		t.Fatalf("ARCs = %+v", rs)
+	}
+	f := ARCFraction(p)
+	if f < 0.74 || f > 0.76 {
+		t.Fatalf("fraction = %f, want 0.75", f)
+	}
+}
+
+func TestARCsExcludeLoops(t *testing.T) {
+	p := prog(t, `
+		MVI R1, 0          ; admissible
+		MVI R2, 0          ; admissible
+	loop:
+		IADDI R1, R1, 1    ; in loop: excluded
+		ISETI R3, R1, 4, LT, P0
+		@P0 BRA loop
+		IADD R4, R1, R2    ; after loop: admissible
+		GST [R4+0], R1     ; admissible
+		EXIT
+	`)
+	rs := ARCs(p)
+	if len(rs) != 2 {
+		t.Fatalf("ARCs = %+v, want 2 regions", rs)
+	}
+	if rs[0].Start != 0 || rs[0].End != 2 {
+		t.Errorf("region 0 = %+v", rs[0])
+	}
+	if rs[1].Start != 5 || rs[1].End != 7 {
+		t.Errorf("region 1 = %+v", rs[1])
+	}
+	for _, r := range rs {
+		for pc := r.Start; pc < r.End; pc++ {
+			if isa.ClassOf(p[pc].Op) == isa.ClassCtrl {
+				t.Errorf("control op %v inside ARC", p[pc].Op)
+			}
+		}
+	}
+}
+
+func TestARCsExcludePredicated(t *testing.T) {
+	p := prog(t, `
+		MVI R1, 1
+		@P0 IADDI R1, R1, 1  ; predicated: not plainly parallel, excluded
+		MVI R2, 2
+		EXIT
+	`)
+	rs := ARCs(p)
+	if len(rs) != 2 || rs[0].Len() != 1 || rs[1].Len() != 1 {
+		t.Fatalf("ARCs = %+v", rs)
+	}
+}
+
+func TestARCsExcludeBarriers(t *testing.T) {
+	p := prog(t, "MVI R1, 1\nBAR\nMVI R2, 2\nEXIT")
+	rs := ARCs(p)
+	if len(rs) != 2 {
+		t.Fatalf("ARCs = %+v", rs)
+	}
+	for _, r := range rs {
+		if r.Contains(1) {
+			t.Error("BAR inside ARC")
+		}
+	}
+}
+
+func TestSegmentSBs(t *testing.T) {
+	p := prog(t, `
+		MVI R1, 5          ; SB0: load
+		MVI R2, 7          ; SB0: load
+		IADD R3, R1, R2    ; SB0: op
+		GST [R0+0], R3     ; SB0: propagate
+		MVI R1, 9          ; SB1
+		IMUL R3, R1, R2
+		GST [R0+4], R3
+		MVI R9, 1          ; SB2 (no store: trailing)
+		EXIT
+	`)
+	rs := ARCs(p)
+	sbs := SegmentSBs(p, rs)
+	if len(sbs) != 3 {
+		t.Fatalf("SBs = %+v, want 3", sbs)
+	}
+	if sbs[0].Start != 0 || sbs[0].End != 4 {
+		t.Errorf("SB0 = %+v", sbs[0])
+	}
+	if sbs[1].Start != 4 || sbs[1].End != 7 {
+		t.Errorf("SB1 = %+v", sbs[1])
+	}
+	if sbs[2].Start != 7 || sbs[2].End != 8 {
+		t.Errorf("SB2 = %+v", sbs[2])
+	}
+}
+
+func TestPTPValidate(t *testing.T) {
+	base := &PTP{
+		Name:   "t",
+		Target: circuits.ModuleSP,
+		Prog:   prog(t, "MVI R1, 1\nGST [R0+0], R1\nEXIT"),
+		Kernel: KernelConfig{Blocks: 1, ThreadsPerBlock: 32},
+		SBs:    []SB{{Start: 0, End: 2, AddrInstr: -1}},
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid PTP rejected: %v", err)
+	}
+
+	bad := base.Clone()
+	bad.Prog = nil
+	if bad.Validate() == nil {
+		t.Error("empty program accepted")
+	}
+
+	bad = base.Clone()
+	bad.Kernel.ThreadsPerBlock = 33
+	if bad.Validate() == nil {
+		t.Error("bad kernel accepted")
+	}
+
+	bad = base.Clone()
+	bad.SBs = []SB{{Start: 0, End: 99, AddrInstr: -1}}
+	if bad.Validate() == nil {
+		t.Error("SB out of range accepted")
+	}
+
+	bad = base.Clone()
+	bad.SBs = []SB{{Start: 0, End: 2, AddrInstr: -1}, {Start: 1, End: 3, AddrInstr: -1}}
+	if bad.Validate() == nil {
+		t.Error("overlapping SBs accepted")
+	}
+
+	bad = base.Clone()
+	bad.Data = DataSegment{Base: 4096, Words: []uint32{1, 2}}
+	bad.SBs = []SB{{Start: 0, End: 2, DataOff: 0, DataLen: 5, AddrInstr: 0}}
+	if bad.Validate() == nil {
+		t.Error("SB data overrun accepted")
+	}
+}
+
+func TestPTPCloneIndependence(t *testing.T) {
+	p := &PTP{
+		Name:   "orig",
+		Prog:   prog(t, "MVI R1, 1\nEXIT"),
+		Kernel: KernelConfig{Blocks: 1, ThreadsPerBlock: 32},
+		Data:   DataSegment{Base: 0, Words: []uint32{42}},
+		SBs:    []SB{{Start: 0, End: 1, AddrInstr: -1}},
+	}
+	q := p.Clone()
+	q.Prog[0].Imm = 99
+	q.Data.Words[0] = 7
+	q.SBs[0].End = 2
+	if p.Prog[0].Imm == 99 || p.Data.Words[0] == 7 || p.SBs[0].End == 2 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestSTLAccessors(t *testing.T) {
+	s := &STL{PTPs: []*PTP{
+		{Name: "a", Prog: make([]isa.Instruction, 10)},
+		{Name: "b", Prog: make([]isa.Instruction, 5)},
+	}}
+	if s.TotalSize() != 15 {
+		t.Errorf("TotalSize = %d", s.TotalSize())
+	}
+	if s.ByName("b") == nil || s.ByName("zzz") != nil {
+		t.Error("ByName wrong")
+	}
+}
+
+func TestBasicBlocksCallSite(t *testing.T) {
+	p := prog(t, `
+		CAL sub
+		EXIT
+	sub:
+		MVI R1, 1
+		RET
+	`)
+	bbs := BasicBlocks(p)
+	if len(bbs) != 3 {
+		t.Fatalf("blocks = %d: %+v", len(bbs), bbs)
+	}
+	// CAL block must have two successors: the callee and the return point.
+	if len(bbs[0].Succs) != 2 {
+		t.Fatalf("CAL succs = %v", bbs[0].Succs)
+	}
+}

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCCIndexProperty checks Lookup against a linear scan over randomly
+// generated (but valid: ordered, disjoint) span sets.
+func TestCCIndexProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 50; trial++ {
+		var spans []Span
+		cc := uint64(r.Intn(50))
+		for i := 0; i < 1+r.Intn(60); i++ {
+			length := uint64(1 + r.Intn(80))
+			spans = append(spans, Span{
+				Warp: int16(r.Intn(4)), PC: int32(r.Intn(1000)),
+				CCStart: cc, CCEnd: cc + length - 1,
+			})
+			cc += length + uint64(r.Intn(10)) // possible gaps
+		}
+		idx := (&Collector{Spans: spans}).CCToPC()
+
+		linear := func(q uint64) (int16, int32, bool) {
+			for _, s := range spans {
+				if q >= s.CCStart && q <= s.CCEnd {
+					return s.Warp, s.PC, true
+				}
+			}
+			return 0, 0, false
+		}
+		for probe := 0; probe < 300; probe++ {
+			q := uint64(r.Intn(int(cc) + 20))
+			w1, p1, ok1 := idx.Lookup(q)
+			w2, p2, ok2 := linear(q)
+			if ok1 != ok2 || w1 != w2 || p1 != p2 {
+				t.Fatalf("trial %d cc=%d: index (%d,%d,%v) != linear (%d,%d,%v)",
+					trial, q, w1, p1, ok1, w2, p2, ok2)
+			}
+		}
+	}
+}
+
+func TestCCIndexEmpty(t *testing.T) {
+	idx := (&Collector{}).CCToPC()
+	if _, _, ok := idx.Lookup(0); ok {
+		t.Fatal("empty index resolved a cycle")
+	}
+}

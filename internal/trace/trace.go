@@ -1,0 +1,219 @@
+// Package trace implements the logic-tracing stage of the compaction
+// method (stage 2 of the paper).
+//
+// A Collector plays the role of the hardware monitor the authors insert
+// into one SM of the RT-level GPU model: attached to the simulator as a
+// gpu.Monitor, it records, for every clock cycle, the decoded instruction,
+// program counter, executed instruction per warp, warp identifier and cycle
+// value (the Tracing Report), and — like the gate-level logic simulation —
+// extracts the sequence of test patterns applied to the target module by
+// observing the module's input activity (the Test Pattern Report).
+package trace
+
+import (
+	"fmt"
+
+	"gpustl/internal/circuits"
+	"gpustl/internal/fault"
+	"gpustl/internal/gpu"
+	"gpustl/internal/isa"
+)
+
+// Row is one line of the Tracing Report: one decoded warp instruction.
+type Row struct {
+	CC   uint64
+	Warp int16
+	PC   int32
+	Op   isa.Opcode
+	Word isa.Word
+}
+
+// Span is the temporal life of one executed warp instruction (start/end
+// clock cycles), recovered from the retire events.
+type Span struct {
+	Warp    int16
+	PC      int32
+	CCStart uint64
+	CCEnd   uint64
+}
+
+// StoreEvent is an architecturally observable write (GST/SST) — the PTP's
+// observation points.
+type StoreEvent struct {
+	CC     uint64
+	Warp   int16
+	PC     int32
+	Thread int16
+	Space  gpu.Space
+	Addr   uint32
+	Value  uint32
+}
+
+// Collector gathers the Tracing Report and the target module's Test
+// Pattern Report during one logic simulation.
+type Collector struct {
+	gpu.NopMonitor
+
+	// Target selects which module's input patterns are extracted.
+	Target circuits.ModuleKind
+
+	Rows     []Row
+	Spans    []Span
+	Patterns []fault.TimedPattern
+	Stores   []StoreEvent
+
+	// LiteRows drops the Rows/Spans reports (pattern extraction only).
+	LiteRows bool
+
+	// curCond holds the latest decoded condition field per warp; the SM
+	// decodes an instruction before its execute-stage callbacks fire, so
+	// ALUOp can recover the comparison condition of ISET/ISETI from here.
+	curCond []isa.Cond
+}
+
+// NewCollector creates a collector extracting patterns for the target
+// module.
+func NewCollector(target circuits.ModuleKind) *Collector {
+	return &Collector{Target: target}
+}
+
+// Fetch implements gpu.Monitor; the raw word and PC form the DU pattern
+// and, for the pipeline-register target, one registered cycle (enabled,
+// no flush — the functional fetch stream).
+func (c *Collector) Fetch(cc uint64, warp, pc int, word isa.Word) {
+	switch c.Target {
+	case circuits.ModuleDU:
+		c.Patterns = append(c.Patterns, fault.TimedPattern{
+			CC: cc, Lane: 0, Warp: int16(warp), PC: int32(pc),
+			Pat: circuits.EncodeDUPattern(word, pc),
+		})
+	case circuits.ModulePIPE:
+		c.Patterns = append(c.Patterns, fault.TimedPattern{
+			CC: cc, Lane: 0, Warp: int16(warp), PC: int32(pc),
+			Pat: circuits.EncodePIPEPattern(uint64(word), uint32(pc), true, false),
+		})
+	}
+}
+
+// Decode implements gpu.Monitor; every decode produces a trace row.
+func (c *Collector) Decode(cc uint64, warp, pc int, in isa.Instruction) {
+	for len(c.curCond) <= warp {
+		c.curCond = append(c.curCond, isa.CondEQ)
+	}
+	c.curCond[warp] = in.Cond
+	if c.LiteRows {
+		return
+	}
+	c.Rows = append(c.Rows, Row{
+		CC: cc, Warp: int16(warp), PC: int32(pc), Op: in.Op, Word: isa.Encode(in),
+	})
+}
+
+// ALUOp implements gpu.Monitor; SP-datapath operand tuples form the SP
+// patterns and FP32-unit tuples the FP32 patterns (one per active thread,
+// on the lane that executes it).
+func (c *Collector) ALUOp(cc uint64, warp, pc, lane, thread int, op isa.Opcode, a, b, cop uint32) {
+	if c.Target == circuits.ModuleFP32 {
+		fn, ra, rb, rc, ok := circuits.FP32FnOf(op, a, b, cop)
+		if !ok {
+			return
+		}
+		c.Patterns = append(c.Patterns, fault.TimedPattern{
+			CC: cc, Lane: int16(lane), Warp: int16(warp), PC: int32(pc),
+			Pat: circuits.EncodeFP32Pattern(fn, ra, rb, rc),
+		})
+		return
+	}
+	if c.Target != circuits.ModuleSP {
+		return
+	}
+	fn, ra, rb, rc, ok := circuits.SPFnOf(op, a, b, cop)
+	if !ok {
+		return // FP32 op: executes outside the SP integer datapath
+	}
+	cond := isa.CondEQ
+	if warp < len(c.curCond) {
+		cond = c.curCond[warp]
+	}
+	c.Patterns = append(c.Patterns, fault.TimedPattern{
+		CC: cc, Lane: int16(lane), Warp: int16(warp), PC: int32(pc),
+		Pat: circuits.EncodeSPPattern(fn, cond, ra, rb, rc),
+	})
+}
+
+// SFUOp implements gpu.Monitor.
+func (c *Collector) SFUOp(cc uint64, warp, pc, lane, thread int, op isa.Opcode, a uint32) {
+	if c.Target != circuits.ModuleSFU {
+		return
+	}
+	fn, ok := circuits.SFUFnOf(op)
+	if !ok {
+		return
+	}
+	c.Patterns = append(c.Patterns, fault.TimedPattern{
+		CC: cc, Lane: int16(lane), Warp: int16(warp), PC: int32(pc),
+		Pat: circuits.EncodeSFUPattern(fn, a),
+	})
+}
+
+// Store implements gpu.Monitor.
+func (c *Collector) Store(cc uint64, warp, pc, thread int, sp gpu.Space, addr, v uint32) {
+	c.Stores = append(c.Stores, StoreEvent{
+		CC: cc, Warp: int16(warp), PC: int32(pc), Thread: int16(thread),
+		Space: sp, Addr: addr, Value: v,
+	})
+}
+
+// Retire implements gpu.Monitor.
+func (c *Collector) Retire(ccStart, ccEnd uint64, warp, pc int) {
+	if c.LiteRows {
+		return
+	}
+	c.Spans = append(c.Spans, Span{
+		Warp: int16(warp), PC: int32(pc), CCStart: ccStart, CCEnd: ccEnd,
+	})
+}
+
+var _ gpu.Monitor = (*Collector)(nil)
+
+// CCToPC builds the cc → (warp, pc) join index the labeling stage uses to
+// match Fault Sim Report entries back to instructions: for each pattern
+// cc, the warp instruction in flight. Built from the retire spans.
+func (c *Collector) CCToPC() *CCIndex {
+	idx := &CCIndex{spans: c.Spans}
+	return idx
+}
+
+// CCIndex resolves clock cycles to the warp instruction occupying them.
+// Spans are recorded in execution order (the SM runs one warp instruction
+// at a time), so binary search over start cycles suffices.
+type CCIndex struct {
+	spans []Span
+}
+
+// Lookup returns the (warp, pc) whose span contains cc.
+func (ix *CCIndex) Lookup(cc uint64) (warp int16, pc int32, ok bool) {
+	lo, hi := 0, len(ix.spans)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ix.spans[mid].CCStart <= cc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0, 0, false
+	}
+	s := ix.spans[lo-1]
+	if cc > s.CCEnd {
+		return 0, 0, false
+	}
+	return s.Warp, s.PC, true
+}
+
+// Stats summarizes a trace for reporting.
+func (c *Collector) Stats() string {
+	return fmt.Sprintf("trace: %d rows, %d spans, %d %v patterns, %d stores",
+		len(c.Rows), len(c.Spans), len(c.Patterns), c.Target, len(c.Stores))
+}

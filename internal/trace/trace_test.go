@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"testing"
+
+	"gpustl/internal/asm"
+	"gpustl/internal/circuits"
+	"gpustl/internal/gpu"
+	"gpustl/internal/isa"
+)
+
+const testProg = `
+	S2R   R0, SR_TID
+	SHLI  R1, R0, 2
+	IADDI R2, R0, 5
+	IMULI R3, R2, 3
+	XOR   R4, R3, R0
+	SIN   R5, R4
+	GST   [R1+0], R4
+	EXIT
+`
+
+func runWith(t *testing.T, target circuits.ModuleKind) *Collector {
+	t.Helper()
+	prog, err := asm.Assemble(testProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector(target)
+	g, err := gpu.New(gpu.DefaultConfig(), col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(gpu.Kernel{Prog: prog, Blocks: 1, ThreadsPerBlock: 32}); err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func TestTraceRowsAndSpans(t *testing.T) {
+	col := runWith(t, circuits.ModuleDU)
+	if len(col.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(col.Rows))
+	}
+	for i, r := range col.Rows {
+		if int(r.PC) != i {
+			t.Errorf("row %d pc = %d", i, r.PC)
+		}
+		if r.Warp != 0 {
+			t.Errorf("row %d warp = %d", i, r.Warp)
+		}
+	}
+	if len(col.Spans) != 8 {
+		t.Fatalf("spans = %d, want 8", len(col.Spans))
+	}
+	// Spans must be disjoint and increasing.
+	for i := 1; i < len(col.Spans); i++ {
+		if col.Spans[i].CCStart <= col.Spans[i-1].CCEnd {
+			t.Fatalf("span %d overlaps previous", i)
+		}
+	}
+}
+
+func TestDUPatterns(t *testing.T) {
+	col := runWith(t, circuits.ModuleDU)
+	// One DU pattern per fetched warp instruction.
+	if len(col.Patterns) != 8 {
+		t.Fatalf("DU patterns = %d, want 8", len(col.Patterns))
+	}
+	for _, p := range col.Patterns {
+		if p.Lane != 0 {
+			t.Errorf("DU pattern lane = %d", p.Lane)
+		}
+		// The instruction-word field of the pattern must decode to the
+		// opcode of the traced instruction at that PC.
+		in, err := isa.Decode(isa.Word(p.Pat.W[0]))
+		if err != nil {
+			t.Fatalf("pattern word undecodable: %v", err)
+		}
+		if int(p.PC) >= len(col.Rows) || col.Rows[p.PC].Op != in.Op {
+			t.Errorf("pattern pc %d op %v mismatch", p.PC, in.Op)
+		}
+	}
+}
+
+func TestSPPatterns(t *testing.T) {
+	col := runWith(t, circuits.ModuleSP)
+	// 5 ALU-class instructions (S2R, SHLI, IADDI, IMULI, XOR) x 32 threads.
+	if len(col.Patterns) != 5*32 {
+		t.Fatalf("SP patterns = %d, want %d", len(col.Patterns), 5*32)
+	}
+	// Lanes must cycle 0..7 within each instruction.
+	for i, p := range col.Patterns {
+		if want := int16(i % 8); p.Lane != want {
+			t.Fatalf("pattern %d lane = %d, want %d", i, p.Lane, want)
+		}
+	}
+	// The XOR instruction's pattern for thread 0: a = 15 (=(0+5)*3), b = 0.
+	var found bool
+	for _, p := range col.Patterns {
+		if p.PC == 4 && p.Pat.W[0] == uint64(15) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("expected XOR pattern with a=15,b=0 for thread 0")
+	}
+}
+
+func TestSFUPatterns(t *testing.T) {
+	col := runWith(t, circuits.ModuleSFU)
+	if len(col.Patterns) != 32 { // one SIN per thread
+		t.Fatalf("SFU patterns = %d, want 32", len(col.Patterns))
+	}
+	for i, p := range col.Patterns {
+		if want := int16(i % 2); p.Lane != want {
+			t.Fatalf("pattern %d lane = %d, want %d (2 SFUs)", i, p.Lane, want)
+		}
+		fn := circuits.SFUFn(p.Pat.W[0] >> 32)
+		if fn != circuits.SFUSin {
+			t.Fatalf("pattern %d fn = %d, want SIN", i, fn)
+		}
+	}
+}
+
+func TestStores(t *testing.T) {
+	col := runWith(t, circuits.ModuleDU)
+	if len(col.Stores) != 32 {
+		t.Fatalf("stores = %d, want 32", len(col.Stores))
+	}
+	for _, s := range col.Stores {
+		if s.Space != gpu.SpaceGlobal || s.PC != 6 {
+			t.Errorf("store %+v", s)
+		}
+	}
+}
+
+func TestCCIndexLookup(t *testing.T) {
+	col := runWith(t, circuits.ModuleSP)
+	idx := col.CCToPC()
+	// Every extracted pattern's cc must resolve to its own (warp, pc).
+	for _, p := range col.Patterns {
+		warp, pc, ok := idx.Lookup(p.CC)
+		if !ok {
+			t.Fatalf("cc %d not found", p.CC)
+		}
+		if warp != p.Warp || pc != p.PC {
+			t.Fatalf("cc %d resolved to (%d,%d), pattern says (%d,%d)",
+				p.CC, warp, pc, p.Warp, p.PC)
+		}
+	}
+	// Out-of-range cycles fail cleanly.
+	if _, _, ok := idx.Lookup(1 << 60); ok {
+		t.Error("lookup past the end succeeded")
+	}
+}
+
+func TestLiteRows(t *testing.T) {
+	prog, err := asm.Assemble(testProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector(circuits.ModuleSP)
+	col.LiteRows = true
+	g, _ := gpu.New(gpu.DefaultConfig(), col)
+	if _, err := g.Run(gpu.Kernel{Prog: prog, Blocks: 1, ThreadsPerBlock: 32}); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Rows) != 0 || len(col.Spans) != 0 {
+		t.Fatalf("LiteRows kept rows=%d spans=%d", len(col.Rows), len(col.Spans))
+	}
+	if len(col.Patterns) == 0 {
+		t.Fatal("LiteRows dropped patterns")
+	}
+}
+
+func TestISETCondReachesPattern(t *testing.T) {
+	prog, err := asm.Assemble(`
+		S2R   R0, SR_TID
+		ISETI R1, R0, 7, GE, P0
+		EXIT`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector(circuits.ModuleSP)
+	g, _ := gpu.New(gpu.DefaultConfig(), col)
+	if _, err := g.Run(gpu.Kernel{Prog: prog, Blocks: 1, ThreadsPerBlock: 32}); err != nil {
+		t.Fatal(err)
+	}
+	var isetSeen bool
+	for _, p := range col.Patterns {
+		if p.PC != 1 {
+			continue
+		}
+		isetSeen = true
+		cond := isa.Cond(p.Pat.W[1] >> 36 & 0x7)
+		if cond != isa.CondGE {
+			t.Fatalf("ISET pattern cond = %v, want GE", cond)
+		}
+	}
+	if !isetSeen {
+		t.Fatal("no ISET pattern")
+	}
+}

@@ -1,0 +1,40 @@
+package vcde
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpustl/internal/circuits"
+	"gpustl/internal/fault"
+)
+
+// FuzzRead checks the parser never panics on arbitrary input and that
+// anything it accepts re-serializes losslessly.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	Write(&seed, Header{Module: circuits.ModuleSP, Lanes: 8, Inputs: 103},
+		[]fault.TimedPattern{{CC: 5, Lane: 2, Warp: 1, PC: 9,
+			Pat: circuits.EncodeSPPattern(circuits.SPXor, 0, 1, 2, 3)}})
+	f.Add(seed.String())
+	f.Add("VCDE 1\nend")
+	f.Add("garbage")
+	f.Add("VCDE 1\nmodule DU lanes 1 inputs 88\np 0 0 0 0 0 0\nend")
+	f.Fuzz(func(t *testing.T, src string) {
+		h, pats, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, h, pats); err != nil {
+			t.Fatal(err)
+		}
+		h2, pats2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if h2 != h || len(pats2) != len(pats) {
+			t.Fatalf("lossy round trip")
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package vcde
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gpustl/internal/circuits"
+	"gpustl/internal/fault"
+	"gpustl/internal/isa"
+)
+
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pats := make([]fault.TimedPattern, 500)
+	for i := range pats {
+		pats[i] = fault.TimedPattern{
+			CC:   r.Uint64() >> 16,
+			Lane: int16(r.Intn(8)),
+			Warp: int16(r.Intn(32)),
+			PC:   int32(r.Intn(1 << 20)),
+			Pat: circuits.EncodeSPPattern(
+				circuits.SPFn(r.Intn(circuits.NumSPFns)),
+				isa.Cond(r.Intn(isa.NumConds)),
+				r.Uint32(), r.Uint32(), r.Uint32()),
+		}
+	}
+	h := Header{Module: circuits.ModuleSP, Lanes: 8, Inputs: 103}
+	var buf bytes.Buffer
+	if err := Write(&buf, h, pats); err != nil {
+		t.Fatal(err)
+	}
+	h2, pats2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h {
+		t.Fatalf("header %+v != %+v", h2, h)
+	}
+	if len(pats2) != len(pats) {
+		t.Fatalf("len %d != %d", len(pats2), len(pats))
+	}
+	for i := range pats {
+		if pats[i] != pats2[i] {
+			t.Fatalf("pattern %d: %+v != %+v", i, pats[i], pats2[i])
+		}
+	}
+}
+
+func TestReadEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{Module: circuits.ModuleDU, Lanes: 1, Inputs: 88}, nil); err != nil {
+		t.Fatal(err)
+	}
+	h, pats, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Module != circuits.ModuleDU || len(pats) != 0 {
+		t.Fatalf("h=%+v pats=%d", h, len(pats))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"NOTVCDE",
+		"VCDE 1\nmodule BOGUS lanes 1 inputs 2\nend",
+		"VCDE 1\nmodule SP lanes x inputs 2\nend",
+		"VCDE 1\np 1 2 3\nend",
+		"VCDE 1\np 1 2 3 4 zz 0\nend",
+		"VCDE 1\nwhatisthis\nend",
+		"VCDE 1\nmodule SP lanes 8 inputs 103\n", // missing end
+	}
+	for _, src := range cases {
+		if _, _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	src := "# header comment\nVCDE 1\n\nmodule SFU lanes 2 inputs 35\n# data\np 10 1 0 5 deadbeef 0\nend\n"
+	h, pats, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Module != circuits.ModuleSFU || len(pats) != 1 {
+		t.Fatalf("h=%+v pats=%d", h, len(pats))
+	}
+	if pats[0].Pat.W[0] != 0xdeadbeef || pats[0].CC != 10 || pats[0].Lane != 1 {
+		t.Fatalf("pattern: %+v", pats[0])
+	}
+}
