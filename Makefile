@@ -1,0 +1,17 @@
+# Tier-1 gate: build + tests (what CI and the roadmap require).
+.PHONY: test
+test:
+	go build ./...
+	go test ./...
+
+# Full verification: vet and the race detector on top of tier-1. The
+# race pass matters here — the fault simulator and the resilient runner
+# are the concurrent parts of the codebase.
+.PHONY: verify
+verify: test
+	go vet ./...
+	go test -race ./...
+
+.PHONY: bench
+bench:
+	go test -bench . -benchtime 1x -run '^$$' ./...

@@ -6,17 +6,29 @@
 //
 //	stlcompact -target DU|SP|SFU [-n N] [-seed S] [-faults K] [-reverse]
 //	           [-instr] [-baseline] [-load FILE.json] [-save DIR]
+//	           [-checkpoint DIR] [-stage-timeout D] [-fctol PTS]
 //
 // With -load, the PTPs are read from a saved STL file (see -save and the
 // gpustl.WriteSTL format) instead of being generated.
+//
+// The compaction runs under the resilience layer: a PTP that fails (or
+// whose compacted form loses more than -fctol points of fault coverage)
+// is kept in its original form and the run continues. With -checkpoint,
+// progress is persisted after every PTP and an interrupted run (Ctrl-C,
+// SIGTERM, crash) resumes where it left off. Whatever happens, the
+// report and -save outputs reflect every PTP finished so far.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"gpustl"
 )
@@ -34,6 +46,9 @@ func main() {
 		baseline = flag.Bool("baseline", false, "also run the iterative prior-work baseline")
 		loadPath = flag.String("load", "", "load PTPs from a saved STL JSON file instead of generating")
 		saveDir  = flag.String("save", "", "write original and compacted PTPs to this directory")
+		ckDir    = flag.String("checkpoint", "", "persist progress here and resume interrupted runs")
+		stageTO  = flag.Duration("stage-timeout", 0, "per-stage watchdog timeout (0 = off)")
+		fcTol    = flag.Float64("fctol", 5, "max FC loss (points) before a compacted PTP reverts")
 	)
 	flag.Parse()
 
@@ -48,6 +63,23 @@ func main() {
 	default:
 		log.Fatalf("unknown target %q", *target)
 	}
+
+	// Validate output directories before any simulation work, so a typo
+	// fails in milliseconds instead of after the compaction.
+	for _, dir := range []string{*saveDir, *ckDir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o777); err != nil {
+			log.Fatalf("output directory: %v", err)
+		}
+	}
+
+	// Ctrl-C / SIGTERM cancel the run cleanly: the in-flight PTP aborts,
+	// the report and -save outputs flush with everything finished so
+	// far, and -checkpoint lets the next invocation resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	mod, err := gpustl.BuildModule(kind)
 	if err != nil {
@@ -79,91 +111,127 @@ func main() {
 		if len(ptps) == 0 {
 			log.Fatalf("no PTPs targeting %v in %s", kind, *loadPath)
 		}
-		runCompaction(kind, mod, faults, ptps, *reverse, *instrG, *baseline, *saveDir)
-		return
-	}
-	switch kind {
-	case gpustl.ModuleDU:
-		ptps = []*gpustl.PTP{
-			gpustl.GenerateIMM(*n, *seed+1),
-			gpustl.GenerateMEM(*n, *seed+2),
-			gpustl.GenerateCNTRL(max(2, *n/10), *seed+3),
+	} else {
+		switch kind {
+		case gpustl.ModuleDU:
+			ptps = []*gpustl.PTP{
+				gpustl.GenerateIMM(*n, *seed+1),
+				gpustl.GenerateMEM(*n, *seed+2),
+				gpustl.GenerateCNTRL(max(2, *n/10), *seed+3),
+			}
+		case gpustl.ModuleSP:
+			opt := gpustl.DefaultATPGOptions(*seed + 4)
+			opt.SampleFaults = *n * 10
+			res := gpustl.GenerateATPG(mod, opt)
+			tpgen, dropped := gpustl.ConvertTPGEN(res, *seed+4)
+			log.Printf("TPGEN: %d ATPG patterns, %d unconvertible", len(res.Patterns), dropped)
+			ptps = []*gpustl.PTP{tpgen, gpustl.GenerateRAND(*n, *seed+5)}
+		case gpustl.ModuleSFU:
+			opt := gpustl.DefaultATPGOptions(*seed + 6)
+			opt.SampleFaults = *n * 10
+			res := gpustl.GenerateATPG(mod, opt)
+			sfu, dropped := gpustl.ConvertSFUIMM(res, *seed+6)
+			log.Printf("SFU_IMM: %d ATPG patterns, %d unconvertible", len(res.Patterns), dropped)
+			ptps = []*gpustl.PTP{sfu}
 		}
-	case gpustl.ModuleSP:
-		opt := gpustl.DefaultATPGOptions(*seed + 4)
-		opt.SampleFaults = *n * 10
-		res := gpustl.GenerateATPG(mod, opt)
-		tpgen, dropped := gpustl.ConvertTPGEN(res, *seed+4)
-		log.Printf("TPGEN: %d ATPG patterns, %d unconvertible", len(res.Patterns), dropped)
-		ptps = []*gpustl.PTP{tpgen, gpustl.GenerateRAND(*n, *seed+5)}
-	case gpustl.ModuleSFU:
-		opt := gpustl.DefaultATPGOptions(*seed + 6)
-		opt.SampleFaults = *n * 10
-		res := gpustl.GenerateATPG(mod, opt)
-		sfu, dropped := gpustl.ConvertSFUIMM(res, *seed+6)
-		log.Printf("SFU_IMM: %d ATPG patterns, %d unconvertible", len(res.Patterns), dropped)
-		ptps = []*gpustl.PTP{sfu}
 	}
 
-	runCompaction(kind, mod, faults, ptps, *reverse, *instrG, *baseline, *saveDir)
+	os.Exit(runCompaction(ctx, kind, mod, faults, ptps, runFlags{
+		reverse: *reverse, instrG: *instrG, baseline: *baseline,
+		saveDir: *saveDir, ckDir: *ckDir, stageTO: *stageTO, fcTol: *fcTol,
+	}))
 }
 
-func runCompaction(kind gpustl.ModuleKind, mod *gpustl.Module, faults []gpustl.Fault,
-	ptps []*gpustl.PTP, reverse, instrG, baseline bool, saveDir string) {
+type runFlags struct {
+	reverse, instrG, baseline bool
+	saveDir, ckDir            string
+	stageTO                   time.Duration
+	fcTol                     float64
+}
 
-	comp := gpustl.NewCompactor(gpustl.DefaultGPUConfig(), mod, faults, gpustl.CompactorOptions{
-		ReversePatterns:        reverse,
-		InstructionGranularity: instrG,
-	})
+// runCompaction compacts the PTPs under the resilience layer and returns
+// the process exit code. Even on failure it flushes the report for every
+// finished PTP and writes the -save outputs, so no completed work is
+// lost to a mid-pipeline error.
+func runCompaction(ctx context.Context, kind gpustl.ModuleKind, mod *gpustl.Module,
+	faults []gpustl.Fault, ptps []*gpustl.PTP, fl runFlags) int {
+
+	cfg := gpustl.DefaultGPUConfig()
+	copt := gpustl.CompactorOptions{
+		ReversePatterns:        fl.reverse,
+		InstructionGranularity: fl.instrG,
+	}
+	ms := &gpustl.ModuleSet{
+		Modules: map[gpustl.ModuleKind]*gpustl.Module{kind: mod},
+		Faults:  map[gpustl.ModuleKind][]gpustl.Fault{kind: faults},
+	}
+	lib := &gpustl.STL{PTPs: ptps}
+
 	fmt.Printf("compacting %d PTP(s) for %v (%d faults, %d gates x %d lanes)\n\n",
 		len(ptps), kind, len(faults), mod.NL.NumGates(), mod.Lanes)
-	fmt.Printf("%-8s  %10s  %8s  %12s  %8s  %8s  %10s\n",
-		"PTP", "size", "(%)", "duration", "(%)", "DiffFC", "time")
-	compacted := gpustl.STL{}
-	original := gpustl.STL{}
-	for _, p := range ptps {
-		res, err := comp.CompactPTP(p)
-		if err != nil {
-			log.Fatal(err)
+
+	rep, err := gpustl.CompactWholeSTLResilient(ctx, cfg, ms, lib, copt,
+		gpustl.RunnerOptions{
+			CheckpointDir: fl.ckDir,
+			StageTimeout:  fl.stageTO,
+			FCTolerance:   fl.fcTol,
+		})
+	exit := 0
+	if err != nil {
+		// A canceled or failed run still produced outcomes for every
+		// finished PTP; report them and exit non-zero after flushing.
+		log.Printf("run stopped: %v", err)
+		exit = 1
+	}
+	if rep == nil || len(rep.Outcomes) == 0 {
+		return 1
+	}
+	rep.Render(os.Stdout)
+
+	if fl.saveDir != "" {
+		original := &gpustl.STL{PTPs: lib.PTPs[:len(rep.Outcomes)]}
+		if werr := saveSTL(fl.saveDir, "stl_original.json", original); werr != nil {
+			log.Print(werr)
+			exit = 1
 		}
-		fmt.Printf("%-8s  %4d->%-4d  %+8.2f  %6d->%-6d  %+8.2f  %+8.2f  %10v\n",
-			p.Name, res.OrigSize, res.CompSize, -res.SizeReduction(),
-			res.OrigDuration, res.CompDuration, -res.DurationReduction(),
-			res.FCDiff(), res.CompactionTime)
-		original.PTPs = append(original.PTPs, p)
-		compacted.PTPs = append(compacted.PTPs, res.Compacted)
+		if werr := saveSTL(fl.saveDir, "stl_compacted.json", rep.Compacted); werr != nil {
+			log.Print(werr)
+			exit = 1
+		}
 	}
 
-	if saveDir != "" {
-		save := func(name string, lib *gpustl.STL) {
-			path := filepath.Join(saveDir, name)
-			f, err := os.Create(path)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := gpustl.WriteSTL(f, lib); err != nil {
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("wrote %s\n", path)
-		}
-		save("stl_original.json", &original)
-		save("stl_compacted.json", &compacted)
-	}
-
-	if baseline {
+	if fl.baseline && err == nil {
 		fmt.Println("\niterative baseline (one fault sim per candidate Small Block):")
-		b := gpustl.NewBaseline(gpustl.DefaultGPUConfig(), mod, faults)
+		b := gpustl.NewBaseline(cfg, mod, faults)
 		for _, p := range ptps {
-			res, err := b.CompactPTP(p)
-			if err != nil {
-				log.Fatal(err)
+			res, berr := b.CompactPTP(p)
+			if berr != nil {
+				log.Printf("baseline %s: %v", p.Name, berr)
+				exit = 1
+				continue
 			}
 			fmt.Printf("%-8s  %4d->%-4d  %+8.2f  FC %.2f->%.2f  %4d fault sims  %10v\n",
 				p.Name, res.OrigSize, res.CompSize, -res.SizeReduction(),
 				res.OrigFC, res.CompFC, res.FaultSims, res.Time)
 		}
 	}
+	return exit
+}
+
+// saveSTL writes one STL JSON file into dir.
+func saveSTL(dir, name string, lib *gpustl.STL) error {
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gpustl.WriteSTL(f, lib); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }

@@ -42,7 +42,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := camp.Simulate(col.Patterns)
+	rep, err := camp.Simulate(col.Patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("sequential fault simulation: %d/%d stem faults detected (%.2f%%)\n",
 		camp.Detected(), camp.Total(), camp.Coverage())
 

@@ -32,6 +32,8 @@
 package gpustl
 
 import (
+	"context"
+
 	"gpustl/internal/asm"
 	"gpustl/internal/atpg"
 	"gpustl/internal/baseline"
@@ -43,6 +45,7 @@ import (
 	"gpustl/internal/isa"
 	"gpustl/internal/netlist"
 	"gpustl/internal/ptpgen"
+	"gpustl/internal/run"
 	"gpustl/internal/signature"
 	"gpustl/internal/stl"
 	"gpustl/internal/trace"
@@ -315,6 +318,54 @@ func NewModuleSet(lib *STL, sample int, seed int64) (*ModuleSet, error) {
 // PTPs with no admissible regions pass through untouched.
 func CompactWholeSTL(cfg GPUConfig, ms *ModuleSet, lib *STL, opt CompactorOptions) (*STLCompactionResult, error) {
 	return core.CompactSTL(cfg, ms, lib, opt)
+}
+
+// Stage identifies one stage of the compaction pipeline, for stage
+// hooks and failure attribution.
+type Stage = core.Stage
+
+// The pipeline stages, in execution order.
+const (
+	StagePartition  = core.StagePartition
+	StageTrace      = core.StageTrace
+	StageFaultSim   = core.StageFaultSim
+	StageReduce     = core.StageReduce
+	StageReassemble = core.StageReassemble
+	StageEvaluate   = core.StageEvaluate
+)
+
+// StageError attributes a compaction failure to a pipeline stage.
+type StageError = run.StageError
+
+// RunnerOptions tunes the resilient STL runner: checkpoint directory,
+// per-stage watchdog timeout, FC-safety tolerance, and stage hooks.
+type RunnerOptions = run.Options
+
+// RunReport is the outcome of a resilient STL compaction run.
+type RunReport = run.Report
+
+// RunOutcome is one PTP's row of a resilient run report.
+type RunOutcome = run.Outcome
+
+// RunStatus classifies one PTP's outcome in a resilient run.
+type RunStatus = run.Status
+
+// The per-PTP outcomes of a resilient run.
+const (
+	RunCompacted     = run.StatusCompacted
+	RunRevertedError = run.StatusRevertedError
+	RunRevertedFC    = run.StatusRevertedFC
+	RunExcluded      = run.StatusExcluded
+)
+
+// CompactWholeSTLResilient is CompactWholeSTL under the resilience
+// layer: per-PTP panic isolation, cooperative cancellation through ctx,
+// per-stage watchdog timeouts, JSON checkpoint/resume, and an FC-safety
+// guard that keeps the original PTP when compaction fails or costs more
+// coverage than the tolerance allows.
+func CompactWholeSTLResilient(ctx context.Context, cfg GPUConfig, ms *ModuleSet,
+	lib *STL, opt CompactorOptions, ropt RunnerOptions) (*RunReport, error) {
+	return run.Run(ctx, cfg, ms, lib, opt, ropt)
 }
 
 // BaselineCompactor is the iterative prior-work method (one fault

@@ -122,3 +122,40 @@ func TestFacadeVCDE(t *testing.T) {
 		t.Fatalf("round trip: %+v %d %v", h2, len(pats), err)
 	}
 }
+
+// TestReadSTLMalformed drives ReadSTL through the broken inputs an
+// operator can plausibly produce — a truncated file, an unknown target
+// module, an empty library, duplicate PTP names — and demands a
+// descriptive error for each, never a panic.
+func TestReadSTLMalformed(t *testing.T) {
+	valid := `{"name":"x","target":"DU","kernel":{"Blocks":1,"ThreadsPerBlock":32},"program":"EXIT"}`
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty input", "", "decoding STL"},
+		{"truncated JSON", `{"ptps":[{"name":"x","tar`, "decoding STL"},
+		{"unknown module kind", `{"ptps":[{"name":"x","target":"GX9","kernel":{"Blocks":1,"ThreadsPerBlock":32},"program":"EXIT"}]}`, "unknown target module"},
+		{"empty PTP list", `{"ptps":[]}`, "no PTPs"},
+		{"missing ptps key", `{}`, "no PTPs"},
+		{"duplicate PTP names", `{"ptps":[` + valid + `,` + valid + `]}`, "duplicate PTP name"},
+	}
+	for _, tc := range cases {
+		_, err := ReadSTL(strings.NewReader(tc.src))
+		if err == nil {
+			t.Errorf("%s: ReadSTL succeeded", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// The valid single-PTP library still loads.
+	lib, err := ReadSTL(strings.NewReader(`{"ptps":[` + valid + `]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.PTPs) != 1 || lib.PTPs[0].Name != "x" {
+		t.Fatalf("library: %+v", lib.PTPs)
+	}
+}

@@ -43,10 +43,15 @@ func buildRedundant(t testing.TB) *netlist.Netlist {
 // verifyPatternDetects checks with the fault simulator that pat detects f.
 func verifyPatternDetects(t *testing.T, nl *netlist.Netlist, f netlist.FaultSite, pat circuits.Pattern) {
 	t.Helper()
-	ev := netlist.NewEvaluator(nl)
+	ev, err := netlist.NewEvaluator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
 	in := make([]uint64, len(nl.Inputs))
 	pat.ApplyTo(in, 0)
-	ev.Run(in)
+	if err := ev.Run(in); err != nil {
+		t.Fatal(err)
+	}
 	if ev.FaultDetect(f)&1 != 1 {
 		t.Fatalf("PODEM pattern %+v does not detect %v", pat, f)
 	}

@@ -60,10 +60,29 @@ func TestModuleSizes(t *testing.T) {
 	}
 }
 
+// mustEval builds a combinational evaluator, panicking on failure (test
+// netlists are combinational by construction).
+func mustEval(nl *netlist.Netlist) *netlist.Evaluator {
+	ev, err := netlist.NewEvaluator(nl)
+	if err != nil {
+		panic(err)
+	}
+	return ev
+}
+
+// evalOnce evaluates one pattern, panicking on failure.
+func evalOnce(ev *netlist.Evaluator, pattern []bool) []bool {
+	out, err := ev.EvalOnce(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
 // evalSP runs the SP netlist on one pattern and returns (result, pred).
 func evalSP(ev *netlist.Evaluator, fn SPFn, cond isa.Cond, a, b, c uint32) (uint32, bool) {
 	p := EncodeSPPattern(fn, cond, a, b, c)
-	out := ev.EvalOnce(p.Bools(spInputs))
+	out := evalOnce(ev, p.Bools(spInputs))
 	var r uint32
 	for i := 0; i < 32; i++ {
 		if out[i] {
@@ -74,7 +93,7 @@ func evalSP(ev *netlist.Evaluator, fn SPFn, cond isa.Cond, a, b, c uint32) (uint
 }
 
 func TestSPAgainstGolden(t *testing.T) {
-	ev := netlist.NewEvaluator(buildSP(t))
+	ev := mustEval(buildSP(t))
 	r := rand.New(rand.NewSource(11))
 	interesting := []uint32{0, 1, 2, 0xffffffff, 0x80000000, 0x7fffffff, 31, 32, 33}
 	check := func(fn SPFn, cond isa.Cond, a, b, c uint32) {
@@ -99,7 +118,7 @@ func TestSPAgainstGolden(t *testing.T) {
 }
 
 func TestSPSetAllConds(t *testing.T) {
-	ev := netlist.NewEvaluator(buildSP(t))
+	ev := mustEval(buildSP(t))
 	pairs := [][2]uint32{{5, 5}, {3, 9}, {9, 3}, {0x80000000, 1}, {1, 0x80000000},
 		{0xffffffff, 0}, {0, 0xffffffff}}
 	for cond := isa.Cond(0); int(cond) < isa.NumConds; cond++ {
@@ -171,13 +190,13 @@ func itoa(i int) string {
 
 func TestDUAgainstGolden(t *testing.T) {
 	nl := buildDU(t)
-	ev := netlist.NewEvaluator(nl)
+	ev := mustEval(nl)
 	r := rand.New(rand.NewSource(5))
 
 	check := func(word isa.Word, pc int) {
 		t.Helper()
 		p := EncodeDUPattern(word, pc)
-		out := ev.EvalOnce(p.Bools(duInputs))
+		out := evalOnce(ev, p.Bools(duInputs))
 		want := DUGolden(word, pc)
 
 		if got := out[duOutIndex(nl, "valid")]; got != want.Valid {
@@ -229,12 +248,12 @@ func TestDUAgainstGolden(t *testing.T) {
 }
 
 func TestSFUAgainstGolden(t *testing.T) {
-	ev := netlist.NewEvaluator(buildSFU(t))
+	ev := mustEval(buildSFU(t))
 	r := rand.New(rand.NewSource(3))
 	check := func(fn SFUFn, a uint32) {
 		t.Helper()
 		p := EncodeSFUPattern(fn, a)
-		out := ev.EvalOnce(p.Bools(sfuInputs))
+		out := evalOnce(ev, p.Bools(sfuInputs))
 		var got uint32
 		for i := 0; i < 32; i++ {
 			if out[i] {

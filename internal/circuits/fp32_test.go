@@ -20,7 +20,7 @@ func buildFP32(t testing.TB) *netlist.Netlist {
 
 func evalFP32(ev *netlist.Evaluator, fn FP32Fn, a, b, c uint32) uint32 {
 	p := EncodeFP32Pattern(fn, a, b, c)
-	out := ev.EvalOnce(p.Bools(fp32Inputs))
+	out := evalOnce(ev, p.Bools(fp32Inputs))
 	var r uint32
 	for i := 0; i < 32; i++ {
 		if out[i] {
@@ -47,7 +47,7 @@ func fpInteresting(r *rand.Rand) uint32 {
 }
 
 func TestFP32AgainstGolden(t *testing.T) {
-	ev := netlist.NewEvaluator(buildFP32(t))
+	ev := mustEval(buildFP32(t))
 	r := rand.New(rand.NewSource(51))
 	check := func(fn FP32Fn, a, b, c uint32) {
 		t.Helper()
@@ -76,7 +76,7 @@ func TestFP32AgainstGolden(t *testing.T) {
 // TestFP32AddCancellation stresses the normalize path with near-equal
 // operands of opposite sign.
 func TestFP32AddCancellation(t *testing.T) {
-	ev := netlist.NewEvaluator(buildFP32(t))
+	ev := mustEval(buildFP32(t))
 	r := rand.New(rand.NewSource(53))
 	for i := 0; i < 3000; i++ {
 		a := r.Uint32()&0x7fffff | uint32(64+r.Intn(128))<<23
@@ -92,7 +92,7 @@ func TestFP32AddCancellation(t *testing.T) {
 
 // TestFP32AddAlignment stresses large exponent differences.
 func TestFP32AddAlignment(t *testing.T) {
-	ev := netlist.NewEvaluator(buildFP32(t))
+	ev := mustEval(buildFP32(t))
 	r := rand.New(rand.NewSource(55))
 	for i := 0; i < 2000; i++ {
 		ea := 1 + r.Intn(254)

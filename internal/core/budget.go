@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -46,11 +47,15 @@ func (c *Compactor) CompactToBudget(p *stl.PTP, budgetCC uint64) (*Result, error
 		}
 	}
 
-	col, res, err := c.runTrace(p, false)
+	ctx := context.Background()
+	col, res, err := c.runTrace(ctx, p, false)
 	if err != nil {
 		return nil, err
 	}
-	origFC := c.evaluateFC(p, col.Patterns)
+	origFC, err := c.evaluateFC(ctx, p, col.Patterns)
+	if err != nil {
+		return nil, err
+	}
 
 	rep := c.Campaign.Simulate(col.Patterns, fault.SimOptions{
 		Reverse: c.Opt.ReversePatterns,
@@ -153,11 +158,14 @@ func (c *Compactor) CompactToBudget(p *stl.PTP, budgetCC uint64) (*Result, error
 	}
 	elapsed := time.Since(start)
 
-	compCol, compRes, err := c.runTrace(comp, true)
+	compCol, compRes, err := c.runTrace(ctx, comp, true)
 	if err != nil {
 		return nil, fmt.Errorf("core: budget-compacted %s does not run: %w", p.Name, err)
 	}
-	compFC := c.evaluateFC(comp, compCol.Patterns)
+	compFC, err := c.evaluateFC(ctx, comp, compCol.Patterns)
+	if err != nil {
+		return nil, err
+	}
 
 	return &Result{
 		Original:        p,

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -75,6 +76,24 @@ func New(cfg gpu.Config, m *circuits.Module, faults []fault.Fault, opt Options) 
 	}
 }
 
+// Stage identifies one stage of the compaction pipeline. Resilient
+// callers (package run) receive stage transitions through the onStage
+// hook of CompactPTPCtx and use them for error attribution and per-stage
+// watchdog timeouts.
+type Stage string
+
+// The pipeline stages, in execution order. StageEvaluate covers the
+// final re-simulation of the compacted PTP (duration + standalone FC),
+// which is measurement rather than one of the paper's five stages.
+const (
+	StagePartition  Stage = "partition"
+	StageTrace      Stage = "trace"
+	StageFaultSim   Stage = "faultsim"
+	StageReduce     Stage = "reduce"
+	StageReassemble Stage = "reassemble"
+	StageEvaluate   Stage = "evaluate"
+)
+
 // Result reports one PTP's compaction, mirroring the columns of Tables II
 // and III.
 type Result struct {
@@ -107,14 +126,14 @@ func (r *Result) DurationReduction() float64 {
 func (r *Result) FCDiff() float64 { return r.CompFC - r.OrigFC }
 
 // runTrace executes the PTP with the tracing monitor attached.
-func (c *Compactor) runTrace(p *stl.PTP, lite bool) (*trace.Collector, gpu.Result, error) {
+func (c *Compactor) runTrace(ctx context.Context, p *stl.PTP, lite bool) (*trace.Collector, gpu.Result, error) {
 	col := trace.NewCollector(c.Module.Kind)
 	col.LiteRows = lite
 	g, err := gpu.New(c.GPU, col)
 	if err != nil {
 		return nil, gpu.Result{}, err
 	}
-	res, err := g.Run(gpu.Kernel{
+	res, err := g.RunCtx(ctx, gpu.Kernel{
 		Prog:            p.Prog,
 		Blocks:          p.Kernel.Blocks,
 		ThreadsPerBlock: p.Kernel.ThreadsPerBlock,
@@ -131,7 +150,7 @@ func (c *Compactor) runTrace(p *stl.PTP, lite bool) (*trace.Collector, gpu.Resul
 // stream against a fresh copy of the campaign's fault list and returns the
 // coverage percentage. With ObservableFC, only patterns from instructions
 // whose results reach an observable point count.
-func (c *Compactor) evaluateFC(p *stl.PTP, patterns []fault.TimedPattern) float64 {
+func (c *Compactor) evaluateFC(ctx context.Context, p *stl.PTP, patterns []fault.TimedPattern) (float64, error) {
 	stream := patterns
 	if c.Opt.ObservableFC {
 		prop := Propagates(p.Prog)
@@ -143,14 +162,31 @@ func (c *Compactor) evaluateFC(p *stl.PTP, patterns []fault.TimedPattern) float6
 		}
 	}
 	fc := fault.NewCampaignWithFaults(c.Module, c.Campaign.Faults())
-	fc.Simulate(stream, fault.SimOptions{Workers: c.Opt.Workers})
-	return fc.Coverage()
+	if _, err := fc.SimulateCtx(ctx, stream, fault.SimOptions{Workers: c.Opt.Workers}); err != nil {
+		return 0, fmt.Errorf("core: FC evaluation of %s: %w", p.Name, err)
+	}
+	return fc.Coverage(), nil
 }
 
 // CompactPTP runs the five stages on one PTP and returns the result. The
 // shared campaign is updated with the faults this PTP detects (unless
 // KeepCampaign is set).
 func (c *Compactor) CompactPTP(p *stl.PTP) (*Result, error) {
+	return c.CompactPTPCtx(context.Background(), p, nil)
+}
+
+// CompactPTPCtx is CompactPTP with cooperative cancellation and stage
+// reporting. The context is checked at every stage boundary and threaded
+// into the logic and fault simulations, so a cancel mid-stage aborts
+// within microseconds. onStage (optional) is invoked as each stage is
+// entered; returning an error aborts the compaction with that error —
+// this is how package run attributes failures and arms per-stage
+// watchdogs. An error before or during stage 3 leaves the shared
+// campaign untouched (fault dropping commits only when the stage-3
+// simulation completes); an error after stage 3 keeps the drops, which
+// is sound because a caller that reverts to the original PTP keeps a
+// program that detects a superset of those faults.
+func (c *Compactor) CompactPTPCtx(ctx context.Context, p *stl.PTP, onStage func(Stage) error) (*Result, error) {
 	if p.Target != c.Module.Kind {
 		return nil, fmt.Errorf("core: PTP %s targets %v, compactor owns %v",
 			p.Name, p.Target, c.Module.Kind)
@@ -158,9 +194,27 @@ func (c *Compactor) CompactPTP(p *stl.PTP) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if err := c.Campaign.Err(); err != nil {
+		return nil, err
+	}
+	enter := func(s Stage) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: compaction of %s canceled at stage %s: %w",
+				p.Name, s, err)
+		}
+		if onStage != nil {
+			if err := onStage(s); err != nil {
+				return fmt.Errorf("core: stage hook at %s for %s: %w", s, p.Name, err)
+			}
+		}
+		return nil
+	}
 	start := time.Now()
 
 	// Stage 1 — partitioning: candidate SBs are those fully inside ARCs.
+	if err := enter(StagePartition); err != nil {
+		return nil, err
+	}
 	arcs := p.ARCs()
 	sbs := p.SBs
 	if len(sbs) == 0 {
@@ -177,7 +231,10 @@ func (c *Compactor) CompactPTP(p *stl.PTP) (*Result, error) {
 	}
 
 	// Stage 2 — logic tracing (the ONE logic simulation).
-	col, res, err := c.runTrace(p, false)
+	if err := enter(StageTrace); err != nil {
+		return nil, err
+	}
+	col, res, err := c.runTrace(ctx, p, false)
 	if err != nil {
 		return nil, err
 	}
@@ -185,18 +242,30 @@ func (c *Compactor) CompactPTP(p *stl.PTP) (*Result, error) {
 	// Standalone FC of the original PTP (fresh fault list) for the Diff FC
 	// column; this is the paper's reference fault-injection campaign, not
 	// part of the compaction loop itself.
-	origFC := c.evaluateFC(p, col.Patterns)
+	origFC, err := c.evaluateFC(ctx, p, col.Patterns)
+	if err != nil {
+		return nil, err
+	}
 
 	// Stage 3 — the ONE optimized fault simulation, with fault dropping on
 	// the shared campaign, followed by instruction labeling (Fig. 2).
-	rep := c.Campaign.Simulate(col.Patterns, fault.SimOptions{
+	if err := enter(StageFaultSim); err != nil {
+		return nil, err
+	}
+	rep, err := c.Campaign.SimulateCtx(ctx, col.Patterns, fault.SimOptions{
 		Reverse: c.Opt.ReversePatterns,
 		NoDrop:  c.Opt.KeepCampaign,
 		Workers: c.Opt.Workers,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("core: fault simulation of %s: %w", p.Name, err)
+	}
 	essential := Label(len(p.Prog), rep, col.CCToPC())
 
 	// Stage 4 — reduction (Fig. 3).
+	if err := enter(StageReduce); err != nil {
+		return nil, err
+	}
 	var removed []int
 	nEss, nUness := 0, 0
 	if c.Opt.InstructionGranularity {
@@ -235,6 +304,9 @@ func (c *Compactor) CompactPTP(p *stl.PTP) (*Result, error) {
 		}
 	}
 	// Stage 5 — reassembling.
+	if err := enter(StageReassemble); err != nil {
+		return nil, err
+	}
 	comp, err := Reassemble(p, sbs, removed)
 	if err != nil {
 		return nil, err
@@ -243,11 +315,17 @@ func (c *Compactor) CompactPTP(p *stl.PTP) (*Result, error) {
 
 	// Final evaluation: re-simulate the compacted PTP to measure its
 	// duration and standalone FC.
-	compCol, compRes, err := c.runTrace(comp, true)
+	if err := enter(StageEvaluate); err != nil {
+		return nil, err
+	}
+	compCol, compRes, err := c.runTrace(ctx, comp, true)
 	if err != nil {
 		return nil, fmt.Errorf("core: compacted %s does not run: %w", p.Name, err)
 	}
-	compFC := c.evaluateFC(comp, compCol.Patterns)
+	compFC, err := c.evaluateFC(ctx, comp, compCol.Patterns)
+	if err != nil {
+		return nil, err
+	}
 
 	nRemovedSBs := countRemovedSBs(sbs, removed)
 	return &Result{

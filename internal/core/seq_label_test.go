@@ -41,7 +41,10 @@ func TestSequentialLabelingFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := camp.Simulate(col.Patterns)
+	rep, err := camp.Simulate(col.Patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.DetectedThisRun() == 0 {
 		t.Fatal("no detections")
 	}

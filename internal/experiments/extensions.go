@@ -62,7 +62,9 @@ func Extensions(e *Env) (*ExtensionsResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	camp.Simulate(col.Patterns)
+	if _, err := camp.Simulate(col.Patterns); err != nil {
+		return nil, err
+	}
 	out.PipeFaults = camp.Total()
 	out.PipeCoverage = camp.Coverage()
 	out.PipeGroups = camp.CoverageByGroup()

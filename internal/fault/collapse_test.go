@@ -14,14 +14,19 @@ import (
 func TestCollapseEquivalenceSemantics(t *testing.T) {
 	m := spModule(t)
 	nl := m.NL
-	ev := netlist.NewEvaluator(nl)
+	ev, err := netlist.NewEvaluator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	r := rand.New(rand.NewSource(91))
 	inputs := make([]uint64, len(nl.Inputs))
 	for i := range inputs {
 		inputs[i] = r.Uint64()
 	}
-	ev.Run(inputs)
+	if err := ev.Run(inputs); err != nil {
+		t.Fatal(err)
+	}
 
 	// Collect removed faults and their representatives.
 	all := AllSites(nl)

@@ -16,6 +16,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"math/rand"
@@ -125,32 +126,41 @@ type Campaign struct {
 	detected []bool
 	nDet     int
 
-	ev *netlist.Evaluator
+	ev      *netlist.Evaluator
+	initErr error // deferred constructor error (e.g. sequential module)
 }
 
 // NewCampaign creates a campaign over the module's full uncollapsed
-// stuck-at fault list.
+// stuck-at fault list. A campaign over an unsupported (sequential) module
+// is created in a failed state: SimulateCtx returns the error, Err exposes
+// it.
 func NewCampaign(m *circuits.Module) *Campaign {
 	sites := AllSites(m.NL)
-	return &Campaign{
+	c := &Campaign{
 		Module:   m,
 		faults:   ExpandLanes(sites, m.Lanes),
 		detected: make([]bool, len(sites)*m.Lanes),
-		ev:       netlist.NewEvaluator(m.NL),
 	}
+	c.ev, c.initErr = netlist.NewEvaluator(m.NL)
+	return c
 }
 
 // NewCampaignWithFaults creates a campaign over an explicit fault list.
 func NewCampaignWithFaults(m *circuits.Module, faults []Fault) *Campaign {
 	fs := make([]Fault, len(faults))
 	copy(fs, faults)
-	return &Campaign{
+	c := &Campaign{
 		Module:   m,
 		faults:   fs,
 		detected: make([]bool, len(fs)),
-		ev:       netlist.NewEvaluator(m.NL),
 	}
+	c.ev, c.initErr = netlist.NewEvaluator(m.NL)
+	return c
 }
+
+// Err returns the campaign's deferred construction error, if any. A
+// campaign with a non-nil Err cannot simulate.
+func (c *Campaign) Err() error { return c.initErr }
 
 // SampleFaults reduces the campaign to a deterministic random sample of n
 // faults (all faults kept when n >= total). Sampling is the standard way to
@@ -246,6 +256,38 @@ func (c *Campaign) Reset() {
 // IsDetected reports whether fault id has been detected.
 func (c *Campaign) IsDetected(id ID) bool { return c.detected[id] }
 
+// DetectedIDs returns the ids of all detected faults, ascending. Together
+// with RestoreDetected it lets a checkpointing layer persist and restore
+// the cross-PTP fault-dropping state of a campaign.
+func (c *Campaign) DetectedIDs() []ID {
+	out := make([]ID, 0, c.nDet)
+	for id, d := range c.detected {
+		if d {
+			out = append(out, ID(id))
+		}
+	}
+	return out
+}
+
+// RestoreDetected marks the given fault ids as detected (idempotent). Ids
+// outside the master list are an error; the campaign is only mutated when
+// every id is valid.
+func (c *Campaign) RestoreDetected(ids []ID) error {
+	for _, id := range ids {
+		if id < 0 || int(id) >= len(c.faults) {
+			return fmt.Errorf("fault: RestoreDetected: id %d outside master list (%d faults)",
+				id, len(c.faults))
+		}
+	}
+	for _, id := range ids {
+		if !c.detected[id] {
+			c.detected[id] = true
+			c.nDet++
+		}
+	}
+	return nil
+}
+
 // Detection records the first pattern that detected a fault.
 type Detection struct {
 	Fault   ID
@@ -296,8 +338,31 @@ type SimOptions struct {
 }
 
 // Simulate runs the pattern stream against the campaign's remaining
-// faults, dropping faults at first detection, and returns the FSR.
+// faults, dropping faults at first detection, and returns the FSR. It is
+// the legacy entry point: any failure (a campaign constructed over an
+// unsupported module, or a panic inside a simulation worker) aborts the
+// caller with a panic. Resilient pipelines should use SimulateCtx, which
+// reports failures as errors and honors cancellation.
 func (c *Campaign) Simulate(stream []TimedPattern, opt SimOptions) *Report {
+	rep, err := c.SimulateCtx(context.Background(), stream, opt)
+	if err != nil {
+		panic(err)
+	}
+	return rep
+}
+
+// SimulateCtx is Simulate with cancellation and failure isolation: the
+// run stops early (returning ctx.Err()) when ctx is canceled, a panic in
+// any simulation worker is recovered and returned as an error, and the
+// campaign's fault-dropping state is only updated when the whole run
+// succeeds — a failed or canceled call leaves the campaign untouched.
+func (c *Campaign) SimulateCtx(ctx context.Context, stream []TimedPattern, opt SimOptions) (*Report, error) {
+	if c.initErr != nil {
+		return nil, fmt.Errorf("fault: campaign over %v unusable: %w", c.Module.Kind, c.initErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ordered := stream
 	if opt.Reverse {
 		ordered = make([]TimedPattern, len(stream))
@@ -352,20 +417,65 @@ func (c *Campaign) Simulate(stream []TimedPattern, opt SimOptions) *Report {
 		next = (next + 1) % workers
 	}
 
+	// Run the shards. Every worker recovers its own panics: the first
+	// error or panic cancels the remaining workers and is surfaced to the
+	// caller instead of killing the process.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
 	results := make([]*shardResult, workers)
 	if workers == 1 {
-		results[0] = c.simulateShard(ordered, laneIdx, shards[0], c.ev, opt, rep)
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					fail(fmt.Errorf("fault: simulation panicked: %v", v))
+				}
+			}()
+			sr, err := c.simulateShard(sctx, ordered, laneIdx, shards[0], c.ev, opt, rep)
+			if err != nil {
+				fail(err)
+				return
+			}
+			results[0] = sr
+		}()
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				ev := netlist.NewEvaluator(c.Module.NL)
-				results[w] = c.simulateShard(ordered, laneIdx, shards[w], ev, opt, rep)
+				defer func() {
+					if v := recover(); v != nil {
+						fail(fmt.Errorf("fault: simulation worker %d panicked: %v", w, v))
+					}
+				}()
+				ev, err := netlist.NewEvaluator(c.Module.NL)
+				if err != nil {
+					fail(err)
+					return
+				}
+				sr, err := c.simulateShard(sctx, ordered, laneIdx, shards[w], ev, opt, rep)
+				if err != nil {
+					fail(err)
+					return
+				}
+				results[w] = sr
 			}(w)
 		}
 		wg.Wait()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Merge shard results into the report and the campaign state.
@@ -390,7 +500,7 @@ func (c *Campaign) Simulate(stream []TimedPattern, opt SimOptions) *Report {
 		}
 		return rep.Detections[i].Fault < rep.Detections[j].Fault
 	})
-	return rep
+	return rep, nil
 }
 
 // shardResult carries one worker's detections, to be merged serially.
@@ -403,9 +513,11 @@ type shardResult struct {
 // shard of the fault list on a private evaluator. It only reads shared
 // state (ordered stream, lane indices, fault list, report metadata);
 // activation recording (serial-only) is the one exception, writing
-// rep.ActivatedPerPattern directly.
-func (c *Campaign) simulateShard(ordered []TimedPattern, laneIdx [][]int32,
-	laneFaults [][]ID, ev *netlist.Evaluator, opt SimOptions, rep *Report) *shardResult {
+// rep.ActivatedPerPattern directly. Cancellation is checked once per
+// 64-pattern block, so a canceled context stops the shard within one
+// block's worth of work.
+func (c *Campaign) simulateShard(ctx context.Context, ordered []TimedPattern, laneIdx [][]int32,
+	laneFaults [][]ID, ev *netlist.Evaluator, opt SimOptions, rep *Report) (*shardResult, error) {
 
 	sr := &shardResult{perPattern: make([]int32, len(ordered))}
 	inputs := make([]uint64, len(c.Module.NL.Inputs))
@@ -422,6 +534,9 @@ func (c *Campaign) simulateShard(ordered []TimedPattern, laneIdx [][]int32,
 			continue
 		}
 		for blk := 0; blk < len(idxs); blk += 64 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			end := blk + 64
 			if end > len(idxs) {
 				end = len(idxs)
@@ -433,7 +548,9 @@ func (c *Campaign) simulateShard(ordered []TimedPattern, laneIdx [][]int32,
 			for s := 0; s < n; s++ {
 				ordered[idxs[blk+s]].Pat.ApplyTo(inputs, uint(s))
 			}
-			ev.Run(inputs)
+			if err := ev.Run(inputs); err != nil {
+				return nil, err
+			}
 
 			w := 0
 			for _, id := range remaining {
@@ -485,7 +602,7 @@ func (c *Campaign) simulateShard(ordered []TimedPattern, laneIdx [][]int32,
 			}
 		}
 	}
-	return sr
+	return sr, nil
 }
 
 // activationMask computes, for the evaluator's current block, on which

@@ -169,7 +169,10 @@ func TestFirstDetectionIsEarliest(t *testing.T) {
 	rep := c.Simulate(stream, SimOptions{})
 
 	// Brute force: single-pattern blocks.
-	ev := netlist.NewEvaluator(m.NL)
+	ev, err := netlist.NewEvaluator(m.NL)
+	if err != nil {
+		t.Fatal(err)
+	}
 	inputs := make([]uint64, len(m.NL.Inputs))
 	firstDet := map[ID]int32{}
 	for si, tp := range stream {
@@ -177,7 +180,9 @@ func TestFirstDetectionIsEarliest(t *testing.T) {
 			inputs[i] = 0
 		}
 		tp.Pat.ApplyTo(inputs, 0)
-		ev.Run(inputs)
+		if err := ev.Run(inputs); err != nil {
+			t.Fatal(err)
+		}
 		for id, f := range c.Faults() {
 			if int(f.Lane) != int(tp.Lane) {
 				continue

@@ -110,8 +110,10 @@ func (c *SeqCampaign) CoverageByGroup() []GroupCoverage {
 // Simulate replays the stream as one test sequence (in cc order) against
 // every remaining fault and returns a Report compatible with the
 // combinational campaign's: per-pattern first-detection counts plus the
-// individual detections, ready for the Fig. 2 labeling join.
-func (c *SeqCampaign) Simulate(stream []TimedPattern) *Report {
+// individual detections, ready for the Fig. 2 labeling join. An evaluator
+// failure is returned as an error with the campaign state untouched for
+// the failing batch.
+func (c *SeqCampaign) Simulate(stream []TimedPattern) (*Report, error) {
 	ordered := append([]TimedPattern(nil), stream...)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].CC < ordered[j].CC })
 
@@ -150,14 +152,19 @@ func (c *SeqCampaign) Simulate(stream []TimedPattern) *Report {
 			sites[i] = c.faults[id].Site
 		}
 		if err := c.ev.LoadFaults(sites); err != nil {
-			panic(err) // stem-only list by construction
+			// Provably internal: SeqStemFaults only emits stem faults and
+			// batches are capped at 63, the two conditions LoadFaults checks.
+			panic(err)
 		}
 		var seen uint64
 		for si, tp := range ordered {
 			for i := 0; i < numIn; i++ {
 				inputs[i] = tp.Pat.Bit(i)
 			}
-			det := c.ev.Step(inputs)
+			det, err := c.ev.Step(inputs)
+			if err != nil {
+				return nil, fmt.Errorf("fault: sequential simulation of %v: %w", c.Module.Kind, err)
+			}
 			fresh := det &^ seen
 			if fresh == 0 {
 				continue
@@ -183,5 +190,5 @@ func (c *SeqCampaign) Simulate(stream []TimedPattern) *Report {
 		}
 		return rep.Detections[i].Fault < rep.Detections[j].Fault
 	})
-	return rep
+	return rep, nil
 }

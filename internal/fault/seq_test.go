@@ -38,7 +38,10 @@ func TestSeqCampaignDetectsRegisterFaults(t *testing.T) {
 	if c.Total() == 0 {
 		t.Fatal("empty fault list")
 	}
-	rep := c.Simulate(pipeStream(128))
+	rep, err := c.Simulate(pipeStream(128))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.DetectedThisRun() == 0 {
 		t.Fatal("no sequential detections")
 	}
@@ -65,12 +68,18 @@ func TestSeqCampaignDetectsRegisterFaults(t *testing.T) {
 	}
 
 	// Second identical run detects nothing new (dropping persists).
-	rep2 := c.Simulate(pipeStream(128))
+	rep2, err := c.Simulate(pipeStream(128))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep2.DetectedThisRun() != 0 {
 		t.Fatalf("re-detected %d", rep2.DetectedThisRun())
 	}
 	c.Reset()
-	rep3 := c.Simulate(pipeStream(128))
+	rep3, err := c.Simulate(pipeStream(128))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep3.DetectedThisRun() != rep.DetectedThisRun() {
 		t.Fatalf("after reset: %d != %d", rep3.DetectedThisRun(), rep.DetectedThisRun())
 	}
@@ -85,7 +94,9 @@ func TestSeqCampaignStuckValidNeedsFlushlessStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain.Simulate(pipeStream(64))
+	if _, err := plain.Simulate(pipeStream(64)); err != nil {
+		t.Fatal(err)
+	}
 
 	flushy, err := NewSeqCampaign(m)
 	if err != nil {
@@ -98,7 +109,9 @@ func TestSeqCampaignStuckValidNeedsFlushlessStream(t *testing.T) {
 			stream[i].Pat = circuits.EncodePIPEPattern(word, pc, i%14 == 3, true)
 		}
 	}
-	flushy.Simulate(stream)
+	if _, err := flushy.Simulate(stream); err != nil {
+		t.Fatal(err)
+	}
 	if flushy.Detected() <= plain.Detected() {
 		t.Errorf("flush/stall cycles did not add coverage: %d vs %d",
 			flushy.Detected(), plain.Detected())

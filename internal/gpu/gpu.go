@@ -17,6 +17,7 @@
 package gpu
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -239,6 +240,11 @@ type GPU struct {
 	nwarps int
 	block  int
 	tpb    int
+
+	// Cooperative cancellation for the current RunCtx call: the scheduler
+	// polls ctx once every ctxPollRounds scheduling rounds.
+	ctx       context.Context
+	ctxRounds uint
 }
 
 // New creates a simulator. A nil monitor disables tracing; with several
@@ -269,9 +275,25 @@ var ErrLimit = errors.New("gpu: cycle limit exceeded")
 // ErrStack reports SIMT divergence-stack overflow.
 var ErrStack = errors.New("gpu: divergence stack overflow")
 
+// ctxPollRounds is how many scheduling rounds pass between context
+// checks in RunCtx — frequent enough to cancel within microseconds,
+// rare enough to stay invisible in profiles.
+const ctxPollRounds = 256
+
 // Run executes the kernel to completion and returns the run summary,
 // including the final global memory image.
 func (g *GPU) Run(k Kernel) (Result, error) {
+	return g.RunCtx(context.Background(), k)
+}
+
+// RunCtx is Run with cooperative cancellation: the warp scheduler polls
+// ctx periodically and aborts the kernel with ctx.Err() when it is
+// canceled or times out. Determinism is unaffected — a run that completes
+// returns exactly what Run would.
+func (g *GPU) RunCtx(ctx context.Context, k Kernel) (Result, error) {
+	g.ctx = ctx
+	g.ctxRounds = 0
+	defer func() { g.ctx = nil }()
 	if len(k.Prog) == 0 {
 		return Result{}, errors.New("gpu: empty program")
 	}
@@ -345,6 +367,11 @@ func (g *GPU) runBlock(k Kernel) error {
 	// FlexGripPlus dispatches warps one at a time; we round-robin among
 	// runnable warps, executing one full instruction per scheduling slot.
 	for {
+		if g.ctxRounds++; g.ctxRounds%ctxPollRounds == 0 {
+			if err := g.ctx.Err(); err != nil {
+				return fmt.Errorf("gpu: kernel aborted: %w", err)
+			}
+		}
 		ran := false
 		allAtBar := true
 		anyLive := false

@@ -1,6 +1,9 @@
 package netlist
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // FaultSite identifies a single stuck-at fault: the output (Pin == -1) or
 // an input pin of a gate, stuck at 1 (SA1) or 0.
@@ -38,11 +41,16 @@ type Evaluator struct {
 	lvls   []int32
 }
 
+// ErrSequential reports that a combinational-only entry point was handed
+// a netlist with flip-flops.
+var ErrSequential = errors.New("netlist: sequential netlist; use NewSeqEvaluator")
+
 // NewEvaluator creates an evaluator for a combinational netlist. It
-// panics on sequential netlists — use NewSeqEvaluator for those.
-func NewEvaluator(nl *Netlist) *Evaluator {
+// returns ErrSequential on netlists with flip-flops — use NewSeqEvaluator
+// for those.
+func NewEvaluator(nl *Netlist) (*Evaluator, error) {
 	if nl.NumDFFs() > 0 {
-		panic("netlist: NewEvaluator on a sequential netlist; use NewSeqEvaluator")
+		return nil, fmt.Errorf("netlist: NewEvaluator on %s: %w", nl.Name, ErrSequential)
 	}
 	return &Evaluator{
 		nl:     nl,
@@ -51,7 +59,7 @@ func NewEvaluator(nl *Netlist) *Evaluator {
 		stamp:  make([]uint32, len(nl.Gates)),
 		sched:  make([]uint32, len(nl.Gates)),
 		bucket: make([][]int32, nl.maxLvl+1),
-	}
+	}, nil
 }
 
 // Netlist returns the circuit under evaluation.
@@ -85,11 +93,13 @@ func gateFn(k Kind, a, b, s uint64) uint64 {
 }
 
 // Run evaluates the fault-free circuit for a block of up to 64 patterns.
-// inputs[i] packs the values of primary input i, one pattern per bit.
-func (e *Evaluator) Run(inputs []uint64) {
+// inputs[i] packs the values of primary input i, one pattern per bit. It
+// returns an error (leaving the previous evaluation intact) when the input
+// arity does not match the circuit.
+func (e *Evaluator) Run(inputs []uint64) error {
 	if len(inputs) != len(e.nl.Inputs) {
-		panic(fmt.Sprintf("netlist: Run got %d input vectors, circuit has %d inputs",
-			len(inputs), len(e.nl.Inputs)))
+		return fmt.Errorf("netlist: Run got %d input vectors, circuit %s has %d inputs",
+			len(inputs), e.nl.Name, len(e.nl.Inputs))
 	}
 	for i, net := range e.nl.Inputs {
 		e.good[net] = inputs[i]
@@ -108,6 +118,7 @@ func (e *Evaluator) Run(inputs []uint64) {
 				e.in64(g, 1), e.in64(g, 2))
 		}
 	}
+	return nil
 }
 
 func (e *Evaluator) in64(g *Gate, pin int) uint64 {
@@ -237,19 +248,21 @@ func (e *Evaluator) FaultDetect(f FaultSite) uint64 {
 // EvalOnce evaluates the fault-free circuit on a single pattern given as
 // booleans and returns the outputs. It is a convenience for tests and the
 // ATPG engine; bulk work should use Run.
-func (e *Evaluator) EvalOnce(pattern []bool) []bool {
+func (e *Evaluator) EvalOnce(pattern []bool) ([]bool, error) {
 	in := make([]uint64, len(pattern))
 	for i, b := range pattern {
 		if b {
 			in[i] = 1
 		}
 	}
-	e.Run(in)
+	if err := e.Run(in); err != nil {
+		return nil, err
+	}
 	out := make([]bool, len(e.nl.Outputs))
 	for i := range out {
 		out[i] = e.Output(i)&1 == 1
 	}
-	return out
+	return out, nil
 }
 
 // PackInputsU64 packs word-level pattern values into per-bit input vectors.

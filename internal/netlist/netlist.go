@@ -146,6 +146,17 @@ type Builder struct {
 	groupIdx map[string]uint16
 	curGroup uint16
 	gateGrp  []uint16
+
+	// err holds the first construction error (e.g. a bad ConnectD), so
+	// builder chains need not check every call; Build surfaces it.
+	err error
+}
+
+// recordErr keeps the first construction error for Build to report.
+func (b *Builder) recordErr(err error) {
+	if b.err == nil {
+		b.err = err
+	}
 }
 
 // NewBuilder returns an empty builder for a circuit with the given name.
@@ -259,6 +270,9 @@ func (b *Builder) OutputBus(name string, nets []int32) {
 
 // Build validates, levelizes and freezes the circuit.
 func (b *Builder) Build() (*Netlist, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
 	n := &Netlist{
 		Name:        b.name,
 		Gates:       b.gates,

@@ -27,9 +27,47 @@ func buildAdder4(t testing.TB) *Netlist {
 	return nl
 }
 
+// mustEval builds a combinational evaluator or fails the test.
+func mustEval(t *testing.T, nl *Netlist) *Evaluator {
+	t.Helper()
+	ev, err := NewEvaluator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+// mustRun runs a pattern block or fails the test.
+func mustRun(t *testing.T, ev *Evaluator, inputs []uint64) {
+	t.Helper()
+	if err := ev.Run(inputs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mustEvalOnce evaluates one pattern or fails the test.
+func mustEvalOnce(t *testing.T, ev *Evaluator, pattern []bool) []bool {
+	t.Helper()
+	out, err := ev.EvalOnce(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// mustStep clocks a sequential evaluator or fails the test.
+func mustStep(t *testing.T, e *SeqEvaluator, inputs []bool) uint64 {
+	t.Helper()
+	det, err := e.Step(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
 func TestAdderExhaustive(t *testing.T) {
 	nl := buildAdder4(t)
-	ev := NewEvaluator(nl)
+	ev := mustEval(t, nl)
 	for a := 0; a < 16; a++ {
 		for c := 0; c < 16; c++ {
 			in := make([]bool, 8)
@@ -37,7 +75,7 @@ func TestAdderExhaustive(t *testing.T) {
 				in[i] = a>>i&1 == 1
 				in[4+i] = c>>i&1 == 1
 			}
-			out := ev.EvalOnce(in)
+			out := mustEvalOnce(t, ev, in)
 			got := 0
 			for i := 0; i < 4; i++ {
 				if out[i] {
@@ -56,7 +94,7 @@ func TestAdderExhaustive(t *testing.T) {
 
 func TestPackedEvalMatchesSingle(t *testing.T) {
 	nl := buildAdder4(t)
-	ev := NewEvaluator(nl)
+	ev := mustEval(t, nl)
 	// Pack 64 random patterns and compare with per-pattern evaluation.
 	r := rand.New(rand.NewSource(2))
 	pat := make([][]bool, 64)
@@ -70,14 +108,14 @@ func TestPackedEvalMatchesSingle(t *testing.T) {
 			}
 		}
 	}
-	ev.Run(in)
+	mustRun(t, ev, in)
 	packed := make([]uint64, 5)
 	for i := 0; i < 5; i++ {
 		packed[i] = ev.Output(i)
 	}
-	ev2 := NewEvaluator(nl)
+	ev2 := mustEval(t, nl)
 	for p := 0; p < 64; p++ {
-		out := ev2.EvalOnce(pat[p])
+		out := mustEvalOnce(t, ev2, pat[p])
 		for i := 0; i < 5; i++ {
 			if got := packed[i]>>uint(p)&1 == 1; got != out[i] {
 				t.Fatalf("pattern %d output %d: packed %v != single %v", p, i, got, out[i])
@@ -141,13 +179,13 @@ func bruteFaultDetect(nl *Netlist, inputs []uint64, f FaultSite) uint64 {
 
 func TestFaultDetectMatchesBruteForce(t *testing.T) {
 	nl := buildAdder4(t)
-	ev := NewEvaluator(nl)
+	ev := mustEval(t, nl)
 	r := rand.New(rand.NewSource(9))
 	inputs := make([]uint64, 8)
 	for i := range inputs {
 		inputs[i] = r.Uint64()
 	}
-	ev.Run(inputs)
+	mustRun(t, ev, inputs)
 	for gid := int32(0); gid < int32(len(nl.Gates)); gid++ {
 		g := nl.Gates[gid]
 		pins := []int8{-1}
@@ -170,9 +208,9 @@ func TestFaultDetectMatchesBruteForce(t *testing.T) {
 func TestFaultDetectRepeatedCalls(t *testing.T) {
 	// Epoch reuse must not leak faulty values between calls.
 	nl := buildAdder4(t)
-	ev := NewEvaluator(nl)
+	ev := mustEval(t, nl)
 	inputs := []uint64{5, 9, 0xff, 0, 1, 2, 3, 4}
-	ev.Run(inputs)
+	mustRun(t, ev, inputs)
 	f := FaultSite{Gate: nl.Outputs[0], Pin: -1, SA1: true}
 	first := ev.FaultDetect(f)
 	for i := 0; i < 10; i++ {
@@ -198,7 +236,7 @@ func TestFaultOnMuxCircuit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev := NewEvaluator(nl)
+	ev := mustEval(t, nl)
 	// s=0 selects a; s=1 selects c. Patterns: bit0: s=0,a=1,c=0; bit1: s=1,a=0,c=1.
 	ev.Run([]uint64{0b10, 0b01, 0b10})
 	if got := ev.Output(0); got != 0b11 {
@@ -257,7 +295,7 @@ func TestTreeReducers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev := NewEvaluator(nl)
+	ev := mustEval(t, nl)
 	for v := 0; v < 128; v++ {
 		in := make([]bool, 7)
 		ones := 0
@@ -267,7 +305,7 @@ func TestTreeReducers(t *testing.T) {
 				ones++
 			}
 		}
-		out := ev.EvalOnce(in)
+		out := mustEvalOnce(t, ev, in)
 		if out[0] != (ones == 7) || out[1] != (ones > 0) || out[2] != (ones%2 == 1) {
 			t.Fatalf("v=%d: and=%v or=%v xor=%v", v, out[0], out[1], out[2])
 		}

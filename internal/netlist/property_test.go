@@ -60,26 +60,26 @@ func TestRandomCircuitsPackedVsSingle(t *testing.T) {
 	r := rand.New(rand.NewSource(31))
 	for trial := 0; trial < 25; trial++ {
 		nl := randomCircuit(t, r, 4+r.Intn(12), 20+r.Intn(200))
-		ev := NewEvaluator(nl)
+		ev := mustEval(t, nl)
 		nIn := len(nl.Inputs)
 
 		inputs := make([]uint64, nIn)
 		for i := range inputs {
 			inputs[i] = r.Uint64()
 		}
-		ev.Run(inputs)
+		mustRun(t, ev, inputs)
 		packed := make([]uint64, len(nl.Outputs))
 		for i := range packed {
 			packed[i] = ev.Output(i)
 		}
 
-		ev2 := NewEvaluator(nl)
+		ev2 := mustEval(t, nl)
 		for p := 0; p < 64; p += 7 {
 			pat := make([]bool, nIn)
 			for i := range pat {
 				pat[i] = inputs[i]>>uint(p)&1 == 1
 			}
-			out := ev2.EvalOnce(pat)
+			out := mustEvalOnce(t, ev2, pat)
 			for i := range out {
 				if got := packed[i]>>uint(p)&1 == 1; got != out[i] {
 					t.Fatalf("trial %d pattern %d output %d: packed %v single %v",
@@ -97,12 +97,12 @@ func TestRandomCircuitsFaultDetectVsBrute(t *testing.T) {
 	r := rand.New(rand.NewSource(33))
 	for trial := 0; trial < 12; trial++ {
 		nl := randomCircuit(t, r, 4+r.Intn(10), 30+r.Intn(150))
-		ev := NewEvaluator(nl)
+		ev := mustEval(t, nl)
 		inputs := make([]uint64, len(nl.Inputs))
 		for i := range inputs {
 			inputs[i] = r.Uint64()
 		}
-		ev.Run(inputs)
+		mustRun(t, ev, inputs)
 
 		for probe := 0; probe < 40; probe++ {
 			gid := int32(r.Intn(len(nl.Gates)))

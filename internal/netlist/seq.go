@@ -29,12 +29,23 @@ func (b *Builder) DFFBus(width int) []int32 {
 	return out
 }
 
-// ConnectD wires net d to the flip-flop's data input.
-func (b *Builder) ConnectD(dff, d int32) {
-	if int(dff) >= len(b.gates) || b.gates[dff].Kind != KDFF {
-		panic(fmt.Sprintf("netlist: ConnectD on non-DFF net %d", dff))
+// ConnectD wires net d to the flip-flop's data input. A bad target is
+// reported both in the returned error and — so chained builder code need
+// not check every call — by Build, which fails with the first recorded
+// builder error.
+func (b *Builder) ConnectD(dff, d int32) error {
+	if dff < 0 || int(dff) >= len(b.gates) || b.gates[dff].Kind != KDFF {
+		err := fmt.Errorf("netlist: ConnectD on non-DFF net %d", dff)
+		b.recordErr(err)
+		return err
+	}
+	if d < 0 || int(d) >= len(b.gates) {
+		err := fmt.Errorf("netlist: ConnectD(%d): bad data net %d", dff, d)
+		b.recordErr(err)
+		return err
 	}
 	b.gates[dff].In[0] = d
+	return nil
 }
 
 // NumDFFs returns the flip-flop count of the netlist.
@@ -117,10 +128,13 @@ func (e *SeqEvaluator) Reset() {
 
 // Step applies one input vector (one bit per primary input, broadcast to
 // all machines), evaluates the cycle, clocks the flip-flops, and returns
-// a mask of machines whose primary outputs differ from machine 0.
-func (e *SeqEvaluator) Step(inputs []bool) uint64 {
+// a mask of machines whose primary outputs differ from machine 0. It
+// returns an error (without clocking the state) when the input arity does
+// not match the circuit.
+func (e *SeqEvaluator) Step(inputs []bool) (uint64, error) {
 	if len(inputs) != len(e.nl.Inputs) {
-		panic("netlist: Step input arity")
+		return 0, fmt.Errorf("netlist: Step got %d inputs, circuit %s has %d",
+			len(inputs), e.nl.Name, len(e.nl.Inputs))
 	}
 	for i, net := range e.nl.Inputs {
 		var v uint64
@@ -163,7 +177,7 @@ func (e *SeqEvaluator) Step(inputs []bool) uint64 {
 		d := e.nl.Gates[id].In[0]
 		e.state[i] = e.vals[d]
 	}
-	return det &^ 1
+	return det &^ 1, nil
 }
 
 func (e *SeqEvaluator) seqIn(g *Gate, pin int) uint64 {

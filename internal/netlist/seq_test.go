@@ -44,7 +44,7 @@ func TestSeqCounterCounts(t *testing.T) {
 	// Outputs read the DFF Q values computed during the step (pre-clock
 	// state), so after k enabled steps the visible count is k-1.
 	for step := 0; step < 20; step++ {
-		e.Step([]bool{true})
+		mustStep(t, e, []bool{true})
 		want := step % 16
 		if got := counterValue(e); got != want {
 			t.Fatalf("step %d: count %d, want %d", step, got, want)
@@ -52,10 +52,10 @@ func TestSeqCounterCounts(t *testing.T) {
 	}
 	// Stall: the state stops advancing (the first stalled step still shows
 	// the value clocked by the last enabled step; after that it holds).
-	e.Step([]bool{false})
+	mustStep(t, e, []bool{false})
 	before := counterValue(e)
 	for i := 0; i < 3; i++ {
-		e.Step([]bool{false})
+		mustStep(t, e, []bool{false})
 		if got := counterValue(e); got != before {
 			t.Fatalf("stall changed count %d -> %d", before, got)
 		}
@@ -105,7 +105,7 @@ func TestSeqBatchMatchesSingle(t *testing.T) {
 			}
 			var seen uint64
 			for step, in := range seq {
-				det := e.Step(in) &^ seen
+				det := mustStep(t, e, in) &^ seen
 				seen |= det
 				for k := 1; k <= end-batch; k++ {
 					if det>>uint(k)&1 == 1 {
@@ -148,12 +148,12 @@ func TestSeqStateFaultNeedsCycles(t *testing.T) {
 	if err := e.LoadFaults([]FaultSite{{Gate: carryAnd, Pin: -1, SA1: false}}); err != nil {
 		t.Fatal(err)
 	}
-	det1 := e.Step([]bool{true}) // q: 0 -> 1, carry irrelevant
+	det1 := mustStep(t, e, []bool{true}) // q: 0 -> 1, carry irrelevant
 	if det1 != 0 {
 		t.Fatalf("fault visible too early: %#x", det1)
 	}
-	det2 := e.Step([]bool{true}) // good q -> 2; faulty stays 1... observed next
-	det3 := e.Step([]bool{true})
+	det2 := mustStep(t, e, []bool{true}) // good q -> 2; faulty stays 1... observed next
+	det3 := mustStep(t, e, []bool{true})
 	if det2&2 == 0 && det3&2 == 0 {
 		t.Fatal("stuck carry never detected")
 	}

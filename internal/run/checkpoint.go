@@ -1,0 +1,163 @@
+package run
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"gpustl/internal/circuits"
+	"gpustl/internal/core"
+	"gpustl/internal/gpu"
+	"gpustl/internal/stl"
+)
+
+// CheckpointVersion is bumped whenever the on-disk schema changes
+// incompatibly; a version mismatch refuses to resume.
+const CheckpointVersion = 1
+
+// checkpointFile is the file name inside the checkpoint directory.
+const checkpointFile = "checkpoint.json"
+
+// Entry records the outcome of one PTP, in library order. It carries
+// everything a resumed run needs to reconstruct both the report row and
+// the campaign state without re-simulating.
+type Entry struct {
+	Index  int    `json:"index"`
+	Name   string `json:"name"`
+	Status Status `json:"status"`
+	// Stage is the pipeline stage reached when a failure occurred
+	// (empty for compacted/excluded entries).
+	Stage string `json:"stage,omitempty"`
+	Error string `json:"error,omitempty"`
+
+	OrigSize        int     `json:"origSize"`
+	CompSize        int     `json:"compSize"`
+	OrigDuration    uint64  `json:"origDuration,omitempty"`
+	CompDuration    uint64  `json:"compDuration,omitempty"`
+	OrigFC          float64 `json:"origFC,omitempty"`
+	CompFC          float64 `json:"compFC,omitempty"`
+	TotalSBs        int     `json:"totalSBs,omitempty"`
+	RemovedSBs      int     `json:"removedSBs,omitempty"`
+	Essential       int     `json:"essential,omitempty"`
+	Unessential     int     `json:"unessential,omitempty"`
+	DetectedThisRun int     `json:"detectedThisRun,omitempty"`
+
+	// OrigHash fingerprints the input PTP (sha256 of its serialized
+	// form) so resuming against an edited library fails loudly.
+	OrigHash string `json:"origHash"`
+	// Compacted is the WritePTP serialization of the compacted program;
+	// present only when Status is StatusCompacted (reverted and excluded
+	// PTPs keep the original, which the library still holds).
+	Compacted json.RawMessage `json:"compacted,omitempty"`
+	// DroppedFaults is the delta of the target module's campaign
+	// detected-id set contributed by this PTP (ascending). Replaying the
+	// deltas in order reconstructs the cross-PTP fault-dropping state.
+	DroppedFaults []int32 `json:"droppedFaults,omitempty"`
+}
+
+// Checkpoint is the persisted state of a (possibly partial) STL
+// compaction run.
+type Checkpoint struct {
+	Version    int     `json:"version"`
+	ConfigHash string  `json:"configHash"`
+	Entries    []Entry `json:"entries"`
+}
+
+// LoadCheckpoint reads dir/checkpoint.json. A missing file is not an
+// error: it returns (nil, nil) so a first run starts fresh.
+func LoadCheckpoint(dir string) (*Checkpoint, error) {
+	data, err := os.ReadFile(filepath.Join(dir, checkpointFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("run: reading checkpoint: %w", err)
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("run: parsing checkpoint: %w", err)
+	}
+	if ck.Version != CheckpointVersion {
+		return nil, fmt.Errorf("run: checkpoint version %d, want %d",
+			ck.Version, CheckpointVersion)
+	}
+	return &ck, nil
+}
+
+// Save writes the checkpoint atomically (temp file + rename), so a crash
+// mid-write leaves the previous checkpoint intact.
+func (ck *Checkpoint) Save(dir string) error {
+	data, err := json.MarshalIndent(ck, "", "  ")
+	if err != nil {
+		return fmt.Errorf("run: encoding checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, checkpointFile+".tmp*")
+	if err != nil {
+		return fmt.Errorf("run: writing checkpoint: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("run: writing checkpoint: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, checkpointFile)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("run: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// HashPTP fingerprints a PTP through its serialized form.
+func HashPTP(p *stl.PTP) (string, error) {
+	var buf bytes.Buffer
+	if err := stl.WritePTP(&buf, p); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// ConfigHash fingerprints everything that determines a run's results:
+// the GPU configuration, the per-module fault lists, the library's PTPs,
+// and the deterministic compactor options. Workers is excluded — the
+// fault simulation is bit-identical at any worker count, so a resume may
+// use a different parallelism than the original run.
+func ConfigHash(cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL, opt core.Options) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "gpu:%+v\n", cfg)
+
+	kinds := make([]circuits.ModuleKind, 0, len(ms.Modules))
+	for k := range ms.Modules {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		m := ms.Modules[k]
+		fmt.Fprintf(h, "module:%v gates:%d lanes:%d faults:%d\n",
+			k, m.NL.NumGates(), m.Lanes, len(ms.Faults[k]))
+		for _, f := range ms.Faults[k] {
+			fmt.Fprintf(h, "f:%d.%d.%d.%v\n", f.Lane, f.Site.Gate, f.Site.Pin, f.Site.SA1)
+		}
+	}
+
+	for _, p := range lib.PTPs {
+		ph, err := HashPTP(p)
+		if err != nil {
+			return "", fmt.Errorf("run: hashing PTP %s: %w", p.Name, err)
+		}
+		fmt.Fprintf(h, "ptp:%s:%s\n", p.Name, ph)
+	}
+
+	fmt.Fprintf(h, "opt:reverse=%v instr=%v keep=%v obsfc=%v\n",
+		opt.ReversePatterns, opt.InstructionGranularity, opt.KeepCampaign, opt.ObservableFC)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

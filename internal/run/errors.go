@@ -1,0 +1,29 @@
+// Package run is the resilience layer over the compaction pipeline: it
+// compacts a whole STL with per-PTP panic isolation, per-stage watchdog
+// timeouts, cooperative cancellation, JSON checkpoint/resume, and an
+// FC-safety guard that keeps the original PTP whenever compaction fails
+// or costs fault coverage. The paper's method (package core) stays pure;
+// everything operational lives here.
+package run
+
+import (
+	"fmt"
+
+	"gpustl/internal/core"
+)
+
+// StageError attributes a compaction failure to the pipeline stage that
+// was executing when it happened.
+type StageError struct {
+	Stage core.Stage
+	PTP   string
+	Err   error
+}
+
+// Error renders "run: PTP <name> failed at stage <stage>: <cause>".
+func (e *StageError) Error() string {
+	return fmt.Sprintf("run: PTP %s failed at stage %s: %v", e.PTP, e.Stage, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *StageError) Unwrap() error { return e.Err }

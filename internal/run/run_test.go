@@ -1,0 +1,287 @@
+package run
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"gpustl/internal/core"
+	"gpustl/internal/gpu"
+	"gpustl/internal/ptpgen"
+	"gpustl/internal/stl"
+)
+
+// testEnv builds a small DU library and its module set. The module set
+// is rebuilt per call so each Run starts from fresh campaigns.
+func testEnv(t testing.TB) (*stl.STL, *core.ModuleSet) {
+	t.Helper()
+	lib := &stl.STL{PTPs: []*stl.PTP{
+		ptpgen.IMM(20, 61),
+		ptpgen.MEM(20, 62),
+		ptpgen.DIVG(3, 2, 63), // excluded: no admissible regions
+	}}
+	ms, err := core.NewModuleSet(lib, 1500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, ms
+}
+
+func render(t testing.TB, rep *Report) string {
+	t.Helper()
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	return buf.String()
+}
+
+func TestRunCompactsLikeCompactSTL(t *testing.T) {
+	lib, ms := testEnv(t)
+	rep, err := Run(context.Background(), gpu.DefaultConfig(), ms, lib,
+		core.Options{Workers: 4}, Options{FCTolerance: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) != 3 || len(rep.Compacted.PTPs) != 3 {
+		t.Fatalf("outcome counts: %d, %d", len(rep.Outcomes), len(rep.Compacted.PTPs))
+	}
+	if rep.Excluded != 1 || rep.Outcomes[2].Status != StatusExcluded {
+		t.Fatalf("DIVG not excluded: %+v", rep.Outcomes[2])
+	}
+	if rep.Compacted.PTPs[2] != lib.PTPs[2] {
+		t.Error("excluded PTP was replaced")
+	}
+	for _, o := range rep.Outcomes[:2] {
+		if o.Status != StatusCompacted {
+			t.Fatalf("%s: %+v", o.Name, o)
+		}
+	}
+	if rep.SizeReduction() <= 0 {
+		t.Errorf("no reduction: %.2f%%", rep.SizeReduction())
+	}
+
+	// Same inputs through the plain pipeline agree on the compacted sizes.
+	lib2, ms2 := testEnv(t)
+	plain, err := core.CompactSTL(gpu.DefaultConfig(), ms2, lib2, core.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.CompSize != rep.CompSize || plain.OrigSize != rep.OrigSize {
+		t.Errorf("run %d->%d != core %d->%d",
+			rep.OrigSize, rep.CompSize, plain.OrigSize, plain.CompSize)
+	}
+}
+
+func TestKillAndResumeRendersByteIdentical(t *testing.T) {
+	cfg := gpu.DefaultConfig()
+	copt := core.Options{Workers: 4}
+
+	// Reference: one uninterrupted run.
+	lib, ms := testEnv(t)
+	ref, err := Run(context.Background(), cfg, ms, lib, copt, Options{FCTolerance: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(t, ref)
+
+	// Interrupted run: the parent context is canceled as the second PTP
+	// enters its logic trace, after the first PTP's checkpoint entry is
+	// on disk.
+	dir := t.TempDir()
+	lib2, ms2 := testEnv(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := Options{
+		CheckpointDir: dir,
+		FCTolerance:   5,
+		StageHook: func(ptp string, stage core.Stage) error {
+			if ptp == "MEM" && stage == core.StageTrace {
+				cancel()
+			}
+			return nil
+		},
+	}
+	partial, err := Run(ctx, cfg, ms2, lib2, copt, opts)
+	if err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	if len(partial.Outcomes) != 1 {
+		t.Fatalf("partial run finished %d PTPs, want 1", len(partial.Outcomes))
+	}
+	ck, err := LoadCheckpoint(dir)
+	if err != nil || ck == nil {
+		t.Fatalf("no checkpoint after interruption: %v", err)
+	}
+	if len(ck.Entries) != 1 || ck.Entries[0].Name != "IMM" {
+		t.Fatalf("checkpoint entries: %+v", ck.Entries)
+	}
+
+	// Resume with fresh campaigns: the first PTP replays from the
+	// checkpoint, the rest compute, and the report is byte-identical.
+	lib3, ms3 := testEnv(t)
+	resumed, err := Run(context.Background(), cfg, ms3, lib3, copt,
+		Options{CheckpointDir: dir, FCTolerance: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed != 1 || !resumed.Outcomes[0].Resumed {
+		t.Fatalf("resume did not replay the checkpoint: %+v", resumed.Outcomes[0])
+	}
+	if got := render(t, resumed); got != want {
+		t.Errorf("resumed report differs:\n--- uninterrupted\n%s--- resumed\n%s", want, got)
+	}
+
+	// The compacted programs agree instruction-for-instruction too.
+	for i := range ref.Compacted.PTPs {
+		a, err := HashPTP(ref.Compacted.PTPs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := HashPTP(resumed.Compacted.PTPs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("PTP %d differs after resume", i)
+		}
+	}
+}
+
+func TestInjectedPanicRevertsOnePTPOnly(t *testing.T) {
+	lib, ms := testEnv(t)
+	opts := Options{
+		FCTolerance: 5,
+		StageHook: func(ptp string, stage core.Stage) error {
+			if ptp == "IMM" && stage == core.StageReduce {
+				panic("injected failure")
+			}
+			return nil
+		},
+	}
+	rep, err := Run(context.Background(), gpu.DefaultConfig(), ms, lib,
+		core.Options{Workers: 4}, opts)
+	if err != nil {
+		t.Fatalf("one bad PTP aborted the run: %v", err)
+	}
+	o := rep.Outcomes[0]
+	if o.Status != StatusRevertedError || o.Stage != core.StageReduce {
+		t.Fatalf("IMM outcome: %+v", o)
+	}
+	if !strings.Contains(o.Err, "injected failure") {
+		t.Fatalf("panic message lost: %q", o.Err)
+	}
+	if rep.Compacted.PTPs[0] != lib.PTPs[0] {
+		t.Error("failed PTP was not reverted to the original")
+	}
+	// The remaining candidate still compacts.
+	if rep.Outcomes[1].Status != StatusCompacted {
+		t.Fatalf("MEM outcome: %+v", rep.Outcomes[1])
+	}
+	if rep.Reverted != 1 {
+		t.Errorf("Reverted = %d", rep.Reverted)
+	}
+}
+
+func TestStageErrorAttribution(t *testing.T) {
+	lib, ms := testEnv(t)
+	sentinel := errors.New("hook says no")
+	opts := Options{
+		StageHook: func(ptp string, stage core.Stage) error {
+			if stage == core.StageFaultSim {
+				return sentinel
+			}
+			return nil
+		},
+	}
+	rep, err := Run(context.Background(), gpu.DefaultConfig(), ms, lib,
+		core.Options{Workers: 4}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range rep.Outcomes[:2] {
+		if o.Status != StatusRevertedError || o.Stage != core.StageFaultSim {
+			t.Fatalf("%s: %+v", o.Name, o)
+		}
+		if !strings.Contains(o.Err, "failed at stage faultsim") ||
+			!strings.Contains(o.Err, sentinel.Error()) {
+			t.Fatalf("%s: error %q", o.Name, o.Err)
+		}
+	}
+}
+
+func TestFCGuardReverts(t *testing.T) {
+	lib, ms := testEnv(t)
+	// A negative tolerance demands the compacted PTP IMPROVE coverage by
+	// 1000 points — impossible, so every candidate reverts.
+	rep, err := Run(context.Background(), gpu.DefaultConfig(), ms, lib,
+		core.Options{Workers: 4}, Options{FCTolerance: -1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range rep.Outcomes[:2] {
+		if o.Status != StatusRevertedFC {
+			t.Fatalf("%s: %+v", o.Name, o)
+		}
+		if rep.Compacted.PTPs[i] != lib.PTPs[i] {
+			t.Errorf("%s not reverted to original", o.Name)
+		}
+	}
+	if rep.CompSize != rep.OrigSize {
+		t.Errorf("reverted STL changed size: %d -> %d", rep.OrigSize, rep.CompSize)
+	}
+}
+
+func TestWatchdogTimesOutHungStage(t *testing.T) {
+	lib, ms := testEnv(t)
+	// A 1ns budget per stage cannot finish any simulation: the watchdog
+	// cancels each PTP, which must revert rather than abort the run.
+	rep, err := Run(context.Background(), gpu.DefaultConfig(), ms, lib,
+		core.Options{Workers: 4}, Options{StageTimeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range rep.Outcomes[:2] {
+		if o.Status != StatusRevertedError {
+			t.Fatalf("%s survived a 1ns stage budget: %+v", o.Name, o)
+		}
+	}
+	if rep.Outcomes[2].Status != StatusExcluded {
+		t.Fatalf("excluded PTP: %+v", rep.Outcomes[2])
+	}
+}
+
+func TestCheckpointRejectsChangedConfig(t *testing.T) {
+	dir := t.TempDir()
+	cfg := gpu.DefaultConfig()
+	copt := core.Options{Workers: 4}
+	lib, ms := testEnv(t)
+	if _, err := Run(context.Background(), cfg, ms, lib, copt,
+		Options{CheckpointDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different library must refuse to resume from this checkpoint.
+	other := &stl.STL{PTPs: []*stl.PTP{ptpgen.IMM(20, 99)}}
+	ms2, err := core.NewModuleSet(other, 1500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(), cfg, ms2, other, copt,
+		Options{CheckpointDir: dir})
+	if err == nil || !strings.Contains(err.Error(), "different configuration") {
+		t.Fatalf("changed config accepted: %v", err)
+	}
+}
+
+func TestStageErrorUnwraps(t *testing.T) {
+	cause := errors.New("boom")
+	se := &StageError{Stage: core.StageTrace, PTP: "X", Err: cause}
+	if !errors.Is(se, cause) {
+		t.Error("Unwrap broken")
+	}
+	if !strings.Contains(se.Error(), "X") || !strings.Contains(se.Error(), "trace") {
+		t.Errorf("message: %q", se.Error())
+	}
+}

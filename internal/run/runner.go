@@ -1,0 +1,379 @@
+package run
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"gpustl/internal/circuits"
+	"gpustl/internal/core"
+	"gpustl/internal/fault"
+	"gpustl/internal/gpu"
+	"gpustl/internal/report"
+	"gpustl/internal/stl"
+)
+
+// Status classifies the outcome of one PTP.
+type Status string
+
+const (
+	// StatusCompacted: the five stages succeeded and the compacted PTP
+	// passed the FC-safety guard.
+	StatusCompacted Status = "compacted"
+	// StatusRevertedError: a stage failed (error, panic, or watchdog
+	// timeout); the original PTP is kept.
+	StatusRevertedError Status = "reverted-error"
+	// StatusRevertedFC: compaction succeeded but the compacted PTP's
+	// standalone fault coverage fell more than FCTolerance below the
+	// original's; the original PTP is kept.
+	StatusRevertedFC Status = "reverted-fc"
+	// StatusExcluded: the PTP is not a compaction candidate (no
+	// admissible regions, or a target module without a gate-level model)
+	// and passes through untouched.
+	StatusExcluded Status = "excluded"
+)
+
+// Options tunes the resilient runner.
+type Options struct {
+	// CheckpointDir enables checkpoint/resume: after every PTP the run
+	// state is persisted to CheckpointDir/checkpoint.json, and a later
+	// run over the same inputs resumes after the last finished PTP.
+	// Empty disables checkpointing.
+	CheckpointDir string
+	// StageTimeout bounds each pipeline stage of each PTP; a stage that
+	// exceeds it is canceled and the PTP reverts to its original form.
+	// 0 disables the watchdog.
+	StageTimeout time.Duration
+	// FCTolerance is the maximum standalone fault-coverage loss (in
+	// percentage points) a compacted PTP may show before the FC-safety
+	// guard reverts it. 0 means any measurable loss reverts.
+	FCTolerance float64
+	// StageHook, when set, is called as each PTP enters each stage.
+	// Returning an error aborts that PTP (it reverts). Used by tests to
+	// inject failures and by callers for progress reporting.
+	StageHook func(ptp string, stage core.Stage) error
+}
+
+// Outcome is one PTP's row of the run report. The numeric fields are
+// duplicated out of core.Result so a resumed run (which never re-runs
+// finished PTPs) renders byte-identically to an uninterrupted one.
+type Outcome struct {
+	Name   string
+	Status Status
+	Stage  core.Stage // stage reached when a failure occurred
+	Err    string
+
+	OrigSize, CompSize         int
+	OrigDuration, CompDuration uint64
+	OrigFC, CompFC             float64
+	DetectedThisRun            int
+	// Resumed marks outcomes reconstructed from a checkpoint rather
+	// than computed this run (not rendered: reports must not depend on
+	// where the work ran).
+	Resumed bool
+}
+
+// Report is the result of a resilient STL compaction run.
+type Report struct {
+	Outcomes []Outcome
+	// Compacted holds one PTP per library entry, in order: the compacted
+	// program where compaction succeeded, the original otherwise.
+	Compacted          *stl.STL
+	OrigSize, CompSize int
+	Excluded           int
+	Reverted           int
+	Resumed            int
+}
+
+// SizeReduction returns the whole-STL size compaction percentage.
+func (r *Report) SizeReduction() float64 {
+	if r.OrigSize == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(r.CompSize)/float64(r.OrigSize))
+}
+
+// Render writes the run report. The output is deterministic — no
+// wall-clock times, no resume markers — so a run that was killed and
+// resumed renders byte-identically to one that ran straight through.
+func (r *Report) Render(w io.Writer) {
+	tb := report.Table{
+		Title:   "RESILIENT STL COMPACTION",
+		Headers: []string{"PTP", "status", "size", "duration", "FC", "detected"},
+	}
+	for _, o := range r.Outcomes {
+		status := string(o.Status)
+		if o.Status == StatusRevertedError {
+			status += " @" + string(o.Stage)
+		}
+		size := fmt.Sprintf("%d", o.OrigSize)
+		dur := "-"
+		fc := "-"
+		det := "-"
+		if o.Status == StatusCompacted || o.Status == StatusRevertedFC {
+			size = fmt.Sprintf("%d->%d", o.OrigSize, o.CompSize)
+			dur = fmt.Sprintf("%d->%d", o.OrigDuration, o.CompDuration)
+			fc = fmt.Sprintf("%.2f->%.2f", o.OrigFC, o.CompFC)
+			det = fmt.Sprintf("%d", o.DetectedThisRun)
+		}
+		tb.AddRow(o.Name, status, size, dur, fc, det)
+	}
+	tb.Render(w)
+	fmt.Fprintf(w, "total: %d -> %d instructions (%.2f%% smaller), %d excluded, %d reverted\n",
+		r.OrigSize, r.CompSize, r.SizeReduction(), r.Excluded, r.Reverted)
+	for _, o := range r.Outcomes {
+		if o.Err != "" {
+			fmt.Fprintf(w, "  %s: %s\n", o.Name, o.Err)
+		}
+	}
+}
+
+// Run compacts the whole library with per-PTP fault isolation. Unlike
+// core.CompactSTL, a PTP that fails — stage error, panic, watchdog
+// timeout, or FC-safety violation — does not abort the run: the original
+// PTP is kept, the failure is recorded in its Outcome, and the remaining
+// PTPs still compact. Only a canceled parent context (or a checkpoint
+// I/O failure) stops the run, and then the returned partial Report is
+// still valid alongside the error; with a CheckpointDir the next Run
+// resumes after the last finished PTP.
+func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
+	copt core.Options, opts Options) (*Report, error) {
+
+	hash, err := ConfigHash(cfg, ms, lib, copt)
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{Version: CheckpointVersion, ConfigHash: hash}
+	if opts.CheckpointDir != "" {
+		if err := os.MkdirAll(opts.CheckpointDir, 0o777); err != nil {
+			return nil, fmt.Errorf("run: checkpoint dir: %w", err)
+		}
+		prev, err := LoadCheckpoint(opts.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		if prev != nil {
+			if prev.ConfigHash != hash {
+				return nil, fmt.Errorf("run: checkpoint was written by a different configuration (hash %.12s, want %.12s); delete %s to start over",
+					prev.ConfigHash, hash, opts.CheckpointDir)
+			}
+			if len(prev.Entries) > len(lib.PTPs) {
+				return nil, fmt.Errorf("run: checkpoint has %d entries but the library has %d PTPs",
+					len(prev.Entries), len(lib.PTPs))
+			}
+			ck = prev
+		}
+	}
+
+	compactors := map[circuits.ModuleKind]*core.Compactor{}
+	for kind, m := range ms.Modules {
+		compactors[kind] = core.New(cfg, m, ms.Faults[kind], copt)
+	}
+	// dropped tracks each campaign's detected-id set so the per-PTP
+	// checkpoint entry records only this PTP's delta.
+	dropped := map[circuits.ModuleKind][]fault.ID{}
+
+	rep := &Report{Compacted: &stl.STL{}}
+	for i, p := range lib.PTPs {
+		c := compactors[p.Target]
+		if i < len(ck.Entries) {
+			// Resume path: validate the entry against the library, then
+			// replay its campaign delta and report row.
+			e := ck.Entries[i]
+			ph, err := HashPTP(p)
+			if err != nil {
+				return rep, err
+			}
+			if e.Index != i || e.Name != p.Name || e.OrigHash != ph {
+				return rep, fmt.Errorf("run: checkpoint entry %d (%s) does not match library PTP %s; delete %s to start over",
+					i, e.Name, p.Name, opts.CheckpointDir)
+			}
+			comp := p
+			if e.Status == StatusCompacted {
+				comp, err = stl.ReadPTP(bytes.NewReader(e.Compacted))
+				if err != nil {
+					return rep, fmt.Errorf("run: checkpoint entry %d: %w", i, err)
+				}
+			}
+			if c != nil && len(e.DroppedFaults) > 0 {
+				ids := make([]fault.ID, len(e.DroppedFaults))
+				for j, id := range e.DroppedFaults {
+					ids[j] = fault.ID(id)
+				}
+				if err := c.Campaign.RestoreDetected(ids); err != nil {
+					return rep, fmt.Errorf("run: checkpoint entry %d: %w", i, err)
+				}
+				dropped[p.Target] = c.Campaign.DetectedIDs()
+			}
+			o := Outcome{
+				Name: e.Name, Status: e.Status, Stage: core.Stage(e.Stage), Err: e.Error,
+				OrigSize: e.OrigSize, CompSize: e.CompSize,
+				OrigDuration: e.OrigDuration, CompDuration: e.CompDuration,
+				OrigFC: e.OrigFC, CompFC: e.CompFC,
+				DetectedThisRun: e.DetectedThisRun,
+				Resumed:         true,
+			}
+			rep.Resumed++
+			accumulate(rep, o, comp)
+			continue
+		}
+
+		if err := ctx.Err(); err != nil {
+			// Canceled between PTPs: the checkpoint already holds every
+			// finished entry, so just surface the partial report.
+			return rep, fmt.Errorf("run: canceled after %d of %d PTPs: %w",
+				i, len(lib.PTPs), err)
+		}
+
+		e := Entry{Index: i, Name: p.Name, OrigSize: len(p.Prog)}
+		if e.OrigHash, err = HashPTP(p); err != nil {
+			return rep, err
+		}
+
+		comp := p
+		if c == nil || len(p.ARCs()) == 0 {
+			e.Status = StatusExcluded
+			e.CompSize = len(p.Prog)
+		} else {
+			res, stage, cerr := compactOne(ctx, c, p, opts)
+			// Record the campaign delta whatever the outcome: stage-3
+			// drops may have committed even when a later stage failed,
+			// and the original (kept) PTP covers a superset of them.
+			ids := c.Campaign.DetectedIDs()
+			e.DroppedFaults = diffIDs(dropped[p.Target], ids)
+			dropped[p.Target] = ids
+
+			switch {
+			case cerr != nil && ctx.Err() != nil:
+				// The parent context died mid-PTP: this PTP is not
+				// finished, so do not checkpoint it — a resume redoes it.
+				return rep, cerr
+			case cerr != nil:
+				e.Status = StatusRevertedError
+				e.Stage = string(stage)
+				e.Error = cerr.Error()
+				e.CompSize = len(p.Prog)
+			default:
+				e.CompSize = res.CompSize
+				e.OrigDuration = res.OrigDuration
+				e.CompDuration = res.CompDuration
+				e.OrigFC = res.OrigFC
+				e.CompFC = res.CompFC
+				e.TotalSBs = res.TotalSBs
+				e.RemovedSBs = res.RemovedSBs
+				e.Essential = res.Essential
+				e.Unessential = res.Unessential
+				e.DetectedThisRun = res.DetectedThisRun
+				if res.CompFC < res.OrigFC-opts.FCTolerance {
+					// FC-safety guard: the compacted program lost more
+					// coverage than tolerated; ship the original.
+					e.Status = StatusRevertedFC
+					e.Error = fmt.Sprintf("run: PTP %s compacted FC %.2f%% is %.2f points below original %.2f%% (tolerance %.2f)",
+						p.Name, res.CompFC, res.OrigFC-res.CompFC, res.OrigFC, opts.FCTolerance)
+				} else {
+					e.Status = StatusCompacted
+					comp = res.Compacted
+					var buf bytes.Buffer
+					if err := stl.WritePTP(&buf, comp); err != nil {
+						return rep, fmt.Errorf("run: serializing compacted %s: %w", p.Name, err)
+					}
+					e.Compacted = json.RawMessage(buf.Bytes())
+				}
+			}
+		}
+
+		ck.Entries = append(ck.Entries, e)
+		if opts.CheckpointDir != "" {
+			if err := ck.Save(opts.CheckpointDir); err != nil {
+				return rep, err
+			}
+		}
+		o := Outcome{
+			Name: e.Name, Status: e.Status, Stage: core.Stage(e.Stage), Err: e.Error,
+			OrigSize: e.OrigSize, CompSize: e.CompSize,
+			OrigDuration: e.OrigDuration, CompDuration: e.CompDuration,
+			OrigFC: e.OrigFC, CompFC: e.CompFC,
+			DetectedThisRun: e.DetectedThisRun,
+		}
+		accumulate(rep, o, comp)
+	}
+	return rep, nil
+}
+
+// accumulate appends one outcome and its surviving PTP to the report.
+func accumulate(rep *Report, o Outcome, comp *stl.PTP) {
+	rep.Outcomes = append(rep.Outcomes, o)
+	rep.Compacted.PTPs = append(rep.Compacted.PTPs, comp)
+	rep.OrigSize += o.OrigSize
+	rep.CompSize += len(comp.Prog)
+	switch o.Status {
+	case StatusExcluded:
+		rep.Excluded++
+	case StatusRevertedError, StatusRevertedFC:
+		rep.Reverted++
+	}
+}
+
+// compactOne runs the pipeline on one PTP with panic isolation and a
+// per-stage watchdog. The returned stage is the last stage entered, for
+// failure attribution; err (when non-nil) is a *StageError.
+func compactOne(ctx context.Context, c *core.Compactor, p *stl.PTP,
+	opts Options) (res *core.Result, stage core.Stage, err error) {
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The watchdog cancels the derived context if any single stage runs
+	// longer than StageTimeout; entering the next stage re-arms it. The
+	// pipeline polls the context inside both simulations, so a hung
+	// stage dies within microseconds of the timer firing.
+	var watchdog *time.Timer
+	if opts.StageTimeout > 0 {
+		watchdog = time.AfterFunc(opts.StageTimeout, cancel)
+		defer watchdog.Stop()
+	}
+
+	stage = core.StagePartition
+	onStage := func(s core.Stage) error {
+		stage = s
+		if watchdog != nil {
+			watchdog.Reset(opts.StageTimeout)
+		}
+		if opts.StageHook != nil {
+			return opts.StageHook(p.Name, s)
+		}
+		return nil
+	}
+
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("panic: %v", r)
+		}
+		if err != nil {
+			res = nil
+			err = &StageError{Stage: stage, PTP: p.Name, Err: err}
+		}
+	}()
+	res, err = c.CompactPTPCtx(cctx, p, onStage)
+	return
+}
+
+// diffIDs returns the elements of cur not in prev; both are ascending.
+func diffIDs(prev, cur []fault.ID) []int32 {
+	var out []int32
+	j := 0
+	for _, id := range cur {
+		for j < len(prev) && prev[j] < id {
+			j++
+		}
+		if j < len(prev) && prev[j] == id {
+			continue
+		}
+		out = append(out, int32(id))
+	}
+	return out
+}

@@ -100,18 +100,29 @@ func WriteSTL(w io.Writer, s *STL) error {
 	return enc.Encode(j)
 }
 
-// ReadSTL parses an STL written by WriteSTL.
+// ReadSTL parses an STL written by WriteSTL. It rejects an empty PTP
+// list and duplicate PTP names: downstream consumers (checkpoints,
+// reports) key PTPs by name, so both would fail confusingly later.
 func ReadSTL(r io.Reader) (*STL, error) {
 	var j stlJSON
 	if err := json.NewDecoder(r).Decode(&j); err != nil {
 		return nil, fmt.Errorf("stl: decoding STL: %w", err)
 	}
+	if len(j.PTPs) == 0 {
+		return nil, fmt.Errorf("stl: STL has no PTPs")
+	}
 	out := &STL{}
+	seen := make(map[string]int, len(j.PTPs))
 	for i, raw := range j.PTPs {
 		p, err := ReadPTP(bytes.NewReader(raw))
 		if err != nil {
 			return nil, fmt.Errorf("stl: PTP %d: %w", i, err)
 		}
+		if prev, dup := seen[p.Name]; dup {
+			return nil, fmt.Errorf("stl: duplicate PTP name %q (entries %d and %d)",
+				p.Name, prev, i)
+		}
+		seen[p.Name] = i
 		out.PTPs = append(out.PTPs, p)
 	}
 	return out, nil

@@ -44,7 +44,10 @@ func (r *GLReport) String() string {
 // predicate bit; for the SFU, the 32-bit result word; for the DU, the
 // control word, class bits and field extraction.
 func VerifyGL(m *circuits.Module, patterns []fault.TimedPattern) (*GLReport, error) {
-	ev := netlist.NewEvaluator(m.NL)
+	ev, err := netlist.NewEvaluator(m.NL)
+	if err != nil {
+		return nil, fmt.Errorf("trace: VerifyGL on %v: %w", m.Kind, err)
+	}
 	rep := &GLReport{Patterns: len(patterns), FirstIndex: -1}
 	numIn := len(m.NL.Inputs)
 	inputs := make([]uint64, numIn)
@@ -61,7 +64,9 @@ func VerifyGL(m *circuits.Module, patterns []fault.TimedPattern) (*GLReport, err
 		for s := 0; s < n; s++ {
 			patterns[blk+s].Pat.ApplyTo(inputs, uint(s))
 		}
-		ev.Run(inputs)
+		if err := ev.Run(inputs); err != nil {
+			return nil, err
+		}
 
 		for s := 0; s < n; s++ {
 			got, want, err := compareOne(m, ev, patterns[blk+s].Pat, uint(s))
