@@ -12,6 +12,10 @@ verify: test
 	go vet ./...
 	go test -race ./...
 
+# Benchmarks. The JSON stream (including the distributed-simulation
+# benchmark and its coordinator stats metrics) lands in BENCH_dist.json
+# for machine consumption; the human-readable output still prints.
 .PHONY: bench
 bench:
-	go test -bench . -benchtime 1x -run '^$$' ./...
+	go test -bench . -benchtime 1x -run '^$$' -json . | tee BENCH_dist.json
+	go test -bench . -benchtime 1x -run '^$$' ./internal/...

@@ -10,6 +10,7 @@
 package gpustl
 
 import (
+	"context"
 	"os"
 	"sync"
 	"testing"
@@ -246,4 +247,53 @@ func BenchmarkFaultSimulation(b *testing.B) {
 		camp := NewFaultCampaign(mod, faults)
 		camp.Simulate(col.Patterns, SimOptions{})
 	}
+}
+
+// BenchmarkDistSimulation runs the same campaign as
+// BenchmarkFaultSimulation, but sharded through the distributed
+// coordinator over three in-process workers — measuring the overhead
+// of partitioning, dispatch, reply validation and report merging on
+// top of the raw simulation.
+func BenchmarkDistSimulation(b *testing.B) {
+	mod, err := BuildModule(ModuleDU)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ptp := GenerateIMM(300, 1)
+	col := NewTraceCollector(ModuleDU)
+	col.LiteRows = true
+	g, err := NewGPU(DefaultGPUConfig(), col)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := g.Run(Kernel{
+		Prog: ptp.Prog, Blocks: 1, ThreadsPerBlock: 32,
+		GlobalBase: ptp.Data.Base, GlobalData: ptp.Data.Words,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	faults := AllFaults(mod)
+	co, err := NewDistCoordinator(DistOptions{},
+		NewLocalWorker("w1"), NewLocalWorker("w2"), NewLocalWorker("w3"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer co.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	var shards, dispatches int
+	for i := 0; i < b.N; i++ {
+		camp := NewFaultCampaign(mod, faults)
+		res, err := co.Run(ctx, camp, col.Patterns, SimOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Degraded() {
+			b.Fatalf("degraded run: %d shards failed", res.FailedShards)
+		}
+		shards += res.Stats.Shards
+		dispatches += res.Stats.Dispatches
+	}
+	b.ReportMetric(float64(shards)/float64(b.N), "shards/op")
+	b.ReportMetric(float64(dispatches)/float64(b.N), "dispatches/op")
 }

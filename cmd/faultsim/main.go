@@ -6,13 +6,21 @@
 // Usage:
 //
 //	faultsim -patterns FILE.vcde [-sample N] [-seed S] [-reverse] [-top K]
+//	         [-workers W]
+//
+// -workers parallelizes the simulation across W goroutines (0 selects
+// GOMAXPROCS); results are bit-identical at any setting. Ctrl-C or
+// SIGTERM cancels a long campaign cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gpustl"
 )
@@ -26,12 +34,18 @@ func main() {
 		seed    = flag.Int64("seed", 1, "sampling seed")
 		reverse = flag.Bool("reverse", false, "apply patterns in reverse order")
 		top     = flag.Int("top", 10, "print the K most effective patterns")
+		workers = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 	if *patFile == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// Ctrl-C / SIGTERM abort the simulation mid-campaign, matching
+	// stlcompact's signal handling.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	f, err := os.Open(*patFile)
 	if err != nil {
@@ -58,7 +72,13 @@ func main() {
 		len(faults), mod.NL.NumGates(), mod.Lanes)
 
 	camp := gpustl.NewFaultCampaign(mod, faults)
-	rep := camp.Simulate(patterns, gpustl.SimOptions{Reverse: *reverse})
+	rep, err := camp.SimulateCtx(ctx, patterns, gpustl.SimOptions{
+		Reverse: *reverse,
+		Workers: *workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("detected: %d / %d faults (FC %.2f%%)\n",
 		camp.Detected(), camp.Total(), camp.Coverage())

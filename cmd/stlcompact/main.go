@@ -7,9 +7,16 @@
 //	stlcompact -target DU|SP|SFU [-n N] [-seed S] [-faults K] [-reverse]
 //	           [-instr] [-baseline] [-load FILE.json] [-save DIR]
 //	           [-checkpoint DIR] [-stage-timeout D] [-fctol PTS]
+//	           [-workers-addr HOST:PORT,HOST:PORT,...]
 //
 // With -load, the PTPs are read from a saved STL file (see -save and the
 // gpustl.WriteSTL format) instead of being generated.
+//
+// With -workers-addr, every fault simulation is sharded across the given
+// stlworker daemons instead of running in-process. Results are identical
+// by contract; a worker that crashes, straggles or corrupts replies is
+// retried, hedged or declared dead, and a PTP whose campaign still
+// cannot complete reverts to its original form while the run continues.
 //
 // The compaction runs under the resilience layer: a PTP that fails (or
 // whose compacted form loses more than -fctol points of fault coverage)
@@ -27,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,6 +57,7 @@ func main() {
 		ckDir    = flag.String("checkpoint", "", "persist progress here and resume interrupted runs")
 		stageTO  = flag.Duration("stage-timeout", 0, "per-stage watchdog timeout (0 = off)")
 		fcTol    = flag.Float64("fctol", 5, "max FC loss (points) before a compacted PTP reverts")
+		workers  = flag.String("workers-addr", "", "comma-separated stlworker addresses; distribute fault simulations across them")
 	)
 	flag.Parse()
 
@@ -136,10 +145,33 @@ func main() {
 		}
 	}
 
-	os.Exit(runCompaction(ctx, kind, mod, faults, ptps, runFlags{
+	var sim gpustl.FaultSimulator
+	var co *gpustl.DistCoordinator
+	if *workers != "" {
+		var transports []gpustl.WorkerTransport
+		for _, addr := range strings.Split(*workers, ",") {
+			if addr = strings.TrimSpace(addr); addr != "" {
+				transports = append(transports, gpustl.NewWorkerTransport(addr))
+			}
+		}
+		var err error
+		co, err = gpustl.NewDistCoordinator(gpustl.DistOptions{Logf: log.Printf}, transports...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("distributing fault simulations across %d worker(s)", len(transports))
+		sim = co
+	}
+
+	code := runCompaction(ctx, kind, mod, faults, ptps, runFlags{
 		reverse: *reverse, instrG: *instrG, baseline: *baseline,
 		saveDir: *saveDir, ckDir: *ckDir, stageTO: *stageTO, fcTol: *fcTol,
-	}))
+		sim: sim,
+	})
+	if co != nil {
+		co.Close()
+	}
+	os.Exit(code)
 }
 
 type runFlags struct {
@@ -147,6 +179,7 @@ type runFlags struct {
 	saveDir, ckDir            string
 	stageTO                   time.Duration
 	fcTol                     float64
+	sim                       gpustl.FaultSimulator
 }
 
 // runCompaction compacts the PTPs under the resilience layer and returns
@@ -160,6 +193,7 @@ func runCompaction(ctx context.Context, kind gpustl.ModuleKind, mod *gpustl.Modu
 	copt := gpustl.CompactorOptions{
 		ReversePatterns:        fl.reverse,
 		InstructionGranularity: fl.instrG,
+		Simulator:              fl.sim,
 	}
 	ms := &gpustl.ModuleSet{
 		Modules: map[gpustl.ModuleKind]*gpustl.Module{kind: mod},

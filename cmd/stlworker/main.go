@@ -1,0 +1,76 @@
+// Command stlworker is the fault-simulation worker daemon of the
+// distributed campaign service. It serves shard requests over HTTP/JSON:
+// POST /simulate executes one shard (a fault subset plus the pattern
+// stream) on an in-process simulator, GET /healthz answers the
+// coordinator's heartbeats.
+//
+// Usage:
+//
+//	stlworker -listen :9123 [-name NAME]
+//
+// Point stlcompact's -workers-addr at one or more daemons to
+// distribute the campaign. Workers are stateless — the
+// coordinator retries, hedges and redistributes shards — so daemons can
+// be added, restarted or killed mid-run.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpustl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stlworker: ")
+	var (
+		listen = flag.String("listen", ":9123", "address to serve on")
+		name   = flag.String("name", "", "worker name in replies and logs (default: host:listen)")
+	)
+	flag.Parse()
+
+	if *name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "stlworker"
+		}
+		*name = host + *listen
+	}
+
+	srv := &http.Server{
+		Addr:    *listen,
+		Handler: gpustl.NewWorkerHandler(*name, log.Printf),
+	}
+
+	// SIGINT/SIGTERM drain in-flight shards and exit cleanly; the
+	// coordinator's heartbeats notice the death and redistribute.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("worker %q listening on %s", *name, *listen)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

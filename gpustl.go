@@ -33,12 +33,14 @@ package gpustl
 
 import (
 	"context"
+	"net/http"
 
 	"gpustl/internal/asm"
 	"gpustl/internal/atpg"
 	"gpustl/internal/baseline"
 	"gpustl/internal/circuits"
 	"gpustl/internal/core"
+	"gpustl/internal/dist"
 	"gpustl/internal/experiments"
 	"gpustl/internal/fault"
 	"gpustl/internal/gpu"
@@ -366,6 +368,50 @@ const (
 func CompactWholeSTLResilient(ctx context.Context, cfg GPUConfig, ms *ModuleSet,
 	lib *STL, opt CompactorOptions, ropt RunnerOptions) (*RunReport, error) {
 	return run.Run(ctx, cfg, ms, lib, opt, ropt)
+}
+
+// ---------------------------------------------------------------------------
+// Distributed fault simulation.
+
+// FaultSimulator abstracts the engine behind the compactor's fault
+// simulations; set CompactorOptions.Simulator to replace the in-process
+// engine (e.g. with a DistCoordinator).
+type FaultSimulator = core.FaultSimulator
+
+// DistCoordinator shards fault campaigns across worker transports with
+// retries, hedging, heartbeat health checks and graceful degradation.
+// Its SimulateCampaign method satisfies FaultSimulator.
+type DistCoordinator = dist.Coordinator
+
+// DistOptions tunes the coordinator's robustness machinery (attempts,
+// backoff, deadlines, hedging, heartbeats, shard count).
+type DistOptions = dist.Options
+
+// DistResult is the outcome of one distributed campaign run, including
+// the fault-coverage lower/upper bounds of a degraded (partially
+// failed) run.
+type DistResult = dist.Result
+
+// WorkerTransport carries shard requests to one worker.
+type WorkerTransport = dist.Transport
+
+// NewDistCoordinator creates a coordinator over worker transports.
+func NewDistCoordinator(opt DistOptions, workers ...WorkerTransport) (*DistCoordinator, error) {
+	return dist.New(opt, workers...)
+}
+
+// NewLocalWorker returns an in-process worker transport (tests,
+// single-machine distribution).
+func NewLocalWorker(name string) WorkerTransport { return dist.NewLocal(name) }
+
+// NewWorkerTransport returns an HTTP/JSON transport to a stlworker
+// daemon at addr ("host:port" or a full URL).
+func NewWorkerTransport(addr string) WorkerTransport { return dist.NewHTTP(addr) }
+
+// NewWorkerHandler returns the worker daemon's HTTP handler (cmd/
+// stlworker serves this; tests can mount it on httptest servers).
+func NewWorkerHandler(name string, logf func(format string, args ...any)) http.Handler {
+	return dist.NewHandler(name, logf)
 }
 
 // BaselineCompactor is the iterative prior-work method (one fault

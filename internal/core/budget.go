@@ -57,11 +57,14 @@ func (c *Compactor) CompactToBudget(p *stl.PTP, budgetCC uint64) (*Result, error
 		return nil, err
 	}
 
-	rep := c.Campaign.Simulate(col.Patterns, fault.SimOptions{
+	rep, err := c.simulate(ctx, c.Campaign, col.Patterns, fault.SimOptions{
 		Reverse: c.Opt.ReversePatterns,
 		NoDrop:  c.Opt.KeepCampaign,
 		Workers: c.Opt.Workers,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("core: fault simulation of %s: %w", p.Name, err)
+	}
 
 	// Per-instruction cost (total cc across warps) and detection counts.
 	cost := make([]uint64, len(p.Prog))

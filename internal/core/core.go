@@ -33,6 +33,18 @@ import (
 	"gpustl/internal/trace"
 )
 
+// FaultSimulator abstracts how the compactor runs its gate-level fault
+// simulations. The zero behavior (nil Simulator) is the campaign's own
+// in-process simulator; a distributed coordinator (internal/dist)
+// satisfies this interface to run the same simulations across sharded
+// workers. Implementations must preserve the in-process contract:
+// identical Report (first detections per fault over the stream) and
+// identical campaign mutation (detected faults dropped unless
+// opt.NoDrop) — or fail with an error rather than return partial data.
+type FaultSimulator interface {
+	SimulateCampaign(ctx context.Context, camp *fault.Campaign, stream []fault.TimedPattern, opt fault.SimOptions) (*fault.Report, error)
+}
+
 // Options tunes the compactor.
 type Options struct {
 	// ReversePatterns applies the extracted pattern stream in reverse
@@ -54,6 +66,21 @@ type Options struct {
 	// Workers parallelizes the fault simulations across this many
 	// goroutines (0/1 = serial). Results are identical at any setting.
 	Workers int
+	// Simulator, when non-nil, executes every fault simulation (the
+	// stage-3 run and the standalone FC evaluations) instead of the
+	// in-process engine — e.g. a dist.Coordinator spreading shards over
+	// worker daemons. Results are identical by contract.
+	Simulator FaultSimulator
+}
+
+// simulate runs one fault simulation over camp through the configured
+// engine: Opt.Simulator when set, the campaign's in-process simulator
+// otherwise.
+func (c *Compactor) simulate(ctx context.Context, camp *fault.Campaign, stream []fault.TimedPattern, opt fault.SimOptions) (*fault.Report, error) {
+	if c.Opt.Simulator != nil {
+		return c.Opt.Simulator.SimulateCampaign(ctx, camp, stream, opt)
+	}
+	return camp.SimulateCtx(ctx, stream, opt)
 }
 
 // Compactor compacts the PTPs of an STL that target one GPU module. It
@@ -162,7 +189,7 @@ func (c *Compactor) evaluateFC(ctx context.Context, p *stl.PTP, patterns []fault
 		}
 	}
 	fc := fault.NewCampaignWithFaults(c.Module, c.Campaign.Faults())
-	if _, err := fc.SimulateCtx(ctx, stream, fault.SimOptions{Workers: c.Opt.Workers}); err != nil {
+	if _, err := c.simulate(ctx, fc, stream, fault.SimOptions{Workers: c.Opt.Workers}); err != nil {
 		return 0, fmt.Errorf("core: FC evaluation of %s: %w", p.Name, err)
 	}
 	return fc.Coverage(), nil
@@ -252,7 +279,7 @@ func (c *Compactor) CompactPTPCtx(ctx context.Context, p *stl.PTP, onStage func(
 	if err := enter(StageFaultSim); err != nil {
 		return nil, err
 	}
-	rep, err := c.Campaign.SimulateCtx(ctx, col.Patterns, fault.SimOptions{
+	rep, err := c.simulate(ctx, c.Campaign, col.Patterns, fault.SimOptions{
 		Reverse: c.Opt.ReversePatterns,
 		NoDrop:  c.Opt.KeepCampaign,
 		Workers: c.Opt.Workers,

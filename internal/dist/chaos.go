@@ -1,0 +1,158 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrChaosKilled is returned by a chaos-killed worker's Simulate and
+// Ping calls; the coordinator's heartbeat loop turns it into a worker
+// death and redistributes the worker's in-flight shards.
+var ErrChaosKilled = errors.New("dist: chaos: worker killed")
+
+// ChaosOptions selects the failures a Chaos transport injects. All
+// randomness is seeded, so a chaos run is reproducible.
+type ChaosOptions struct {
+	Seed int64
+	// KillAfter kills the worker permanently when its Nth Simulate call
+	// arrives (0 = never): that call and every later Simulate or Ping
+	// fails with ErrChaosKilled, modeling a crashed worker process.
+	KillAfter int
+	// DelayProb delays a reply by Delay before the simulation runs,
+	// modeling stragglers (and triggering coordinator hedging).
+	DelayProb float64
+	Delay     time.Duration
+	// DropProb computes the shard but discards the reply and returns an
+	// error, modeling a response lost on the wire: the work happened,
+	// the coordinator must retry, and the retried work must not
+	// double-count.
+	DropProb float64
+	// DupProb answers with a stale copy of a previously computed reply
+	// (a duplicated/misdirected response); reply validation must reject
+	// it through the shard/attempt echo.
+	DupProb float64
+	// CorruptProb mangles the reply payload — out-of-range indices,
+	// wrong clock cycles, duplicated or reordered detections — which
+	// reply validation must reject.
+	CorruptProb float64
+}
+
+// Chaos wraps a transport with seeded fault injection. It is the chaos
+// harness's instrument: every failure mode the coordinator claims to
+// survive can be injected deterministically.
+type Chaos struct {
+	t   Transport
+	opt ChaosOptions
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	calls int
+	dead  bool
+	stale *ShardResult
+}
+
+// NewChaos decorates t with chaos injection.
+func NewChaos(t Transport, opt ChaosOptions) *Chaos {
+	return &Chaos{t: t, opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}
+}
+
+// Name implements Transport.
+func (c *Chaos) Name() string { return c.t.Name() }
+
+// Killed reports whether the chaos kill has fired.
+func (c *Chaos) Killed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// Simulate implements Transport, rolling the injection dice in a fixed
+// order under the lock so a given seed always yields the same fate
+// sequence regardless of scheduling.
+func (c *Chaos) Simulate(ctx context.Context, req *ShardRequest) (*ShardResult, error) {
+	c.mu.Lock()
+	c.calls++
+	if c.opt.KillAfter > 0 && c.calls >= c.opt.KillAfter {
+		c.dead = true
+	}
+	dead := c.dead
+	delay := c.rng.Float64() < c.opt.DelayProb
+	drop := c.rng.Float64() < c.opt.DropProb
+	dup := c.rng.Float64() < c.opt.DupProb
+	corrupt := c.rng.Float64() < c.opt.CorruptProb
+	variant := c.rng.Intn(4)
+	stale := c.stale
+	c.mu.Unlock()
+
+	if dead {
+		return nil, ErrChaosKilled
+	}
+	if delay && c.opt.Delay > 0 {
+		select {
+		case <-time.After(c.opt.Delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if dup && stale != nil {
+		return cloneResult(stale), nil
+	}
+	res, err := c.t.Simulate(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.stale = cloneResult(res)
+	c.mu.Unlock()
+	if drop {
+		return nil, fmt.Errorf("dist: chaos: reply for shard %d dropped", req.Shard)
+	}
+	if corrupt {
+		return corruptResult(cloneResult(res), variant), nil
+	}
+	return res, nil
+}
+
+// Ping implements Transport; a killed worker stops answering heartbeats.
+func (c *Chaos) Ping(ctx context.Context) error {
+	c.mu.Lock()
+	dead := c.dead
+	c.mu.Unlock()
+	if dead {
+		return ErrChaosKilled
+	}
+	return c.t.Ping(ctx)
+}
+
+// Close implements Transport.
+func (c *Chaos) Close() error { return c.t.Close() }
+
+func cloneResult(r *ShardResult) *ShardResult {
+	cp := *r
+	cp.Detections = append([]Detection(nil), r.Detections...)
+	return &cp
+}
+
+// corruptResult mangles a reply in one of the ways reply validation must
+// catch. With no detections to mangle, it appends a bogus one.
+func corruptResult(r *ShardResult, variant int) *ShardResult {
+	if len(r.Detections) == 0 {
+		r.Detections = append(r.Detections, Detection{Fault: 1 << 20, Pattern: 0, CC: 0})
+		return r
+	}
+	switch variant {
+	case 0: // out-of-range fault index
+		r.Detections[0].Fault = 1 << 20
+	case 1: // clock cycle no longer matching the stream
+		r.Detections[len(r.Detections)/2].CC++
+	case 2: // duplicated detection
+		r.Detections = append(r.Detections, r.Detections[0])
+	default: // order violation (also a duplicate when only one entry)
+		r.Detections = append(r.Detections, r.Detections[len(r.Detections)-1])
+	}
+	return r
+}

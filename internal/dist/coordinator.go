@@ -1,0 +1,767 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gpustl/internal/circuits"
+	"gpustl/internal/fault"
+)
+
+// Options tunes the coordinator's robustness machinery. The zero value
+// selects sensible defaults (noted per field).
+type Options struct {
+	// MaxAttempts is how many failed simulation attempts a shard may
+	// accumulate before it is declared permanently failed and the
+	// campaign degrades to FC bounds (default 4). Coordinator-initiated
+	// cancellations — hedge losers, dead-worker redistributions — do not
+	// count against it.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry (default 25ms);
+	// it doubles per failure, capped at MaxBackoff (default 2s), with
+	// ±50% deterministic jitter from Seed.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Per-shard deadline = ShardBaseTimeout + n_patterns ×
+	// ShardPatternTimeout (defaults 10s + 2ms/pattern): a dispatch that
+	// exceeds it is canceled and counts as a failed attempt.
+	ShardBaseTimeout    time.Duration
+	ShardPatternTimeout time.Duration
+	// HedgeFraction × deadline is how long a lone dispatch may run
+	// before a hedged duplicate is sent to a different worker; first
+	// reply wins, the loser is canceled. Default 0.25; negative
+	// disables hedging.
+	HedgeFraction float64
+	// Heartbeats: every HeartbeatInterval (default 250ms) each worker is
+	// pinged; HeartbeatMisses consecutive failures (default 3) declare
+	// it dead, canceling and redistributing its in-flight shards. A dead
+	// worker that answers again is revived.
+	HeartbeatInterval time.Duration
+	HeartbeatMisses   int
+	// Shards is the target shard count (default 2 × workers): more
+	// shards than workers keeps everyone busy and bounds the work lost
+	// to any single failure.
+	Shards int
+	// Seed drives backoff jitter (results never depend on it).
+	Seed int64
+	// Logf receives coordinator progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults(numWorkers int) Options {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 25 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.ShardBaseTimeout <= 0 {
+		o.ShardBaseTimeout = 10 * time.Second
+	}
+	if o.ShardPatternTimeout <= 0 {
+		o.ShardPatternTimeout = 2 * time.Millisecond
+	}
+	if o.HedgeFraction == 0 {
+		o.HedgeFraction = 0.25
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if o.HeartbeatMisses <= 0 {
+		o.HeartbeatMisses = 3
+	}
+	if o.Shards <= 0 {
+		o.Shards = 2 * numWorkers
+	}
+	return o
+}
+
+// Stats counts what the robustness machinery actually did during a run.
+type Stats struct {
+	Shards, Dispatches int
+	Retries, Hedges    int
+	Redispatches       int // dead-worker shard redistributions
+	DuplicateReplies   int // replies for shards already settled (hedge losers)
+	InvalidReplies     int // replies rejected by validation (corruption)
+	WorkerDeaths       int
+	WorkerRevivals     int
+}
+
+// Result is the outcome of one distributed campaign run.
+type Result struct {
+	// Report is the merged Fault Sim Report, bit-identical to a serial
+	// Campaign.Simulate when every shard succeeded. With failed shards
+	// it covers the successful shards only.
+	Report          *fault.Report
+	DetectedThisRun int
+	Shards          int
+	// Degraded mode: faults of permanently failed shards have UNKNOWN
+	// status — the campaign completes, reporting cumulative
+	// fault-coverage bounds instead of aborting. FCLower counts them
+	// undetected, FCUpper counts them all detected; the true coverage
+	// lies in between. FCLower == FCUpper iff nothing failed.
+	FailedShards int
+	FailedFaults int
+	FCLower      float64
+	FCUpper      float64
+	ShardErrors  []string
+	Stats        Stats
+}
+
+// Degraded reports whether any shard permanently failed, making the
+// FC bounds an interval rather than a point.
+func (r *Result) Degraded() bool { return r.FailedShards > 0 }
+
+// Coordinator shards fault campaigns across a fixed set of workers.
+// It is safe for sequential reuse across many Run calls (one per PTP
+// and FC evaluation); each run spins up its own heartbeats and state.
+type Coordinator struct {
+	opt        Options
+	transports []Transport
+}
+
+// New creates a coordinator over the given worker transports.
+func New(opt Options, transports ...Transport) (*Coordinator, error) {
+	if len(transports) == 0 {
+		return nil, errors.New("dist: coordinator needs at least one worker transport")
+	}
+	return &Coordinator{opt: opt.withDefaults(len(transports)), transports: transports}, nil
+}
+
+// Close closes every transport.
+func (c *Coordinator) Close() error {
+	var first error
+	for _, t := range c.transports {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opt.Logf != nil {
+		c.opt.Logf(format, args...)
+	}
+}
+
+// errLostRace and errWorkerDown are cancellation causes the coordinator
+// attaches to dispatch contexts, so the result handler can tell a
+// genuine failure (counts toward MaxAttempts) from its own preemptions
+// (immediate redistribution, no penalty).
+var (
+	errLostRace   = errors.New("dist: hedged race lost")
+	errWorkerDown = errors.New("dist: worker declared dead")
+)
+
+// Run distributes the campaign's remaining faults across the workers
+// and merges the result, committing detections of successful shards to
+// the campaign (unless opt.NoDrop). It returns an error only for a
+// canceled context or an unusable campaign; permanently failed shards
+// degrade the Result to explicit FC bounds instead.
+// opt.RecordActivations cannot be sharded and falls back to the
+// in-process simulator.
+func (c *Coordinator) Run(ctx context.Context, camp *fault.Campaign, stream []fault.TimedPattern, opt fault.SimOptions) (*Result, error) {
+	if err := camp.Err(); err != nil {
+		return nil, fmt.Errorf("dist: campaign unusable: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if opt.RecordActivations {
+		rep, err := camp.SimulateCtx(ctx, stream, opt)
+		if err != nil {
+			return nil, err
+		}
+		cov := camp.Coverage()
+		return &Result{
+			Report: rep, DetectedThisRun: rep.DetectedThisRun(),
+			FCLower: cov, FCUpper: cov,
+		}, nil
+	}
+
+	ordered := stream
+	if opt.Reverse {
+		ordered = make([]fault.TimedPattern, len(stream))
+		for i, p := range stream {
+			ordered[len(stream)-1-i] = p
+		}
+	}
+
+	parts := camp.PartitionRemaining(c.opt.Shards)
+	if len(parts) == 0 {
+		cov := camp.Coverage()
+		return &Result{Report: BuildReport(ordered, nil), FCLower: cov, FCUpper: cov}, nil
+	}
+
+	rl := newRunLoop(c, ctx, camp, ordered, parts)
+	defer rl.shutdown()
+	if err := rl.run(); err != nil {
+		return nil, err
+	}
+	return rl.finish(camp, ordered, opt)
+}
+
+// SimulateCampaign adapts the coordinator to the compactor's
+// FaultSimulator contract (core.Options.Simulator). Compaction decisions
+// must not act on partial detection data — an unessential label derived
+// from a missing shard would remove instructions that do detect faults —
+// so a degraded run comes back as an error here; the resilient runner
+// then reverts that one PTP while the rest of the STL continues.
+func (c *Coordinator) SimulateCampaign(ctx context.Context, camp *fault.Campaign, stream []fault.TimedPattern, opt fault.SimOptions) (*fault.Report, error) {
+	res, err := c.Run(ctx, camp, stream, opt)
+	if err != nil {
+		return nil, err
+	}
+	if res.Degraded() {
+		return nil, fmt.Errorf("dist: degraded campaign: %d of %d shards failed permanently, %d faults unknown (FC bounds %.2f%%..%.2f%%): %s",
+			res.FailedShards, res.Shards, res.FailedFaults, res.FCLower, res.FCUpper,
+			strings.Join(res.ShardErrors, "; "))
+	}
+	return res.Report, nil
+}
+
+// BuildReport assembles the Fault Sim Report from merged per-fault
+// detections over the ordered stream. Given the union of any
+// shard-partitioned simulation's detections, the result is
+// bit-identical to the report of one serial Campaign.Simulate run —
+// first detections are per-fault, so the partition does not matter.
+func BuildReport(ordered []fault.TimedPattern, dets []fault.Detection) *fault.Report {
+	rep := &fault.Report{
+		NumPatterns:        len(ordered),
+		DetectedPerPattern: make([]int32, len(ordered)),
+		CCs:                make([]uint64, len(ordered)),
+		Lanes:              make([]int16, len(ordered)),
+		PCs:                make([]int32, len(ordered)),
+		Warps:              make([]int16, len(ordered)),
+	}
+	for i, p := range ordered {
+		rep.CCs[i] = p.CC
+		rep.Lanes[i] = p.Lane
+		rep.PCs[i] = p.PC
+		rep.Warps[i] = p.Warp
+	}
+	if len(dets) > 0 {
+		rep.Detections = append(rep.Detections, dets...)
+	}
+	sort.Slice(rep.Detections, func(i, j int) bool {
+		if rep.Detections[i].Pattern != rep.Detections[j].Pattern {
+			return rep.Detections[i].Pattern < rep.Detections[j].Pattern
+		}
+		return rep.Detections[i].Fault < rep.Detections[j].Fault
+	})
+	for _, d := range rep.Detections {
+		rep.DetectedPerPattern[d.Pattern]++
+	}
+	return rep
+}
+
+// ---------------------------------------------------------------------------
+// The run loop: one goroutine owns all scheduling state; dispatches,
+// timers and heartbeats communicate with it exclusively through events.
+
+type eventKind int
+
+const (
+	evResult eventKind = iota
+	evRetry
+	evHedge
+	evWorkerDown
+	evWorkerUp
+	evStrand
+)
+
+type event struct {
+	kind    eventKind
+	d       *dispatch // evResult
+	res     *ShardResult
+	err     error
+	s       *shardState // evRetry / evHedge
+	attempt int         // evHedge: attempt the timer was armed for
+	w       *worker     // evWorkerDown / evWorkerUp
+}
+
+type worker struct {
+	t        Transport
+	alive    bool
+	inflight int
+}
+
+type dispatch struct {
+	shard   int
+	attempt int
+	w       *worker
+	req     *ShardRequest
+	ctx     context.Context
+	cancel  context.CancelCauseFunc
+}
+
+// shardState walks pending → dispatched (1–2 in-flight attempts) →
+// done | failed. Attempt numbers (seq) are unique per dispatch so reply
+// echoes distinguish every try; failures counts only genuine failures.
+type shardState struct {
+	id     int
+	ids    []fault.ID
+	faults []fault.Fault
+
+	seq      int
+	failures int
+	inflight map[int]*dispatch
+	tried    map[string]bool
+	parked   bool
+
+	done   bool
+	failed bool
+	dets   []Detection
+	errs   []string
+}
+
+type runLoop struct {
+	co      *Coordinator
+	opt     Options
+	ctx     context.Context // parent (caller cancellation)
+	loopCtx context.Context
+	cancel  context.CancelFunc
+	rng     *rand.Rand
+
+	events chan event
+	wg     sync.WaitGroup
+	timers []*time.Timer
+
+	workers     []*worker
+	shards      []*shardState
+	ordered     []fault.TimedPattern
+	modKind     circuits.ModuleKind
+	modLanes    int
+	deadline    time.Duration
+	pending     []*shardState
+	remaining   int
+	strandArmed bool
+	stats       Stats
+}
+
+func newRunLoop(c *Coordinator, ctx context.Context, camp *fault.Campaign, ordered []fault.TimedPattern, parts [][]fault.ID) *runLoop {
+	loopCtx, cancel := context.WithCancel(ctx)
+	rl := &runLoop{
+		co:      c,
+		opt:     c.opt,
+		ctx:     ctx,
+		loopCtx: loopCtx,
+		cancel:  cancel,
+		rng:     rand.New(rand.NewSource(c.opt.Seed)),
+		events:  make(chan event, 16),
+		ordered: ordered,
+		deadline: c.opt.ShardBaseTimeout +
+			time.Duration(len(ordered))*c.opt.ShardPatternTimeout,
+	}
+	for _, t := range c.transports {
+		rl.workers = append(rl.workers, &worker{t: t, alive: true})
+	}
+	all := camp.Faults()
+	for i, ids := range parts {
+		fs := make([]fault.Fault, len(ids))
+		for j, id := range ids {
+			fs[j] = all[id]
+		}
+		rl.shards = append(rl.shards, &shardState{
+			id: i, ids: ids, faults: fs,
+			inflight: map[int]*dispatch{},
+			tried:    map[string]bool{},
+		})
+	}
+	rl.remaining = len(rl.shards)
+	rl.stats.Shards = len(rl.shards)
+	rl.modKind, rl.modLanes = camp.Module.Kind, camp.Module.Lanes
+	return rl
+}
+
+// run drives the event loop to completion (every shard done or failed)
+// or parent-context cancellation.
+func (rl *runLoop) run() error {
+	for _, w := range rl.workers {
+		rl.wg.Add(1)
+		go rl.heartbeat(w)
+	}
+	for _, s := range rl.shards {
+		rl.dispatchOrPark(s)
+	}
+	rl.checkStranded()
+	for rl.remaining > 0 {
+		select {
+		case <-rl.ctx.Done():
+			return fmt.Errorf("dist: campaign canceled with %d of %d shards unfinished: %w",
+				rl.remaining, len(rl.shards), rl.ctx.Err())
+		case ev := <-rl.events:
+			rl.handle(ev)
+			rl.checkStranded()
+		}
+	}
+	return nil
+}
+
+// shutdown cancels everything still moving and waits for all goroutines,
+// so a finished Run leaks nothing into the next one.
+func (rl *runLoop) shutdown() {
+	rl.cancel()
+	for _, t := range rl.timers {
+		t.Stop()
+	}
+	// Drain events so in-flight senders blocked on the channel can exit
+	// (send also selects on loopCtx, so this is belt and braces).
+	go func() {
+		for range rl.events {
+		}
+	}()
+	rl.wg.Wait()
+	close(rl.events)
+}
+
+func (rl *runLoop) send(ev event) {
+	select {
+	case rl.events <- ev:
+	case <-rl.loopCtx.Done():
+	}
+}
+
+func (rl *runLoop) afterFunc(d time.Duration, ev event) {
+	rl.timers = append(rl.timers, time.AfterFunc(d, func() { rl.send(ev) }))
+}
+
+func (rl *runLoop) handle(ev event) {
+	switch ev.kind {
+	case evResult:
+		rl.onResult(ev.d, ev.res, ev.err)
+	case evRetry:
+		if !ev.s.done && !ev.s.failed && len(ev.s.inflight) == 0 {
+			rl.dispatchOrPark(ev.s)
+		}
+	case evHedge:
+		rl.onHedge(ev.s, ev.attempt)
+	case evWorkerDown:
+		rl.onWorkerDown(ev.w)
+	case evWorkerUp:
+		rl.onWorkerUp(ev.w)
+	case evStrand:
+		rl.strandArmed = false
+		rl.failStranded()
+	}
+}
+
+func (rl *runLoop) heartbeat(w *worker) {
+	defer rl.wg.Done()
+	tick := time.NewTicker(rl.opt.HeartbeatInterval)
+	defer tick.Stop()
+	misses, down := 0, false
+	for {
+		select {
+		case <-rl.loopCtx.Done():
+			return
+		case <-tick.C:
+		}
+		// A ping may take up to the full miss budget: a slow-but-alive
+		// worker (its CPU busy simulating) must not read as dead.
+		pctx, pcancel := context.WithTimeout(rl.loopCtx,
+			time.Duration(rl.opt.HeartbeatMisses)*rl.opt.HeartbeatInterval)
+		err := w.t.Ping(pctx)
+		pcancel()
+		if rl.loopCtx.Err() != nil {
+			return
+		}
+		if err != nil {
+			misses++
+			if misses >= rl.opt.HeartbeatMisses && !down {
+				down = true
+				rl.send(event{kind: evWorkerDown, w: w})
+			}
+			continue
+		}
+		misses = 0
+		if down {
+			down = false
+			rl.send(event{kind: evWorkerUp, w: w})
+		}
+	}
+}
+
+// pickWorker chooses an alive worker for a shard: one the shard has not
+// tried yet when possible ("retry on a different worker"), least loaded
+// as the tie-break, never one that already has this shard in flight.
+func (rl *runLoop) pickWorker(s *shardState) *worker {
+	busy := map[string]bool{}
+	for _, d := range s.inflight {
+		busy[d.w.t.Name()] = true
+	}
+	var best *worker
+	bestFresh := false
+	for _, w := range rl.workers {
+		if !w.alive || busy[w.t.Name()] {
+			continue
+		}
+		fresh := !s.tried[w.t.Name()]
+		switch {
+		case best == nil,
+			fresh && !bestFresh,
+			fresh == bestFresh && w.inflight < best.inflight:
+			best, bestFresh = w, fresh
+		}
+	}
+	return best
+}
+
+// dispatch sends one attempt of the shard to a worker; false when no
+// eligible worker is alive.
+func (rl *runLoop) dispatch(s *shardState) bool {
+	w := rl.pickWorker(s)
+	if w == nil {
+		return false
+	}
+	attempt := s.seq
+	s.seq++
+	req := &ShardRequest{
+		Shard:   s.id,
+		Attempt: attempt,
+		Module:  rl.modKind,
+		Lanes:   rl.modLanes,
+		Faults:  s.faults,
+		Stream:  rl.ordered,
+	}
+	dctx, cancelCause := context.WithCancelCause(rl.loopCtx)
+	tctx, tcancel := context.WithTimeout(dctx, rl.deadline)
+	d := &dispatch{shard: s.id, attempt: attempt, w: w, req: req, ctx: tctx, cancel: cancelCause}
+	s.inflight[attempt] = d
+	s.tried[w.t.Name()] = true
+	w.inflight++
+	rl.stats.Dispatches++
+	rl.wg.Add(1)
+	go func() {
+		defer rl.wg.Done()
+		defer tcancel()
+		res, err := w.t.Simulate(tctx, req)
+		rl.send(event{kind: evResult, d: d, res: res, err: err})
+	}()
+	if rl.opt.HedgeFraction > 0 && len(s.inflight) == 1 {
+		rl.afterFunc(time.Duration(float64(rl.deadline)*rl.opt.HedgeFraction),
+			event{kind: evHedge, s: s, attempt: attempt})
+	}
+	return true
+}
+
+func (rl *runLoop) dispatchOrPark(s *shardState) {
+	if rl.dispatch(s) {
+		s.parked = false
+		return
+	}
+	if !s.parked {
+		s.parked = true
+		rl.pending = append(rl.pending, s)
+	}
+}
+
+func (rl *runLoop) onResult(d *dispatch, res *ShardResult, err error) {
+	s := rl.shards[d.shard]
+	delete(s.inflight, d.attempt)
+	d.w.inflight--
+	if s.done || s.failed {
+		if err == nil {
+			// A duplicated reply for a settled shard: the hedge loser
+			// finishing anyway, or chaos replaying. Counted once, merged
+			// never.
+			rl.stats.DuplicateReplies++
+		}
+		return
+	}
+	if err == nil {
+		if verr := res.Validate(d.req); verr != nil {
+			rl.stats.InvalidReplies++
+			rl.co.logf("dist: shard %d attempt %d on %s: rejecting reply: %v",
+				s.id, d.attempt, d.w.t.Name(), verr)
+			err = verr
+		}
+	}
+	if err == nil {
+		s.done = true
+		s.dets = res.Detections
+		rl.remaining--
+		for _, other := range s.inflight {
+			other.cancel(errLostRace)
+		}
+		return
+	}
+	switch cause := context.Cause(d.ctx); {
+	case errors.Is(cause, errLostRace):
+		return // shard settled by the sibling; nothing to do
+	case errors.Is(cause, errWorkerDown):
+		if len(s.inflight) > 0 {
+			return // the sibling attempt is still racing
+		}
+		rl.stats.Redispatches++
+		rl.dispatchOrPark(s)
+		return
+	}
+	s.failures++
+	s.errs = append(s.errs, fmt.Sprintf("attempt %d on %s: %v", d.attempt, d.w.t.Name(), err))
+	if len(s.inflight) > 0 {
+		return // a hedge is still in flight; it may yet win
+	}
+	if s.failures >= rl.opt.MaxAttempts {
+		rl.fail(s)
+		return
+	}
+	rl.stats.Retries++
+	backoff := rl.opt.BaseBackoff << uint(s.failures-1)
+	if backoff <= 0 || backoff > rl.opt.MaxBackoff {
+		backoff = rl.opt.MaxBackoff
+	}
+	jittered := time.Duration(float64(backoff) * (0.5 + rl.rng.Float64()))
+	rl.afterFunc(jittered, event{kind: evRetry, s: s})
+}
+
+func (rl *runLoop) onHedge(s *shardState, attempt int) {
+	if s.done || s.failed {
+		return
+	}
+	if _, live := s.inflight[attempt]; !live || len(s.inflight) != 1 {
+		return
+	}
+	if rl.dispatch(s) {
+		rl.stats.Hedges++
+		rl.co.logf("dist: shard %d: hedging straggler attempt %d", s.id, attempt)
+	}
+}
+
+func (rl *runLoop) onWorkerDown(w *worker) {
+	if !w.alive {
+		return
+	}
+	w.alive = false
+	rl.stats.WorkerDeaths++
+	rl.co.logf("dist: worker %s: heartbeat lost, redistributing its in-flight shards", w.t.Name())
+	for _, s := range rl.shards {
+		for _, d := range s.inflight {
+			if d.w == w {
+				d.cancel(errWorkerDown)
+			}
+		}
+	}
+}
+
+func (rl *runLoop) onWorkerUp(w *worker) {
+	if w.alive {
+		return
+	}
+	w.alive = true
+	rl.stats.WorkerRevivals++
+	rl.co.logf("dist: worker %s: heartbeat recovered", w.t.Name())
+	parked := rl.pending
+	rl.pending = nil
+	for _, s := range parked {
+		s.parked = false
+		if !s.done && !s.failed && len(s.inflight) == 0 {
+			rl.dispatchOrPark(s)
+		}
+	}
+}
+
+func (rl *runLoop) fail(s *shardState) {
+	s.failed = true
+	rl.remaining--
+	rl.co.logf("dist: shard %d (%d faults): permanently failed after %d attempts",
+		s.id, len(s.ids), s.failures)
+}
+
+// stranded reports whether no alive worker remains and nothing is in
+// flight: no capacity left that could ever answer.
+func (rl *runLoop) stranded() bool {
+	for _, w := range rl.workers {
+		if w.alive || w.inflight > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// checkStranded arms a grace timer when the run is stranded; if the
+// heartbeats revive a worker before it fires (a transient blip — the
+// network hiccuped, not the fleet dying), the run continues, otherwise
+// failStranded degrades it. Degrading after the grace beats hanging
+// forever.
+func (rl *runLoop) checkStranded() {
+	if rl.strandArmed || rl.remaining == 0 || !rl.stranded() {
+		return
+	}
+	rl.strandArmed = true
+	grace := 2 * time.Duration(rl.opt.HeartbeatMisses) * rl.opt.HeartbeatInterval
+	rl.afterFunc(grace, event{kind: evStrand})
+}
+
+// failStranded (the armed grace timer firing) fails every unsettled
+// shard if the run is still stranded.
+func (rl *runLoop) failStranded() {
+	if !rl.stranded() {
+		return
+	}
+	for _, s := range rl.shards {
+		if !s.done && !s.failed {
+			s.errs = append(s.errs, "no alive workers")
+			rl.fail(s)
+		}
+	}
+}
+
+// finish merges accepted shard replies into the campaign and the final
+// Result with its FC bounds.
+func (rl *runLoop) finish(camp *fault.Campaign, ordered []fault.TimedPattern, opt fault.SimOptions) (*Result, error) {
+	var (
+		dets         []fault.Detection
+		detIDs       []fault.ID
+		failedShards int
+		failedFaults int
+		shardErrs    []string
+	)
+	for _, s := range rl.shards {
+		if s.done {
+			for _, d := range s.dets {
+				gid := s.ids[d.Fault]
+				dets = append(dets, fault.Detection{Fault: gid, Pattern: d.Pattern, CC: d.CC})
+				detIDs = append(detIDs, gid)
+			}
+			continue
+		}
+		failedShards++
+		failedFaults += len(s.ids)
+		shardErrs = append(shardErrs, fmt.Sprintf("shard %d (%d faults): %s",
+			s.id, len(s.ids), strings.Join(s.errs, "; ")))
+	}
+	if !opt.NoDrop {
+		if err := camp.RestoreDetected(detIDs); err != nil {
+			return nil, err
+		}
+	}
+	detTotal := camp.Detected()
+	if opt.NoDrop {
+		detTotal += len(detIDs)
+	}
+	res := &Result{
+		Report:          BuildReport(ordered, dets),
+		DetectedThisRun: len(dets),
+		Shards:          len(rl.shards),
+		FailedShards:    failedShards,
+		FailedFaults:    failedFaults,
+		ShardErrors:     shardErrs,
+		Stats:           rl.stats,
+	}
+	if total := camp.Total(); total > 0 {
+		res.FCLower = 100 * float64(detTotal) / float64(total)
+		res.FCUpper = 100 * float64(detTotal+failedFaults) / float64(total)
+	}
+	return res, nil
+}

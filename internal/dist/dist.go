@@ -1,0 +1,118 @@
+// Package dist distributes a fault-simulation campaign across workers.
+//
+// The bottleneck of the compaction method is its single optimized
+// gate-level fault simulation per PTP (paper Sec. III-C). This package
+// shards that simulation: a Coordinator partitions a campaign's
+// remaining faults with the same lane-grouped partitioning the
+// in-process parallel simulator uses (fault.Campaign.PartitionRemaining)
+// and dispatches each shard — faults plus the pattern stream — to a
+// worker over a pluggable Transport. Because first detections are
+// per-fault, the merged result is bit-identical to a serial
+// Campaign.Simulate run no matter how shards are placed, retried,
+// hedged, duplicated, or reordered.
+//
+// The coordinator is robust by construction:
+//
+//   - per-shard deadlines derived from the pattern-stream length;
+//   - retry with exponential backoff + jitter, preferring a worker the
+//     shard has not failed on;
+//   - hedged re-dispatch of straggler shards (first reply wins, the
+//     loser is canceled through its context);
+//   - heartbeat-based worker health: a worker that stops answering
+//     pings is declared dead and its in-flight shards are redistributed;
+//   - reply validation: a reply is cross-checked against its request
+//     (shard/attempt echo, detection indices, clock cycles, ordering),
+//     so corrupted or misdirected payloads are rejected and retried;
+//   - graceful degradation: a shard that keeps failing after
+//     Options.MaxAttempts attempts is declared failed and the campaign
+//     completes with explicit fault-coverage lower/upper bounds instead
+//     of an error.
+//
+// Transports: Local executes shards in-process (tests, single-machine
+// parallelism); HTTP speaks JSON to a cmd/stlworker daemon (NewHandler
+// is the server side). Chaos decorates any transport with fault
+// injection for the chaos test harness.
+package dist
+
+import (
+	"errors"
+	"fmt"
+
+	"gpustl/internal/circuits"
+	"gpustl/internal/fault"
+)
+
+// ShardRequest is the unit of distributed work: one shard of a
+// campaign's fault list plus the full pattern stream, self-contained so
+// a stateless worker can simulate it with nothing but a module builder.
+type ShardRequest struct {
+	// Shard and Attempt identify the dispatch; workers echo both so the
+	// coordinator can reject stale or misdirected replies.
+	Shard   int `json:"shard"`
+	Attempt int `json:"attempt"`
+	// Module and Lanes select the gate-level model to elaborate.
+	Module circuits.ModuleKind `json:"module"`
+	Lanes  int                 `json:"lanes"`
+	// Faults is the shard's explicit fault list; detections refer to it
+	// by index, so coordinator and worker need not share a master list.
+	Faults []fault.Fault `json:"faults"`
+	// Stream is the ordered pattern stream (already reversed when the
+	// campaign runs with Reverse semantics).
+	Stream []fault.TimedPattern `json:"stream"`
+}
+
+// Detection is one first detection inside a shard reply.
+type Detection struct {
+	Fault   int32  `json:"fault"`   // index into the request's fault list
+	Pattern int32  `json:"pattern"` // index into the request's stream
+	CC      uint64 `json:"cc"`      // clock cycle of that pattern
+}
+
+// ShardResult is a worker's reply to one ShardRequest.
+type ShardResult struct {
+	Shard      int         `json:"shard"`
+	Attempt    int         `json:"attempt"`
+	Worker     string      `json:"worker"`
+	Detections []Detection `json:"detections"`
+}
+
+// Validate cross-checks a reply against the request it claims to answer.
+// Every reply passes through here before it is merged; a reply that
+// fails — wrong shard or attempt echo (misdirected/duplicated), indices
+// out of range, clock-cycle mismatch, unsorted or duplicated detections
+// (corruption) — is discarded and the dispatch counts as failed, so the
+// shard is retried elsewhere.
+func (res *ShardResult) Validate(req *ShardRequest) error {
+	if res == nil {
+		return errors.New("dist: empty reply")
+	}
+	if res.Shard != req.Shard || res.Attempt != req.Attempt {
+		return fmt.Errorf("dist: reply echoes shard %d attempt %d, want shard %d attempt %d",
+			res.Shard, res.Attempt, req.Shard, req.Attempt)
+	}
+	seen := make([]bool, len(req.Faults))
+	prev := Detection{Fault: -1, Pattern: -1}
+	for i, d := range res.Detections {
+		if d.Fault < 0 || int(d.Fault) >= len(req.Faults) {
+			return fmt.Errorf("dist: detection %d: fault index %d outside shard (%d faults)",
+				i, d.Fault, len(req.Faults))
+		}
+		if d.Pattern < 0 || int(d.Pattern) >= len(req.Stream) {
+			return fmt.Errorf("dist: detection %d: pattern index %d outside stream (%d patterns)",
+				i, d.Pattern, len(req.Stream))
+		}
+		if d.CC != req.Stream[d.Pattern].CC {
+			return fmt.Errorf("dist: detection %d: cc %d does not match stream cc %d at pattern %d",
+				i, d.CC, req.Stream[d.Pattern].CC, d.Pattern)
+		}
+		if seen[d.Fault] {
+			return fmt.Errorf("dist: detection %d: fault %d detected twice", i, d.Fault)
+		}
+		seen[d.Fault] = true
+		if i > 0 && (d.Pattern < prev.Pattern || (d.Pattern == prev.Pattern && d.Fault <= prev.Fault)) {
+			return fmt.Errorf("dist: detections out of (Pattern, Fault) order at %d", i)
+		}
+		prev = d
+	}
+	return nil
+}

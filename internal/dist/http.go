@@ -1,0 +1,142 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Wire paths of the worker daemon.
+const (
+	simulatePath = "/simulate"
+	healthPath   = "/healthz"
+)
+
+// HTTP is the client-side Transport speaking JSON to a cmd/stlworker
+// daemon: POST /simulate with a ShardRequest body, GET /healthz for
+// heartbeats. Request contexts propagate cancellation, so a hedged
+// loser or a dead worker's dispatch aborts the HTTP round trip.
+type HTTP struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTP creates a transport for a worker at addr ("host:port" or a
+// full http:// URL). The client enforces no global timeout — per-shard
+// deadlines come from the dispatch context.
+func NewHTTP(addr string) *HTTP {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &HTTP{base: strings.TrimRight(base, "/"), client: &http.Client{}}
+}
+
+// Name implements Transport: workers are identified by their base URL.
+func (t *HTTP) Name() string { return t.base }
+
+// Simulate implements Transport.
+func (t *HTTP) Simulate(ctx context.Context, req *ShardRequest) (*ShardResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding shard %d: %w", req.Shard, err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, t.base+simulatePath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := t.client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %s: %w", t.base, err)
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hres.Body, 4096))
+		return nil, fmt.Errorf("dist: worker %s: HTTP %d: %s",
+			t.base, hres.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var res ShardResult
+	if err := json.NewDecoder(hres.Body).Decode(&res); err != nil {
+		return nil, fmt.Errorf("dist: worker %s: decoding reply: %w", t.base, err)
+	}
+	return &res, nil
+}
+
+// Ping implements Transport.
+func (t *HTTP) Ping(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+healthPath, nil)
+	if err != nil {
+		return err
+	}
+	hres, err := t.client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(hres.Body, 1024))
+	hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: worker %s: health HTTP %d", t.base, hres.StatusCode)
+	}
+	return nil
+}
+
+// Close implements Transport.
+func (t *HTTP) Close() error {
+	t.client.CloseIdleConnections()
+	return nil
+}
+
+// NewHandler returns the worker daemon's http.Handler: POST /simulate
+// executes a shard on an in-process Local executor (honoring the
+// request's context, so a coordinator-side cancel aborts the
+// simulation), GET /healthz answers heartbeats. logf (nil = silent)
+// receives one line per shard served.
+func NewHandler(name string, logf func(format string, args ...any)) http.Handler {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	exec := NewLocal(name)
+	mux := http.NewServeMux()
+	mux.HandleFunc(healthPath, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"worker\":%q}\n", name)
+	})
+	mux.HandleFunc(simulatePath, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req ShardRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("bad shard request: %v", err), http.StatusBadRequest)
+			return
+		}
+		start := time.Now()
+		res, err := exec.Simulate(r.Context(), &req)
+		if err != nil {
+			logf("shard %d attempt %d: %v", req.Shard, req.Attempt, err)
+			status := http.StatusInternalServerError
+			if r.Context().Err() != nil {
+				// The coordinator canceled (hedge lost, deadline, worker
+				// declared dead): the reply will not be read anyway.
+				status = http.StatusServiceUnavailable
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		logf("shard %d attempt %d: %d faults, %d patterns -> %d detections (%v)",
+			req.Shard, req.Attempt, len(req.Faults), len(req.Stream),
+			len(res.Detections), time.Since(start).Round(time.Millisecond))
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(res); err != nil {
+			logf("shard %d attempt %d: writing reply: %v", req.Shard, req.Attempt, err)
+		}
+	})
+	return mux
+}

@@ -18,8 +18,10 @@ package fault
 import (
 	"context"
 	"fmt"
+	"log"
 	"math/bits"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -325,7 +327,11 @@ type SimOptions struct {
 	// compaction).
 	Reverse bool
 	// RecordActivations additionally counts locally activated faults per
-	// pattern (slower; for small-scale analysis). Forces serial execution.
+	// pattern (slower; for small-scale analysis). Activation counters are
+	// written per pattern as the stream is walked, which a sharded run
+	// cannot do coherently, so this option FORCES serial execution: any
+	// explicit Workers > 1 is overridden to 1 and a warning is emitted
+	// through Warnf.
 	RecordActivations bool
 	// NoDrop evaluates every fault against every pattern instead of
 	// dropping at first detection (only with RecordActivations analyses).
@@ -333,8 +339,57 @@ type SimOptions struct {
 	// Workers runs the fault-serial loop on this many goroutines, each
 	// with its own evaluator over a shard of the fault list. Results are
 	// bit-identical to the serial run (first detections are per-fault).
-	// 0 or 1 means serial.
+	// 0 selects runtime.GOMAXPROCS(0); 1 means serial; negative values
+	// are rejected with an error.
 	Workers int
+	// Warnf receives warnings about option combinations the simulator
+	// overrides (e.g. RecordActivations forcing serial execution). nil
+	// routes warnings to the standard logger.
+	Warnf func(format string, args ...any)
+}
+
+// warnf emits a warning through the configured sink, defaulting to the
+// standard logger so overridden options are visible even when callers do
+// not wire a sink.
+func (o SimOptions) warnf(format string, args ...any) {
+	if o.Warnf != nil {
+		o.Warnf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// minFaultsPerWorker bounds the parallel fan-out: spawning a goroutine
+// (and building a private evaluator) is only worth a few hundred faults
+// of work, so small campaigns scale the worker count down.
+const minFaultsPerWorker = 256
+
+// planWorkers validates and resolves SimOptions.Workers: negative values
+// are an error, 0 defaults to runtime.GOMAXPROCS(0), RecordActivations
+// forces serial (warning when it overrides an explicit setting), and the
+// fan-out is capped so every worker has at least minFaultsPerWorker
+// faults. Results are identical at any resolved count.
+func (c *Campaign) planWorkers(opt SimOptions) (int, error) {
+	workers := opt.Workers
+	if workers < 0 {
+		return 0, fmt.Errorf("fault: SimOptions.Workers = %d is invalid (0 = GOMAXPROCS, 1 = serial)", workers)
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.RecordActivations && workers > 1 {
+		if opt.Workers > 1 {
+			opt.warnf("fault: RecordActivations forces serial simulation; overriding Workers=%d", opt.Workers)
+		}
+		workers = 1
+	}
+	if n := c.Remaining(); workers > 1 && n < workers*minFaultsPerWorker {
+		workers = n / minFaultsPerWorker
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	return workers, nil
 }
 
 // Simulate runs the pattern stream against the campaign's remaining
@@ -400,22 +455,11 @@ func (c *Campaign) SimulateCtx(ctx context.Context, stream []TimedPattern, opt S
 
 	// Partition the remaining faults into shards, one per worker, each
 	// grouped by lane. With one worker this is the plain serial loop.
-	workers := opt.Workers
-	if workers <= 1 || opt.RecordActivations {
-		workers = 1
+	workers, err := c.planWorkers(opt)
+	if err != nil {
+		return nil, err
 	}
-	shards := make([][][]ID, workers)
-	for w := range shards {
-		shards[w] = make([][]ID, c.Module.Lanes)
-	}
-	next := 0
-	for id, f := range c.faults {
-		if c.detected[id] || int(f.Lane) >= c.Module.Lanes {
-			continue
-		}
-		shards[next][f.Lane] = append(shards[next][f.Lane], ID(id))
-		next = (next + 1) % workers
-	}
+	shards := c.partitionByLane(workers)
 
 	// Run the shards. Every worker recovers its own panics: the first
 	// error or panic cancels the remaining workers and is surfaced to the
@@ -438,7 +482,7 @@ func (c *Campaign) SimulateCtx(ctx context.Context, stream []TimedPattern, opt S
 					fail(fmt.Errorf("fault: simulation panicked: %v", v))
 				}
 			}()
-			sr, err := c.simulateShard(sctx, ordered, laneIdx, shards[0], c.ev, opt, rep)
+			sr, err := c.simulateShard(sctx, ordered, laneIdx, shards[0], c.ev, opt, rep.ActivatedPerPattern)
 			if err != nil {
 				fail(err)
 				return
@@ -461,7 +505,7 @@ func (c *Campaign) SimulateCtx(ctx context.Context, stream []TimedPattern, opt S
 					fail(err)
 					return
 				}
-				sr, err := c.simulateShard(sctx, ordered, laneIdx, shards[w], ev, opt, rep)
+				sr, err := c.simulateShard(sctx, ordered, laneIdx, shards[w], ev, opt, nil)
 				if err != nil {
 					fail(err)
 					return
@@ -509,15 +553,122 @@ type shardResult struct {
 	detections []Detection
 }
 
+// partitionByLane splits the campaign's currently undetected faults into
+// k shards, round-robin, with each shard's faults grouped by lane (the
+// layout simulateShard consumes). Faults for lanes the module build does
+// not have are skipped, matching the simulation loop.
+func (c *Campaign) partitionByLane(k int) [][][]ID {
+	if k < 1 {
+		k = 1
+	}
+	shards := make([][][]ID, k)
+	for w := range shards {
+		shards[w] = make([][]ID, c.Module.Lanes)
+	}
+	next := 0
+	for id, f := range c.faults {
+		if c.detected[id] || int(f.Lane) >= c.Module.Lanes {
+			continue
+		}
+		shards[next][f.Lane] = append(shards[next][f.Lane], ID(id))
+		next = (next + 1) % k
+	}
+	return shards
+}
+
+// PartitionRemaining splits the campaign's currently undetected faults
+// into at most k shards using the same lane-grouped round-robin
+// partitioning the in-process parallel simulator uses, flattened to
+// plain id lists (lane-major within each shard). Empty shards are
+// dropped, so fewer than k shards come back when few faults remain.
+// Because first detections are per-fault, simulating the shards in any
+// order — or on any mix of workers — and merging the detections yields
+// the same result as one serial run.
+func (c *Campaign) PartitionRemaining(k int) [][]ID {
+	byLane := c.partitionByLane(k)
+	out := make([][]ID, 0, k)
+	for _, lanes := range byLane {
+		var flat []ID
+		for _, ids := range lanes {
+			flat = append(flat, ids...)
+		}
+		if len(flat) > 0 {
+			out = append(out, flat)
+		}
+	}
+	return out
+}
+
+// SimulateSubset runs the pattern stream against an explicit subset of
+// the campaign's faults, identified by master-list id, WITHOUT mutating
+// campaign state: no fault dropping, no detection marks. It is the
+// worker-side half of a distributed campaign — a coordinator partitions
+// the fault list with PartitionRemaining, ships each subset (with the
+// stream) to a worker, and merges the returned detections. ids == nil
+// selects every currently undetected fault. The stream is applied in the
+// order given (a coordinator that wants Reverse semantics pre-reverses
+// it). Detections carry global stream indices and are sorted by
+// (Pattern, Fault); faults already detected in this campaign are
+// skipped. A fresh evaluator is built per call, so concurrent
+// SimulateSubset calls on one campaign are safe.
+func (c *Campaign) SimulateSubset(ctx context.Context, stream []TimedPattern, ids []ID) ([]Detection, error) {
+	if c.initErr != nil {
+		return nil, fmt.Errorf("fault: campaign over %v unusable: %w", c.Module.Kind, c.initErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ids == nil {
+		for id := range c.faults {
+			if !c.detected[id] {
+				ids = append(ids, ID(id))
+			}
+		}
+	}
+	laneFaults := make([][]ID, c.Module.Lanes)
+	for _, id := range ids {
+		if id < 0 || int(id) >= len(c.faults) {
+			return nil, fmt.Errorf("fault: SimulateSubset: id %d outside master list (%d faults)",
+				id, len(c.faults))
+		}
+		f := c.faults[id]
+		if c.detected[id] || int(f.Lane) >= c.Module.Lanes {
+			continue
+		}
+		laneFaults[f.Lane] = append(laneFaults[f.Lane], id)
+	}
+	laneIdx := make([][]int32, c.Module.Lanes)
+	for i, p := range stream {
+		if int(p.Lane) >= len(laneIdx) {
+			continue
+		}
+		laneIdx[p.Lane] = append(laneIdx[p.Lane], int32(i))
+	}
+	ev, err := netlist.NewEvaluator(c.Module.NL)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := c.simulateShard(ctx, stream, laneIdx, laneFaults, ev, SimOptions{}, nil)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(sr.detections, func(i, j int) bool {
+		if sr.detections[i].Pattern != sr.detections[j].Pattern {
+			return sr.detections[i].Pattern < sr.detections[j].Pattern
+		}
+		return sr.detections[i].Fault < sr.detections[j].Fault
+	})
+	return sr.detections, nil
+}
+
 // simulateShard runs the fault-serial, 64-pattern-parallel loop for one
 // shard of the fault list on a private evaluator. It only reads shared
-// state (ordered stream, lane indices, fault list, report metadata);
-// activation recording (serial-only) is the one exception, writing
-// rep.ActivatedPerPattern directly. Cancellation is checked once per
-// 64-pattern block, so a canceled context stops the shard within one
-// block's worth of work.
+// state (ordered stream, lane indices, fault list); activation recording
+// (serial-only) is the one exception, writing the activated counters
+// directly. Cancellation is checked once per 64-pattern block, so a
+// canceled context stops the shard within one block's worth of work.
 func (c *Campaign) simulateShard(ctx context.Context, ordered []TimedPattern, laneIdx [][]int32,
-	laneFaults [][]ID, ev *netlist.Evaluator, opt SimOptions, rep *Report) (*shardResult, error) {
+	laneFaults [][]ID, ev *netlist.Evaluator, opt SimOptions, activated []int32) (*shardResult, error) {
 
 	sr := &shardResult{perPattern: make([]int32, len(ordered))}
 	inputs := make([]uint64, len(c.Module.NL.Inputs))
@@ -559,14 +710,14 @@ func (c *Campaign) simulateShard(ctx context.Context, ordered []TimedPattern, la
 				if n < 64 {
 					det &= (1 << uint(n)) - 1
 				}
-				if opt.RecordActivations {
+				if opt.RecordActivations && activated != nil {
 					act := activationMask(ev, c.Module.NL, f.Site)
 					if n < 64 {
 						act &= (1 << uint(n)) - 1
 					}
 					for s := 0; s < n; s++ {
 						if act>>uint(s)&1 == 1 {
-							rep.ActivatedPerPattern[idxs[blk+s]]++
+							activated[idxs[blk+s]]++
 						}
 					}
 				}
@@ -582,7 +733,7 @@ func (c *Campaign) simulateShard(ctx context.Context, ordered []TimedPattern, la
 						gi := idxs[blk+first]
 						sr.perPattern[gi]++
 						sr.detections = append(sr.detections, Detection{
-							Fault: id, Pattern: gi, CC: rep.CCs[gi],
+							Fault: id, Pattern: gi, CC: ordered[gi].CC,
 						})
 					}
 					remaining[w] = id
@@ -593,7 +744,7 @@ func (c *Campaign) simulateShard(ctx context.Context, ordered []TimedPattern, la
 				gi := idxs[blk+first]
 				sr.perPattern[gi]++
 				sr.detections = append(sr.detections, Detection{
-					Fault: id, Pattern: gi, CC: rep.CCs[gi],
+					Fault: id, Pattern: gi, CC: ordered[gi].CC,
 				})
 			}
 			remaining = remaining[:w]

@@ -128,9 +128,11 @@ func HashPTP(p *stl.PTP) (string, error) {
 
 // ConfigHash fingerprints everything that determines a run's results:
 // the GPU configuration, the per-module fault lists, the library's PTPs,
-// and the deterministic compactor options. Workers is excluded — the
-// fault simulation is bit-identical at any worker count, so a resume may
-// use a different parallelism than the original run.
+// and the deterministic compactor options. Workers and Simulator are
+// excluded — the fault simulation is bit-identical at any worker count
+// and over any (contract-honoring) simulation engine, so a resume may
+// use a different parallelism, or distributed workers instead of the
+// in-process engine, than the original run.
 func ConfigHash(cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL, opt core.Options) (string, error) {
 	h := sha256.New()
 	fmt.Fprintf(h, "gpu:%+v\n", cfg)
