@@ -4,18 +4,30 @@ test:
 	go build ./...
 	go test ./...
 
-# Full verification: vet and the race detector on top of tier-1. The
-# race pass matters here — the fault simulator and the resilient runner
-# are the concurrent parts of the codebase.
+# Full verification: vet, the race detector, the crash-recovery
+# durability tests, and a short fuzz smoke of every hostile-input
+# decoder. The race pass matters here — the fault simulator and the
+# resilient runner are the concurrent parts of the codebase; the fuzz
+# smoke keeps the journal/STL/assembly parsers honest against corrupt
+# bytes without the cost of a long fuzzing session.
 .PHONY: verify
 verify: test
 	go vet ./...
 	go test -race ./...
+	go test -run 'TestCrashRecovery|TestTornFinalRecord|TestFlippedCRCByte' -count=1 ./internal/run
+	go test -fuzz '^FuzzAssemble$$' -fuzztime 10s -run '^$$' ./internal/asm
+	go test -fuzz '^FuzzDecode$$' -fuzztime 10s -run '^$$' ./internal/isa
+	go test -fuzz '^FuzzReadPTP$$' -fuzztime 10s -run '^$$' ./internal/stl
+	go test -fuzz '^FuzzReadSTL$$' -fuzztime 10s -run '^$$' ./internal/stl
+	go test -fuzz '^FuzzDecodeRecord$$' -fuzztime 10s -run '^$$' ./internal/journal
+	go test -fuzz '^FuzzRead$$' -fuzztime 10s -run '^$$' ./internal/vcde
 
-# Benchmarks. The JSON stream (including the distributed-simulation
-# benchmark and its coordinator stats metrics) lands in BENCH_dist.json
-# for machine consumption; the human-readable output still prints.
+# Benchmarks. The JSON streams land in BENCH_dist.json (distributed
+# simulation + coordinator stats) and BENCH_journal.json (per-record
+# fsync append cost, journal replay) for machine consumption; the
+# human-readable output still prints.
 .PHONY: bench
 bench:
 	go test -bench . -benchtime 1x -run '^$$' -json . | tee BENCH_dist.json
+	go test -bench 'BenchmarkJournal' -benchtime 1x -run '^$$' -json ./internal/journal | tee BENCH_journal.json
 	go test -bench . -benchtime 1x -run '^$$' ./internal/...

@@ -7,6 +7,7 @@
 //	stlcompact -target DU|SP|SFU [-n N] [-seed S] [-faults K] [-reverse]
 //	           [-instr] [-baseline] [-load FILE.json] [-save DIR]
 //	           [-checkpoint DIR] [-stage-timeout D] [-fctol PTS]
+//	           [-max-ptp-retries N] [-fsck]
 //	           [-workers-addr HOST:PORT,HOST:PORT,...]
 //
 // With -load, the PTPs are read from a saved STL file (see -save and the
@@ -20,10 +21,20 @@
 //
 // The compaction runs under the resilience layer: a PTP that fails (or
 // whose compacted form loses more than -fctol points of fault coverage)
-// is kept in its original form and the run continues. With -checkpoint,
-// progress is persisted after every PTP and an interrupted run (Ctrl-C,
-// SIGTERM, crash) resumes where it left off. Whatever happens, the
-// report and -save outputs reflect every PTP finished so far.
+// is kept in its original form and the run continues; a PTP whose
+// pipeline crashes or stalls is retried up to -max-ptp-retries times and
+// then quarantined (original kept, campaign continues). With
+// -checkpoint, every finished PTP is appended to a checksummed, fsync'd
+// write-ahead journal (campaign.wal) and an interrupted run (Ctrl-C,
+// SIGTERM, power loss) resumes after the last intact record. Whatever
+// happens, the report and -save outputs reflect every PTP finished so
+// far.
+//
+// With -fsck, nothing is compacted: the journal in -checkpoint and the
+// -save artifacts are verified — record CRCs and sequence, the config
+// hash against the given flags, the journaled PTP hashes against the
+// (generated or -load'ed) library, and artifact checksum sidecars —
+// and the findings are printed, exiting non-zero on any issue.
 package main
 
 import (
@@ -57,6 +68,8 @@ func main() {
 		ckDir    = flag.String("checkpoint", "", "persist progress here and resume interrupted runs")
 		stageTO  = flag.Duration("stage-timeout", 0, "per-stage watchdog timeout (0 = off)")
 		fcTol    = flag.Float64("fctol", 5, "max FC loss (points) before a compacted PTP reverts")
+		retries  = flag.Int("max-ptp-retries", 2, "retries before a crashing/stalling PTP is quarantined")
+		fsck     = flag.Bool("fsck", false, "verify checkpoint journal and -save artifacts instead of compacting")
 		workers  = flag.String("workers-addr", "", "comma-separated stlworker addresses; distribute fault simulations across them")
 	)
 	flag.Parse()
@@ -103,12 +116,9 @@ func main() {
 
 	var ptps []*gpustl.PTP
 	if *loadPath != "" {
-		f, err := os.Open(*loadPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		lib, err := gpustl.ReadSTL(f)
-		f.Close()
+		// ReadSTLFile verifies the checksum sidecar when one exists, so
+		// a silently corrupted library fails here, not mid-campaign.
+		lib, err := gpustl.ReadSTLFile(*loadPath)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -145,6 +155,16 @@ func main() {
 		}
 	}
 
+	if *fsck {
+		if *ckDir == "" {
+			log.Fatal("-fsck requires -checkpoint DIR (pass the campaign's original flags so the config hash matches)")
+		}
+		os.Exit(runFsck(kind, mod, faults, ptps, runFlags{
+			reverse: *reverse, instrG: *instrG,
+			saveDir: *saveDir, ckDir: *ckDir,
+		}))
+	}
+
 	var sim gpustl.FaultSimulator
 	var co *gpustl.DistCoordinator
 	if *workers != "" {
@@ -166,7 +186,7 @@ func main() {
 	code := runCompaction(ctx, kind, mod, faults, ptps, runFlags{
 		reverse: *reverse, instrG: *instrG, baseline: *baseline,
 		saveDir: *saveDir, ckDir: *ckDir, stageTO: *stageTO, fcTol: *fcTol,
-		sim: sim,
+		retries: *retries, sim: sim,
 	})
 	if co != nil {
 		co.Close()
@@ -179,15 +199,13 @@ type runFlags struct {
 	saveDir, ckDir            string
 	stageTO                   time.Duration
 	fcTol                     float64
+	retries                   int
 	sim                       gpustl.FaultSimulator
 }
 
-// runCompaction compacts the PTPs under the resilience layer and returns
-// the process exit code. Even on failure it flushes the report for every
-// finished PTP and writes the -save outputs, so no completed work is
-// lost to a mid-pipeline error.
-func runCompaction(ctx context.Context, kind gpustl.ModuleKind, mod *gpustl.Module,
-	faults []gpustl.Fault, ptps []*gpustl.PTP, fl runFlags) int {
+// buildCampaign assembles the shared inputs of a compaction or fsck run.
+func buildCampaign(kind gpustl.ModuleKind, mod *gpustl.Module, faults []gpustl.Fault,
+	ptps []*gpustl.PTP, fl runFlags) (gpustl.GPUConfig, gpustl.CompactorOptions, *gpustl.ModuleSet, *gpustl.STL) {
 
 	cfg := gpustl.DefaultGPUConfig()
 	copt := gpustl.CompactorOptions{
@@ -199,7 +217,50 @@ func runCompaction(ctx context.Context, kind gpustl.ModuleKind, mod *gpustl.Modu
 		Modules: map[gpustl.ModuleKind]*gpustl.Module{kind: mod},
 		Faults:  map[gpustl.ModuleKind][]gpustl.Fault{kind: faults},
 	}
-	lib := &gpustl.STL{PTPs: ptps}
+	return cfg, copt, ms, &gpustl.STL{PTPs: ptps}
+}
+
+// runFsck verifies the campaign journal and any -save artifacts against
+// the configuration the flags describe, prints the findings, and
+// returns the process exit code (non-zero on any issue).
+func runFsck(kind gpustl.ModuleKind, mod *gpustl.Module, faults []gpustl.Fault,
+	ptps []*gpustl.PTP, fl runFlags) int {
+
+	cfg, copt, ms, lib := buildCampaign(kind, mod, faults, ptps, fl)
+	hash, err := gpustl.CampaignConfigHash(cfg, ms, lib, copt)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	var artifacts []string
+	if fl.saveDir != "" {
+		for _, name := range []string{"stl_original.json", "stl_compacted.json"} {
+			path := filepath.Join(fl.saveDir, name)
+			if _, err := os.Stat(path); err == nil {
+				artifacts = append(artifacts, path)
+			}
+		}
+	}
+	rep, err := gpustl.FsckCampaign(fl.ckDir, hash, lib, artifacts)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	rep.Render(os.Stdout)
+	if !rep.Clean() {
+		return 1
+	}
+	return 0
+}
+
+// runCompaction compacts the PTPs under the resilience layer and returns
+// the process exit code. Even on failure it flushes the report for every
+// finished PTP and writes the -save outputs, so no completed work is
+// lost to a mid-pipeline error.
+func runCompaction(ctx context.Context, kind gpustl.ModuleKind, mod *gpustl.Module,
+	faults []gpustl.Fault, ptps []*gpustl.PTP, fl runFlags) int {
+
+	cfg, copt, ms, lib := buildCampaign(kind, mod, faults, ptps, fl)
 
 	fmt.Printf("compacting %d PTP(s) for %v (%d faults, %d gates x %d lanes)\n\n",
 		len(ptps), kind, len(faults), mod.NL.NumGates(), mod.Lanes)
@@ -209,6 +270,8 @@ func runCompaction(ctx context.Context, kind gpustl.ModuleKind, mod *gpustl.Modu
 			CheckpointDir: fl.ckDir,
 			StageTimeout:  fl.stageTO,
 			FCTolerance:   fl.fcTol,
+			MaxPTPRetries: fl.retries,
+			Logf:          log.Printf,
 		})
 	exit := 0
 	if err != nil {
@@ -252,18 +315,11 @@ func runCompaction(ctx context.Context, kind gpustl.ModuleKind, mod *gpustl.Modu
 	return exit
 }
 
-// saveSTL writes one STL JSON file into dir.
+// saveSTL writes one STL JSON file into dir, durably (fsync'd atomic
+// replace) and with a checksum sidecar for later -fsck verification.
 func saveSTL(dir, name string, lib *gpustl.STL) error {
 	path := filepath.Join(dir, name)
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := gpustl.WriteSTL(f, lib); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := gpustl.WriteSTLFile(path, lib); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)

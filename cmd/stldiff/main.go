@@ -16,13 +16,11 @@ import (
 	"gpustl"
 )
 
+// load reads one STL, verifying its checksum sidecar when one exists so
+// a corrupted artifact fails with an integrity error instead of a
+// confusing diff.
 func load(path string) *gpustl.STL {
-	f, err := os.Open(path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	lib, err := gpustl.ReadSTL(f)
+	lib, err := gpustl.ReadSTLFile(path)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -40,15 +41,14 @@ func main() {
 		if *csvDir == "" {
 			return
 		}
+		// Durable atomic write: a crash mid-table leaves the previous CSV
+		// intact instead of a torn file.
+		var buf bytes.Buffer
+		if err := tb.WriteCSV(&buf); err != nil {
+			log.Fatal(err)
+		}
 		path := filepath.Join(*csvDir, name)
-		f, err := os.Create(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := tb.WriteCSV(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := gpustl.WriteFileAtomic(path, buf.Bytes()); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", path)

@@ -45,6 +45,7 @@ import (
 	"gpustl/internal/fault"
 	"gpustl/internal/gpu"
 	"gpustl/internal/isa"
+	"gpustl/internal/journal"
 	"gpustl/internal/netlist"
 	"gpustl/internal/ptpgen"
 	"gpustl/internal/run"
@@ -184,6 +185,20 @@ var (
 	WriteSTL = stl.WriteSTL
 	ReadSTL  = stl.ReadSTL
 )
+
+// WriteSTLFile writes an STL durably (fsync'd atomic replace) together
+// with a CRC32C checksum sidecar; ReadSTLFile verifies the sidecar when
+// present and tolerates its absence; VerifySTLFile only checks.
+var (
+	WriteSTLFile  = stl.WriteSTLFile
+	ReadSTLFile   = stl.ReadSTLFile
+	VerifySTLFile = stl.VerifySTLFile
+)
+
+// WriteFileAtomic writes a file durably: temp file in the same
+// directory, fsync, rename over the destination, directory fsync. Every
+// artifact writer in this module goes through it.
+var WriteFileAtomic = journal.WriteFileAtomic
 
 // SegmentSBs derives a Small Block structure from code, for externally
 // authored PTPs without generator metadata.
@@ -358,16 +373,47 @@ const (
 	RunRevertedError = run.StatusRevertedError
 	RunRevertedFC    = run.StatusRevertedFC
 	RunExcluded      = run.StatusExcluded
+	RunQuarantined   = run.StatusQuarantined
 )
 
 // CompactWholeSTLResilient is CompactWholeSTL under the resilience
 // layer: per-PTP panic isolation, cooperative cancellation through ctx,
-// per-stage watchdog timeouts, JSON checkpoint/resume, and an FC-safety
-// guard that keeps the original PTP when compaction fails or costs more
-// coverage than the tolerance allows.
+// per-stage watchdog timeouts, a checksummed write-ahead journal for
+// checkpoint/resume, a poison-PTP quarantine policy (crashing or
+// stalling PTPs are retried up to RunnerOptions.MaxPTPRetries times,
+// then kept in their original form while the run continues), and an
+// FC-safety guard that keeps the original PTP when compaction fails or
+// costs more coverage than the tolerance allows.
 func CompactWholeSTLResilient(ctx context.Context, cfg GPUConfig, ms *ModuleSet,
 	lib *STL, opt CompactorOptions, ropt RunnerOptions) (*RunReport, error) {
 	return run.Run(ctx, cfg, ms, lib, opt, ropt)
+}
+
+// FsckReport is the outcome of a campaign-state integrity check.
+type FsckReport = run.FsckReport
+
+// FsckIssue is one integrity finding; FsckKind classifies it (CRC
+// mismatch, torn tail, config-hash mismatch, PTP hash drift, artifact
+// checksum failure, ...).
+type (
+	FsckIssue = run.FsckIssue
+	FsckKind  = run.FsckKind
+)
+
+// FsckCampaign verifies the durable state of a checkpointed campaign —
+// the write-ahead journal's record CRCs and schema, the config hash
+// against wantHash (skipped when empty), the journaled PTP hashes
+// against lib (skipped when nil), and each artifact's checksum sidecar —
+// without modifying anything.
+func FsckCampaign(dir, wantHash string, lib *STL, artifacts []string) (*FsckReport, error) {
+	return run.Fsck(dir, wantHash, lib, artifacts)
+}
+
+// CampaignConfigHash fingerprints everything that determines a run's
+// results; the resilient runner refuses to resume a journal written
+// under a different hash, and FsckCampaign cross-checks it.
+func CampaignConfigHash(cfg GPUConfig, ms *ModuleSet, lib *STL, opt CompactorOptions) (string, error) {
+	return run.ConfigHash(cfg, ms, lib, opt)
 }
 
 // ---------------------------------------------------------------------------

@@ -121,6 +121,23 @@ const (
 	StageEvaluate   Stage = "evaluate"
 )
 
+// CommitStage reports whether a failure at stage s may already have
+// committed fault drops to the shared campaign: the stage-3 fault
+// simulation commits its detections when it completes, so stages after
+// it run against a mutated campaign. A resilient caller deciding
+// whether a crashed PTP can be retried must not re-run it once drops
+// committed — a second labeling would see the already-dropped campaign
+// and over-compact. Reverting or quarantining the PTP stays sound
+// either way, because the original program detects a superset of the
+// dropped faults.
+func CommitStage(s Stage) bool {
+	switch s {
+	case StageReduce, StageReassemble, StageEvaluate:
+		return true
+	}
+	return false
+}
+
 // Result reports one PTP's compaction, mirroring the columns of Tables II
 // and III.
 type Result struct {

@@ -17,6 +17,14 @@ const (
 	healthPath   = "/healthz"
 )
 
+// MaxReplyBytes caps how much of a worker's /simulate reply the client
+// will read. A shard result is detections over at most a few thousand
+// faults — far below this — so a larger reply means a broken or hostile
+// worker, and the client fails that shard (the retry/hedge machinery
+// takes over) instead of buffering without bound. Variable so tests can
+// shrink it.
+var MaxReplyBytes int64 = 64 << 20
+
 // HTTP is the client-side Transport speaking JSON to a cmd/stlworker
 // daemon: POST /simulate with a ShardRequest body, GET /healthz for
 // heartbeats. Request contexts propagate cancellation, so a hedged
@@ -61,8 +69,19 @@ func (t *HTTP) Simulate(ctx context.Context, req *ShardRequest) (*ShardResult, e
 		return nil, fmt.Errorf("dist: worker %s: HTTP %d: %s",
 			t.base, hres.StatusCode, strings.TrimSpace(string(msg)))
 	}
+	// Read through a hard size limit: one extra byte past the cap
+	// distinguishes "too big" from a reply that exactly fits, and a
+	// truncated body surfaces as a JSON error rather than a hang.
+	lr := &io.LimitedReader{R: hres.Body, N: MaxReplyBytes + 1}
+	data, err := io.ReadAll(lr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %s: reading reply: %w", t.base, err)
+	}
+	if int64(len(data)) > MaxReplyBytes {
+		return nil, fmt.Errorf("dist: worker %s: reply exceeds %d-byte limit", t.base, MaxReplyBytes)
+	}
 	var res ShardResult
-	if err := json.NewDecoder(hres.Body).Decode(&res); err != nil {
+	if err := json.Unmarshal(data, &res); err != nil {
 		return nil, fmt.Errorf("dist: worker %s: decoding reply: %w", t.base, err)
 	}
 	return &res, nil

@@ -1,0 +1,66 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// WriteFileAtomic durably replaces path with data: the bytes go to a
+// temp file in the same directory, the file is fsync'd and closed, the
+// temp file is renamed over path, and the directory is fsync'd so the
+// rename itself survives power loss. A crash at any point leaves either
+// the old file or the new one, never a mix and never a half-written
+// file under the final name.
+//
+// Plain temp-file-plus-rename (what the PR-1 checkpoint writer did) is
+// NOT durable: without the file fsync the rename can land before the
+// data, and without the directory fsync the rename itself can be lost.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("journal: creating temp file for %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("journal: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("journal: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("journal: closing temp file for %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("journal: committing %s: %w", path, err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making recent renames and creations in it
+// durable. Filesystems that cannot fsync directories (some network and
+// overlay mounts return EINVAL or ENOTSUP) are tolerated — there is
+// nothing more a userspace writer can do there.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: opening directory %s: %w", dir, err)
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("journal: syncing directory %s: %w", dir, err)
+	}
+	if cerr != nil {
+		return fmt.Errorf("journal: closing directory %s: %w", dir, cerr)
+	}
+	return nil
+}

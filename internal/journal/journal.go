@@ -1,0 +1,246 @@
+// Package journal is the durability substrate of long compaction
+// campaigns: an append-only, fsync'd write-ahead journal (JSONL with a
+// per-record CRC32C and a monotonic sequence number), atomic+durable
+// file replacement, and checksum sidecars for output artifacts.
+//
+// The journal is crash-only by design: writers never rewrite existing
+// bytes, recovery is a forward scan that keeps every record before the
+// first corrupt or torn one, and reopening for append truncates the bad
+// tail so the file is always a clean prefix of valid records. A
+// multi-hour campaign killed at any instant therefore loses at most the
+// record being written, and a reader can state exactly what was
+// salvaged.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// castagnoli is the CRC32C polynomial table (the same polynomial
+// storage systems use; hardware-accelerated on most CPUs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCRC marks a record whose stored CRC32C does not match its content.
+var ErrCRC = errors.New("CRC32C mismatch")
+
+// Record is one journal entry: a monotonically increasing sequence
+// number (starting at 1), a caller-defined type tag, the CRC32C of
+// "<seq>:<type>:<body>" in lowercase hex, and the JSON body verbatim.
+// One record is one line of the journal file.
+type Record struct {
+	Seq  uint64          `json:"seq"`
+	Type string          `json:"type"`
+	CRC  string          `json:"crc"`
+	Body json.RawMessage `json:"body"`
+}
+
+// crcOf computes the record checksum over the sequence number, the type
+// tag and the exact body bytes, so corruption of any of the three is
+// detected.
+func crcOf(seq uint64, typ string, body []byte) uint32 {
+	h := crc32.New(castagnoli)
+	fmt.Fprintf(h, "%d:%s:", seq, typ)
+	h.Write(body)
+	return h.Sum32()
+}
+
+// EncodeRecord marshals body and frames it as one journal line
+// (including the trailing newline).
+func EncodeRecord(seq uint64, typ string, body any) ([]byte, error) {
+	if typ == "" {
+		return nil, errors.New("journal: empty record type")
+	}
+	b, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encoding %s record: %w", typ, err)
+	}
+	rec := Record{Seq: seq, Type: typ, CRC: fmt.Sprintf("%08x", crcOf(seq, typ, b)), Body: b}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: framing %s record: %w", typ, err)
+	}
+	return append(line, '\n'), nil
+}
+
+// DecodeRecord parses one journal line (without the newline) and
+// verifies its checksum. A mismatch returns an error wrapping ErrCRC.
+func DecodeRecord(line []byte) (*Record, error) {
+	var rec Record
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return nil, fmt.Errorf("journal: malformed record: %w", err)
+	}
+	if rec.Type == "" {
+		return nil, errors.New("journal: record has no type")
+	}
+	if len(rec.Body) == 0 {
+		return nil, fmt.Errorf("journal: %s record has no body", rec.Type)
+	}
+	var stored uint32
+	if n, err := fmt.Sscanf(rec.CRC, "%08x", &stored); n != 1 || err != nil || len(rec.CRC) != 8 {
+		return nil, fmt.Errorf("journal: %s record seq %d: bad CRC field %q", rec.Type, rec.Seq, rec.CRC)
+	}
+	if got := crcOf(rec.Seq, rec.Type, rec.Body); got != stored {
+		return nil, fmt.Errorf("journal: %s record seq %d: %w (stored %s, computed %08x)",
+			rec.Type, rec.Seq, ErrCRC, rec.CRC, got)
+	}
+	return &rec, nil
+}
+
+// CorruptKind classifies why a journal scan stopped early.
+type CorruptKind string
+
+const (
+	CorruptNone CorruptKind = ""               // clean journal
+	CorruptTorn CorruptKind = "torn-record"    // partial/garbled write (crash mid-append)
+	CorruptCRC  CorruptKind = "crc-mismatch"   // bit rot: framing intact, checksum wrong
+	CorruptSeq  CorruptKind = "sequence-break" // records out of order or missing
+)
+
+// Replay is the result of scanning a journal file: every record before
+// the first corruption, plus an exact account of what (if anything) was
+// lost.
+type Replay struct {
+	Path    string
+	Records []Record
+	// GoodSize is the byte offset just past the last valid record —
+	// the offset recovery truncates to.
+	GoodSize  int64
+	TotalSize int64
+	// Truncated reports that the file has content past GoodSize that
+	// failed validation; Kind and Reason say why.
+	Truncated bool
+	Kind      CorruptKind
+	Reason    string
+}
+
+// Scan reads the journal at path and validates it record by record,
+// stopping at the first torn or corrupt record. A missing file is not
+// an error: it returns an empty replay, so first runs start fresh.
+// Scan never modifies the file.
+func Scan(path string) (*Replay, error) {
+	rp := &Replay{Path: path}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return rp, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	rp.TotalSize = int64(len(data))
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			rp.Truncated = true
+			rp.Kind = CorruptTorn
+			rp.Reason = fmt.Sprintf("torn record at byte %d (no trailing newline)", off)
+			break
+		}
+		rec, err := DecodeRecord(data[off : off+nl])
+		if err != nil {
+			rp.Truncated = true
+			rp.Kind = CorruptTorn
+			if errors.Is(err, ErrCRC) {
+				rp.Kind = CorruptCRC
+			}
+			rp.Reason = fmt.Sprintf("record %d at byte %d: %v", len(rp.Records)+1, off, err)
+			break
+		}
+		if rec.Seq != uint64(len(rp.Records))+1 {
+			rp.Truncated = true
+			rp.Kind = CorruptSeq
+			rp.Reason = fmt.Sprintf("sequence break at byte %d: record claims seq %d, want %d",
+				off, rec.Seq, len(rp.Records)+1)
+			break
+		}
+		rp.Records = append(rp.Records, *rec)
+		off += nl + 1
+		rp.GoodSize = int64(off)
+	}
+	return rp, nil
+}
+
+// Journal is an open write-ahead journal positioned for append. Every
+// Append is fsync'd before it returns, so an acknowledged record
+// survives a crash or power loss.
+type Journal struct {
+	f    *os.File
+	path string
+	seq  uint64
+}
+
+// Open scans the journal at path (creating it if absent), truncates any
+// torn or corrupt tail so the file is a clean prefix of valid records,
+// and returns the journal ready for append together with the replay of
+// what survived. Callers decide what a truncated tail means; Open only
+// guarantees the file is consistent afterwards.
+func Open(path string) (*Journal, *Replay, error) {
+	rp, err := Scan(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o666)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: opening %s: %w", path, err)
+	}
+	if rp.GoodSize < rp.TotalSize {
+		// Drop the bad tail, durably, before anything is appended
+		// after it.
+		if err := f.Truncate(rp.GoodSize); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: truncating %s to byte %d: %w", path, rp.GoodSize, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: syncing %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: seeking %s: %w", path, err)
+	}
+	// Make the directory entry itself durable: a freshly created
+	// journal must not vanish with a power loss after its first
+	// acknowledged append.
+	if err := SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Journal{f: f, path: path, seq: uint64(len(rp.Records))}, rp, nil
+}
+
+// Seq returns the sequence number of the last appended record (0 when
+// the journal is empty).
+func (j *Journal) Seq() uint64 { return j.seq }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append frames body as the next record, writes it, and fsyncs the file
+// before returning the record's sequence number. On error the in-memory
+// sequence number is not advanced; the on-disk tail (if partially
+// written) is exactly the torn-record case recovery handles.
+func (j *Journal) Append(typ string, body any) (uint64, error) {
+	line, err := EncodeRecord(j.seq+1, typ, body)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return 0, fmt.Errorf("journal: appending to %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return 0, fmt.Errorf("journal: syncing %s: %w", j.path, err)
+	}
+	j.seq++
+	return j.seq, nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error { return j.f.Close() }

@@ -1,0 +1,61 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ErrNoSum reports that an artifact has no checksum sidecar (written by
+// an older version, or by hand). Callers typically tolerate it.
+var ErrNoSum = errors.New("no checksum sidecar")
+
+// SumPath returns the checksum sidecar path for an artifact.
+func SumPath(path string) string { return path + ".sum" }
+
+// WriteSum writes path's checksum sidecar ("<path>.sum"), recording the
+// CRC32C and byte size of data. The sidecar itself is written with
+// WriteFileAtomic so it is never torn.
+//
+// Sidecar format (one line): "crc32c=XXXXXXXX size=N  name\n".
+func WriteSum(path string, data []byte) error {
+	line := fmt.Sprintf("crc32c=%08x size=%d  %s\n",
+		crc32.Checksum(data, castagnoli), len(data), filepath.Base(path))
+	return WriteFileAtomic(SumPath(path), []byte(line))
+}
+
+// VerifyFileSum checks an artifact against its checksum sidecar. It
+// returns nil when the checksum and size match, an error wrapping
+// ErrNoSum when the sidecar is missing, and a descriptive error on any
+// mismatch (corrupt artifact, corrupt sidecar, or size drift).
+func VerifyFileSum(path string) error {
+	sumData, err := os.ReadFile(SumPath(path))
+	if os.IsNotExist(err) {
+		return fmt.Errorf("journal: %s: %w", path, ErrNoSum)
+	}
+	if err != nil {
+		return fmt.Errorf("journal: reading %s: %w", SumPath(path), err)
+	}
+	var wantCRC uint32
+	var wantSize int64
+	line := strings.TrimSpace(string(sumData))
+	if n, err := fmt.Sscanf(line, "crc32c=%08x size=%d", &wantCRC, &wantSize); n != 2 || err != nil {
+		return fmt.Errorf("journal: %s: malformed checksum sidecar %q", path, line)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	if int64(len(data)) != wantSize {
+		return fmt.Errorf("journal: %s: size %d, sidecar records %d (artifact truncated or rewritten without its checksum)",
+			path, len(data), wantSize)
+	}
+	if got := crc32.Checksum(data, castagnoli); got != wantCRC {
+		return fmt.Errorf("journal: %s: CRC32C %08x, sidecar records %08x (artifact corrupted)",
+			path, got, wantCRC)
+	}
+	return nil
+}

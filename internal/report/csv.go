@@ -1,8 +1,11 @@
 package report
 
 import (
+	"bytes"
 	"encoding/csv"
 	"io"
+
+	"gpustl/internal/journal"
 )
 
 // WriteCSV emits the table as CSV (headers first), for spreadsheet
@@ -19,4 +22,15 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteCSVFile writes the table to path durably: temp file, fsync,
+// rename, directory fsync. A crash mid-write leaves either the old file
+// or the new one, never a torn CSV.
+func (t *Table) WriteCSVFile(path string) error {
+	var buf bytes.Buffer
+	if err := t.WriteCSV(&buf); err != nil {
+		return err
+	}
+	return journal.WriteFileAtomic(path, buf.Bytes())
 }

@@ -13,15 +13,51 @@ import (
 	"gpustl/internal/circuits"
 	"gpustl/internal/core"
 	"gpustl/internal/gpu"
+	"gpustl/internal/journal"
 	"gpustl/internal/stl"
 )
 
-// CheckpointVersion is bumped whenever the on-disk schema changes
+// CheckpointVersion is bumped whenever the persisted schema changes
 // incompatibly; a version mismatch refuses to resume.
-const CheckpointVersion = 1
+const CheckpointVersion = 2
 
-// checkpointFile is the file name inside the checkpoint directory.
-const checkpointFile = "checkpoint.json"
+// WALFile is the append-only write-ahead journal inside the checkpoint
+// directory. One fsync'd record per PTP outcome; recovery replays it
+// and truncates at the first corrupt or torn record.
+const WALFile = "campaign.wal"
+
+// legacyCheckpointFile is the PR-1 whole-state JSON checkpoint. It is
+// still read — and migrated into the journal — so campaigns started
+// before the journal existed resume without losing work.
+const legacyCheckpointFile = "checkpoint.json"
+
+// markEvery is how many outcome records sit between two consecutive
+// compaction marks. A mark carries the running totals, so fsck can
+// cross-check long journals incrementally and a replay mismatch is
+// localized to a 16-record window.
+const markEvery = 16
+
+// Journal record types.
+const (
+	recMeta    = "meta"    // first record: version, config hash, library size
+	recOutcome = "outcome" // one per finished PTP, an Entry
+	recMark    = "mark"    // periodic compaction mark: running totals
+)
+
+// metaRecord is the journal's first record.
+type metaRecord struct {
+	Version    int    `json:"version"`
+	ConfigHash string `json:"configHash"`
+	PTPs       int    `json:"ptps"`
+}
+
+// markRecord is a periodic compaction mark: totals over every outcome
+// record so far.
+type markRecord struct {
+	Outcomes int `json:"outcomes"`
+	OrigSize int `json:"origSize"`
+	CompSize int `json:"compSize"`
+}
 
 // Entry records the outcome of one PTP, in library order. It carries
 // everything a resumed run needs to reconstruct both the report row and
@@ -34,6 +70,9 @@ type Entry struct {
 	// (empty for compacted/excluded entries).
 	Stage string `json:"stage,omitempty"`
 	Error string `json:"error,omitempty"`
+	// Attempts counts pipeline attempts (>1 only when the quarantine
+	// policy retried a crashing or timed-out PTP).
+	Attempts int `json:"attempts,omitempty"`
 
 	OrigSize        int     `json:"origSize"`
 	CompSize        int     `json:"compSize"`
@@ -51,8 +90,8 @@ type Entry struct {
 	// form) so resuming against an edited library fails loudly.
 	OrigHash string `json:"origHash"`
 	// Compacted is the WritePTP serialization of the compacted program;
-	// present only when Status is StatusCompacted (reverted and excluded
-	// PTPs keep the original, which the library still holds).
+	// present only when Status is StatusCompacted (reverted, excluded
+	// and quarantined PTPs keep the original, which the library holds).
 	Compacted json.RawMessage `json:"compacted,omitempty"`
 	// DroppedFaults is the delta of the target module's campaign
 	// detected-id set contributed by this PTP (ascending). Replaying the
@@ -60,61 +99,223 @@ type Entry struct {
 	DroppedFaults []int32 `json:"droppedFaults,omitempty"`
 }
 
-// Checkpoint is the persisted state of a (possibly partial) STL
-// compaction run.
+// Checkpoint is the in-memory state of a (possibly partial) STL
+// compaction run, as reconstructed from the journal.
 type Checkpoint struct {
 	Version    int     `json:"version"`
 	ConfigHash string  `json:"configHash"`
 	Entries    []Entry `json:"entries"`
 }
 
-// LoadCheckpoint reads dir/checkpoint.json. A missing file is not an
-// error: it returns (nil, nil) so a first run starts fresh.
+// LoadCheckpoint reads the campaign state persisted in dir: the
+// write-ahead journal when present, the legacy checkpoint.json
+// otherwise. Missing state is not an error: it returns (nil, nil) so a
+// first run starts fresh. A journal with a corrupt tail loads the
+// records before the corruption (exactly what a resume would use).
 func LoadCheckpoint(dir string) (*Checkpoint, error) {
-	data, err := os.ReadFile(filepath.Join(dir, checkpointFile))
+	walPath := filepath.Join(dir, WALFile)
+	rp, err := journal.Scan(walPath)
+	if err != nil {
+		return nil, fmt.Errorf("run: reading journal: %w", err)
+	}
+	if len(rp.Records) > 0 {
+		ck, _, err := checkpointFromReplay(rp)
+		return ck, err
+	}
+	return loadLegacyCheckpoint(dir)
+}
+
+// checkpointFromReplay rebuilds the checkpoint from a journal replay,
+// validating the schema (meta first, outcomes in order, marks agreeing
+// with the replayed totals). It also returns the running totals so the
+// writer can continue the mark sequence.
+func checkpointFromReplay(rp *journal.Replay) (*Checkpoint, markRecord, error) {
+	var totals markRecord
+	if len(rp.Records) == 0 {
+		return nil, totals, nil
+	}
+	first := rp.Records[0]
+	if first.Type != recMeta {
+		return nil, totals, fmt.Errorf("run: journal %s: first record is %q, want %q; run `stlcompact -fsck` to inspect it, or delete the checkpoint directory to start over",
+			rp.Path, first.Type, recMeta)
+	}
+	var meta metaRecord
+	if err := json.Unmarshal(first.Body, &meta); err != nil {
+		return nil, totals, fmt.Errorf("run: journal %s: meta record: %v; run `stlcompact -fsck` to inspect it", rp.Path, err)
+	}
+	if meta.Version != CheckpointVersion {
+		return nil, totals, fmt.Errorf("run: journal %s has schema version %d, this binary writes %d; delete the checkpoint directory to start over",
+			rp.Path, meta.Version, CheckpointVersion)
+	}
+	ck := &Checkpoint{Version: meta.Version, ConfigHash: meta.ConfigHash}
+	for i, rec := range rp.Records[1:] {
+		switch rec.Type {
+		case recOutcome:
+			var e Entry
+			if err := json.Unmarshal(rec.Body, &e); err != nil {
+				return nil, totals, fmt.Errorf("run: journal %s: record %d: %v; run `stlcompact -fsck` to inspect it", rp.Path, i+2, err)
+			}
+			if e.Index != len(ck.Entries) {
+				return nil, totals, fmt.Errorf("run: journal %s: record %d holds outcome %d, want %d; run `stlcompact -fsck` to inspect it",
+					rp.Path, i+2, e.Index, len(ck.Entries))
+			}
+			ck.Entries = append(ck.Entries, e)
+			totals.Outcomes++
+			totals.OrigSize += e.OrigSize
+			totals.CompSize += e.CompSize
+		case recMark:
+			var m markRecord
+			if err := json.Unmarshal(rec.Body, &m); err != nil {
+				return nil, totals, fmt.Errorf("run: journal %s: record %d: %v", rp.Path, i+2, err)
+			}
+			if m != totals {
+				return nil, totals, fmt.Errorf("run: journal %s: compaction mark %+v disagrees with the replayed outcomes %+v; run `stlcompact -fsck` to inspect it",
+					rp.Path, m, totals)
+			}
+		default:
+			return nil, totals, fmt.Errorf("run: journal %s: record %d has unknown type %q", rp.Path, i+2, rec.Type)
+		}
+	}
+	return ck, totals, nil
+}
+
+// loadLegacyCheckpoint reads the PR-1 single-file JSON checkpoint. Its
+// errors name the file and suggest a way out — a truncated or corrupt
+// checkpoint used to surface as a bare JSON error with no path.
+func loadLegacyCheckpoint(dir string) (*Checkpoint, error) {
+	path := filepath.Join(dir, legacyCheckpointFile)
+	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("run: reading checkpoint: %w", err)
+		return nil, fmt.Errorf("run: reading checkpoint %s: %w", path, err)
 	}
 	var ck Checkpoint
 	if err := json.Unmarshal(data, &ck); err != nil {
-		return nil, fmt.Errorf("run: parsing checkpoint: %w", err)
+		return nil, fmt.Errorf("run: checkpoint %s is truncated or corrupt (%v); run `stlcompact -fsck -checkpoint %s` with the campaign's flags to see what is salvageable, or delete the file to start fresh",
+			path, err, dir)
 	}
-	if ck.Version != CheckpointVersion {
-		return nil, fmt.Errorf("run: checkpoint version %d, want %d",
-			ck.Version, CheckpointVersion)
+	if ck.Version != 1 && ck.Version != CheckpointVersion {
+		return nil, fmt.Errorf("run: checkpoint %s has version %d, this binary supports %d; delete the file to start fresh",
+			path, ck.Version, CheckpointVersion)
 	}
 	return &ck, nil
 }
 
-// Save writes the checkpoint atomically (temp file + rename), so a crash
-// mid-write leaves the previous checkpoint intact.
+// Save writes the checkpoint as the legacy single-file JSON snapshot,
+// durably: temp file, fsync(file), rename, fsync(directory). The
+// runner itself persists through the journal; Save remains for
+// exporting state and for exercising the legacy migration path.
 func (ck *Checkpoint) Save(dir string) error {
 	data, err := json.MarshalIndent(ck, "", "  ")
 	if err != nil {
 		return fmt.Errorf("run: encoding checkpoint: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, checkpointFile+".tmp*")
-	if err != nil {
+	if err := journal.WriteFileAtomic(filepath.Join(dir, legacyCheckpointFile), data); err != nil {
 		return fmt.Errorf("run: writing checkpoint: %w", err)
-	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		if werr == nil {
-			werr = cerr
-		}
-		return fmt.Errorf("run: writing checkpoint: %w", werr)
-	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, checkpointFile)); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("run: committing checkpoint: %w", err)
 	}
 	return nil
 }
+
+// campaignLog is the runner's append handle on the write-ahead journal.
+type campaignLog struct {
+	j      *journal.Journal
+	totals markRecord
+}
+
+// openCampaign opens (or creates) dir's campaign journal, replays it,
+// and validates it against this run's config hash and library size.
+// When no journal exists yet, a legacy checkpoint.json (if any) is
+// migrated into a fresh journal so pre-journal campaigns keep their
+// work. The returned checkpoint holds every salvaged entry; notes
+// carries human-readable salvage and migration messages.
+func openCampaign(dir, configHash string, nPTPs int) (*campaignLog, *Checkpoint, []string, error) {
+	walPath := filepath.Join(dir, WALFile)
+	j, rp, err := journal.Open(walPath)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("run: opening journal: %w", err)
+	}
+	var notes []string
+	if rp.Truncated {
+		notes = append(notes, fmt.Sprintf(
+			"journal %s: salvaged %d record(s) (%d of %d bytes); dropped corrupt tail (%s): %s",
+			walPath, len(rp.Records), rp.GoodSize, rp.TotalSize, rp.Kind, rp.Reason))
+	}
+	fail := func(err error) (*campaignLog, *Checkpoint, []string, error) {
+		j.Close()
+		return nil, nil, nil, err
+	}
+
+	cl := &campaignLog{j: j}
+	if len(rp.Records) > 0 {
+		ck, totals, err := checkpointFromReplay(rp)
+		if err != nil {
+			return fail(err)
+		}
+		cl.totals = totals
+		if ck.ConfigHash != configHash {
+			return fail(fmt.Errorf("run: journal %s was written by a different configuration (hash %.12s, want %.12s); run `stlcompact -fsck` with the campaign's original flags, or delete %s to start over",
+				walPath, ck.ConfigHash, configHash, dir))
+		}
+		if len(ck.Entries) > nPTPs {
+			return fail(fmt.Errorf("run: journal %s has %d outcomes but the library has %d PTPs; delete %s to start over",
+				walPath, len(ck.Entries), nPTPs, dir))
+		}
+		return cl, ck, notes, nil
+	}
+
+	// No journal yet: fresh start, or migration from a legacy
+	// checkpoint written before the journal existed.
+	legacy, err := loadLegacyCheckpoint(dir)
+	if err != nil {
+		return fail(err)
+	}
+	if legacy != nil {
+		if legacy.ConfigHash != configHash {
+			return fail(fmt.Errorf("run: checkpoint was written by a different configuration (hash %.12s, want %.12s); delete %s to start over",
+				legacy.ConfigHash, configHash, dir))
+		}
+		if len(legacy.Entries) > nPTPs {
+			return fail(fmt.Errorf("run: checkpoint has %d entries but the library has %d PTPs", len(legacy.Entries), nPTPs))
+		}
+	}
+	if _, err := cl.j.Append(recMeta, metaRecord{Version: CheckpointVersion, ConfigHash: configHash, PTPs: nPTPs}); err != nil {
+		return fail(fmt.Errorf("run: journaling campaign meta: %w", err))
+	}
+	ck := &Checkpoint{Version: CheckpointVersion, ConfigHash: configHash}
+	if legacy != nil {
+		notes = append(notes, fmt.Sprintf("migrated legacy %s (%d entries) into %s",
+			legacyCheckpointFile, len(legacy.Entries), WALFile))
+		for _, e := range legacy.Entries {
+			if err := cl.appendOutcome(e); err != nil {
+				return fail(err)
+			}
+		}
+		ck.Entries = legacy.Entries
+	}
+	return cl, ck, notes, nil
+}
+
+// appendOutcome journals one finished PTP (fsync'd before returning)
+// and emits a compaction mark every markEvery outcomes.
+func (cl *campaignLog) appendOutcome(e Entry) error {
+	if _, err := cl.j.Append(recOutcome, e); err != nil {
+		return fmt.Errorf("run: journaling outcome %d (%s): %w", e.Index, e.Name, err)
+	}
+	cl.totals.Outcomes++
+	cl.totals.OrigSize += e.OrigSize
+	cl.totals.CompSize += e.CompSize
+	if cl.totals.Outcomes%markEvery == 0 {
+		if _, err := cl.j.Append(recMark, cl.totals); err != nil {
+			return fmt.Errorf("run: journaling compaction mark: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close closes the underlying journal.
+func (cl *campaignLog) Close() error { return cl.j.Close() }
 
 // HashPTP fingerprints a PTP through its serialized form.
 func HashPTP(p *stl.PTP) (string, error) {
@@ -132,7 +333,9 @@ func HashPTP(p *stl.PTP) (string, error) {
 // excluded — the fault simulation is bit-identical at any worker count
 // and over any (contract-honoring) simulation engine, so a resume may
 // use a different parallelism, or distributed workers instead of the
-// in-process engine, than the original run.
+// in-process engine, than the original run. Retry/quarantine knobs are
+// excluded for the same reason: they change what happens on a crash,
+// not what a successful compaction computes.
 func ConfigHash(cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL, opt core.Options) (string, error) {
 	h := sha256.New()
 	fmt.Fprintf(h, "gpu:%+v\n", cfg)

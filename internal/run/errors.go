@@ -1,9 +1,10 @@
 // Package run is the resilience layer over the compaction pipeline: it
 // compacts a whole STL with per-PTP panic isolation, per-stage watchdog
-// timeouts, cooperative cancellation, JSON checkpoint/resume, and an
+// timeouts, cooperative cancellation, a checksummed write-ahead journal
+// for checkpoint/resume, a poison-PTP quarantine policy, and an
 // FC-safety guard that keeps the original PTP whenever compaction fails
-// or costs fault coverage. The paper's method (package core) stays pure;
-// everything operational lives here.
+// or costs fault coverage. The paper's method (package core) stays
+// pure; everything operational lives here.
 package run
 
 import (
@@ -12,11 +13,28 @@ import (
 	"gpustl/internal/core"
 )
 
+// FailKind classifies how a pipeline stage failed. The distinction
+// drives the quarantine policy: crash-class failures (panics and
+// watchdog timeouts) are retried and then quarantined, while
+// deterministic stage errors revert immediately — re-running those
+// would fail identically.
+type FailKind string
+
+const (
+	// FailError: the stage returned an ordinary error.
+	FailError FailKind = "error"
+	// FailPanic: the stage panicked (recovered by the runner).
+	FailPanic FailKind = "panic"
+	// FailTimeout: the per-stage watchdog canceled a stalled stage.
+	FailTimeout FailKind = "timeout"
+)
+
 // StageError attributes a compaction failure to the pipeline stage that
 // was executing when it happened.
 type StageError struct {
 	Stage core.Stage
 	PTP   string
+	Kind  FailKind
 	Err   error
 }
 
@@ -27,3 +45,10 @@ func (e *StageError) Error() string {
 
 // Unwrap exposes the cause for errors.Is/As.
 func (e *StageError) Unwrap() error { return e.Err }
+
+// Retryable reports whether the failure is a crash-class event — a
+// panic or a watchdog timeout — that the quarantine policy may retry.
+// Ordinary stage errors are deterministic and are not retried.
+func (e *StageError) Retryable() bool {
+	return e.Kind == FailPanic || e.Kind == FailTimeout
+}

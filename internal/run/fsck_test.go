@@ -1,0 +1,235 @@
+package run
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpustl/internal/core"
+	"gpustl/internal/gpu"
+	"gpustl/internal/journal"
+	"gpustl/internal/ptpgen"
+	"gpustl/internal/stl"
+)
+
+// fsckCampaign runs a full checkpointed campaign and returns its
+// directory, library, and config hash.
+func fsckCampaign(t *testing.T) (dir string, lib *stl.STL, hash string) {
+	t.Helper()
+	dir = t.TempDir()
+	lib, ms := testEnv(t)
+	cfg := gpu.DefaultConfig()
+	copt := core.Options{Workers: 4}
+	if _, err := Run(context.Background(), cfg, ms, lib, copt,
+		Options{CheckpointDir: dir, FCTolerance: 5}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ConfigHash(cfg, ms, lib, copt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, lib, h
+}
+
+func issueKinds(rep *FsckReport) []FsckKind {
+	kinds := make([]FsckKind, len(rep.Issues))
+	for i, is := range rep.Issues {
+		kinds[i] = is.Kind
+	}
+	return kinds
+}
+
+func TestFsckCleanCampaign(t *testing.T) {
+	dir, lib, hash := fsckCampaign(t)
+	rep, err := Fsck(dir, hash, lib, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean campaign flagged: %+v", rep.Issues)
+	}
+	if rep.Salvageable != len(lib.PTPs) {
+		t.Errorf("Salvageable = %d, want %d", rep.Salvageable, len(lib.PTPs))
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	if !strings.Contains(buf.String(), "fsck: clean") {
+		t.Errorf("render: %q", buf.String())
+	}
+}
+
+func TestFsckDetectsCRCMismatch(t *testing.T) {
+	dir, lib, hash := fsckCampaign(t)
+	walPath := filepath.Join(dir, WALFile)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.LastIndex(data, []byte(`"name":"DIVG"`))
+	data[i+len(`"name":"`)] = 'X'
+	if err := os.WriteFile(walPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Fsck(dir, hash, lib, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("flipped byte not detected")
+	}
+	if rep.Issues[0].Kind != FsckCRC || !strings.Contains(rep.Issues[0].Detail, "CRC32C mismatch") {
+		t.Fatalf("issue: %+v", rep.Issues[0])
+	}
+	if rep.Salvageable != 2 {
+		t.Errorf("Salvageable = %d, want 2", rep.Salvageable)
+	}
+}
+
+func TestFsckDetectsTornTail(t *testing.T) {
+	dir, lib, hash := fsckCampaign(t)
+	walPath := filepath.Join(dir, WALFile)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-10], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(dir, hash, lib, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Issues) != 1 || rep.Issues[0].Kind != FsckTornTail {
+		t.Fatalf("issues: %v", issueKinds(rep))
+	}
+}
+
+func TestFsckDetectsConfigHashMismatch(t *testing.T) {
+	dir, lib, _ := fsckCampaign(t)
+	rep, err := Fsck(dir, strings.Repeat("0", 64), lib, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Issues) != 1 || rep.Issues[0].Kind != FsckConfigHash {
+		t.Fatalf("issues: %v", issueKinds(rep))
+	}
+	if !strings.Contains(rep.Issues[0].Detail, "incompatible") {
+		t.Errorf("detail: %q", rep.Issues[0].Detail)
+	}
+}
+
+func TestFsckDetectsPTPHashDrift(t *testing.T) {
+	dir, _, hash := fsckCampaign(t)
+	// The operator edited the library after the campaign: same names,
+	// different programs.
+	drifted := &stl.STL{PTPs: []*stl.PTP{
+		ptpgen.IMM(21, 61), // one extra pattern: hash drifts
+		ptpgen.MEM(20, 62),
+		ptpgen.DIVG(3, 2, 63),
+	}}
+	rep, err := Fsck(dir, hash, drifted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drift int
+	for _, is := range rep.Issues {
+		if is.Kind == FsckPTPDrift {
+			drift++
+			if !strings.Contains(is.Detail, "library changed") {
+				t.Errorf("detail: %q", is.Detail)
+			}
+		}
+	}
+	if drift != 1 {
+		t.Fatalf("PTP drift issues = %d, want 1: %v", drift, issueKinds(rep))
+	}
+}
+
+func TestFsckDetectsArtifactCorruption(t *testing.T) {
+	dir, lib, hash := fsckCampaign(t)
+	art := filepath.Join(t.TempDir(), "out.stl")
+	if err := journal.WriteFileAtomic(art, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.WriteSum(art, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	missing := filepath.Join(filepath.Dir(art), "nosum.stl")
+	if err := os.WriteFile(missing, []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// Intact artifact: clean.
+	rep, err := Fsck(dir, hash, lib, []string{art})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("intact artifact flagged: %+v", rep.Issues)
+	}
+
+	// Corrupted artifact and a sidecar-less one: one issue each, with
+	// distinct diagnostics.
+	if err := os.WriteFile(art, []byte("PAYLOAD"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Fsck(dir, hash, lib, []string{art, missing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Issues) != 2 ||
+		rep.Issues[0].Kind != FsckArtifact || rep.Issues[1].Kind != FsckArtifact {
+		t.Fatalf("issues: %+v", rep.Issues)
+	}
+	if !strings.Contains(rep.Issues[0].Detail, "corrupted") {
+		t.Errorf("corruption detail: %q", rep.Issues[0].Detail)
+	}
+	if !strings.Contains(rep.Issues[1].Detail, "no checksum sidecar") {
+		t.Errorf("missing-sidecar detail: %q", rep.Issues[1].Detail)
+	}
+}
+
+func TestFsckDistinctDiagnosticsRender(t *testing.T) {
+	// Each kind renders with its own tag so operators (and scripts) can
+	// tell the failure classes apart.
+	rep := &FsckReport{JournalPath: "x/campaign.wal"}
+	rep.add(FsckCRC, "a")
+	rep.add(FsckConfigHash, "b")
+	rep.add(FsckPTPDrift, "c")
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	for _, tag := range []string{"[crc-mismatch]", "[config-hash-mismatch]", "[ptp-hash-drift]"} {
+		if !strings.Contains(out, tag) {
+			t.Errorf("render lacks %s:\n%s", tag, out)
+		}
+	}
+}
+
+func TestFsckLegacyCheckpoint(t *testing.T) {
+	// A directory holding only a legacy checkpoint.json is checked
+	// through the migration reader.
+	dir := t.TempDir()
+	ck := &Checkpoint{Version: 1, ConfigHash: "abc"}
+	if err := ck.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(dir, "abc", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Legacy || !rep.Clean() {
+		t.Fatalf("legacy=%v issues=%+v", rep.Legacy, rep.Issues)
+	}
+	rep, err = Fsck(dir, "other", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Issues) != 1 || rep.Issues[0].Kind != FsckConfigHash {
+		t.Fatalf("issues: %v", issueKinds(rep))
+	}
+}

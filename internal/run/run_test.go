@@ -149,10 +149,11 @@ func TestKillAndResumeRendersByteIdentical(t *testing.T) {
 	}
 }
 
-func TestInjectedPanicRevertsOnePTPOnly(t *testing.T) {
+func TestInjectedPanicQuarantinesOnePTPOnly(t *testing.T) {
 	lib, ms := testEnv(t)
 	opts := Options{
-		FCTolerance: 5,
+		FCTolerance:   5,
+		MaxPTPRetries: 3,
 		StageHook: func(ptp string, stage core.Stage) error {
 			if ptp == "IMM" && stage == core.StageReduce {
 				panic("injected failure")
@@ -166,21 +167,121 @@ func TestInjectedPanicRevertsOnePTPOnly(t *testing.T) {
 		t.Fatalf("one bad PTP aborted the run: %v", err)
 	}
 	o := rep.Outcomes[0]
-	if o.Status != StatusRevertedError || o.Stage != core.StageReduce {
+	if o.Status != StatusQuarantined || o.Stage != core.StageReduce {
 		t.Fatalf("IMM outcome: %+v", o)
 	}
-	if !strings.Contains(o.Err, "injected failure") {
+	// StageReduce sits after the stage-3 campaign commit, so despite the
+	// retry budget the PTP must quarantine on the first attempt —
+	// re-running against the mutated campaign would over-compact.
+	if o.Attempts != 1 {
+		t.Fatalf("post-commit crash was retried: %d attempts", o.Attempts)
+	}
+	if !strings.Contains(o.Err, "injected failure") || !strings.Contains(o.Err, "quarantined") {
 		t.Fatalf("panic message lost: %q", o.Err)
 	}
 	if rep.Compacted.PTPs[0] != lib.PTPs[0] {
-		t.Error("failed PTP was not reverted to the original")
+		t.Error("quarantined PTP was not kept in its original form")
 	}
 	// The remaining candidate still compacts.
 	if rep.Outcomes[1].Status != StatusCompacted {
 		t.Fatalf("MEM outcome: %+v", rep.Outcomes[1])
 	}
-	if rep.Reverted != 1 {
-		t.Errorf("Reverted = %d", rep.Reverted)
+	if rep.Quarantined != 1 || rep.Reverted != 0 {
+		t.Errorf("Quarantined = %d, Reverted = %d", rep.Quarantined, rep.Reverted)
+	}
+}
+
+func TestPoisonPTPRetriedThenQuarantined(t *testing.T) {
+	lib, ms := testEnv(t)
+	attempts := 0
+	opts := Options{
+		FCTolerance:   5,
+		MaxPTPRetries: 2,
+		StageHook: func(ptp string, stage core.Stage) error {
+			// StagePartition precedes the fault simulation, so the
+			// campaign is untouched and every retry is safe.
+			if ptp == "IMM" && stage == core.StagePartition {
+				attempts++
+				panic("poison PTP")
+			}
+			return nil
+		},
+	}
+	rep, err := Run(context.Background(), gpu.DefaultConfig(), ms, lib,
+		core.Options{Workers: 4}, opts)
+	if err != nil {
+		t.Fatalf("poison PTP aborted the run: %v", err)
+	}
+	o := rep.Outcomes[0]
+	if o.Status != StatusQuarantined {
+		t.Fatalf("IMM outcome: %+v", o)
+	}
+	if attempts != 3 || o.Attempts != 3 {
+		t.Fatalf("attempts = %d (hook saw %d), want 1+MaxPTPRetries = 3", o.Attempts, attempts)
+	}
+	if rep.Compacted.PTPs[0] != lib.PTPs[0] {
+		t.Error("quarantined PTP was not kept in its original form")
+	}
+	// Keeping the original is what makes quarantine FC-safe: the output
+	// STL's programs are a superset of the compacted ones, so whole-STL
+	// coverage cannot fall below the uncompacted baseline.
+	if rep.CompSize > rep.OrigSize {
+		t.Errorf("quarantine grew the STL: %d -> %d", rep.OrigSize, rep.CompSize)
+	}
+	if rep.Outcomes[1].Status != StatusCompacted {
+		t.Fatalf("campaign did not continue past the poison PTP: %+v", rep.Outcomes[1])
+	}
+}
+
+func TestTransientPanicRecoversOnRetry(t *testing.T) {
+	lib, ms := testEnv(t)
+	failures := 0
+	opts := Options{
+		FCTolerance:   5,
+		MaxPTPRetries: 1,
+		StageHook: func(ptp string, stage core.Stage) error {
+			if ptp == "IMM" && stage == core.StagePartition && failures == 0 {
+				failures++
+				panic("transient")
+			}
+			return nil
+		},
+	}
+	rep, err := Run(context.Background(), gpu.DefaultConfig(), ms, lib,
+		core.Options{Workers: 4}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Outcomes[0]
+	if o.Status != StatusCompacted || o.Attempts != 2 {
+		t.Fatalf("transient panic did not recover: %+v", o)
+	}
+}
+
+func TestDeterministicErrorIsNotRetried(t *testing.T) {
+	lib, ms := testEnv(t)
+	calls := 0
+	opts := Options{
+		MaxPTPRetries: 5,
+		StageHook: func(ptp string, stage core.Stage) error {
+			if ptp == "IMM" && stage == core.StagePartition {
+				calls++
+				return errors.New("deterministic failure")
+			}
+			return nil
+		},
+	}
+	rep, err := Run(context.Background(), gpu.DefaultConfig(), ms, lib,
+		core.Options{Workers: 4}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Outcomes[0]
+	if o.Status != StatusRevertedError {
+		t.Fatalf("IMM outcome: %+v", o)
+	}
+	if calls != 1 || o.Attempts != 1 {
+		t.Fatalf("deterministic error was retried: %d calls, %d attempts", calls, o.Attempts)
 	}
 }
 
@@ -243,12 +344,15 @@ func TestWatchdogTimesOutHungStage(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, o := range rep.Outcomes[:2] {
-		if o.Status != StatusRevertedError {
+		if o.Status != StatusQuarantined {
 			t.Fatalf("%s survived a 1ns stage budget: %+v", o.Name, o)
 		}
 	}
 	if rep.Outcomes[2].Status != StatusExcluded {
 		t.Fatalf("excluded PTP: %+v", rep.Outcomes[2])
+	}
+	if rep.Quarantined != 2 {
+		t.Errorf("Quarantined = %d", rep.Quarantined)
 	}
 }
 

@@ -24,8 +24,8 @@ const (
 	// StatusCompacted: the five stages succeeded and the compacted PTP
 	// passed the FC-safety guard.
 	StatusCompacted Status = "compacted"
-	// StatusRevertedError: a stage failed (error, panic, or watchdog
-	// timeout); the original PTP is kept.
+	// StatusRevertedError: a stage failed with a deterministic error;
+	// the original PTP is kept.
 	StatusRevertedError Status = "reverted-error"
 	// StatusRevertedFC: compaction succeeded but the compacted PTP's
 	// standalone fault coverage fell more than FCTolerance below the
@@ -35,27 +35,49 @@ const (
 	// admissible regions, or a target module without a gate-level model)
 	// and passes through untouched.
 	StatusExcluded Status = "excluded"
+	// StatusQuarantined: the PTP's pipeline crashed (panic) or stalled
+	// (watchdog timeout) on every allowed attempt. The original PTP is
+	// kept in the output STL — FC-safe by construction — and the
+	// campaign continues instead of aborting or endlessly re-crashing.
+	StatusQuarantined Status = "quarantined"
 )
 
 // Options tunes the resilient runner.
 type Options struct {
-	// CheckpointDir enables checkpoint/resume: after every PTP the run
-	// state is persisted to CheckpointDir/checkpoint.json, and a later
-	// run over the same inputs resumes after the last finished PTP.
-	// Empty disables checkpointing.
+	// CheckpointDir enables durable checkpoint/resume: every finished
+	// PTP is appended to CheckpointDir/campaign.wal (fsync'd,
+	// CRC-protected), and a later run over the same inputs resumes
+	// after the last journaled PTP. Empty disables persistence.
 	CheckpointDir string
 	// StageTimeout bounds each pipeline stage of each PTP; a stage that
-	// exceeds it is canceled and the PTP reverts to its original form.
-	// 0 disables the watchdog.
+	// exceeds it is canceled and the PTP falls to the quarantine
+	// policy. 0 disables the watchdog.
 	StageTimeout time.Duration
 	// FCTolerance is the maximum standalone fault-coverage loss (in
 	// percentage points) a compacted PTP may show before the FC-safety
 	// guard reverts it. 0 means any measurable loss reverts.
 	FCTolerance float64
+	// MaxPTPRetries is how many times a PTP whose pipeline panics or
+	// times out is re-attempted before being quarantined (kept in its
+	// original form while the campaign continues). 0 quarantines on the
+	// first crash. Deterministic stage errors are never retried. A
+	// crash after the stage-3 fault simulation committed its drops is
+	// quarantined immediately regardless — re-running against the
+	// mutated campaign would mislabel instructions.
+	MaxPTPRetries int
 	// StageHook, when set, is called as each PTP enters each stage.
 	// Returning an error aborts that PTP (it reverts). Used by tests to
 	// inject failures and by callers for progress reporting.
 	StageHook func(ptp string, stage core.Stage) error
+	// Logf, when set, receives operational notes (journal salvage,
+	// legacy-checkpoint migration, quarantine retries) as they happen.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
 }
 
 // Outcome is one PTP's row of the run report. The numeric fields are
@@ -66,12 +88,14 @@ type Outcome struct {
 	Status Status
 	Stage  core.Stage // stage reached when a failure occurred
 	Err    string
+	// Attempts counts pipeline attempts (>1 only for retried PTPs).
+	Attempts int
 
 	OrigSize, CompSize         int
 	OrigDuration, CompDuration uint64
 	OrigFC, CompFC             float64
 	DetectedThisRun            int
-	// Resumed marks outcomes reconstructed from a checkpoint rather
+	// Resumed marks outcomes reconstructed from the journal rather
 	// than computed this run (not rendered: reports must not depend on
 	// where the work ran).
 	Resumed bool
@@ -86,7 +110,12 @@ type Report struct {
 	OrigSize, CompSize int
 	Excluded           int
 	Reverted           int
+	Quarantined        int
 	Resumed            int
+	// Notes carries operational messages (journal salvage, migration).
+	// They are not part of Render — reports stay byte-identical across
+	// kills and resumes.
+	Notes []string
 }
 
 // SizeReduction returns the whole-STL size compaction percentage.
@@ -107,7 +136,7 @@ func (r *Report) Render(w io.Writer) {
 	}
 	for _, o := range r.Outcomes {
 		status := string(o.Status)
-		if o.Status == StatusRevertedError {
+		if o.Status == StatusRevertedError || o.Status == StatusQuarantined {
 			status += " @" + string(o.Stage)
 		}
 		size := fmt.Sprintf("%d", o.OrigSize)
@@ -123,8 +152,8 @@ func (r *Report) Render(w io.Writer) {
 		tb.AddRow(o.Name, status, size, dur, fc, det)
 	}
 	tb.Render(w)
-	fmt.Fprintf(w, "total: %d -> %d instructions (%.2f%% smaller), %d excluded, %d reverted\n",
-		r.OrigSize, r.CompSize, r.SizeReduction(), r.Excluded, r.Reverted)
+	fmt.Fprintf(w, "total: %d -> %d instructions (%.2f%% smaller), %d excluded, %d reverted, %d quarantined\n",
+		r.OrigSize, r.CompSize, r.SizeReduction(), r.Excluded, r.Reverted, r.Quarantined)
 	for _, o := range r.Outcomes {
 		if o.Err != "" {
 			fmt.Fprintf(w, "  %s: %s\n", o.Name, o.Err)
@@ -136,10 +165,11 @@ func (r *Report) Render(w io.Writer) {
 // core.CompactSTL, a PTP that fails — stage error, panic, watchdog
 // timeout, or FC-safety violation — does not abort the run: the original
 // PTP is kept, the failure is recorded in its Outcome, and the remaining
-// PTPs still compact. Only a canceled parent context (or a checkpoint
-// I/O failure) stops the run, and then the returned partial Report is
-// still valid alongside the error; with a CheckpointDir the next Run
-// resumes after the last finished PTP.
+// PTPs still compact. Crash-class failures (panic/timeout) are retried
+// up to MaxPTPRetries times and then quarantined. Only a canceled
+// parent context (or a journal I/O failure) stops the run, and then the
+// returned partial Report is still valid alongside the error; with a
+// CheckpointDir the next Run resumes after the last journaled PTP.
 func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 	copt core.Options, opts Options) (*Report, error) {
 
@@ -147,26 +177,23 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 	if err != nil {
 		return nil, err
 	}
+	rep := &Report{Compacted: &stl.STL{}}
 	ck := &Checkpoint{Version: CheckpointVersion, ConfigHash: hash}
+	var clog *campaignLog
 	if opts.CheckpointDir != "" {
 		if err := os.MkdirAll(opts.CheckpointDir, 0o777); err != nil {
 			return nil, fmt.Errorf("run: checkpoint dir: %w", err)
 		}
-		prev, err := LoadCheckpoint(opts.CheckpointDir)
+		cl, cck, notes, err := openCampaign(opts.CheckpointDir, hash, len(lib.PTPs))
 		if err != nil {
 			return nil, err
 		}
-		if prev != nil {
-			if prev.ConfigHash != hash {
-				return nil, fmt.Errorf("run: checkpoint was written by a different configuration (hash %.12s, want %.12s); delete %s to start over",
-					prev.ConfigHash, hash, opts.CheckpointDir)
-			}
-			if len(prev.Entries) > len(lib.PTPs) {
-				return nil, fmt.Errorf("run: checkpoint has %d entries but the library has %d PTPs",
-					len(prev.Entries), len(lib.PTPs))
-			}
-			ck = prev
+		clog, ck = cl, cck
+		rep.Notes = notes
+		for _, n := range notes {
+			opts.logf("%s", n)
 		}
+		defer clog.Close()
 	}
 
 	compactors := map[circuits.ModuleKind]*core.Compactor{}
@@ -174,10 +201,9 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 		compactors[kind] = core.New(cfg, m, ms.Faults[kind], copt)
 	}
 	// dropped tracks each campaign's detected-id set so the per-PTP
-	// checkpoint entry records only this PTP's delta.
+	// journal record carries only this PTP's delta.
 	dropped := map[circuits.ModuleKind][]fault.ID{}
 
-	rep := &Report{Compacted: &stl.STL{}}
 	for i, p := range lib.PTPs {
 		c := compactors[p.Target]
 		if i < len(ck.Entries) {
@@ -189,14 +215,14 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 				return rep, err
 			}
 			if e.Index != i || e.Name != p.Name || e.OrigHash != ph {
-				return rep, fmt.Errorf("run: checkpoint entry %d (%s) does not match library PTP %s; delete %s to start over",
+				return rep, fmt.Errorf("run: journaled entry %d (%s) does not match library PTP %s; delete %s to start over",
 					i, e.Name, p.Name, opts.CheckpointDir)
 			}
 			comp := p
 			if e.Status == StatusCompacted {
 				comp, err = stl.ReadPTP(bytes.NewReader(e.Compacted))
 				if err != nil {
-					return rep, fmt.Errorf("run: checkpoint entry %d: %w", i, err)
+					return rep, fmt.Errorf("run: journaled entry %d: %w", i, err)
 				}
 			}
 			if c != nil && len(e.DroppedFaults) > 0 {
@@ -205,12 +231,13 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 					ids[j] = fault.ID(id)
 				}
 				if err := c.Campaign.RestoreDetected(ids); err != nil {
-					return rep, fmt.Errorf("run: checkpoint entry %d: %w", i, err)
+					return rep, fmt.Errorf("run: journaled entry %d: %w", i, err)
 				}
 				dropped[p.Target] = c.Campaign.DetectedIDs()
 			}
 			o := Outcome{
 				Name: e.Name, Status: e.Status, Stage: core.Stage(e.Stage), Err: e.Error,
+				Attempts: e.Attempts,
 				OrigSize: e.OrigSize, CompSize: e.CompSize,
 				OrigDuration: e.OrigDuration, CompDuration: e.CompDuration,
 				OrigFC: e.OrigFC, CompFC: e.CompFC,
@@ -223,7 +250,7 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 		}
 
 		if err := ctx.Err(); err != nil {
-			// Canceled between PTPs: the checkpoint already holds every
+			// Canceled between PTPs: the journal already holds every
 			// finished entry, so just surface the partial report.
 			return rep, fmt.Errorf("run: canceled after %d of %d PTPs: %w",
 				i, len(lib.PTPs), err)
@@ -239,7 +266,8 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 			e.Status = StatusExcluded
 			e.CompSize = len(p.Prog)
 		} else {
-			res, stage, cerr := compactOne(ctx, c, p, opts)
+			res, stage, attempts, cerr := compactWithRetry(ctx, c, p, opts)
+			e.Attempts = attempts
 			// Record the campaign delta whatever the outcome: stage-3
 			// drops may have committed even when a later stage failed,
 			// and the original (kept) PTP covers a superset of them.
@@ -250,13 +278,19 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 			switch {
 			case cerr != nil && ctx.Err() != nil:
 				// The parent context died mid-PTP: this PTP is not
-				// finished, so do not checkpoint it — a resume redoes it.
+				// finished, so do not journal it — a resume redoes it.
 				return rep, cerr
 			case cerr != nil:
-				e.Status = StatusRevertedError
+				se, _ := cerr.(*StageError)
 				e.Stage = string(stage)
 				e.Error = cerr.Error()
 				e.CompSize = len(p.Prog)
+				if se != nil && se.Retryable() {
+					e.Status = StatusQuarantined
+					e.Error = fmt.Sprintf("quarantined after %d attempt(s): %v", attempts, cerr)
+				} else {
+					e.Status = StatusRevertedError
+				}
 			default:
 				e.CompSize = res.CompSize
 				e.OrigDuration = res.OrigDuration
@@ -287,13 +321,14 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 		}
 
 		ck.Entries = append(ck.Entries, e)
-		if opts.CheckpointDir != "" {
-			if err := ck.Save(opts.CheckpointDir); err != nil {
+		if clog != nil {
+			if err := clog.appendOutcome(e); err != nil {
 				return rep, err
 			}
 		}
 		o := Outcome{
 			Name: e.Name, Status: e.Status, Stage: core.Stage(e.Stage), Err: e.Error,
+			Attempts: e.Attempts,
 			OrigSize: e.OrigSize, CompSize: e.CompSize,
 			OrigDuration: e.OrigDuration, CompDuration: e.CompDuration,
 			OrigFC: e.OrigFC, CompFC: e.CompFC,
@@ -315,12 +350,45 @@ func accumulate(rep *Report, o Outcome, comp *stl.PTP) {
 		rep.Excluded++
 	case StatusRevertedError, StatusRevertedFC:
 		rep.Reverted++
+	case StatusQuarantined:
+		rep.Quarantined++
+	}
+}
+
+// compactWithRetry runs compactOne under the quarantine policy: a
+// crash-class failure (panic or watchdog timeout) is retried up to
+// opts.MaxPTPRetries times, as long as the failed attempt did not
+// commit fault drops to the shared campaign — once stage 3 committed,
+// a re-run would label instructions against the mutated campaign and
+// over-compact, so the PTP goes straight to quarantine. Deterministic
+// stage errors are never retried.
+func compactWithRetry(ctx context.Context, c *core.Compactor, p *stl.PTP,
+	opts Options) (res *core.Result, stage core.Stage, attempts int, err error) {
+
+	for {
+		attempts++
+		before := c.Campaign.Detected()
+		res, stage, err = compactOne(ctx, c, p, opts)
+		if err == nil || ctx.Err() != nil {
+			return res, stage, attempts, err
+		}
+		se, ok := err.(*StageError)
+		if !ok || !se.Retryable() || attempts > opts.MaxPTPRetries {
+			return res, stage, attempts, err
+		}
+		if core.CommitStage(stage) || c.Campaign.Detected() != before {
+			opts.logf("run: PTP %s crashed at stage %s after committing campaign drops; quarantining without retry", p.Name, stage)
+			return res, stage, attempts, err
+		}
+		opts.logf("run: PTP %s attempt %d failed (%s at stage %s); retrying (%d left)",
+			p.Name, attempts, se.Kind, stage, opts.MaxPTPRetries-attempts+1)
 	}
 }
 
 // compactOne runs the pipeline on one PTP with panic isolation and a
 // per-stage watchdog. The returned stage is the last stage entered, for
-// failure attribution; err (when non-nil) is a *StageError.
+// failure attribution; err (when non-nil) is a *StageError whose Kind
+// distinguishes panics and watchdog timeouts from plain errors.
 func compactOne(ctx context.Context, c *core.Compactor, p *stl.PTP,
 	opts Options) (res *core.Result, stage core.Stage, err error) {
 
@@ -349,13 +417,20 @@ func compactOne(ctx context.Context, c *core.Compactor, p *stl.PTP,
 		return nil
 	}
 
+	kind := FailError
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("panic: %v", r)
+			kind = FailPanic
 		}
 		if err != nil {
+			if kind == FailError && cctx.Err() != nil && ctx.Err() == nil {
+				// Only the watchdog cancels the derived context while
+				// the parent is still alive.
+				kind = FailTimeout
+			}
 			res = nil
-			err = &StageError{Stage: stage, PTP: p.Name, Err: err}
+			err = &StageError{Stage: stage, PTP: p.Name, Kind: kind, Err: err}
 		}
 	}()
 	res, err = c.CompactPTPCtx(cctx, p, onStage)

@@ -1,0 +1,69 @@
+package stl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+
+	"gpustl/internal/journal"
+)
+
+// MaxSTLFileBytes caps how large an STL file ReadSTLFile will load.
+// Real libraries are kilobytes; the cap only exists so a wrong path (or
+// a hostile file) fails fast instead of exhausting memory.
+const MaxSTLFileBytes = 64 << 20
+
+// WriteSTLFile writes the STL durably: serialized to a temp file,
+// fsync'd, renamed over path, directory fsync'd — then a checksum
+// sidecar (path + ".sum", CRC32C and size) is written the same way so
+// `stlcompact -fsck` and ReadSTLFile can detect later corruption. A
+// crash mid-write leaves either the old artifact or the new one, never
+// a torn mix.
+func WriteSTLFile(path string, s *STL) error {
+	var buf bytes.Buffer
+	if err := WriteSTL(&buf, s); err != nil {
+		return err
+	}
+	if err := journal.WriteFileAtomic(path, buf.Bytes()); err != nil {
+		return fmt.Errorf("stl: writing %s: %w", path, err)
+	}
+	if err := journal.WriteSum(path, buf.Bytes()); err != nil {
+		return fmt.Errorf("stl: writing checksum for %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadSTLFile reads an STL written by WriteSTLFile (or any WriteSTL
+// output). When a checksum sidecar exists the file is verified against
+// it first, so silent corruption surfaces as an integrity error instead
+// of a confusing parse failure; a missing sidecar is fine — files from
+// older builds or other tools have none.
+func ReadSTLFile(path string) (*STL, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("stl: %w", err)
+	}
+	if fi.Size() > MaxSTLFileBytes {
+		return nil, fmt.Errorf("stl: %s: input exceeds limit: %d bytes, max %d",
+			path, fi.Size(), MaxSTLFileBytes)
+	}
+	if err := VerifySTLFile(path); err != nil && !errors.Is(err, journal.ErrNoSum) {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("stl: %w", err)
+	}
+	s, err := ReadSTL(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("stl: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// VerifySTLFile checks path against its checksum sidecar. It returns an
+// error wrapping journal.ErrNoSum when no sidecar exists.
+func VerifySTLFile(path string) error {
+	return journal.VerifyFileSum(path)
+}

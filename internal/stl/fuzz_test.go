@@ -1,0 +1,88 @@
+package stl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// validPTPSeed is a round-trippable PTP file, built once so the fuzz
+// corpus starts from accepted input rather than only rejections.
+func validPTPSeed(t testing.TB) string {
+	t.Helper()
+	p, err := ReadPTP(strings.NewReader(`{
+		"name": "seed",
+		"target": "SP",
+		"kernel": {"Blocks": 2, "ThreadsPerBlock": 64},
+		"dataBase": 4096,
+		"dataWords": [1, 2, 3],
+		"sbs": [{"Start": 0, "End": 3, "DataOff": 0, "DataLen": 3, "AddrInstr": 0}],
+		"program": "MVI R1, 4096\nIADD R2, R1, R1\nGST [R2+0], R1\nEXIT"
+	}`))
+	if err != nil {
+		t.Fatalf("seed PTP rejected: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WritePTP(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// FuzzReadPTP checks the PTP reader never panics on arbitrary bytes and
+// that whatever it accepts survives a write/read round trip.
+func FuzzReadPTP(f *testing.F) {
+	f.Add(validPTPSeed(f))
+	f.Add(`{"name":"x","target":"DU","kernel":{"Blocks":1,"ThreadsPerBlock":32},"program":"EXIT"}`)
+	f.Add(`{"name":"x","target":"nope","program":""}`)
+	f.Add(`{"sbs":[{"Start":-1,"End":99}]}`)
+	f.Add(`{`)
+	f.Add("\x00\xff")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ReadPTP(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WritePTP(&buf, p); err != nil {
+			t.Fatalf("accepted PTP does not re-serialize: %v", err)
+		}
+		q, err := ReadPTP(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("serialized PTP does not re-read: %v\n%s", err, buf.String())
+		}
+		if q.Name != p.Name || q.Target != p.Target || len(q.Prog) != len(p.Prog) ||
+			len(q.SBs) != len(p.SBs) || len(q.Data.Words) != len(p.Data.Words) {
+			t.Fatalf("round trip changed the PTP: %+v != %+v", q, p)
+		}
+	})
+}
+
+// FuzzReadSTL checks the STL reader never panics and that accepted
+// libraries survive a write/read round trip.
+func FuzzReadSTL(f *testing.F) {
+	seed := validPTPSeed(f)
+	f.Add(`{"ptps":[` + seed + `]}`)
+	f.Add(`{"ptps":[]}`)
+	f.Add(`{"ptps":[{"name":"a"},{"name":"a"}]}`)
+	f.Add(`{"ptps":null}`)
+	f.Add(`{`)
+	f.Add("\x00\xff")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ReadSTL(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSTL(&buf, s); err != nil {
+			t.Fatalf("accepted STL does not re-serialize: %v", err)
+		}
+		s2, err := ReadSTL(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("serialized STL does not re-read: %v", err)
+		}
+		if len(s2.PTPs) != len(s.PTPs) {
+			t.Fatalf("round trip changed PTP count: %d != %d", len(s2.PTPs), len(s.PTPs))
+		}
+	})
+}

@@ -10,6 +10,23 @@ import (
 	"gpustl/internal/circuits"
 )
 
+// Hostile-input caps. STL files are hand-editable and may arrive over
+// the network (the distributed fault-simulation transport), so the
+// readers bound every unbounded-length field before allocating for it.
+// Real STLs sit orders of magnitude below these; an input that exceeds
+// one is malformed or malicious, and the reader says so explicitly
+// instead of ballooning memory.
+const (
+	// MaxProgramBytes caps one PTP's assembly text.
+	MaxProgramBytes = 1 << 20
+	// MaxDataWords caps one PTP's input-data segment (words).
+	MaxDataWords = 1 << 20
+	// MaxSBCount caps one PTP's Small Block (and protected-region) list.
+	MaxSBCount = 1 << 16
+	// MaxPTPCount caps an STL's PTP list.
+	MaxPTPCount = 4096
+)
+
 // ptpJSON is the on-disk representation of a PTP: JSON metadata with the
 // program embedded as assembly text, so saved PTPs stay human-readable and
 // hand-editable.
@@ -49,6 +66,20 @@ func ReadPTP(r io.Reader) (*PTP, error) {
 	var j ptpJSON
 	if err := json.NewDecoder(r).Decode(&j); err != nil {
 		return nil, fmt.Errorf("stl: decoding PTP: %w", err)
+	}
+	switch {
+	case len(j.Program) > MaxProgramBytes:
+		return nil, fmt.Errorf("stl: PTP %s: input exceeds limit: program text is %d bytes, max %d",
+			j.Name, len(j.Program), MaxProgramBytes)
+	case len(j.DataWords) > MaxDataWords:
+		return nil, fmt.Errorf("stl: PTP %s: input exceeds limit: %d data words, max %d",
+			j.Name, len(j.DataWords), MaxDataWords)
+	case len(j.SBs) > MaxSBCount:
+		return nil, fmt.Errorf("stl: PTP %s: input exceeds limit: %d SBs, max %d",
+			j.Name, len(j.SBs), MaxSBCount)
+	case len(j.Protected) > MaxSBCount:
+		return nil, fmt.Errorf("stl: PTP %s: input exceeds limit: %d protected regions, max %d",
+			j.Name, len(j.Protected), MaxSBCount)
 	}
 	var target circuits.ModuleKind
 	found := false
@@ -110,6 +141,9 @@ func ReadSTL(r io.Reader) (*STL, error) {
 	}
 	if len(j.PTPs) == 0 {
 		return nil, fmt.Errorf("stl: STL has no PTPs")
+	}
+	if len(j.PTPs) > MaxPTPCount {
+		return nil, fmt.Errorf("stl: input exceeds limit: %d PTPs, max %d", len(j.PTPs), MaxPTPCount)
 	}
 	out := &STL{}
 	seen := make(map[string]int, len(j.PTPs))

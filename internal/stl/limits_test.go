@@ -1,0 +1,111 @@
+package stl
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpustl/internal/journal"
+)
+
+func TestReadPTPRejectsOversizedFields(t *testing.T) {
+	base := func() ptpJSON {
+		return ptpJSON{
+			Name:   "big",
+			Target: "SP",
+			Kernel: KernelConfig{Blocks: 1, ThreadsPerBlock: 32},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*ptpJSON)
+	}{
+		{"program", func(j *ptpJSON) { j.Program = strings.Repeat("NOP\n", MaxProgramBytes/4+1) }},
+		{"dataWords", func(j *ptpJSON) { j.DataWords = make([]uint32, MaxDataWords+1) }},
+		{"sbs", func(j *ptpJSON) { j.SBs = make([]SB, MaxSBCount+1) }},
+		{"protected", func(j *ptpJSON) { j.Protected = make([]Region, MaxSBCount+1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j := base()
+			tc.mut(&j)
+			data, err := json.Marshal(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = ReadPTP(bytes.NewReader(data))
+			if err == nil || !strings.Contains(err.Error(), "input exceeds limit") {
+				t.Fatalf("oversized %s accepted: %v", tc.name, err)
+			}
+		})
+	}
+}
+
+func TestReadSTLRejectsTooManyPTPs(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`{"ptps":[`)
+	for i := 0; i <= MaxPTPCount; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(`{}`)
+	}
+	sb.WriteString(`]}`)
+	_, err := ReadSTL(strings.NewReader(sb.String()))
+	if err == nil || !strings.Contains(err.Error(), "input exceeds limit") {
+		t.Fatalf("oversized STL accepted: %v", err)
+	}
+}
+
+func TestSTLFileRoundTripWithChecksum(t *testing.T) {
+	p, err := ReadPTP(strings.NewReader(validPTPSeed(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &STL{PTPs: []*PTP{p}}
+	path := filepath.Join(t.TempDir(), "lib.stl")
+	if err := WriteSTLFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(journal.SumPath(path)); err != nil {
+		t.Fatalf("no checksum sidecar: %v", err)
+	}
+	got, err := ReadSTLFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PTPs) != 1 || got.PTPs[0].Name != p.Name {
+		t.Fatalf("round trip: %+v", got.PTPs)
+	}
+
+	// Silent corruption is caught by the sidecar before the parser runs.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSTLFile(path); err == nil || !strings.Contains(err.Error(), "corrupted") {
+		t.Fatalf("corrupted STL read back: %v", err)
+	}
+
+	// Files without a sidecar (older builds, other tools) still read.
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(journal.SumPath(path)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSTLFile(path); err != nil {
+		t.Fatalf("sidecar-less STL rejected: %v", err)
+	}
+}
