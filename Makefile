@@ -4,16 +4,25 @@ test:
 	go build ./...
 	go test ./...
 
-# Full verification: vet, the race detector, the crash-recovery
-# durability tests, and a short fuzz smoke of every hostile-input
-# decoder. The race pass matters here — the fault simulator and the
-# resilient runner are the concurrent parts of the codebase; the fuzz
-# smoke keeps the journal/STL/assembly parsers honest against corrupt
-# bytes without the cost of a long fuzzing session.
-.PHONY: verify
-verify: test
+# Lint: formatting drift and vet findings fail the build. gofmt -l
+# prints offending files; the grep inverts that into an exit code.
+.PHONY: lint
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 	go vet ./...
+
+# Full verification: lint, the race detector, the crash-recovery
+# durability tests, and a short fuzz smoke of every hostile-input
+# decoder. The race pass matters here — the fault simulator, the
+# resilient runner and the metrics registry are the concurrent parts
+# of the codebase (the obs registry gets an explicit high-contention
+# race run); the fuzz smoke keeps the journal/STL/assembly parsers
+# honest against corrupt bytes without the cost of a long fuzzing
+# session.
+.PHONY: verify
+verify: test lint
 	go test -race ./...
+	go test -race -run 'TestRegistryConcurrent' -count=1 ./internal/obs
 	go test -run 'TestCrashRecovery|TestTornFinalRecord|TestFlippedCRCByte' -count=1 ./internal/run
 	go test -fuzz '^FuzzAssemble$$' -fuzztime 10s -run '^$$' ./internal/asm
 	go test -fuzz '^FuzzDecode$$' -fuzztime 10s -run '^$$' ./internal/isa
@@ -23,11 +32,15 @@ verify: test
 	go test -fuzz '^FuzzRead$$' -fuzztime 10s -run '^$$' ./internal/vcde
 
 # Benchmarks. The JSON streams land in BENCH_dist.json (distributed
-# simulation + coordinator stats) and BENCH_journal.json (per-record
-# fsync append cost, journal replay) for machine consumption; the
+# simulation + coordinator stats), BENCH_journal.json (per-record
+# fsync append cost, journal replay) and BENCH_obs.json (telemetry
+# hot paths plus the fault-sim with/without-metrics pair proving <1%
+# instrumentation overhead) for machine consumption; the
 # human-readable output still prints.
 .PHONY: bench
 bench:
 	go test -bench . -benchtime 1x -run '^$$' -json . | tee BENCH_dist.json
 	go test -bench 'BenchmarkJournal' -benchtime 1x -run '^$$' -json ./internal/journal | tee BENCH_journal.json
+	go test -bench 'BenchmarkObs' -benchtime 1000x -run '^$$' -json ./internal/obs | tee BENCH_obs.json
+	go test -bench 'BenchmarkSimulateSP(Metrics)?$$' -benchtime 3x -run '^$$' -json ./internal/fault | tee -a BENCH_obs.json
 	go test -bench . -benchtime 1x -run '^$$' ./internal/...

@@ -17,17 +17,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"gpustl"
+	"gpustl/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("faultsim: ")
 	var (
 		patFile = flag.String("patterns", "", "VCDE pattern file (from ptpgen -vcde)")
 		sample  = flag.Int("sample", 0, "sample the fault list to N faults (0 = full)")
@@ -35,8 +34,14 @@ func main() {
 		reverse = flag.Bool("reverse", false, "apply patterns in reverse order")
 		top     = flag.Int("top", 10, "print the K most effective patterns")
 		workers = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
+		logJSON = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, "faultsim", slog.LevelInfo, *logJSON)
+	fatal := func(err error) {
+		logger.Error(err.Error())
+		os.Exit(1)
+	}
 	if *patFile == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -49,18 +54,18 @@ func main() {
 
 	f, err := os.Open(*patFile)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	h, patterns, err := gpustl.ReadVCDE(f)
 	f.Close()
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("patterns: %d for module %v (%d lanes)\n", len(patterns), h.Module, h.Lanes)
 
 	mod, err := gpustl.BuildModule(h.Module)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	var faults []gpustl.Fault
 	if *sample > 0 {
@@ -77,7 +82,7 @@ func main() {
 		Workers: *workers,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	fmt.Printf("detected: %d / %d faults (FC %.2f%%)\n",

@@ -10,20 +10,25 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	"gpustl"
+	"gpustl/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("netlist: ")
 	var (
 		module  = flag.String("module", "SP", "module: DU|SP|SFU|FP32")
 		verilog = flag.String("verilog", "", "write structural Verilog to this file")
+		logJSON = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, "netlist", slog.LevelInfo, *logJSON)
+	fatal := func(err error) {
+		logger.Error(err.Error())
+		os.Exit(1)
+	}
 
 	var kind gpustl.ModuleKind
 	switch *module {
@@ -36,11 +41,11 @@ func main() {
 	case "FP32":
 		kind = gpustl.ModuleFP32
 	default:
-		log.Fatalf("unknown module %q", *module)
+		fatal(fmt.Errorf("unknown module %q", *module))
 	}
 	m, err := gpustl.BuildModule(kind)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	nl := m.NL
 	faults := gpustl.AllFaults(m)
@@ -74,13 +79,13 @@ func main() {
 	if *verilog != "" {
 		f, err := os.Create(*verilog)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := gpustl.WriteVerilog(f, nl); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *verilog)
 	}

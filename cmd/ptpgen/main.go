@@ -11,24 +11,29 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 
 	"gpustl"
+	"gpustl/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ptpgen: ")
 	var (
-		which = flag.String("ptp", "all", "PTP to generate: IMM|MEM|CNTRL|RAND|TPGEN|SFU_IMM|FP_RAND|all")
-		n     = flag.Int("n", 100, "scale: SB count (IMM/MEM/RAND), sections (CNTRL), ATPG fault sample (TPGEN/SFU_IMM)")
-		seed  = flag.Int64("seed", 1, "generator seed")
-		out   = flag.String("out", ".", "output directory")
-		emitV = flag.Bool("vcde", false, "also extract and write the test-pattern stream (.vcde)")
+		which   = flag.String("ptp", "all", "PTP to generate: IMM|MEM|CNTRL|RAND|TPGEN|SFU_IMM|FP_RAND|all")
+		n       = flag.Int("n", 100, "scale: SB count (IMM/MEM/RAND), sections (CNTRL), ATPG fault sample (TPGEN/SFU_IMM)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", ".", "output directory")
+		emitV   = flag.Bool("vcde", false, "also extract and write the test-pattern stream (.vcde)")
+		logJSON = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, "ptpgen", slog.LevelInfo, *logJSON)
+	fatal := func(err error) {
+		logger.Error(err.Error())
+		os.Exit(1)
+	}
 
 	gen := func(name string) *gpustl.PTP {
 		switch name {
@@ -45,29 +50,30 @@ func main() {
 		case "TPGEN":
 			mod, err := gpustl.BuildModule(gpustl.ModuleSP)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			opt := gpustl.DefaultATPGOptions(*seed)
 			opt.SampleFaults = *n * 10
 			res := gpustl.GenerateATPG(mod, opt)
 			p, dropped := gpustl.ConvertTPGEN(res, *seed)
-			log.Printf("TPGEN: ATPG coverage %.2f%%, %d patterns, %d unconvertible",
-				res.Coverage(), len(res.Patterns), dropped)
+			logger.Info("TPGEN generated", "atpg_coverage_pct", res.Coverage(),
+				"patterns", len(res.Patterns), "unconvertible", dropped)
 			return p
 		case "SFU_IMM":
 			mod, err := gpustl.BuildModule(gpustl.ModuleSFU)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			opt := gpustl.DefaultATPGOptions(*seed)
 			opt.SampleFaults = *n * 10
 			res := gpustl.GenerateATPG(mod, opt)
 			p, dropped := gpustl.ConvertSFUIMM(res, *seed)
-			log.Printf("SFU_IMM: ATPG coverage %.2f%%, %d patterns, %d unconvertible",
-				res.Coverage(), len(res.Patterns), dropped)
+			logger.Info("SFU_IMM generated", "atpg_coverage_pct", res.Coverage(),
+				"patterns", len(res.Patterns), "unconvertible", dropped)
 			return p
 		}
-		log.Fatalf("unknown PTP %q", name)
+		logger.Error(fmt.Sprintf("unknown PTP %q", name))
+		os.Exit(1)
 		return nil
 	}
 
@@ -79,7 +85,7 @@ func main() {
 		p := gen(name)
 		path := filepath.Join(*out, p.Name+".sass")
 		if err := os.WriteFile(path, []byte(gpustl.Disassemble(p.Prog)), 0o644); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("%-8s %6d instructions, %3d SBs, ARC %6.2f%%, kernel %dx%d -> %s\n",
 			p.Name, len(p.Prog), len(p.SBs), 100*p.ARCFraction(),
@@ -90,30 +96,30 @@ func main() {
 			col.LiteRows = true
 			g, err := gpustl.NewGPU(gpustl.DefaultGPUConfig(), col)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			if _, err := g.Run(gpustl.Kernel{
 				Prog: p.Prog, Blocks: p.Kernel.Blocks,
 				ThreadsPerBlock: p.Kernel.ThreadsPerBlock,
 				GlobalBase:      p.Data.Base, GlobalData: p.Data.Words,
 			}); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			mod, err := gpustl.BuildModule(p.Target)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			vpath := filepath.Join(*out, p.Name+".vcde")
 			f, err := os.Create(vpath)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			h := gpustl.VCDEHeader{Module: p.Target, Lanes: mod.Lanes, Inputs: len(mod.NL.Inputs)}
 			if err := gpustl.WriteVCDE(f, h, col.Patterns); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			if err := f.Close(); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			fmt.Printf("         %d %v patterns -> %s\n", len(col.Patterns), p.Target, vpath)
 		}

@@ -9,6 +9,7 @@
 //	           [-checkpoint DIR] [-stage-timeout D] [-fctol PTS]
 //	           [-max-ptp-retries N] [-fsck]
 //	           [-workers-addr HOST:PORT,HOST:PORT,...]
+//	           [-trace-out FILE.jsonl] [-metrics-out FILE.json] [-log-json]
 //
 // With -load, the PTPs are read from a saved STL file (see -save and the
 // gpustl.WriteSTL format) instead of being generated.
@@ -30,6 +31,15 @@
 // happens, the report and -save outputs reflect every PTP finished so
 // far.
 //
+// With -trace-out, the campaign -> PTP -> stage span hierarchy is
+// written as a JSONL trace (atomically — an interrupted run still
+// leaves a parseable trace, with in-flight spans marked interrupted)
+// and a per-stage latency / critical-path summary prints after the
+// report. With -metrics-out, the final metrics snapshot (simulation
+// throughput, outcome counters, coordinator stats) is written as JSON.
+// While running, a TTY gets a live progress line (PTPs done/
+// quarantined, current stage, ETA); a pipe gets one plain line per PTP.
+//
 // With -fsck, nothing is compacted: the journal in -checkpoint and the
 // -save artifacts are verified — record CRCs and sequence, the config
 // hash against the given flags, the journaled PTP hashes against the
@@ -41,7 +51,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -50,29 +60,41 @@ import (
 	"time"
 
 	"gpustl"
+	"gpustl/internal/obs"
 )
 
+// logger is the process-wide structured logger, configured in main
+// after flags are parsed.
+var logger *slog.Logger
+
+func fatalf(format string, args ...any) {
+	logger.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("stlcompact: ")
 	var (
-		target   = flag.String("target", "DU", "target module: DU|SP|SFU")
-		n        = flag.Int("n", 120, "PTP scale (SB count / ATPG sample base)")
-		seed     = flag.Int64("seed", 1, "seed")
-		nFaults  = flag.Int("faults", 4000, "fault-list sample (0 = full list)")
-		reverse  = flag.Bool("reverse", false, "apply patterns in reverse order (paper: SFU_IMM)")
-		instrG   = flag.Bool("instr", false, "instruction-granularity removal (ablation)")
-		baseline = flag.Bool("baseline", false, "also run the iterative prior-work baseline")
-		loadPath = flag.String("load", "", "load PTPs from a saved STL JSON file instead of generating")
-		saveDir  = flag.String("save", "", "write original and compacted PTPs to this directory")
-		ckDir    = flag.String("checkpoint", "", "persist progress here and resume interrupted runs")
-		stageTO  = flag.Duration("stage-timeout", 0, "per-stage watchdog timeout (0 = off)")
-		fcTol    = flag.Float64("fctol", 5, "max FC loss (points) before a compacted PTP reverts")
-		retries  = flag.Int("max-ptp-retries", 2, "retries before a crashing/stalling PTP is quarantined")
-		fsck     = flag.Bool("fsck", false, "verify checkpoint journal and -save artifacts instead of compacting")
-		workers  = flag.String("workers-addr", "", "comma-separated stlworker addresses; distribute fault simulations across them")
+		target     = flag.String("target", "DU", "target module: DU|SP|SFU")
+		n          = flag.Int("n", 120, "PTP scale (SB count / ATPG sample base)")
+		seed       = flag.Int64("seed", 1, "seed")
+		nFaults    = flag.Int("faults", 4000, "fault-list sample (0 = full list)")
+		reverse    = flag.Bool("reverse", false, "apply patterns in reverse order (paper: SFU_IMM)")
+		instrG     = flag.Bool("instr", false, "instruction-granularity removal (ablation)")
+		baseline   = flag.Bool("baseline", false, "also run the iterative prior-work baseline")
+		loadPath   = flag.String("load", "", "load PTPs from a saved STL JSON file instead of generating")
+		saveDir    = flag.String("save", "", "write original and compacted PTPs to this directory")
+		ckDir      = flag.String("checkpoint", "", "persist progress here and resume interrupted runs")
+		stageTO    = flag.Duration("stage-timeout", 0, "per-stage watchdog timeout (0 = off)")
+		fcTol      = flag.Float64("fctol", 5, "max FC loss (points) before a compacted PTP reverts")
+		retries    = flag.Int("max-ptp-retries", 2, "retries before a crashing/stalling PTP is quarantined")
+		fsck       = flag.Bool("fsck", false, "verify checkpoint journal and -save artifacts instead of compacting")
+		workers    = flag.String("workers-addr", "", "comma-separated stlworker addresses; distribute fault simulations across them")
+		traceOut   = flag.String("trace-out", "", "write the campaign's JSONL span trace here and print a per-stage summary")
+		metricsOut = flag.String("metrics-out", "", "write the final metrics snapshot (JSON) here")
+		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+	logger = obs.NewLogger(os.Stderr, "stlcompact", slog.LevelInfo, *logJSON)
 
 	var kind gpustl.ModuleKind
 	switch *target {
@@ -83,7 +105,7 @@ func main() {
 	case "SFU":
 		kind = gpustl.ModuleSFU
 	default:
-		log.Fatalf("unknown target %q", *target)
+		fatalf("unknown target %q", *target)
 	}
 
 	// Validate output directories before any simulation work, so a typo
@@ -93,19 +115,20 @@ func main() {
 			continue
 		}
 		if err := os.MkdirAll(dir, 0o777); err != nil {
-			log.Fatalf("output directory: %v", err)
+			fatalf("output directory: %v", err)
 		}
 	}
 
 	// Ctrl-C / SIGTERM cancel the run cleanly: the in-flight PTP aborts,
-	// the report and -save outputs flush with everything finished so
-	// far, and -checkpoint lets the next invocation resume.
+	// the report, -save, -trace-out and -metrics-out outputs flush with
+	// everything finished so far, and -checkpoint lets the next
+	// invocation resume.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	mod, err := gpustl.BuildModule(kind)
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	var faults []gpustl.Fault
 	if *nFaults > 0 {
@@ -120,7 +143,7 @@ func main() {
 		// a silently corrupted library fails here, not mid-campaign.
 		lib, err := gpustl.ReadSTLFile(*loadPath)
 		if err != nil {
-			log.Fatal(err)
+			fatalf("%v", err)
 		}
 		for _, p := range lib.PTPs {
 			if p.Target == kind {
@@ -128,7 +151,7 @@ func main() {
 			}
 		}
 		if len(ptps) == 0 {
-			log.Fatalf("no PTPs targeting %v in %s", kind, *loadPath)
+			fatalf("no PTPs targeting %v in %s", kind, *loadPath)
 		}
 	} else {
 		switch kind {
@@ -143,21 +166,21 @@ func main() {
 			opt.SampleFaults = *n * 10
 			res := gpustl.GenerateATPG(mod, opt)
 			tpgen, dropped := gpustl.ConvertTPGEN(res, *seed+4)
-			log.Printf("TPGEN: %d ATPG patterns, %d unconvertible", len(res.Patterns), dropped)
+			logger.Info("TPGEN generated", "patterns", len(res.Patterns), "unconvertible", dropped)
 			ptps = []*gpustl.PTP{tpgen, gpustl.GenerateRAND(*n, *seed+5)}
 		case gpustl.ModuleSFU:
 			opt := gpustl.DefaultATPGOptions(*seed + 6)
 			opt.SampleFaults = *n * 10
 			res := gpustl.GenerateATPG(mod, opt)
 			sfu, dropped := gpustl.ConvertSFUIMM(res, *seed+6)
-			log.Printf("SFU_IMM: %d ATPG patterns, %d unconvertible", len(res.Patterns), dropped)
+			logger.Info("SFU_IMM generated", "patterns", len(res.Patterns), "unconvertible", dropped)
 			ptps = []*gpustl.PTP{sfu}
 		}
 	}
 
 	if *fsck {
 		if *ckDir == "" {
-			log.Fatal("-fsck requires -checkpoint DIR (pass the campaign's original flags so the config hash matches)")
+			fatalf("-fsck requires -checkpoint DIR (pass the campaign's original flags so the config hash matches)")
 		}
 		os.Exit(runFsck(kind, mod, faults, ptps, runFlags{
 			reverse: *reverse, instrG: *instrG,
@@ -165,6 +188,7 @@ func main() {
 		}))
 	}
 
+	metrics := gpustl.NewMetricsRegistry()
 	var sim gpustl.FaultSimulator
 	var co *gpustl.DistCoordinator
 	if *workers != "" {
@@ -175,11 +199,14 @@ func main() {
 			}
 		}
 		var err error
-		co, err = gpustl.NewDistCoordinator(gpustl.DistOptions{Logf: log.Printf}, transports...)
+		co, err = gpustl.NewDistCoordinator(gpustl.DistOptions{
+			Logf:    obs.Logf(logger, slog.LevelInfo),
+			Metrics: metrics,
+		}, transports...)
 		if err != nil {
-			log.Fatal(err)
+			fatalf("%v", err)
 		}
-		log.Printf("distributing fault simulations across %d worker(s)", len(transports))
+		logger.Info("distributing fault simulations", "workers", len(transports))
 		sim = co
 	}
 
@@ -187,6 +214,7 @@ func main() {
 		reverse: *reverse, instrG: *instrG, baseline: *baseline,
 		saveDir: *saveDir, ckDir: *ckDir, stageTO: *stageTO, fcTol: *fcTol,
 		retries: *retries, sim: sim,
+		metrics: metrics, traceOut: *traceOut, metricsOut: *metricsOut,
 	})
 	if co != nil {
 		co.Close()
@@ -201,6 +229,9 @@ type runFlags struct {
 	fcTol                     float64
 	retries                   int
 	sim                       gpustl.FaultSimulator
+
+	metrics              *gpustl.MetricsRegistry
+	traceOut, metricsOut string
 }
 
 // buildCampaign assembles the shared inputs of a compaction or fsck run.
@@ -212,6 +243,7 @@ func buildCampaign(kind gpustl.ModuleKind, mod *gpustl.Module, faults []gpustl.F
 		ReversePatterns:        fl.reverse,
 		InstructionGranularity: fl.instrG,
 		Simulator:              fl.sim,
+		Metrics:                fl.metrics,
 	}
 	ms := &gpustl.ModuleSet{
 		Modules: map[gpustl.ModuleKind]*gpustl.Module{kind: mod},
@@ -229,7 +261,7 @@ func runFsck(kind gpustl.ModuleKind, mod *gpustl.Module, faults []gpustl.Fault,
 	cfg, copt, ms, lib := buildCampaign(kind, mod, faults, ptps, fl)
 	hash, err := gpustl.CampaignConfigHash(cfg, ms, lib, copt)
 	if err != nil {
-		log.Print(err)
+		logger.Error(err.Error())
 		return 1
 	}
 	var artifacts []string
@@ -243,7 +275,7 @@ func runFsck(kind gpustl.ModuleKind, mod *gpustl.Module, faults []gpustl.Fault,
 	}
 	rep, err := gpustl.FsckCampaign(fl.ckDir, hash, lib, artifacts)
 	if err != nil {
-		log.Print(err)
+		logger.Error(err.Error())
 		return 1
 	}
 	rep.Render(os.Stdout)
@@ -254,9 +286,10 @@ func runFsck(kind gpustl.ModuleKind, mod *gpustl.Module, faults []gpustl.Fault,
 }
 
 // runCompaction compacts the PTPs under the resilience layer and returns
-// the process exit code. Even on failure it flushes the report for every
-// finished PTP and writes the -save outputs, so no completed work is
-// lost to a mid-pipeline error.
+// the process exit code. Even on failure or interruption it flushes the
+// report, the -save outputs, the -trace-out span trace (in-flight spans
+// marked interrupted) and the -metrics-out snapshot, so no completed
+// work — and no telemetry about the incomplete work — is lost.
 func runCompaction(ctx context.Context, kind gpustl.ModuleKind, mod *gpustl.Module,
 	faults []gpustl.Fault, ptps []*gpustl.PTP, fl runFlags) int {
 
@@ -265,34 +298,49 @@ func runCompaction(ctx context.Context, kind gpustl.ModuleKind, mod *gpustl.Modu
 	fmt.Printf("compacting %d PTP(s) for %v (%d faults, %d gates x %d lanes)\n\n",
 		len(ptps), kind, len(faults), mod.NL.NumGates(), mod.Lanes)
 
+	var tracer *gpustl.SpanTracer
+	if fl.traceOut != "" {
+		tracer = gpustl.NewSpanTracer(fl.traceOut)
+	}
+	prog := newProgress(os.Stderr, len(ptps))
 	rep, err := gpustl.CompactWholeSTLResilient(ctx, cfg, ms, lib, copt,
 		gpustl.RunnerOptions{
 			CheckpointDir: fl.ckDir,
 			StageTimeout:  fl.stageTO,
 			FCTolerance:   fl.fcTol,
 			MaxPTPRetries: fl.retries,
-			Logf:          log.Printf,
+			Logf:          obs.Logf(logger, slog.LevelInfo),
+			Tracer:        tracer,
+			Metrics:       fl.metrics,
+			StageHook: func(ptp string, stage gpustl.Stage) error {
+				prog.onStage(ptp, stage)
+				return nil
+			},
+			OnOutcome: prog.onOutcome,
 		})
+	prog.finish()
 	exit := 0
 	if err != nil {
 		// A canceled or failed run still produced outcomes for every
 		// finished PTP; report them and exit non-zero after flushing.
-		log.Printf("run stopped: %v", err)
+		logger.Error("run stopped", "err", err)
 		exit = 1
 	}
+	flushTelemetry(fl, tracer)
 	if rep == nil || len(rep.Outcomes) == 0 {
 		return 1
 	}
 	rep.Render(os.Stdout)
+	renderTraceSummary(fl.traceOut)
 
 	if fl.saveDir != "" {
 		original := &gpustl.STL{PTPs: lib.PTPs[:len(rep.Outcomes)]}
 		if werr := saveSTL(fl.saveDir, "stl_original.json", original); werr != nil {
-			log.Print(werr)
+			logger.Error(werr.Error())
 			exit = 1
 		}
 		if werr := saveSTL(fl.saveDir, "stl_compacted.json", rep.Compacted); werr != nil {
-			log.Print(werr)
+			logger.Error(werr.Error())
 			exit = 1
 		}
 	}
@@ -303,7 +351,7 @@ func runCompaction(ctx context.Context, kind gpustl.ModuleKind, mod *gpustl.Modu
 		for _, p := range ptps {
 			res, berr := b.CompactPTP(p)
 			if berr != nil {
-				log.Printf("baseline %s: %v", p.Name, berr)
+				logger.Error("baseline failed", "ptp", p.Name, "err", berr)
 				exit = 1
 				continue
 			}
@@ -313,6 +361,45 @@ func runCompaction(ctx context.Context, kind gpustl.ModuleKind, mod *gpustl.Modu
 		}
 	}
 	return exit
+}
+
+// flushTelemetry writes the span trace and metrics snapshot. It runs on
+// every exit path of a compaction — clean, failed, or interrupted — so
+// a SIGINT'd campaign still leaves a parseable trace (open spans
+// snapshotted with interrupted=true) and its final counters.
+func flushTelemetry(fl runFlags, tracer *gpustl.SpanTracer) {
+	if err := tracer.Flush(); err != nil {
+		logger.Error("flushing trace", "err", err)
+	} else if fl.traceOut != "" {
+		logger.Info("trace written", "path", fl.traceOut)
+	}
+	if fl.metricsOut == "" {
+		return
+	}
+	data, err := gpustl.MarshalMetrics(fl.metrics)
+	if err == nil {
+		err = os.WriteFile(fl.metricsOut, append(data, '\n'), 0o666)
+	}
+	if err != nil {
+		logger.Error("writing metrics snapshot", "err", err)
+		return
+	}
+	logger.Info("metrics written", "path", fl.metricsOut)
+}
+
+// renderTraceSummary prints the per-stage latency and critical-path
+// summary of the trace file just flushed.
+func renderTraceSummary(path string) {
+	if path == "" {
+		return
+	}
+	events, err := gpustl.ReadTraceFile(path)
+	if err != nil {
+		logger.Error("reading trace back", "err", err)
+		return
+	}
+	fmt.Println()
+	gpustl.SummarizeTrace(events).Render(os.Stdout)
 }
 
 // saveSTL writes one STL JSON file into dir, durably (fsync'd atomic

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"gpustl"
+)
+
+// progress renders the campaign's live status. On a TTY it maintains a
+// single rewritten line (PTPs done/quarantined, the PTP+stage currently
+// running, ETA); on a pipe or file it degrades to one plain line per
+// settled PTP, so logs stay readable. All methods are safe from the
+// runner's callbacks.
+type progress struct {
+	mu      sync.Mutex
+	w       io.Writer
+	tty     bool
+	start   time.Time
+	total   int
+	done    int
+	quar    int
+	current string // "name@stage" of the PTP in flight
+	active  bool   // a live line is on screen and needs clearing
+}
+
+// newProgress builds a reporter writing to w. TTY behavior is detected
+// from os.Stderr (the writer the CLI passes), not assumed.
+func newProgress(w io.Writer, total int) *progress {
+	tty := false
+	if f, ok := w.(*os.File); ok {
+		if st, err := f.Stat(); err == nil {
+			tty = st.Mode()&os.ModeCharDevice != 0
+		}
+	}
+	return &progress{w: w, tty: tty, start: time.Now(), total: total}
+}
+
+// onStage is wired into RunnerOptions.StageHook: it updates the
+// current PTP+stage and repaints the live line.
+func (p *progress) onStage(ptp string, stage gpustl.Stage) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.current = ptp + "@" + string(stage)
+	p.paintLocked()
+}
+
+// onOutcome is wired into RunnerOptions.OnOutcome: it advances the
+// counters and, without a TTY, logs one plain line per settled PTP.
+func (p *progress) onOutcome(o gpustl.RunOutcome, done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done, p.total = done, total
+	p.current = ""
+	if o.Status == gpustl.RunQuarantined {
+		p.quar++
+	}
+	if p.tty {
+		p.paintLocked()
+		return
+	}
+	fmt.Fprintf(p.w, "[%d/%d] %s: %s\n", done, total, o.Name, o.Status)
+}
+
+// finish clears the live line so the final report starts on a clean row.
+func (p *progress) finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.active {
+		fmt.Fprint(p.w, "\r\x1b[K")
+		p.active = false
+	}
+}
+
+// paintLocked redraws the live line; p.mu must be held. No-op off-TTY.
+func (p *progress) paintLocked() {
+	if !p.tty {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\r\x1b[K%d/%d PTPs", p.done, p.total)
+	if p.quar > 0 {
+		fmt.Fprintf(&b, " (%d quarantined)", p.quar)
+	}
+	if p.current != "" {
+		fmt.Fprintf(&b, "  %s", p.current)
+	}
+	if eta := p.eta(); eta > 0 {
+		fmt.Fprintf(&b, "  ETA %s", eta.Round(time.Second))
+	}
+	fmt.Fprint(p.w, b.String())
+	p.active = true
+}
+
+// eta projects the remaining wall-clock from the mean settled-PTP time
+// (0 until at least one PTP settled).
+func (p *progress) eta() time.Duration {
+	if p.done == 0 || p.done >= p.total {
+		return 0
+	}
+	per := time.Since(p.start) / time.Duration(p.done)
+	return per * time.Duration(p.total-p.done)
+}

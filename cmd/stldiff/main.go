@@ -10,11 +10,20 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	"gpustl"
+	"gpustl/internal/obs"
 )
+
+// logger is configured in main after flags are parsed.
+var logger *slog.Logger
+
+func fatal(err error) {
+	logger.Error(err.Error())
+	os.Exit(1)
+}
 
 // load reads one STL, verifying its checksum sidecar when one exists so
 // a corrupted artifact fails with an integrity error instead of a
@@ -22,7 +31,7 @@ import (
 func load(path string) *gpustl.STL {
 	lib, err := gpustl.ReadSTLFile(path)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	return lib
 }
@@ -33,7 +42,7 @@ func measure(p *gpustl.PTP, nFaults int, seed int64) (uint64, float64) {
 	col.LiteRows = true
 	g, err := gpustl.NewGPU(gpustl.DefaultGPUConfig(), col)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	res, err := g.Run(gpustl.Kernel{
 		Prog: p.Prog, Blocks: p.Kernel.Blocks,
@@ -41,11 +50,11 @@ func measure(p *gpustl.PTP, nFaults int, seed int64) (uint64, float64) {
 		GlobalBase:      p.Data.Base, GlobalData: p.Data.Words,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	mod, err := gpustl.BuildModule(p.Target)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	camp := gpustl.NewFaultCampaign(mod, gpustl.SampleFaults(mod, nFaults, seed))
 	camp.Simulate(col.Patterns, gpustl.SimOptions{})
@@ -53,15 +62,15 @@ func measure(p *gpustl.PTP, nFaults int, seed int64) (uint64, float64) {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("stldiff: ")
 	var (
 		aPath   = flag.String("a", "", "first STL file (typically the original)")
 		bPath   = flag.String("b", "", "second STL file (typically the compacted)")
 		nFaults = flag.Int("faults", 3000, "fault sample for the FC measurement")
 		seed    = flag.Int64("seed", 1, "fault sampling seed")
+		logJSON = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+	logger = obs.NewLogger(os.Stderr, "stldiff", slog.LevelInfo, *logJSON)
 	if *aPath == "" || *bPath == "" {
 		flag.Usage()
 		os.Exit(2)

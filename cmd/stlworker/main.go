@@ -6,19 +6,24 @@
 //
 // Usage:
 //
-//	stlworker -listen :9123 [-name NAME]
+//	stlworker -listen :9123 [-name NAME] [-metrics-addr :9124] [-log-json]
 //
 // Point stlcompact's -workers-addr at one or more daemons to
 // distribute the campaign. Workers are stateless — the
 // coordinator retries, hedges and redistributes shards — so daemons can
 // be added, restarted or killed mid-run.
+//
+// With -metrics-addr, a second listener serves the operator endpoints:
+// /metrics (Prometheus text: shards served, faults/patterns/detections,
+// service latency histogram), /debug/vars (expvar JSON) and
+// /debug/pprof/* (live profiling).
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -26,16 +31,19 @@ import (
 	"time"
 
 	"gpustl"
+	"gpustl/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("stlworker: ")
 	var (
-		listen = flag.String("listen", ":9123", "address to serve on")
-		name   = flag.String("name", "", "worker name in replies and logs (default: host:listen)")
+		listen      = flag.String("listen", ":9123", "address to serve shard requests on")
+		name        = flag.String("name", "", "worker name in replies and logs (default: host:listen)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
+		logJSON     = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, "stlworker", slog.LevelInfo, *logJSON)
 
 	if *name == "" {
 		host, err := os.Hostname()
@@ -45,9 +53,24 @@ func main() {
 		*name = host + *listen
 	}
 
+	reg := gpustl.NewMetricsRegistry()
 	srv := &http.Server{
 		Addr:    *listen,
-		Handler: gpustl.NewWorkerHandler(*name, log.Printf),
+		Handler: gpustl.NewWorkerHandlerMetrics(*name, obs.Logf(logger, slog.LevelInfo), reg),
+	}
+
+	var msrv *http.Server
+	if *metricsAddr != "" {
+		msrv = &http.Server{
+			Addr:    *metricsAddr,
+			Handler: gpustl.NewDebugMux(reg, "gpustl_worker"),
+		}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("metrics listener failed", "addr", *metricsAddr, "err", err)
+			}
+		}()
+		logger.Info("metrics listening", "addr", *metricsAddr)
 	}
 
 	// SIGINT/SIGTERM drain in-flight shards and exit cleanly; the
@@ -57,20 +80,26 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("worker %q listening on %s", *name, *listen)
+	logger.Info("worker listening", "name", *name, "addr", *listen)
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("listener failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
-	log.Print("shutting down")
+	logger.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if msrv != nil {
+		msrv.Shutdown(shutCtx)
+	}
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Fatal(err)
+		logger.Error("shutdown failed", "err", err)
+		os.Exit(1)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		logger.Error("listener failed", "err", err)
+		os.Exit(1)
 	}
 }

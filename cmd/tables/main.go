@@ -14,17 +14,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"time"
 
 	"gpustl"
+	"gpustl/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tables: ")
 	var (
 		scaleName = flag.String("scale", "small", "experiment scale: small|medium|paper")
 		table     = flag.String("table", "all", "which table to regenerate: 1|2|3|all")
@@ -34,8 +33,14 @@ func main() {
 		exts      = flag.Bool("extensions", false, "run the beyond-the-paper studies (FP32, pipeline registers)")
 		seed      = flag.Int64("seed", 1, "experiment seed")
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
+		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, "tables", slog.LevelInfo, *logJSON)
+	fatal := func(err error) {
+		logger.Error(err.Error())
+		os.Exit(1)
+	}
 
 	writeCSV := func(name string, tb interface{ WriteCSV(w io.Writer) error }) {
 		if *csvDir == "" {
@@ -45,18 +50,18 @@ func main() {
 		// intact instead of a torn file.
 		var buf bytes.Buffer
 		if err := tb.WriteCSV(&buf); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		path := filepath.Join(*csvDir, name)
 		if err := gpustl.WriteFileAtomic(path, buf.Bytes()); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", path)
 	}
 
 	scale, err := gpustl.ScaleByName(*scaleName)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	params := gpustl.ParamsFor(scale)
 	params.Seed = *seed
@@ -65,7 +70,7 @@ func main() {
 	fmt.Printf("building %s-scale environment (modules, fault lists, ATPG, six PTPs)...\n", scale)
 	env, err := gpustl.BuildEnv(params)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("environment ready in %v (TPGEN dropped %d patterns, SFU_IMM dropped %d)\n\n",
 		time.Since(start).Round(time.Millisecond), env.TPGENDropped, env.SFUIMMDropped)
@@ -77,7 +82,7 @@ func main() {
 	if runT1 {
 		t1, err := gpustl.TableI(env)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		t1.Render(os.Stdout)
 		tb := t1.Table()
@@ -88,7 +93,7 @@ func main() {
 	if runT2 {
 		t2, err = gpustl.TableII(env)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		t2.Render(os.Stdout, "TABLE II. COMPACTION RESULTS, TEST PROGRAMS FOR THE DECODER UNIT")
 		tb := t2.Table("")
@@ -98,7 +103,7 @@ func main() {
 	if runT3 {
 		t3, err = gpustl.TableIII(env)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		t3.Render(os.Stdout, "TABLE III. COMPACTION RESULTS, TEST PROGRAMS FOR THE FUNCTIONAL UNITS")
 		tb := t3.Table("")
@@ -108,7 +113,7 @@ func main() {
 	if *summary {
 		sum, err := gpustl.STLSummary(env, t2, t3)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		sum.Render(os.Stdout)
 		fmt.Println()
@@ -116,7 +121,7 @@ func main() {
 	if *ablations {
 		ab, err := gpustl.Ablations(env)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		ab.Render(os.Stdout)
 		fmt.Println()
@@ -124,14 +129,14 @@ func main() {
 	if *baseline {
 		bc, err := gpustl.BaselineCompare(env)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		bc.Render(os.Stdout)
 	}
 	if *exts {
 		x, err := gpustl.Extensions(env)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		x.Render(os.Stdout)
 	}

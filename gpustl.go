@@ -47,6 +47,7 @@ import (
 	"gpustl/internal/isa"
 	"gpustl/internal/journal"
 	"gpustl/internal/netlist"
+	"gpustl/internal/obs"
 	"gpustl/internal/ptpgen"
 	"gpustl/internal/run"
 	"gpustl/internal/signature"
@@ -458,6 +459,66 @@ func NewWorkerTransport(addr string) WorkerTransport { return dist.NewHTTP(addr)
 // stlworker serves this; tests can mount it on httptest servers).
 func NewWorkerHandler(name string, logf func(format string, args ...any)) http.Handler {
 	return dist.NewHandler(name, logf)
+}
+
+// NewWorkerHandlerMetrics is NewWorkerHandler with worker-side shard
+// telemetry recorded into the given registry.
+func NewWorkerHandlerMetrics(name string, logf func(format string, args ...any), m *MetricsRegistry) http.Handler {
+	return dist.NewHandlerMetrics(name, logf, m)
+}
+
+// ---------------------------------------------------------------------------
+// Observability: metrics registry, span tracing, structured logging.
+
+// MetricsRegistry is the process's metric namespace: counters, gauges
+// and histograms with atomic hot paths, rendered as Prometheus text or
+// an expvar-compatible JSON snapshot. A nil *MetricsRegistry (and every
+// handle it returns) is a valid no-op, so instrumented code needs no
+// conditionals.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry's values.
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MarshalMetrics renders a registry's current snapshot as indented
+// JSON (the `stlcompact -metrics-out` format). A nil registry yields
+// an empty snapshot.
+func MarshalMetrics(r *MetricsRegistry) ([]byte, error) {
+	return obs.MarshalSnapshot(r.Snapshot())
+}
+
+// SpanTracer records hierarchical campaign -> PTP -> stage -> shard
+// spans and flushes them atomically as a JSONL trace file. A nil tracer
+// is a valid no-op.
+type SpanTracer = obs.Tracer
+
+// TraceSpan is one in-flight span of a SpanTracer.
+type TraceSpan = obs.Span
+
+// TraceEvent is one line of a JSONL trace file.
+type TraceEvent = obs.Event
+
+// TraceSummary is the per-stage latency / critical-path digest of one
+// campaign trace.
+type TraceSummary = obs.TraceSummary
+
+// NewSpanTracer creates a tracer whose Flush writes path.
+func NewSpanTracer(path string) *SpanTracer { return obs.NewTracer(path) }
+
+// ReadTraceFile parses a JSONL trace written by SpanTracer.Flush.
+func ReadTraceFile(path string) ([]TraceEvent, error) { return obs.ReadTraceFile(path) }
+
+// SummarizeTrace folds trace events into the per-stage summary.
+func SummarizeTrace(events []TraceEvent) *TraceSummary { return obs.Summarize(events) }
+
+// NewDebugMux builds the operator endpoint a daemon serves on its
+// metrics address: /metrics (Prometheus text), /debug/vars (expvar) and
+// /debug/pprof/*.
+func NewDebugMux(reg *MetricsRegistry, publishName string) *http.ServeMux {
+	return obs.NewDebugMux(reg, publishName)
 }
 
 // BaselineCompactor is the iterative prior-work method (one fault

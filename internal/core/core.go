@@ -29,6 +29,7 @@ import (
 	"gpustl/internal/fault"
 	"gpustl/internal/gpu"
 	"gpustl/internal/isa"
+	"gpustl/internal/obs"
 	"gpustl/internal/stl"
 	"gpustl/internal/trace"
 )
@@ -71,6 +72,10 @@ type Options struct {
 	// in-process engine — e.g. a dist.Coordinator spreading shards over
 	// worker daemons. Results are identical by contract.
 	Simulator FaultSimulator
+	// Metrics, when non-nil, is threaded into every fault simulation so
+	// the simulator's batched counters (patterns/sec, drops, coverage)
+	// land in one registry. Never consulted on the compaction hot path.
+	Metrics *obs.Registry
 }
 
 // simulate runs one fault simulation over camp through the configured
@@ -206,7 +211,7 @@ func (c *Compactor) evaluateFC(ctx context.Context, p *stl.PTP, patterns []fault
 		}
 	}
 	fc := fault.NewCampaignWithFaults(c.Module, c.Campaign.Faults())
-	if _, err := c.simulate(ctx, fc, stream, fault.SimOptions{Workers: c.Opt.Workers}); err != nil {
+	if _, err := c.simulate(ctx, fc, stream, fault.SimOptions{Workers: c.Opt.Workers, Metrics: c.Opt.Metrics}); err != nil {
 		return 0, fmt.Errorf("core: FC evaluation of %s: %w", p.Name, err)
 	}
 	return fc.Coverage(), nil
@@ -300,6 +305,7 @@ func (c *Compactor) CompactPTPCtx(ctx context.Context, p *stl.PTP, onStage func(
 		Reverse: c.Opt.ReversePatterns,
 		NoDrop:  c.Opt.KeepCampaign,
 		Workers: c.Opt.Workers,
+		Metrics: c.Opt.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: fault simulation of %s: %w", p.Name, err)

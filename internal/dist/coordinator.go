@@ -12,6 +12,7 @@ import (
 
 	"gpustl/internal/circuits"
 	"gpustl/internal/fault"
+	"gpustl/internal/obs"
 )
 
 // Options tunes the coordinator's robustness machinery. The zero value
@@ -52,6 +53,10 @@ type Options struct {
 	Seed int64
 	// Logf receives coordinator progress lines (nil = silent).
 	Logf func(format string, args ...any)
+	// Metrics receives the coordinator's telemetry: per-worker liveness
+	// gauges, shard latency histograms, and counters mirroring Stats.
+	// nil disables metric recording.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults(numWorkers int) Options {
@@ -86,14 +91,21 @@ func (o Options) withDefaults(numWorkers int) Options {
 }
 
 // Stats counts what the robustness machinery actually did during a run.
+// Coordinator-initiated cancellations are attributed separately from
+// genuine failures: a hedge loser or a dead-worker preemption must never
+// read as a worker error, or retry accounting (and any alerting built on
+// it) is inflated by the coordinator's own scheduling decisions.
 type Stats struct {
 	Shards, Dispatches int
 	Retries, Hedges    int
 	Redispatches       int // dead-worker shard redistributions
-	DuplicateReplies   int // replies for shards already settled (hedge losers)
+	DuplicateReplies   int // successful replies for shards already settled
 	InvalidReplies     int // replies rejected by validation (corruption)
 	WorkerDeaths       int
 	WorkerRevivals     int
+	HedgeWins          int // hedged duplicate settled the shard first
+	HedgeLosses        int // attempts canceled because the sibling won
+	Preempted          int // attempts canceled by a dead-worker declaration
 }
 
 // Result is the outcome of one distributed campaign run.
@@ -303,6 +315,8 @@ type dispatch struct {
 	req     *ShardRequest
 	ctx     context.Context
 	cancel  context.CancelCauseFunc
+	hedged  bool // dispatched as a duplicate while a sibling was in flight
+	started time.Time
 }
 
 // shardState walks pending → dispatched (1–2 in-flight attempts) →
@@ -364,7 +378,9 @@ func newRunLoop(c *Coordinator, ctx context.Context, camp *fault.Campaign, order
 			time.Duration(len(ordered))*c.opt.ShardPatternTimeout,
 	}
 	for _, t := range c.transports {
-		rl.workers = append(rl.workers, &worker{t: t, alive: true})
+		w := &worker{t: t, alive: true}
+		rl.workers = append(rl.workers, w)
+		rl.workerUpGauge(w, 1)
 	}
 	all := camp.Faults()
 	for i, ids := range parts {
@@ -536,7 +552,10 @@ func (rl *runLoop) dispatch(s *shardState) bool {
 	}
 	dctx, cancelCause := context.WithCancelCause(rl.loopCtx)
 	tctx, tcancel := context.WithTimeout(dctx, rl.deadline)
-	d := &dispatch{shard: s.id, attempt: attempt, w: w, req: req, ctx: tctx, cancel: cancelCause}
+	d := &dispatch{
+		shard: s.id, attempt: attempt, w: w, req: req, ctx: tctx, cancel: cancelCause,
+		hedged: len(s.inflight) > 0, started: time.Now(),
+	}
 	s.inflight[attempt] = d
 	s.tried[w.t.Name()] = true
 	w.inflight++
@@ -576,6 +595,18 @@ func (rl *runLoop) onResult(d *dispatch, res *ShardResult, err error) {
 			// finishing anyway, or chaos replaying. Counted once, merged
 			// never.
 			rl.stats.DuplicateReplies++
+			return
+		}
+		// The attempt erred after the shard settled. A canceled hedge
+		// loser or dead-worker preemption was already attributed at
+		// cancellation time (the run may end before the victim ever
+		// reports back); anything else is a genuine late failure worth
+		// a log line, but the shard's outcome no longer depends on it.
+		switch cause := context.Cause(d.ctx); {
+		case errors.Is(cause, errLostRace), errors.Is(cause, errWorkerDown):
+		default:
+			rl.co.logf("dist: shard %d attempt %d on %s: late failure after settle: %v",
+				s.id, d.attempt, d.w.t.Name(), err)
 		}
 		return
 	}
@@ -591,8 +622,18 @@ func (rl *runLoop) onResult(d *dispatch, res *ShardResult, err error) {
 		s.done = true
 		s.dets = res.Detections
 		rl.remaining--
+		if d.hedged {
+			rl.stats.HedgeWins++
+		}
+		rl.opt.Metrics.Histogram(
+			fmt.Sprintf("gpustl_dist_shard_seconds{worker=%q}", d.w.t.Name()),
+			obs.DefLatencyBuckets()).Observe(time.Since(d.started).Seconds())
+		// Cancel racing siblings, attributing each as a hedge loss NOW:
+		// the run can end before a canceled loser reports back, so
+		// attribution tied to its reply would silently drop the reason.
 		for _, other := range s.inflight {
 			other.cancel(errLostRace)
+			rl.stats.HedgeLosses++
 		}
 		return
 	}
@@ -638,17 +679,23 @@ func (rl *runLoop) onHedge(s *shardState, attempt int) {
 	}
 }
 
+func (rl *runLoop) workerUpGauge(w *worker, up float64) {
+	rl.opt.Metrics.Gauge(fmt.Sprintf("gpustl_dist_worker_up{worker=%q}", w.t.Name())).Set(up)
+}
+
 func (rl *runLoop) onWorkerDown(w *worker) {
 	if !w.alive {
 		return
 	}
 	w.alive = false
 	rl.stats.WorkerDeaths++
+	rl.workerUpGauge(w, 0)
 	rl.co.logf("dist: worker %s: heartbeat lost, redistributing its in-flight shards", w.t.Name())
 	for _, s := range rl.shards {
 		for _, d := range s.inflight {
 			if d.w == w {
 				d.cancel(errWorkerDown)
+				rl.stats.Preempted++
 			}
 		}
 	}
@@ -660,6 +707,7 @@ func (rl *runLoop) onWorkerUp(w *worker) {
 	}
 	w.alive = true
 	rl.stats.WorkerRevivals++
+	rl.workerUpGauge(w, 1)
 	rl.co.logf("dist: worker %s: heartbeat recovered", w.t.Name())
 	parked := rl.pending
 	rl.pending = nil
@@ -763,5 +811,43 @@ func (rl *runLoop) finish(camp *fault.Campaign, ordered []fault.TimedPattern, op
 		res.FCLower = 100 * float64(detTotal) / float64(total)
 		res.FCUpper = 100 * float64(detTotal+failedFaults) / float64(total)
 	}
+	rl.recordStats(res)
 	return res, nil
+}
+
+// recordStats mirrors the run's Stats into the metrics registry, so a
+// scrape of the coordinator process carries the same numbers Result
+// reports programmatically.
+func (rl *runLoop) recordStats(res *Result) {
+	m := rl.opt.Metrics
+	if m == nil {
+		return
+	}
+	st := rl.stats
+	for _, c := range []struct {
+		name string
+		n    int
+	}{
+		{"gpustl_dist_runs_total", 1},
+		{"gpustl_dist_shards_total", st.Shards},
+		{"gpustl_dist_dispatches_total", st.Dispatches},
+		{"gpustl_dist_retries_total", st.Retries},
+		{"gpustl_dist_hedges_total", st.Hedges},
+		{"gpustl_dist_hedge_wins_total", st.HedgeWins},
+		{"gpustl_dist_hedge_losses_total", st.HedgeLosses},
+		{"gpustl_dist_preempted_total", st.Preempted},
+		{"gpustl_dist_redispatches_total", st.Redispatches},
+		{"gpustl_dist_duplicate_replies_total", st.DuplicateReplies},
+		{"gpustl_dist_invalid_replies_total", st.InvalidReplies},
+		{"gpustl_dist_worker_deaths_total", st.WorkerDeaths},
+		{"gpustl_dist_worker_revivals_total", st.WorkerRevivals},
+		{"gpustl_dist_failed_shards_total", res.FailedShards},
+	} {
+		m.Counter(c.name).Add(uint64(c.n))
+	}
+	if res.Degraded() {
+		m.Counter("gpustl_dist_degraded_runs_total").Inc()
+	}
+	m.Gauge("gpustl_dist_fc_lower_pct").Set(res.FCLower)
+	m.Gauge("gpustl_dist_fc_upper_pct").Set(res.FCUpper)
 }

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"gpustl/internal/obs"
 )
 
 // Wire paths of the worker daemon.
@@ -117,12 +119,21 @@ func (t *HTTP) Close() error {
 // simulation), GET /healthz answers heartbeats. logf (nil = silent)
 // receives one line per shard served.
 func NewHandler(name string, logf func(format string, args ...any)) http.Handler {
+	return NewHandlerMetrics(name, logf, nil)
+}
+
+// NewHandlerMetrics is NewHandler with worker-side telemetry: per-shard
+// counters (served, failed, canceled, faults, patterns, detections) and
+// a service-latency histogram land in m (nil disables recording), ready
+// to be exposed through the daemon's -metrics-addr endpoint.
+func NewHandlerMetrics(name string, logf func(format string, args ...any), m *obs.Registry) http.Handler {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	exec := NewLocal(name)
 	mux := http.NewServeMux()
 	mux.HandleFunc(healthPath, func(w http.ResponseWriter, r *http.Request) {
+		m.Counter("gpustl_worker_pings_total").Inc()
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"worker\":%q}\n", name)
 	})
@@ -133,6 +144,7 @@ func NewHandler(name string, logf func(format string, args ...any)) http.Handler
 		}
 		var req ShardRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			m.Counter("gpustl_worker_bad_requests_total").Inc()
 			http.Error(w, fmt.Sprintf("bad shard request: %v", err), http.StatusBadRequest)
 			return
 		}
@@ -145,13 +157,22 @@ func NewHandler(name string, logf func(format string, args ...any)) http.Handler
 				// The coordinator canceled (hedge lost, deadline, worker
 				// declared dead): the reply will not be read anyway.
 				status = http.StatusServiceUnavailable
+				m.Counter("gpustl_worker_shards_canceled_total").Inc()
+			} else {
+				m.Counter("gpustl_worker_shard_errors_total").Inc()
 			}
 			http.Error(w, err.Error(), status)
 			return
 		}
+		elapsed := time.Since(start)
+		m.Counter("gpustl_worker_shards_total").Inc()
+		m.Counter("gpustl_worker_faults_total").Add(uint64(len(req.Faults)))
+		m.Counter("gpustl_worker_patterns_total").Add(uint64(len(req.Stream)))
+		m.Counter("gpustl_worker_detections_total").Add(uint64(len(res.Detections)))
+		m.Histogram("gpustl_worker_shard_seconds", obs.DefLatencyBuckets()).Observe(elapsed.Seconds())
 		logf("shard %d attempt %d: %d faults, %d patterns -> %d detections (%v)",
 			req.Shard, req.Attempt, len(req.Faults), len(req.Stream),
-			len(res.Detections), time.Since(start).Round(time.Millisecond))
+			len(res.Detections), elapsed.Round(time.Millisecond))
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(res); err != nil {
 			logf("shard %d attempt %d: writing reply: %v", req.Shard, req.Attempt, err)

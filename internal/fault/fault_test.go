@@ -7,6 +7,7 @@ import (
 	"gpustl/internal/circuits"
 	"gpustl/internal/isa"
 	"gpustl/internal/netlist"
+	"gpustl/internal/obs"
 )
 
 func spModule(t testing.TB) *circuits.Module {
@@ -351,5 +352,26 @@ func BenchmarkSimulateSP(b *testing.B) {
 		c := NewCampaign(m)
 		c.SampleFaults(5000, 1)
 		c.Simulate(stream, SimOptions{})
+	}
+}
+
+// BenchmarkSimulateSPMetrics is BenchmarkSimulateSP with a live metrics
+// registry attached. Comparing the two in BENCH_obs.json proves the
+// instrumentation overhead on the fault-sim inner loop is under 1%:
+// metrics are recorded once per campaign, after the shard merge, never
+// per pattern.
+func BenchmarkSimulateSPMetrics(b *testing.B) {
+	m, err := circuits.Build(circuits.ModuleSP, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	stream := randomSPStream(r, m.Lanes, 8192)
+	reg := obs.NewRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewCampaign(m)
+		c.SampleFaults(5000, 1)
+		c.Simulate(stream, SimOptions{Metrics: reg})
 	}
 }

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"testing"
+)
+
+// The hot-path benchmarks backing BENCH_obs.json: a counter increment
+// and a span start/stop must stay cheap enough that instrumenting the
+// fault-sim inner loop (which batches updates per shard anyway) costs
+// well under 1% of the simulation itself.
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsCounterIncParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", DefLatencyBuckets())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkObsSpanStartStop(b *testing.B) {
+	tr := NewTracer("")
+	root := tr.Start(nil, KindCampaign, "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(root, KindStage, "stage")
+		sp.End()
+	}
+}
+
+func BenchmarkObsNilCounterInc(b *testing.B) {
+	var r *Registry
+	c := r.Counter("bench_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

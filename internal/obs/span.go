@@ -1,0 +1,346 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpustl/internal/journal"
+)
+
+// Event is one finished (or flushed-while-open) span, one line of the
+// JSONL trace file. The hierarchy campaign -> ptp -> stage -> shard is
+// encoded through Parent IDs; StartNS is Unix nanoseconds so traces
+// from different processes line up on one clock.
+type Event struct {
+	ID     uint64            `json:"id"`
+	Parent uint64            `json:"parent,omitempty"`
+	Kind   string            `json:"kind"`
+	Name   string            `json:"name"`
+	StartN int64             `json:"start_ns"`
+	DurN   int64             `json:"dur_ns"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// Start returns the span's start time.
+func (e Event) Start() time.Time { return time.Unix(0, e.StartN) }
+
+// Duration returns the span's duration.
+func (e Event) Duration() time.Duration { return time.Duration(e.DurN) }
+
+// The span kinds the compaction pipeline emits.
+const (
+	KindCampaign = "campaign"
+	KindPTP      = "ptp"
+	KindStage    = "stage"
+	KindShard    = "shard"
+)
+
+// Tracer collects hierarchical spans in memory and flushes them as a
+// JSONL trace file through the journal's atomic-write helper, so a
+// trace file on disk is always a complete, parseable snapshot — never
+// a torn tail. A nil Tracer (and the nil Spans it hands out) is a
+// no-op, so callers wire tracing unconditionally.
+type Tracer struct {
+	path string
+
+	mu     sync.Mutex
+	events []Event
+	open   map[uint64]*Span
+	nextID atomic.Uint64
+}
+
+// NewTracer creates a tracer that Flush writes to path.
+func NewTracer(path string) *Tracer {
+	return &Tracer{path: path, open: map[uint64]*Span{}}
+}
+
+// Span is one in-flight operation. End closes it; Annotate attaches
+// string attributes. All methods are safe on a nil receiver.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	kind   string
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]string
+	ended bool
+}
+
+// Start opens a span under parent (nil = root). On a nil tracer it
+// returns nil, which is itself a valid no-op span.
+func (t *Tracer) Start(parent *Span, kind, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, id: t.nextID.Add(1), kind: kind, name: name, start: time.Now()}
+	if parent != nil {
+		s.parent = parent.id
+	}
+	t.mu.Lock()
+	t.open[s.id] = s
+	t.mu.Unlock()
+	return s
+}
+
+// ID returns the span id (0 on nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Annotate attaches a key=value attribute to the span.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// End closes the span, recording its event. Ending twice is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	ev := s.eventLocked(time.Now())
+	s.mu.Unlock()
+
+	t := s.tr
+	t.mu.Lock()
+	delete(t.open, s.id)
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// eventLocked builds the span's event; s.mu must be held.
+func (s *Span) eventLocked(end time.Time) Event {
+	var attrs map[string]string
+	if len(s.attrs) > 0 {
+		attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			attrs[k] = v
+		}
+	}
+	return Event{
+		ID: s.id, Parent: s.parent, Kind: s.kind, Name: s.name,
+		StartN: s.start.UnixNano(), DurN: int64(end.Sub(s.start)), Attrs: attrs,
+	}
+}
+
+// Flush writes every recorded event — plus a snapshot of still-open
+// spans, marked interrupted=true, so an interrupted campaign remains
+// analyzable — as JSONL, atomically and durably (temp file, fsync,
+// rename, directory fsync). Flush can be called repeatedly; open spans
+// stay open and are finalized by their own End.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	events := append([]Event(nil), t.events...)
+	now := time.Now()
+	var openEvs []Event
+	for _, s := range t.open {
+		s.mu.Lock()
+		ev := s.eventLocked(now)
+		s.mu.Unlock()
+		if ev.Attrs == nil {
+			ev.Attrs = map[string]string{}
+		}
+		ev.Attrs["interrupted"] = "true"
+		openEvs = append(openEvs, ev)
+	}
+	t.mu.Unlock()
+
+	sort.Slice(openEvs, func(i, j int) bool { return openEvs[i].ID < openEvs[j].ID })
+	events = append(events, openEvs...)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("obs: encoding trace event %d: %w", ev.ID, err)
+		}
+	}
+	if err := journal.WriteFileAtomic(t.path, buf.Bytes()); err != nil {
+		return fmt.Errorf("obs: writing trace %s: %w", t.path, err)
+	}
+	return nil
+}
+
+// Path returns the trace file path ("" on nil).
+func (t *Tracer) Path() string {
+	if t == nil {
+		return ""
+	}
+	return t.path
+}
+
+// Events returns a copy of the recorded (ended) events.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// ReadEvents parses a JSONL trace file written by Flush.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return out, nil
+}
+
+// ReadTraceFile reads a JSONL trace file from disk.
+func ReadTraceFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEvents(f)
+}
+
+// StageStat aggregates the spans of one name within one kind.
+type StageStat struct {
+	Name  string
+	Count int
+	Total time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average span duration.
+func (s StageStat) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// TraceSummary is the per-stage latency and critical-path view of one
+// campaign trace.
+type TraceSummary struct {
+	// Wall is the campaign span's duration (the longest root span when
+	// no campaign span exists).
+	Wall time.Duration
+	// Stages aggregates stage spans by name, in first-seen order.
+	Stages []StageStat
+	// PTPs aggregates ptp spans by name.
+	PTPs []StageStat
+	// CriticalPTP is the ptp span with the largest duration — the
+	// critical path of a serial campaign.
+	CriticalPTP string
+	// StageTotal is the sum of all stage span durations; in a serial
+	// campaign it accounts for (almost all of) Wall.
+	StageTotal time.Duration
+	// Interrupted counts spans flushed while still open.
+	Interrupted int
+}
+
+// Summarize folds a trace's events into the per-stage summary.
+func Summarize(events []Event) *TraceSummary {
+	sum := &TraceSummary{}
+	agg := func(list []StageStat, idx map[string]int, ev Event) []StageStat {
+		i, ok := idx[ev.Name]
+		if !ok {
+			i = len(list)
+			idx[ev.Name] = i
+			list = append(list, StageStat{Name: ev.Name, Min: ev.Duration()})
+		}
+		st := &list[i]
+		st.Count++
+		st.Total += ev.Duration()
+		if ev.Duration() < st.Min {
+			st.Min = ev.Duration()
+		}
+		if ev.Duration() > st.Max {
+			st.Max = ev.Duration()
+		}
+		return list
+	}
+	stageIdx, ptpIdx := map[string]int{}, map[string]int{}
+	var critical time.Duration
+	for _, ev := range events {
+		if ev.Attrs["interrupted"] == "true" {
+			sum.Interrupted++
+		}
+		switch ev.Kind {
+		case KindCampaign:
+			if ev.Duration() > sum.Wall {
+				sum.Wall = ev.Duration()
+			}
+		case KindPTP:
+			sum.PTPs = agg(sum.PTPs, ptpIdx, ev)
+			if ev.Duration() > critical {
+				critical = ev.Duration()
+				sum.CriticalPTP = ev.Name
+			}
+		case KindStage:
+			sum.Stages = agg(sum.Stages, stageIdx, ev)
+			sum.StageTotal += ev.Duration()
+		}
+	}
+	return sum
+}
+
+// Render writes the summary as a human-readable table.
+func (s *TraceSummary) Render(w io.Writer) {
+	fmt.Fprintf(w, "TRACE SUMMARY  wall %v  stage-total %v", s.Wall.Round(time.Millisecond), s.StageTotal.Round(time.Millisecond))
+	if s.Wall > 0 {
+		fmt.Fprintf(w, " (%.1f%% of wall)", 100*float64(s.StageTotal)/float64(s.Wall))
+	}
+	if s.Interrupted > 0 {
+		fmt.Fprintf(w, "  [%d interrupted span(s)]", s.Interrupted)
+	}
+	fmt.Fprintln(w)
+	if s.CriticalPTP != "" {
+		fmt.Fprintf(w, "critical path: PTP %s\n", s.CriticalPTP)
+	}
+	fmt.Fprintf(w, "%-12s %6s %12s %12s %12s %12s\n", "stage", "count", "total", "mean", "min", "max")
+	for _, st := range s.Stages {
+		fmt.Fprintf(w, "%-12s %6d %12v %12v %12v %12v\n",
+			st.Name, st.Count, st.Total.Round(time.Microsecond), st.Mean().Round(time.Microsecond),
+			st.Min.Round(time.Microsecond), st.Max.Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerFlushRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tr := NewTracer(path)
+
+	camp := tr.Start(nil, KindCampaign, "campaign")
+	ptp := tr.Start(camp, KindPTP, "ptp_0")
+	st := tr.Start(ptp, KindStage, "faultsim")
+	st.Annotate("shards", "4")
+	st.End()
+	ptp.End()
+	camp.End()
+
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	byName := map[string]Event{}
+	for _, ev := range events {
+		byName[ev.Name] = ev
+	}
+	if byName["ptp_0"].Parent != byName["campaign"].ID {
+		t.Errorf("ptp parent = %d, want campaign id %d", byName["ptp_0"].Parent, byName["campaign"].ID)
+	}
+	if byName["faultsim"].Parent != byName["ptp_0"].ID {
+		t.Errorf("stage parent = %d, want ptp id %d", byName["faultsim"].Parent, byName["ptp_0"].ID)
+	}
+	if byName["faultsim"].Attrs["shards"] != "4" {
+		t.Errorf("stage attrs = %v, want shards=4", byName["faultsim"].Attrs)
+	}
+	if byName["campaign"].Duration() < byName["faultsim"].Duration() {
+		t.Error("campaign span shorter than nested stage span")
+	}
+}
+
+func TestTracerFlushMarksOpenSpansInterrupted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tr := NewTracer(path)
+	camp := tr.Start(nil, KindCampaign, "campaign")
+	st := tr.Start(camp, KindStage, "trace")
+	st.End()
+	// camp still open: a SIGINT-style flush must snapshot it.
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	var open int
+	for _, ev := range events {
+		if ev.Attrs["interrupted"] == "true" {
+			open++
+			if ev.Kind != KindCampaign {
+				t.Errorf("interrupted span is %q, want campaign", ev.Kind)
+			}
+		}
+	}
+	if open != 1 {
+		t.Fatalf("interrupted spans = %d, want 1", open)
+	}
+
+	// The span stays open; ending it and re-flushing replaces the
+	// snapshot with the final event.
+	camp.End()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err = ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev.Attrs["interrupted"] == "true" {
+			t.Fatalf("span still marked interrupted after End+Flush: %+v", ev)
+		}
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events after final flush, want 2", len(events))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ms := func(d int) int64 { return (time.Duration(d) * time.Millisecond).Nanoseconds() }
+	events := []Event{
+		{ID: 1, Kind: KindCampaign, Name: "campaign", DurN: ms(100)},
+		{ID: 2, Parent: 1, Kind: KindPTP, Name: "ptp_a", DurN: ms(60)},
+		{ID: 3, Parent: 2, Kind: KindStage, Name: "faultsim", DurN: ms(40)},
+		{ID: 4, Parent: 2, Kind: KindStage, Name: "reduce", DurN: ms(20)},
+		{ID: 5, Parent: 1, Kind: KindPTP, Name: "ptp_b", DurN: ms(30)},
+		{ID: 6, Parent: 5, Kind: KindStage, Name: "faultsim", DurN: ms(30)},
+	}
+	sum := Summarize(events)
+	if sum.Wall != 100*time.Millisecond {
+		t.Errorf("wall = %v, want 100ms", sum.Wall)
+	}
+	if sum.StageTotal != 90*time.Millisecond {
+		t.Errorf("stage total = %v, want 90ms", sum.StageTotal)
+	}
+	if sum.CriticalPTP != "ptp_a" {
+		t.Errorf("critical ptp = %q, want ptp_a", sum.CriticalPTP)
+	}
+	if len(sum.Stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(sum.Stages))
+	}
+	fs := sum.Stages[0]
+	if fs.Name != "faultsim" || fs.Count != 2 || fs.Total != 70*time.Millisecond ||
+		fs.Min != 30*time.Millisecond || fs.Max != 40*time.Millisecond || fs.Mean() != 35*time.Millisecond {
+		t.Errorf("faultsim stat wrong: %+v", fs)
+	}
+
+	var b strings.Builder
+	sum.Render(&b)
+	out := b.String()
+	for _, want := range []string{"wall 100ms", "stage-total 90ms", "(90.0% of wall)", "critical path: PTP ptp_a", "faultsim", "reduce"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

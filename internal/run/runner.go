@@ -13,6 +13,7 @@ import (
 	"gpustl/internal/core"
 	"gpustl/internal/fault"
 	"gpustl/internal/gpu"
+	"gpustl/internal/obs"
 	"gpustl/internal/report"
 	"gpustl/internal/stl"
 )
@@ -72,6 +73,19 @@ type Options struct {
 	// Logf, when set, receives operational notes (journal salvage,
 	// legacy-checkpoint migration, quarantine retries) as they happen.
 	Logf func(format string, args ...any)
+	// Tracer, when set, records the campaign -> PTP -> stage span
+	// hierarchy of the run. Spans are contiguous within a PTP (each
+	// stage span ends as the next begins), so the per-stage totals of a
+	// trace account for the campaign's wall-clock.
+	Tracer *obs.Tracer
+	// Metrics, when set, receives the runner's counters and gauges
+	// (outcome counts, retries, FC deltas, progress) and is threaded
+	// into the fault simulator through core.Options by the caller.
+	Metrics *obs.Registry
+	// OnOutcome, when set, is called after every PTP settles (including
+	// resumed ones) with the outcome and running progress — the hook the
+	// CLI's live progress line hangs off.
+	OnOutcome func(o Outcome, done, total int)
 }
 
 func (o Options) logf(format string, args ...any) {
@@ -196,6 +210,11 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 		defer clog.Close()
 	}
 
+	campSpan := opts.Tracer.Start(nil, obs.KindCampaign, "campaign")
+	campSpan.Annotate("ptps", fmt.Sprintf("%d", len(lib.PTPs)))
+	defer campSpan.End()
+	opts.Metrics.Gauge("gpustl_run_ptps_planned").Set(float64(len(lib.PTPs)))
+
 	compactors := map[circuits.ModuleKind]*core.Compactor{}
 	for kind, m := range ms.Modules {
 		compactors[kind] = core.New(cfg, m, ms.Faults[kind], copt)
@@ -246,6 +265,8 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 			}
 			rep.Resumed++
 			accumulate(rep, o, comp)
+			opts.Metrics.Counter("gpustl_run_resumed_total").Inc()
+			opts.recordOutcome(o, len(rep.Outcomes), len(lib.PTPs))
 			continue
 		}
 
@@ -261,12 +282,13 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 			return rep, err
 		}
 
+		ptpSpan := opts.Tracer.Start(campSpan, obs.KindPTP, p.Name)
 		comp := p
 		if c == nil || len(p.ARCs()) == 0 {
 			e.Status = StatusExcluded
 			e.CompSize = len(p.Prog)
 		} else {
-			res, stage, attempts, cerr := compactWithRetry(ctx, c, p, opts)
+			res, stage, attempts, cerr := compactWithRetry(ctx, c, p, opts, ptpSpan)
 			e.Attempts = attempts
 			// Record the campaign delta whatever the outcome: stage-3
 			// drops may have committed even when a later stage failed,
@@ -279,6 +301,8 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 			case cerr != nil && ctx.Err() != nil:
 				// The parent context died mid-PTP: this PTP is not
 				// finished, so do not journal it — a resume redoes it.
+				ptpSpan.Annotate("canceled", "true")
+				ptpSpan.End()
 				return rep, cerr
 			case cerr != nil:
 				se, _ := cerr.(*StageError)
@@ -322,10 +346,21 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 
 		ck.Entries = append(ck.Entries, e)
 		if clog != nil {
-			if err := clog.appendOutcome(e); err != nil {
+			// The journal append (fsync'd) is real wall-clock work; give
+			// it its own stage span so trace totals stay honest.
+			ckSpan := opts.Tracer.Start(ptpSpan, obs.KindStage, "checkpoint")
+			err := clog.appendOutcome(e)
+			ckSpan.End()
+			if err != nil {
+				ptpSpan.End()
 				return rep, err
 			}
 		}
+		ptpSpan.Annotate("status", string(e.Status))
+		if e.Attempts > 1 {
+			ptpSpan.Annotate("attempts", fmt.Sprintf("%d", e.Attempts))
+		}
+		ptpSpan.End()
 		o := Outcome{
 			Name: e.Name, Status: e.Status, Stage: core.Stage(e.Stage), Err: e.Error,
 			Attempts: e.Attempts,
@@ -335,8 +370,38 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 			DetectedThisRun: e.DetectedThisRun,
 		}
 		accumulate(rep, o, comp)
+		opts.recordOutcome(o, len(rep.Outcomes), len(lib.PTPs))
 	}
 	return rep, nil
+}
+
+// recordOutcome publishes one settled PTP's counters and fires the
+// progress hook. The FC-delta gauge tracks the most recent measured
+// compaction (CompFC - OrigFC, percentage points).
+func (o Options) recordOutcome(out Outcome, done, total int) {
+	if m := o.Metrics; m != nil {
+		m.Counter("gpustl_run_ptps_total").Inc()
+		switch out.Status {
+		case StatusCompacted:
+			m.Counter("gpustl_run_compacted_total").Inc()
+		case StatusRevertedError, StatusRevertedFC:
+			m.Counter("gpustl_run_reverted_total").Inc()
+		case StatusQuarantined:
+			m.Counter("gpustl_run_quarantined_total").Inc()
+		case StatusExcluded:
+			m.Counter("gpustl_run_excluded_total").Inc()
+		}
+		if out.Attempts > 1 {
+			m.Counter("gpustl_run_ptp_retries_total").Add(uint64(out.Attempts - 1))
+		}
+		if out.Status == StatusCompacted || out.Status == StatusRevertedFC {
+			m.Gauge("gpustl_run_fc_delta_pct").Set(out.CompFC - out.OrigFC)
+		}
+		m.Gauge("gpustl_run_ptps_done").Set(float64(done))
+	}
+	if o.OnOutcome != nil {
+		o.OnOutcome(out, done, total)
+	}
 }
 
 // accumulate appends one outcome and its surviving PTP to the report.
@@ -363,12 +428,12 @@ func accumulate(rep *Report, o Outcome, comp *stl.PTP) {
 // over-compact, so the PTP goes straight to quarantine. Deterministic
 // stage errors are never retried.
 func compactWithRetry(ctx context.Context, c *core.Compactor, p *stl.PTP,
-	opts Options) (res *core.Result, stage core.Stage, attempts int, err error) {
+	opts Options, ptpSpan *obs.Span) (res *core.Result, stage core.Stage, attempts int, err error) {
 
 	for {
 		attempts++
 		before := c.Campaign.Detected()
-		res, stage, err = compactOne(ctx, c, p, opts)
+		res, stage, err = compactOne(ctx, c, p, opts, ptpSpan)
 		if err == nil || ctx.Err() != nil {
 			return res, stage, attempts, err
 		}
@@ -390,10 +455,16 @@ func compactWithRetry(ctx context.Context, c *core.Compactor, p *stl.PTP,
 // failure attribution; err (when non-nil) is a *StageError whose Kind
 // distinguishes panics and watchdog timeouts from plain errors.
 func compactOne(ctx context.Context, c *core.Compactor, p *stl.PTP,
-	opts Options) (res *core.Result, stage core.Stage, err error) {
+	opts Options, ptpSpan *obs.Span) (res *core.Result, stage core.Stage, err error) {
 
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	// Stage spans are contiguous: each stage span ends exactly when the
+	// next stage is entered (and the last when the attempt returns), so
+	// their durations tile the PTP span without gaps or overlap.
+	var stageSpan *obs.Span
+	defer func() { stageSpan.End() }()
 
 	// The watchdog cancels the derived context if any single stage runs
 	// longer than StageTimeout; entering the next stage re-arms it. The
@@ -408,6 +479,8 @@ func compactOne(ctx context.Context, c *core.Compactor, p *stl.PTP,
 	stage = core.StagePartition
 	onStage := func(s core.Stage) error {
 		stage = s
+		stageSpan.End()
+		stageSpan = opts.Tracer.Start(ptpSpan, obs.KindStage, string(s))
 		if watchdog != nil {
 			watchdog.Reset(opts.StageTimeout)
 		}

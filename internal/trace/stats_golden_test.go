@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpustl/internal/asm"
+	"gpustl/internal/gpu"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestOpStatsGolden locks down the full String() report — ordering,
+// alignment, counts — on a small deterministic campaign. The report was
+// previously exercised only by eye through cmd/tables; a byte-for-byte
+// golden file catches accidental format or counting drift. Regenerate
+// with `go test ./internal/trace/ -run Golden -update` after an
+// intentional change.
+func TestOpStatsGolden(t *testing.T) {
+	// A fixed two-warp kernel touching ALU, SFU and memory paths, with a
+	// tie in decode counts (SHLI vs SIN) to pin the opcode tiebreak.
+	prog, err := asm.Assemble(`
+		S2R  R0, SR_TID
+		SHLI R1, R0, 2
+		IADD R2, R0, R0
+		IADD R3, R2, R0
+		SIN  R4, R3
+		GST  [R1+0], R4
+		EXIT
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := &OpStats{}
+	g, err := gpu.New(gpu.DefaultConfig(), stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(gpu.Kernel{Prog: prog, Blocks: 1, ThreadsPerBlock: 64}); err != nil {
+		t.Fatal(err)
+	}
+	got := stats.String()
+
+	golden := filepath.Join("testdata", "opstats.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("OpStats report drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
