@@ -33,14 +33,43 @@ verify: test lint
 
 # Benchmarks. The JSON streams land in BENCH_dist.json (distributed
 # simulation + coordinator stats), BENCH_journal.json (per-record
-# fsync append cost, journal replay) and BENCH_obs.json (telemetry
+# fsync append cost, journal replay), BENCH_obs.json (telemetry
 # hot paths plus the fault-sim with/without-metrics pair proving <1%
-# instrumentation overhead) for machine consumption; the
-# human-readable output still prints.
+# instrumentation overhead) and BENCH_fault.json (the optimized
+# fault-simulation engine's guarded baselines — see bench-compare)
+# for machine consumption; the human-readable output still prints.
 .PHONY: bench
 bench:
 	go test -bench . -benchtime 1x -run '^$$' -json . | tee BENCH_dist.json
 	go test -bench 'BenchmarkJournal' -benchtime 1x -run '^$$' -json ./internal/journal | tee BENCH_journal.json
 	go test -bench 'BenchmarkObs' -benchtime 1000x -run '^$$' -json ./internal/obs | tee BENCH_obs.json
 	go test -bench 'BenchmarkSimulateSP(Metrics)?$$' -benchtime 3x -run '^$$' -json ./internal/fault | tee -a BENCH_obs.json
+	go test -bench $(FAULT_BENCHES) -benchtime 10x -count=3 -run '^$$' -json . | tee BENCH_fault.json
 	go test -bench . -benchtime 1x -run '^$$' ./internal/...
+
+# The engine benchmarks guarded against regression, and the committed
+# baseline they are compared to.
+FAULT_BENCHES = 'BenchmarkFaultSimulation$$|BenchmarkTableI$$'
+
+# bench-compare reruns the guarded engine benchmarks and fails if any
+# is more than 15% slower (ns/op) than the committed BENCH_fault.json
+# baseline. Run it on the baseline's hardware; for a portable sanity
+# check use bench-smoke.
+.PHONY: bench-compare
+bench-compare:
+	go test -bench $(FAULT_BENCHES) -benchtime 10x -count=3 -run '^$$' -json . > .bench_new.json
+	go run ./cmd/benchdiff -old BENCH_fault.json -new .bench_new.json \
+		-bench $(FAULT_BENCHES) -threshold 15
+	rm -f .bench_new.json
+
+# bench-smoke is the CI version of bench-compare: one short run of the
+# fault-simulation benchmark through the same diff pipeline, with a
+# threshold loose enough for unrelated CI hardware. It catches
+# order-of-magnitude regressions and keeps the baseline file parseable,
+# without making CI judge absolute wall-clock.
+.PHONY: bench-smoke
+bench-smoke:
+	go test -bench 'BenchmarkFaultSimulation$$' -benchtime 2x -run '^$$' -json . > .bench_smoke.json
+	go run ./cmd/benchdiff -old BENCH_fault.json -new .bench_smoke.json \
+		-bench 'BenchmarkFaultSimulation$$' -threshold 400
+	rm -f .bench_smoke.json

@@ -1,0 +1,155 @@
+// Command benchdiff compares benchmark results against a committed
+// baseline and fails on regressions.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_fault.json -new run.json [-bench REGEX] [-threshold PCT]
+//
+// Both files may be `go test -json` streams (the BENCH_*.json artifacts
+// `make bench` commits) or plain `go test -bench` text output. For every
+// benchmark matching -bench that appears in the baseline, the best
+// (minimum) ns/op of each file is compared; a new result more than
+// -threshold percent slower fails the diff. A matching benchmark missing
+// from the new run also fails: a deleted benchmark must be removed from
+// the baseline deliberately, not silently stop being compared.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "baseline benchmark file (go test -json stream or plain text)")
+		newPath   = flag.String("new", "", "new benchmark file to compare against the baseline")
+		benchRe   = flag.String("bench", ".", "regexp selecting which benchmarks to compare")
+		threshold = flag.Float64("threshold", 15, "max allowed ns/op regression in percent")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*benchRe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -bench regexp: %v\n", err)
+		os.Exit(2)
+	}
+
+	oldNs, err := readBench(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newNs, err := readBench(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(oldNs))
+	for name := range oldNs {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark in %s matches %q\n", *oldPath, *benchRe)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range names {
+		old := oldNs[name]
+		cur, ok := newNs[name]
+		if !ok {
+			fmt.Printf("FAIL  %-40s missing from %s\n", name, *newPath)
+			failed = true
+			continue
+		}
+		delta := 100 * (cur - old) / old
+		status := "ok  "
+		if delta > *threshold {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s  %-40s %14.0f -> %14.0f ns/op  %+7.2f%%\n", status, name, old, cur, delta)
+	}
+	if failed {
+		fmt.Printf("benchdiff: regression beyond %.0f%% (or missing benchmark)\n", *threshold)
+		os.Exit(1)
+	}
+}
+
+// readBench extracts the best (minimum) ns/op per benchmark from a file
+// that is either a `go test -json` stream or plain benchmark text.
+func readBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			// test2json event: benchmark result lines arrive as Output
+			// chunks, possibly split mid-line, so re-assemble the raw text.
+			var ev struct {
+				Action string `json:"Action"`
+				Output string `json:"Output"`
+			}
+			if err := json.Unmarshal([]byte(line), &ev); err == nil && ev.Action == "output" {
+				text.WriteString(ev.Output)
+			}
+			continue
+		}
+		text.WriteString(line)
+		text.WriteString("\n")
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	ns, err := parseBench(text.String())
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return ns, nil
+}
+
+// benchLine matches one benchmark result line: name (with optional
+// -GOMAXPROCS suffix), iteration count, ns/op.
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark[^\s-]+)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench returns the minimum ns/op per benchmark name found in the
+// assembled plain-text output. Minimum, not mean: repeated -count runs
+// scatter upward under machine noise, and the fastest run is the best
+// estimate of the code's actual cost.
+func parseBench(text string) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, m := range benchLine.FindAllStringSubmatch(text, -1) {
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", m[0], err)
+		}
+		if best, ok := out[m[1]]; !ok || ns < best {
+			out[m[1]] = ns
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return out, nil
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestParseBenchPlainText(t *testing.T) {
+	text := `goos: linux
+BenchmarkFaultSimulation 	      50	   4290765 ns/op
+BenchmarkFaultSimulation 	      50	   4100000 ns/op
+BenchmarkTableI-8 	       1	9328316481 ns/op	        64.07 FC%/CNTRL
+PASS
+`
+	ns, err := parseBench(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ns["BenchmarkFaultSimulation"]; got != 4100000 {
+		t.Errorf("FaultSimulation best ns/op = %v, want 4100000 (minimum of repeats)", got)
+	}
+	if got := ns["BenchmarkTableI"]; got != 9328316481 {
+		t.Errorf("TableI ns/op = %v (GOMAXPROCS suffix must be stripped)", got)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench("PASS\nok gpustl 1.2s\n"); err == nil {
+		t.Fatal("want error on output without benchmark lines")
+	}
+}

@@ -6,11 +6,12 @@
 // Usage:
 //
 //	faultsim -patterns FILE.vcde [-sample N] [-seed S] [-reverse] [-top K]
-//	         [-workers W]
+//	         [-workers W] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -workers parallelizes the simulation across W goroutines (0 selects
-// GOMAXPROCS); results are bit-identical at any setting. Ctrl-C or
-// SIGTERM cancels a long campaign cleanly.
+// GOMAXPROCS); results are bit-identical at any setting. -cpuprofile and
+// -memprofile write pprof profiles of the run. Ctrl-C or SIGTERM cancels
+// a long campaign cleanly.
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 
 	"gpustl"
 	"gpustl/internal/obs"
+	"gpustl/internal/prof"
 )
 
 func main() {
@@ -35,6 +37,8 @@ func main() {
 		top     = flag.Int("top", 10, "print the K most effective patterns")
 		workers = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
 		logJSON = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, "faultsim", slog.LevelInfo, *logJSON)
@@ -46,6 +50,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopCPU, err := prof.Start(*cpuProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := prof.WriteHeap(*memProf); err != nil {
+			logger.Error(err.Error())
+		}
+	}()
 
 	// Ctrl-C / SIGTERM abort the simulation mid-campaign, matching
 	// stlcompact's signal handling.

@@ -10,6 +10,7 @@
 //	           [-max-ptp-retries N] [-fsck]
 //	           [-workers-addr HOST:PORT,HOST:PORT,...]
 //	           [-trace-out FILE.jsonl] [-metrics-out FILE.json] [-log-json]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -load, the PTPs are read from a saved STL file (see -save and the
 // gpustl.WriteSTL format) instead of being generated.
@@ -30,6 +31,10 @@
 // SIGTERM, power loss) resumes after the last intact record. Whatever
 // happens, the report and -save outputs reflect every PTP finished so
 // far.
+//
+// With -cpuprofile/-memprofile, pprof profiles of the whole campaign are
+// written — the way the fault-simulation engine's hot path is measured
+// outside microbenchmarks (see docs/PERFORMANCE.md).
 //
 // With -trace-out, the campaign -> PTP -> stage span hierarchy is
 // written as a JSONL trace (atomically — an interrupted run still
@@ -61,6 +66,7 @@ import (
 
 	"gpustl"
 	"gpustl/internal/obs"
+	"gpustl/internal/prof"
 )
 
 // logger is the process-wide structured logger, configured in main
@@ -92,9 +98,22 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write the campaign's JSONL span trace here and print a per-stage summary")
 		metricsOut = flag.String("metrics-out", "", "write the final metrics snapshot (JSON) here")
 		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 	logger = obs.NewLogger(os.Stderr, "stlcompact", slog.LevelInfo, *logJSON)
+
+	stopCPU, err := prof.Start(*cpuProf)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	profFlush := func() {
+		stopCPU()
+		if err := prof.WriteHeap(*memProf); err != nil {
+			logger.Error(err.Error())
+		}
+	}
 
 	var kind gpustl.ModuleKind
 	switch *target {
@@ -182,10 +201,12 @@ func main() {
 		if *ckDir == "" {
 			fatalf("-fsck requires -checkpoint DIR (pass the campaign's original flags so the config hash matches)")
 		}
-		os.Exit(runFsck(kind, mod, faults, ptps, runFlags{
+		code := runFsck(kind, mod, faults, ptps, runFlags{
 			reverse: *reverse, instrG: *instrG,
 			saveDir: *saveDir, ckDir: *ckDir,
-		}))
+		})
+		profFlush()
+		os.Exit(code)
 	}
 
 	metrics := gpustl.NewMetricsRegistry()
@@ -219,6 +240,7 @@ func main() {
 	if co != nil {
 		co.Close()
 	}
+	profFlush()
 	os.Exit(code)
 }
 

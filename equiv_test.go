@@ -1,0 +1,73 @@
+package gpustl
+
+import (
+	"testing"
+)
+
+// TestEngineEquivalenceOnExamplePTPs is the end-to-end equivalence
+// harness the optimized fault-simulation engine is held to: for every
+// example PTP of the paper's STL (IMM, MEM, CNTRL, TPGEN, RAND, SFU_IMM),
+// the optimized engine must produce a Report with byte-identical
+// Detections — same fault, same first-detecting pattern index, same
+// clock cycle — and identical per-group coverage as the NoOptimize
+// reference engine. SFU_IMM is additionally checked with Reverse
+// ordering, the way the paper applies it.
+func TestEngineEquivalenceOnExamplePTPs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the full experiment environment")
+	}
+	e, err := BuildEnv(ParamsFor(Small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ptp := range e.PTPs() {
+		opts := []SimOptions{{}}
+		if ptp.Name == "SFU_IMM" {
+			opts = append(opts, SimOptions{Reverse: true})
+		}
+		for _, opt := range opts {
+			name := ptp.Name
+			if opt.Reverse {
+				name += "_reverse"
+			}
+			t.Run(name, func(t *testing.T) {
+				col, _, err := e.RunPTP(ptp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mod := e.ModuleOf(ptp)
+				faults := e.FaultsOf(ptp)
+
+				run := func(noOpt bool) (*FaultSimReport, []GroupCoverage) {
+					camp := NewFaultCampaign(mod, faults)
+					o := opt
+					o.NoOptimize = noOpt
+					rep := camp.Simulate(col.Patterns, o)
+					return rep, camp.CoverageByGroup()
+				}
+				ref, refCov := run(true)
+				got, gotCov := run(false)
+
+				if len(ref.Detections) != len(got.Detections) {
+					t.Fatalf("detection counts differ: reference %d, optimized %d",
+						len(ref.Detections), len(got.Detections))
+				}
+				for i := range ref.Detections {
+					if ref.Detections[i] != got.Detections[i] {
+						t.Fatalf("detection %d differs: reference %+v, optimized %+v",
+							i, ref.Detections[i], got.Detections[i])
+					}
+				}
+				if len(refCov) != len(gotCov) {
+					t.Fatalf("group counts differ: %d vs %d", len(refCov), len(gotCov))
+				}
+				for i := range refCov {
+					if refCov[i] != gotCov[i] {
+						t.Fatalf("group %d coverage differs: reference %+v, optimized %+v",
+							i, refCov[i], gotCov[i])
+					}
+				}
+			})
+		}
+	}
+}

@@ -342,3 +342,27 @@ func TestPatternApplyTo(t *testing.T) {
 		}
 	}
 }
+
+func TestPackPatternsMatchesApplyTo(t *testing.T) {
+	r := rand.New(rand.NewSource(67))
+	for _, numIn := range []int{1, 17, 63, 64, 65, 100, 128} {
+		for _, count := range []int{1, 5, 63, 64} {
+			pats := make([]Pattern, count)
+			for s := range pats {
+				pats[s] = Pattern{W: [2]uint64{r.Uint64(), r.Uint64()}}
+			}
+			want := make([]uint64, numIn)
+			for s, p := range pats {
+				p.ApplyTo(want, uint(s))
+			}
+			got := make([]uint64, numIn)
+			PackPatterns(pats, got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("numIn=%d count=%d input %d: PackPatterns %#x, ApplyTo %#x",
+						numIn, count, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package circuits
+
+// PackPatterns packs up to 64 patterns into per-input bit vectors:
+// dst[i] bit s is pattern s's value of module input i. It is equivalent
+// to calling pats[s].ApplyTo(dst, s) for every slot on a zeroed dst, but
+// runs as two 64×64 bit-matrix transposes instead of one branch per
+// (pattern, input) pair. Slots past len(pats) come out zero.
+func PackPatterns(pats []Pattern, dst []uint64) {
+	var t [2][64]uint64
+	for s := range pats {
+		t[0][63-s] = pats[s].W[0]
+		t[1][63-s] = pats[s].W[1]
+	}
+	transpose64(&t[0])
+	if len(dst) > 64 {
+		transpose64(&t[1])
+	}
+	for i := range dst {
+		dst[i] = t[i>>6][63-i&63]
+	}
+}
+
+// transpose64 transposes a 64×64 bit matrix in place, under the matrix
+// convention where row r's leftmost column is bit 63: afterwards row
+// 63-b bit 63-r holds what row r bit b held. Classic recursive
+// block-swap (Hacker's Delight fig. 7-3 scaled to 64 bits): swap the
+// off-diagonal 32×32 blocks, then the 16×16 blocks inside each half,
+// and so on. Callers load rows mirrored, as PackPatterns does, to get a
+// plain bit-index transpose.
+func transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := 32; j != 0; j, m = j>>1, m^(m<<uint(j>>1)) {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := (a[k] ^ a[k+j]>>uint(j)) & m
+			a[k] ^= t
+			a[k+j] ^= t << uint(j)
+		}
+	}
+}

@@ -127,6 +127,10 @@ type Result struct {
 	FCUpper      float64
 	ShardErrors  []string
 	Stats        Stats
+	// SimStats aggregates the engine counters of every accepted shard
+	// reply: dedup dictionary hit rate, activation pre-screen and
+	// unchanged-cone skips. Failed shards contribute nothing.
+	SimStats fault.SimStats
 }
 
 // Degraded reports whether any shard permanently failed, making the
@@ -336,6 +340,7 @@ type shardState struct {
 	done   bool
 	failed bool
 	dets   []Detection
+	stats  fault.SimStats
 	errs   []string
 }
 
@@ -621,6 +626,7 @@ func (rl *runLoop) onResult(d *dispatch, res *ShardResult, err error) {
 	if err == nil {
 		s.done = true
 		s.dets = res.Detections
+		s.stats = res.Stats
 		rl.remaining--
 		if d.hedged {
 			rl.stats.HedgeWins++
@@ -775,6 +781,7 @@ func (rl *runLoop) finish(camp *fault.Campaign, ordered []fault.TimedPattern, op
 		failedFaults int
 		shardErrs    []string
 	)
+	var simStats fault.SimStats
 	for _, s := range rl.shards {
 		if s.done {
 			for _, d := range s.dets {
@@ -782,6 +789,7 @@ func (rl *runLoop) finish(camp *fault.Campaign, ordered []fault.TimedPattern, op
 				dets = append(dets, fault.Detection{Fault: gid, Pattern: d.Pattern, CC: d.CC})
 				detIDs = append(detIDs, gid)
 			}
+			simStats.Add(s.stats)
 			continue
 		}
 		failedShards++
@@ -806,6 +814,7 @@ func (rl *runLoop) finish(camp *fault.Campaign, ordered []fault.TimedPattern, op
 		FailedFaults:    failedFaults,
 		ShardErrors:     shardErrs,
 		Stats:           rl.stats,
+		SimStats:        simStats,
 	}
 	if total := camp.Total(); total > 0 {
 		res.FCLower = 100 * float64(detTotal) / float64(total)
@@ -850,4 +859,24 @@ func (rl *runLoop) recordStats(res *Result) {
 	}
 	m.Gauge("gpustl_dist_fc_lower_pct").Set(res.FCLower)
 	m.Gauge("gpustl_dist_fc_upper_pct").Set(res.FCUpper)
+
+	// Engine counters aggregated from the accepted shard replies: how
+	// much work the optimized simulator avoided, fleet-wide.
+	ss := res.SimStats
+	for _, c := range []struct {
+		name string
+		n    uint64
+	}{
+		{"gpustl_faultsim_blocks_total", ss.Blocks},
+		{"gpustl_faultsim_patterns_total", ss.TotalPatterns},
+		{"gpustl_faultsim_unique_patterns_total", ss.UniquePatterns},
+		{"gpustl_faultsim_fault_evals_total", ss.FaultEvals},
+		{"gpustl_faultsim_cone_skips_total", ss.ConeSkips},
+		{"gpustl_faultsim_prescreen_skips_total", ss.PrescreenSkips},
+		{"gpustl_faultsim_propagations_total", ss.Propagations},
+	} {
+		m.Counter(c.name).Add(c.n)
+	}
+	m.Gauge("gpustl_faultsim_dedup_hit_rate").Set(ss.DedupHitRate())
+	m.Gauge("gpustl_faultsim_prescreen_skip_ratio").Set(ss.PrescreenSkipRatio())
 }

@@ -74,6 +74,12 @@ type ShardResult struct {
 	Attempt    int         `json:"attempt"`
 	Worker     string      `json:"worker"`
 	Detections []Detection `json:"detections"`
+	// Stats carries the worker's engine counters (dedup dictionary hit
+	// rate, activation pre-screen skips, ...) for this shard. Advisory
+	// telemetry: the coordinator aggregates accepted replies' stats into
+	// Result.SimStats, but never bases correctness decisions on them, so
+	// Validate leaves them unchecked.
+	Stats fault.SimStats `json:"stats"`
 }
 
 // Validate cross-checks a reply against the request it claims to answer.

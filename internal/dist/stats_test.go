@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"gpustl/internal/fault"
+	"gpustl/internal/obs"
+)
+
+// TestShardStatsAggregation pins down the dedup-dictionary stats ride of
+// the shard protocol: each worker reports its engine counters in the
+// ShardResult, the coordinator sums accepted replies into
+// Result.SimStats, and the metrics registry mirrors the totals.
+func TestShardStatsAggregation(t *testing.T) {
+	m := spModule(t)
+	base := randomSPStream(rand.New(rand.NewSource(77)), m.Lanes, 128)
+	// Repeat every pattern once (distinct clock cycle): half the stream
+	// is duplicate stimulus the dictionary must fold away.
+	stream := make([]fault.TimedPattern, 0, 2*len(base))
+	for _, p := range base {
+		stream = append(stream, p)
+		dup := p
+		dup.CC += 100000
+		stream = append(stream, dup)
+	}
+
+	reg := obs.NewRegistry()
+	opt := fastOptions()
+	opt.Metrics = reg
+	co, err := New(opt, NewLocal("w0"), NewLocal("w1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	camp := newSPCampaign(t, m, 600, 31)
+	res, err := co.Run(context.Background(), camp, stream, fault.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded() {
+		t.Fatalf("unexpected degraded run: %+v", res.ShardErrors)
+	}
+
+	ss := res.SimStats
+	if ss.FaultEvals == 0 || ss.Blocks == 0 {
+		t.Fatalf("no engine stats aggregated from shard replies: %+v", ss)
+	}
+	if ss.TotalPatterns == 0 || ss.UniquePatterns > ss.TotalPatterns {
+		t.Fatalf("implausible pattern counters: %+v", ss)
+	}
+	// Every pattern occurs exactly twice in its lane's stream, so the
+	// dictionary folds away at least half of every shard's stimulus.
+	if hr := ss.DedupHitRate(); hr < 0.5 {
+		t.Fatalf("dedup hit-rate %.3f < 0.5 on a doubled stream: %+v", hr, ss)
+	}
+
+	snap := reg.Snapshot()
+	for name, want := range map[string]uint64{
+		"gpustl_faultsim_blocks_total":          ss.Blocks,
+		"gpustl_faultsim_patterns_total":        ss.TotalPatterns,
+		"gpustl_faultsim_unique_patterns_total": ss.UniquePatterns,
+		"gpustl_faultsim_fault_evals_total":     ss.FaultEvals,
+		"gpustl_faultsim_cone_skips_total":      ss.ConeSkips,
+		"gpustl_faultsim_prescreen_skips_total": ss.PrescreenSkips,
+		"gpustl_faultsim_propagations_total":    ss.Propagations,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if g := snap.Gauges["gpustl_faultsim_dedup_hit_rate"]; g != ss.DedupHitRate() {
+		t.Errorf("dedup hit-rate gauge = %v, want %v", g, ss.DedupHitRate())
+	}
+	if g := snap.Gauges["gpustl_faultsim_prescreen_skip_ratio"]; g != ss.PrescreenSkipRatio() {
+		t.Errorf("prescreen skip-ratio gauge = %v, want %v", g, ss.PrescreenSkipRatio())
+	}
+}

@@ -75,7 +75,7 @@ func (l *Local) Simulate(ctx context.Context, req *ShardRequest) (*ShardResult, 
 		return nil, err
 	}
 	camp := fault.NewCampaignWithFaults(mod, req.Faults)
-	dets, err := camp.SimulateSubset(ctx, req.Stream, nil)
+	dets, stats, err := camp.SimulateSubsetStats(ctx, req.Stream, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -84,6 +84,7 @@ func (l *Local) Simulate(ctx context.Context, req *ShardRequest) (*ShardResult, 
 		Attempt:    req.Attempt,
 		Worker:     l.name,
 		Detections: make([]Detection, len(dets)),
+		Stats:      stats,
 	}
 	for i, d := range dets {
 		res.Detections[i] = Detection{Fault: int32(d.Fault), Pattern: d.Pattern, CC: d.CC}

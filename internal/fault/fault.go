@@ -22,6 +22,7 @@ import (
 	"math/bits"
 	"math/rand"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -132,6 +133,23 @@ type Campaign struct {
 
 	ev      *netlist.Evaluator
 	initErr error // deferred constructor error (e.g. sequential module)
+
+	// evPool recycles evaluator scratch (good/faulty/stamp arrays) across
+	// parallel shards and SimulateSubset calls, so repeated runs on one
+	// campaign allocate no per-worker evaluators after warm-up.
+	evPool sync.Pool
+
+	// stats accumulates engine counters across this campaign's SimulateCtx
+	// runs (the per-campaign dictionary effectiveness view); guarded by
+	// statsMu only because Stats() may be read while a run is merging.
+	statsMu sync.Mutex
+	stats   SimStats
+	runs    uint64
+
+	// Cone ordering of the fault list (see coneOrdering), built once.
+	coneOnce  sync.Once
+	coneOrder []ID
+	coneRank  []int32
 }
 
 // NewCampaign creates a campaign over the module's full uncollapsed
@@ -311,6 +329,12 @@ type Report struct {
 	// filled when Simulate is called with activations enabled.
 	ActivatedPerPattern []int32
 
+	// Stats reports what the simulation engine did on this run: dedup
+	// effectiveness, pre-screen and cone-skip hit counts, propagation
+	// count. The naive (NoOptimize) engine fills the pattern and
+	// evaluation totals with zero skips.
+	Stats SimStats
+
 	// Copied stream metadata, so the FSR is self-contained like the
 	// paper's text-file report.
 	CCs   []uint64
@@ -338,6 +362,14 @@ type SimOptions struct {
 	// NoDrop evaluates every fault against every pattern instead of
 	// dropping at first detection (only with RecordActivations analyses).
 	NoDrop bool
+	// NoOptimize runs the straightforward reference engine: no activation
+	// pre-screen, no unique-pattern dedup, no cone-aware scheduling. The
+	// optimized engine is detection-for-detection identical by contract
+	// (the equivalence tests enforce it); this switch exists for those
+	// tests and for debugging. RecordActivations implies NoOptimize: the
+	// per-pattern activation counters must see every original pattern,
+	// which dedup would fold away.
+	NoOptimize bool
 	// Workers runs the fault-serial loop on this many goroutines, each
 	// with its own evaluator over a shard of the fault list. Results are
 	// bit-identical to the serial run (first detections are per-fault).
@@ -471,6 +503,27 @@ func (c *Campaign) SimulateCtx(ctx context.Context, stream []TimedPattern, opt S
 	simStart := time.Now()
 	faultsIn := c.Remaining()
 
+	// RecordActivations needs every original pattern walked (dedup would
+	// fold the activation counters), so it rides the reference engine.
+	naive := opt.NoOptimize || opt.RecordActivations
+	var runStats SimStats
+	var lanes []laneStream
+	if naive {
+		for _, idxs := range laneIdx {
+			runStats.TotalPatterns += uint64(len(idxs))
+		}
+		runStats.UniquePatterns = runStats.TotalPatterns
+	} else {
+		// Dedup and pack the stimulus once, shared read-only by every
+		// shard; the cone index is built here, before forking workers.
+		ci := c.Module.NL.Cone()
+		lanes = buildLaneStreams(c.Module.NL, ordered, laneIdx, laneClassUse(ci, c.faults, shards))
+		for _, ls := range lanes {
+			runStats.TotalPatterns += uint64(ls.total)
+			runStats.UniquePatterns += uint64(ls.unique)
+		}
+	}
+
 	// Run the shards. Every worker recovers its own panics: the first
 	// error or panic cancels the remaining workers and is surfaced to the
 	// caller instead of killing the process.
@@ -484,6 +537,12 @@ func (c *Campaign) SimulateCtx(ctx context.Context, stream []TimedPattern, opt S
 		errOnce.Do(func() { firstErr = err })
 		cancel()
 	}
+	runShard := func(shard [][]ID, ev *netlist.Evaluator, activated []int32) (*shardResult, error) {
+		if naive {
+			return c.simulateShard(sctx, ordered, laneIdx, shard, ev, opt, activated)
+		}
+		return c.simulateShardOpt(sctx, ordered, lanes, shard, ev)
+	}
 	results := make([]*shardResult, workers)
 	if workers == 1 {
 		func() {
@@ -492,7 +551,7 @@ func (c *Campaign) SimulateCtx(ctx context.Context, stream []TimedPattern, opt S
 					fail(fmt.Errorf("fault: simulation panicked: %v", v))
 				}
 			}()
-			sr, err := c.simulateShard(sctx, ordered, laneIdx, shards[0], c.ev, opt, rep.ActivatedPerPattern)
+			sr, err := runShard(shards[0], c.ev, rep.ActivatedPerPattern)
 			if err != nil {
 				fail(err)
 				return
@@ -510,12 +569,13 @@ func (c *Campaign) SimulateCtx(ctx context.Context, stream []TimedPattern, opt S
 						fail(fmt.Errorf("fault: simulation worker %d panicked: %v", w, v))
 					}
 				}()
-				ev, err := netlist.NewEvaluator(c.Module.NL)
+				ev, err := c.getEvaluator()
 				if err != nil {
 					fail(err)
 					return
 				}
-				sr, err := c.simulateShard(sctx, ordered, laneIdx, shards[w], ev, opt, nil)
+				defer c.putEvaluator(ev)
+				sr, err := runShard(shards[w], ev, nil)
 				if err != nil {
 					fail(err)
 					return
@@ -541,6 +601,7 @@ func (c *Campaign) SimulateCtx(ctx context.Context, stream []TimedPattern, opt S
 			rep.DetectedPerPattern[i] += n
 		}
 		rep.Detections = append(rep.Detections, sr.detections...)
+		runStats.Add(sr.stats)
 		if !opt.NoDrop {
 			for _, d := range sr.detections {
 				c.detected[d.Fault] = true
@@ -548,21 +609,46 @@ func (c *Campaign) SimulateCtx(ctx context.Context, stream []TimedPattern, opt S
 			}
 		}
 	}
-	sort.Slice(rep.Detections, func(i, j int) bool {
-		if rep.Detections[i].Pattern != rep.Detections[j].Pattern {
-			return rep.Detections[i].Pattern < rep.Detections[j].Pattern
-		}
-		return rep.Detections[i].Fault < rep.Detections[j].Fault
-	})
-	c.recordMetrics(opt, len(ordered), faultsIn, len(rep.Detections), time.Since(simStart))
+	sortDetections(rep.Detections, ordered)
+	rep.Stats = runStats
+	c.statsMu.Lock()
+	c.stats.Add(runStats)
+	c.runs++
+	c.statsMu.Unlock()
+	c.recordMetrics(opt, len(ordered), faultsIn, len(rep.Detections), runStats, time.Since(simStart))
 	return rep, nil
+}
+
+// Stats returns the engine counters accumulated across this campaign's
+// SimulateCtx runs (SimulateSubset calls report their stats to the caller
+// instead — a distributed coordinator owns that aggregation).
+func (c *Campaign) Stats() SimStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
+
+// getEvaluator takes a pooled evaluator or builds a fresh one.
+func (c *Campaign) getEvaluator() (*netlist.Evaluator, error) {
+	if v := c.evPool.Get(); v != nil {
+		return v.(*netlist.Evaluator), nil
+	}
+	return netlist.NewEvaluator(c.Module.NL)
+}
+
+// putEvaluator returns a worker's evaluator to the pool. The campaign's
+// own serial evaluator never enters the pool.
+func (c *Campaign) putEvaluator(ev *netlist.Evaluator) {
+	if ev != nil && ev != c.ev {
+		c.evPool.Put(ev)
+	}
 }
 
 // recordMetrics publishes one SimulateCtx run's batched counters. It is
 // deliberately called once per run, after the merge: the hot inner loop
 // carries zero instrumentation, keeping the overhead bound (<1% of the
 // simulation) independent of campaign size.
-func (c *Campaign) recordMetrics(opt SimOptions, patterns, faultsIn, dropped int, elapsed time.Duration) {
+func (c *Campaign) recordMetrics(opt SimOptions, patterns, faultsIn, dropped int, stats SimStats, elapsed time.Duration) {
 	m := opt.Metrics
 	if m == nil {
 		return
@@ -579,32 +665,59 @@ func (c *Campaign) recordMetrics(opt SimOptions, patterns, faultsIn, dropped int
 		m.Gauge("gpustl_fault_patterns_per_second").Set(float64(patterns) / s)
 	}
 	m.Histogram("gpustl_fault_sim_seconds", obs.DefLatencyBuckets()).Observe(elapsed.Seconds())
+	// Engine-effectiveness counters: how much work the optimizations
+	// resolved without a full propagation, and how much stimulus the
+	// unique-pattern dictionary folded away.
+	m.Counter("gpustl_fault_unique_patterns_total").Add(stats.UniquePatterns)
+	m.Counter("gpustl_fault_evals_total").Add(stats.FaultEvals)
+	m.Counter("gpustl_fault_prescreen_skips_total").Add(stats.PrescreenSkips)
+	m.Counter("gpustl_fault_cone_skips_total").Add(stats.ConeSkips)
+	m.Counter("gpustl_fault_propagations_total").Add(stats.Propagations)
+	m.Gauge("gpustl_fault_dedup_hit_ratio").Set(stats.DedupHitRate())
+	m.Gauge("gpustl_fault_prescreen_skip_ratio").Set(stats.PrescreenSkipRatio())
+	m.Gauge("gpustl_fault_cone_skip_ratio").Set(stats.ConeSkipRatio())
 }
 
 // shardResult carries one worker's detections, to be merged serially.
 type shardResult struct {
 	perPattern []int32
 	detections []Detection
+	stats      SimStats
 }
 
 // partitionByLane splits the campaign's currently undetected faults into
 // k shards, round-robin, with each shard's faults grouped by lane (the
 // layout simulateShard consumes). Faults for lanes the module build does
-// not have are skipped, matching the simulation loop.
+// not have are skipped, matching the simulation loop. Faults are dealt
+// in cone order, so every shard's lane list comes out sorted for the
+// optimized engine with no per-run sorting; results are independent of
+// the deal order because first detections are per-fault.
 func (c *Campaign) partitionByLane(k int) [][][]ID {
 	if k < 1 {
 		k = 1
 	}
 	shards := make([][][]ID, k)
+	perLane := make([]int, c.Module.Lanes)
+	order, _ := c.coneOrdering()
+	for _, id := range order {
+		f := &c.faults[id]
+		if !c.detected[id] && int(f.Lane) < c.Module.Lanes {
+			perLane[f.Lane]++
+		}
+	}
 	for w := range shards {
 		shards[w] = make([][]ID, c.Module.Lanes)
+		for lane, cnt := range perLane {
+			shards[w][lane] = make([]ID, 0, (cnt+k-1)/k)
+		}
 	}
 	next := 0
-	for id, f := range c.faults {
+	for _, id := range order {
+		f := &c.faults[id]
 		if c.detected[id] || int(f.Lane) >= c.Module.Lanes {
 			continue
 		}
-		shards[next][f.Lane] = append(shards[next][f.Lane], ID(id))
+		shards[next][f.Lane] = append(shards[next][f.Lane], id)
 		next = (next + 1) % k
 	}
 	return shards
@@ -643,14 +756,25 @@ func (c *Campaign) PartitionRemaining(k int) [][]ID {
 // order given (a coordinator that wants Reverse semantics pre-reverses
 // it). Detections carry global stream indices and are sorted by
 // (Pattern, Fault); faults already detected in this campaign are
-// skipped. A fresh evaluator is built per call, so concurrent
+// skipped. Evaluator scratch is pooled per campaign, and concurrent
 // SimulateSubset calls on one campaign are safe.
 func (c *Campaign) SimulateSubset(ctx context.Context, stream []TimedPattern, ids []ID) ([]Detection, error) {
+	dets, _, err := c.SimulateSubsetStats(ctx, stream, ids)
+	return dets, err
+}
+
+// SimulateSubsetStats is SimulateSubset plus the engine counters of the
+// run (dedup hit-rate, pre-screen and cone skips). A distributed worker
+// ships these back with its detections so the coordinator can aggregate
+// optimization effectiveness across shards; campaign-held cumulative
+// stats deliberately stay untouched, preserving SimulateSubset's
+// no-campaign-mutation contract.
+func (c *Campaign) SimulateSubsetStats(ctx context.Context, stream []TimedPattern, ids []ID) ([]Detection, SimStats, error) {
 	if c.initErr != nil {
-		return nil, fmt.Errorf("fault: campaign over %v unusable: %w", c.Module.Kind, c.initErr)
+		return nil, SimStats{}, fmt.Errorf("fault: campaign over %v unusable: %w", c.Module.Kind, c.initErr)
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, SimStats{}, err
 	}
 	if ids == nil {
 		for id := range c.faults {
@@ -662,7 +786,7 @@ func (c *Campaign) SimulateSubset(ctx context.Context, stream []TimedPattern, id
 	laneFaults := make([][]ID, c.Module.Lanes)
 	for _, id := range ids {
 		if id < 0 || int(id) >= len(c.faults) {
-			return nil, fmt.Errorf("fault: SimulateSubset: id %d outside master list (%d faults)",
+			return nil, SimStats{}, fmt.Errorf("fault: SimulateSubset: id %d outside master list (%d faults)",
 				id, len(c.faults))
 		}
 		f := c.faults[id]
@@ -678,21 +802,25 @@ func (c *Campaign) SimulateSubset(ctx context.Context, stream []TimedPattern, id
 		}
 		laneIdx[p.Lane] = append(laneIdx[p.Lane], int32(i))
 	}
-	ev, err := netlist.NewEvaluator(c.Module.NL)
-	if err != nil {
-		return nil, err
+	ci := c.Module.NL.Cone()
+	lanes := buildLaneStreams(c.Module.NL, stream, laneIdx, laneClassUse(ci, c.faults, [][][]ID{laneFaults}))
+	var stats SimStats
+	for _, ls := range lanes {
+		stats.TotalPatterns += uint64(ls.total)
+		stats.UniquePatterns += uint64(ls.unique)
 	}
-	sr, err := c.simulateShard(ctx, stream, laneIdx, laneFaults, ev, SimOptions{}, nil)
+	ev, err := c.getEvaluator()
 	if err != nil {
-		return nil, err
+		return nil, SimStats{}, err
 	}
-	sort.Slice(sr.detections, func(i, j int) bool {
-		if sr.detections[i].Pattern != sr.detections[j].Pattern {
-			return sr.detections[i].Pattern < sr.detections[j].Pattern
-		}
-		return sr.detections[i].Fault < sr.detections[j].Fault
-	})
-	return sr.detections, nil
+	defer c.putEvaluator(ev)
+	sr, err := c.simulateShardOpt(ctx, stream, lanes, laneFaults, ev)
+	if err != nil {
+		return nil, SimStats{}, err
+	}
+	stats.Add(sr.stats)
+	sortDetections(sr.detections, stream)
+	return sr.detections, stats, nil
 }
 
 // simulateShard runs the fault-serial, 64-pattern-parallel loop for one
@@ -707,9 +835,9 @@ func (c *Campaign) simulateShard(ctx context.Context, ordered []TimedPattern, la
 	sr := &shardResult{perPattern: make([]int32, len(ordered))}
 	inputs := make([]uint64, len(c.Module.NL.Inputs))
 
-	var seen map[ID]bool // NoDrop: first detection per fault already recorded
+	var seen []uint64 // NoDrop: first-detection-recorded bitset per fault id
 	if opt.NoDrop {
-		seen = make(map[ID]bool)
+		seen = make([]uint64, (len(c.faults)+63)/64)
 	}
 
 	for lane := 0; lane < c.Module.Lanes; lane++ {
@@ -736,10 +864,13 @@ func (c *Campaign) simulateShard(ctx context.Context, ordered []TimedPattern, la
 			if err := ev.Run(inputs); err != nil {
 				return nil, err
 			}
+			sr.stats.Blocks++
 
 			w := 0
 			for _, id := range remaining {
 				f := c.faults[id]
+				sr.stats.FaultEvals++
+				sr.stats.Propagations++
 				det := ev.FaultDetect(f.Site)
 				if n < 64 {
 					det &= (1 << uint(n)) - 1
@@ -761,8 +892,8 @@ func (c *Campaign) simulateShard(ctx context.Context, ordered []TimedPattern, la
 					continue
 				}
 				if opt.NoDrop {
-					if !seen[id] {
-						seen[id] = true
+					if seen[uint32(id)>>6]>>(uint32(id)&63)&1 == 0 {
+						seen[uint32(id)>>6] |= 1 << (uint32(id) & 63)
 						first := bits.TrailingZeros64(det)
 						gi := idxs[blk+first]
 						sr.perPattern[gi]++
@@ -790,6 +921,123 @@ func (c *Campaign) simulateShard(ctx context.Context, ordered []TimedPattern, la
 	return sr, nil
 }
 
+// simulateShardOpt is the optimized fault-serial loop: it consumes the
+// pre-packed deduplicated lane streams (so there is no per-shard input
+// clearing or packing), orders each lane's faults by fan-out cone, and
+// resolves most fault×block visits without event-driven propagation —
+// via the unchanged-cone test (no primary input in the fault's detection
+// support changed since the previous block, so the previous zero
+// detection mask carries over) or the activation pre-screen (the site's
+// local delta is zero, and detection is a bitwise subset of it). Visits
+// that survive both tests combine the delta with the evaluator's
+// memoized per-block observability mask (Evaluator.Obs) instead of
+// propagating: only fan-out stems fill the memo with a real
+// event-driven pass, which every fault in the stem's fan-out-free
+// region then shares. The inner loop allocates nothing.
+//
+// Detections are byte-identical to simulateShard on the original stream:
+// a duplicate pattern can never be a first detection (its earlier twin
+// detects first), gidx maps every unique slot back to the earliest
+// original stream index, and both skip rules only ever elide provably
+// zero masks. NoDrop needs no special handling here: a fault is removed
+// from the local walk after its first detection either way — later
+// patterns cannot produce another first detection — and whether the
+// campaign's dropped state is updated is decided at merge time.
+func (c *Campaign) simulateShardOpt(ctx context.Context, ordered []TimedPattern, lanes []laneStream,
+	laneFaults [][]ID, ev *netlist.Evaluator) (*shardResult, error) {
+
+	sr := &shardResult{perPattern: make([]int32, len(ordered))}
+	ci := c.Module.NL.Cone()
+
+	// Per-lane walk scratch: fault ids with their sites and cone classes
+	// hoisted into parallel arrays, compacted together as faults drop, so
+	// the inner loop touches only sequential memory. Sized once to the
+	// largest lane and reused.
+	var (
+		ids     []ID
+		sites   []netlist.FaultSite
+		classes []int32
+	)
+	for lane := range lanes {
+		ls := &lanes[lane]
+		remaining := laneFaults[lane]
+		if len(ls.blocks) == 0 || len(remaining) == 0 {
+			continue
+		}
+		c.sortByCone(remaining)
+		if cap(ids) < len(remaining) {
+			ids = make([]ID, len(remaining))
+			sites = make([]netlist.FaultSite, len(remaining))
+			classes = make([]int32, len(remaining))
+		}
+		n := len(remaining)
+		ids = ids[:n]
+		sites = sites[:n]
+		classes = classes[:n]
+		for i, id := range remaining {
+			ids[i] = id
+			sites[i] = c.faults[id].Site
+			cl := int32(0)
+			if g := sites[i].Gate; g >= 0 && int(g) < ci.NumGatesIndexed() {
+				cl = ci.ClassOf(g)
+			}
+			classes[i] = cl
+		}
+		for b := range ls.blocks {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			blk := &ls.blocks[b]
+			if err := ev.Run(blk.inputs); err != nil {
+				return nil, err
+			}
+			sr.stats.Blocks++
+			mask := ^uint64(0)
+			if nv := len(blk.gidx); nv < 64 {
+				mask = 1<<uint(nv) - 1
+			}
+
+			w := 0
+			for i := 0; i < n; i++ {
+				sr.stats.FaultEvals++
+				if blk.skip != nil {
+					if cl := classes[i]; blk.skip[cl>>6]>>(uint(cl)&63)&1 == 1 {
+						sr.stats.ConeSkips++
+						ids[w], sites[w], classes[w] = ids[i], sites[i], classes[i]
+						w++
+						continue
+					}
+				}
+				delta := ev.SiteDelta(sites[i]) & mask
+				if delta == 0 {
+					sr.stats.PrescreenSkips++
+					ids[w], sites[w], classes[w] = ids[i], sites[i], classes[i]
+					w++
+					continue
+				}
+				sr.stats.Propagations++
+				det := delta & ev.Obs(sites[i].Gate)
+				if det == 0 {
+					ids[w], sites[w], classes[w] = ids[i], sites[i], classes[i]
+					w++
+					continue
+				}
+				first := bits.TrailingZeros64(det)
+				gi := blk.gidx[first]
+				sr.perPattern[gi]++
+				sr.detections = append(sr.detections, Detection{
+					Fault: ids[i], Pattern: gi, CC: ordered[gi].CC,
+				})
+			}
+			n = w
+			if n == 0 {
+				break
+			}
+		}
+	}
+	return sr, nil
+}
+
 // activationMask computes, for the evaluator's current block, on which
 // patterns the fault site's forced value differs from the fault-free value.
 func activationMask(ev *netlist.Evaluator, nl *netlist.Netlist, s netlist.FaultSite) uint64 {
@@ -802,4 +1050,22 @@ func activationMask(ev *netlist.Evaluator, nl *netlist.Netlist, s netlist.FaultS
 	}
 	in := nl.Gates[s.Gate].In[s.Pin]
 	return ev.Value(in) ^ sa
+}
+
+// sortDetections orders detections by (pattern, fault) — the report
+// contract — via packed uint64 keys instead of an interface-based sort,
+// rebuilding each entry's cc from the stream it indexes into.
+func sortDetections(dets []Detection, stream []TimedPattern) {
+	if len(dets) < 2 {
+		return
+	}
+	keys := make([]uint64, len(dets))
+	for i, d := range dets {
+		keys[i] = uint64(uint32(d.Pattern))<<32 | uint64(uint32(d.Fault))
+	}
+	slices.Sort(keys)
+	for i, k := range keys {
+		p := int32(k >> 32)
+		dets[i] = Detection{Fault: ID(uint32(k)), Pattern: p, CC: stream[p].CC}
+	}
 }

@@ -156,8 +156,14 @@ func (c *SeqCampaign) Simulate(stream []TimedPattern) (*Report, error) {
 			// batches are capped at 63, the two conditions LoadFaults checks.
 			panic(err)
 		}
+		// Every fault in the batch detected → the rest of the sequence
+		// cannot add a first detection for this batch; stop replaying it.
+		full := (uint64(1)<<uint(len(ids)) - 1) << 1
 		var seen uint64
 		for si, tp := range ordered {
+			if seen == full {
+				break
+			}
 			for i := 0; i < numIn; i++ {
 				inputs[i] = tp.Pat.Bit(i)
 			}

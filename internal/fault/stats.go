@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SimStats counts what the optimized simulation engine actually did: how
+// much stimulus was deduplicated away, how many fault×block evaluations
+// were answered by the cone test or the activation pre-screen alone, and
+// how many needed a full fan-out-cone propagation. The counters make
+// optimization effectiveness observable — a regression here (e.g. a
+// stimulus change that defeats dedup) shows up even when wall-clock noise
+// hides it.
+//
+// TotalPatterns/UniquePatterns describe the stream once per run;
+// Blocks/FaultEvals/ConeSkips/PrescreenSkips/Propagations sum the work of
+// all shards (a fault×block visit is counted exactly once, under exactly
+// one of the three outcomes or as a drop-hit propagation).
+type SimStats struct {
+	// Blocks is the number of 64-pattern good-circuit evaluations run.
+	Blocks uint64 `json:"blocks"`
+	// TotalPatterns is the stream length fed to the run (after lane
+	// filtering), including duplicates.
+	TotalPatterns uint64 `json:"total_patterns"`
+	// UniquePatterns is the stream length after per-lane dedup; the naive
+	// engine reports TotalPatterns here (it deduplicates nothing).
+	UniquePatterns uint64 `json:"unique_patterns"`
+	// FaultEvals counts fault×block visits.
+	FaultEvals uint64 `json:"fault_evals"`
+	// ConeSkips counts visits resolved by the unchanged-cone test: no
+	// primary input in the fault's detection support changed since the
+	// previous block, so the (zero) detection mask carries over.
+	ConeSkips uint64 `json:"cone_skips"`
+	// PrescreenSkips counts visits resolved by the activation pre-screen:
+	// the fault site's local delta was zero, so nothing can propagate.
+	PrescreenSkips uint64 `json:"prescreen_skips"`
+	// Propagations counts visits that computed a real detection mask: in
+	// the optimized engine a delta&Obs combination against the memoized
+	// observability of the fault site (the shared event-driven propagation
+	// that fills a stem's memo is amortized, not per-fault); in the naive
+	// engine a full fan-out-cone evaluation.
+	Propagations uint64 `json:"propagations"`
+}
+
+// Add accumulates o into s.
+func (s *SimStats) Add(o SimStats) {
+	s.Blocks += o.Blocks
+	s.TotalPatterns += o.TotalPatterns
+	s.UniquePatterns += o.UniquePatterns
+	s.FaultEvals += o.FaultEvals
+	s.ConeSkips += o.ConeSkips
+	s.PrescreenSkips += o.PrescreenSkips
+	s.Propagations += o.Propagations
+}
+
+// DedupHitRate returns the fraction of stream patterns eliminated by the
+// unique-pattern dictionary, in [0,1].
+func (s SimStats) DedupHitRate() float64 {
+	if s.TotalPatterns == 0 {
+		return 0
+	}
+	return 1 - float64(s.UniquePatterns)/float64(s.TotalPatterns)
+}
+
+// PrescreenSkipRatio returns the fraction of fault×block visits the
+// activation pre-screen resolved, in [0,1].
+func (s SimStats) PrescreenSkipRatio() float64 {
+	if s.FaultEvals == 0 {
+		return 0
+	}
+	return float64(s.PrescreenSkips) / float64(s.FaultEvals)
+}
+
+// ConeSkipRatio returns the fraction of fault×block visits the
+// unchanged-cone test resolved, in [0,1].
+func (s SimStats) ConeSkipRatio() float64 {
+	if s.FaultEvals == 0 {
+		return 0
+	}
+	return float64(s.ConeSkips) / float64(s.FaultEvals)
+}
+
+// String renders the stats as an aligned report block, in the style of
+// trace.OpStats.
+func (s SimStats) String() string {
+	pct := func(n uint64) float64 {
+		if s.FaultEvals == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(s.FaultEvals)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault-sim engine stats\n")
+	fmt.Fprintf(&b, "  patterns    total %12d  unique %12d  dedup hit-rate %6.2f%%\n",
+		s.TotalPatterns, s.UniquePatterns, 100*s.DedupHitRate())
+	fmt.Fprintf(&b, "  blocks      %12d\n", s.Blocks)
+	fmt.Fprintf(&b, "  fault evals %12d\n", s.FaultEvals)
+	fmt.Fprintf(&b, "    cone-skipped      %12d  %6.2f%%\n", s.ConeSkips, pct(s.ConeSkips))
+	fmt.Fprintf(&b, "    prescreen-skipped %12d  %6.2f%%\n", s.PrescreenSkips, pct(s.PrescreenSkips))
+	fmt.Fprintf(&b, "    propagated        %12d  %6.2f%%\n", s.Propagations, pct(s.Propagations))
+	return b.String()
+}

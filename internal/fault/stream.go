@@ -1,0 +1,314 @@
+package fault
+
+import (
+	"slices"
+	"sort"
+
+	"gpustl/internal/circuits"
+	"gpustl/internal/netlist"
+)
+
+// blockStim is the precomputed stimulus of one 64-pattern block of a
+// lane's deduplicated stream: the packed input vectors Evaluator.Run
+// consumes, the global stream index of each slot's earliest original
+// occurrence, and the per-cone-class skip set. Blocks are built once per
+// run and shared read-only across shards, hoisting the per-shard input
+// clearing and re-packing out of the hot loop entirely.
+type blockStim struct {
+	inputs []uint64 // one packed word per primary input
+	gidx   []int32  // first-occurrence global stream index per slot
+	// skip is a bitset over cone-equivalence classes: bit c set when this
+	// block's projection onto class c's detection support is identical to
+	// an earlier block's. A fault of class c still undetected here was
+	// undetected on that earlier block under the same effective stimulus,
+	// so its detection mask is a known zero and the whole evaluation can
+	// be skipped. nil on the first block and for classes never marked.
+	skip []uint64
+}
+
+// laneStream is one lane's deduplicated, pre-packed pattern stream.
+type laneStream struct {
+	blocks []blockStim
+	total  int // original pattern count, duplicates included
+	unique int // patterns kept after dedup
+}
+
+// buildLaneStreams deduplicates and packs the per-lane streams for one
+// simulation run. Dedup is per lane: a TimedPattern whose input vector
+// (circuits.Pattern is a comparable value) already occurred earlier in
+// the same lane's stream is dropped, and any detection it would have
+// produced is attributed to that earlier occurrence — which is exactly
+// where the reference engine first detects it, since identical stimulus
+// yields identical detection masks. First-occurrence order is preserved,
+// so first-detection indices and cc values are byte-identical.
+//
+// classUsed[lane] restricts the block-level skip analysis to cone
+// classes that actually contain undetected faults in that lane; nil
+// analyses every class.
+func buildLaneStreams(nl *netlist.Netlist, ordered []TimedPattern, laneIdx [][]int32,
+	classUsed [][]uint64) []laneStream {
+
+	numIn := len(nl.Inputs)
+	lanes := make([]laneStream, len(laneIdx))
+	var (
+		table []int32            // open-addressed dictionary: slot -> keys index
+		keys  []circuits.Pattern // unique patterns, first-occurrence order
+		pats  [64]circuits.Pattern
+	)
+	for lane, idxs := range laneIdx {
+		ls := &lanes[lane]
+		ls.total = len(idxs)
+		// The dictionary is per lane. An exact-match open-addressed table
+		// (power-of-two, ≤50% load) replaces map[Pattern]struct{}: the hash
+		// only picks buckets, equality is the comparison of the packed
+		// words, so dedup is exact either way — just without per-insert
+		// hashing and bucket bookkeeping overhead.
+		need := 2
+		for need < 2*len(idxs) {
+			need <<= 1
+		}
+		if len(table) < need {
+			table = make([]int32, need)
+		}
+		tbl := table[:need]
+		for i := range tbl {
+			tbl[i] = -1
+		}
+		hmask := uint64(need - 1)
+		if cap(keys) < len(idxs) {
+			keys = make([]circuits.Pattern, 0, len(idxs))
+		}
+		keys = keys[:0]
+		ls.blocks = make([]blockStim, 0, (len(idxs)+63)/64)
+		var cur *blockStim
+		for _, gi := range idxs {
+			p := ordered[gi].Pat
+			h := hashPattern(p) & hmask
+			dup := false
+			for {
+				j := tbl[h]
+				if j < 0 {
+					tbl[h] = int32(len(keys))
+					keys = append(keys, p)
+					break
+				}
+				if keys[j] == p {
+					dup = true
+					break
+				}
+				h = (h + 1) & hmask
+			}
+			if dup {
+				continue
+			}
+			if cur == nil {
+				ls.blocks = append(ls.blocks, blockStim{
+					inputs: make([]uint64, numIn),
+					gidx:   make([]int32, 0, 64),
+				})
+				cur = &ls.blocks[len(ls.blocks)-1]
+			}
+			pats[len(cur.gidx)] = p
+			cur.gidx = append(cur.gidx, gi)
+			ls.unique++
+			if len(cur.gidx) == 64 {
+				circuits.PackPatterns(pats[:], cur.inputs)
+				cur = nil
+			}
+		}
+		if cur != nil {
+			circuits.PackPatterns(pats[:len(cur.gidx)], cur.inputs)
+		}
+		var used []uint64
+		if classUsed != nil {
+			used = classUsed[lane]
+		}
+		buildClassSkips(nl.Cone(), numIn, ls, used)
+	}
+	return lanes
+}
+
+// hashPattern mixes a pattern's packed words into a table-bucket hash.
+// Collisions only cost probes — matching is exact — so a fast mixer is
+// all that is needed.
+func hashPattern(p circuits.Pattern) uint64 {
+	h := p.W[0]*0x9E3779B97F4A7C15 ^ p.W[1]*0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 29
+	return h
+}
+
+// buildClassSkips marks, for every block and cone class, whether the
+// block's stimulus projected onto the class's detection support already
+// occurred in an earlier block of the lane. Matching is hash-bucketed
+// with exact word comparison, so a hash collision can never produce an
+// unsound skip. Every block except the last holds a full 64 valid
+// patterns, so an earlier matching block's (zero) detection mask covers
+// all patterns the current block can present.
+func buildClassSkips(ci *netlist.ConeInfo, numIn int, ls *laneStream, used []uint64) {
+	if len(ls.blocks) < 2 {
+		return
+	}
+	nc := ci.NumClasses()
+	skipWords := (nc + 63) / 64
+	seen := make(map[uint64][]int32) // projected-stimulus hash -> block indices
+	for c := int32(0); c < int32(nc); c++ {
+		if used != nil && used[c>>6]>>(uint(c)&63)&1 == 0 {
+			continue // no undetected fault of this class in this lane
+		}
+		ins := ci.ClassInputs(c)
+		if len(ins) >= numIn {
+			// Full detection support: the projection is the whole block.
+			// Lane dedup guarantees distinct blocks hold disjoint pattern
+			// sets, so two full projections can never match — skipping the
+			// analysis loses nothing.
+			continue
+		}
+		if len(ins) == 0 {
+			// Empty detection support: every block's projection matches the
+			// first block's, no hashing needed.
+			for b := 1; b < len(ls.blocks); b++ {
+				blk := &ls.blocks[b]
+				if blk.skip == nil {
+					blk.skip = make([]uint64, skipWords)
+				}
+				blk.skip[c>>6] |= 1 << (uint(c) & 63)
+			}
+			continue
+		}
+		clear(seen)
+		for b := range ls.blocks {
+			blk := &ls.blocks[b]
+			h := uint64(14695981039346656037)
+			for _, idx := range ins {
+				h ^= blk.inputs[idx]
+				h *= 1099511628211
+			}
+			dup := false
+			for _, pb := range seen[h] {
+				prev := ls.blocks[pb].inputs
+				same := true
+				for _, idx := range ins {
+					if blk.inputs[idx] != prev[idx] {
+						same = false
+						break
+					}
+				}
+				if same {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				if blk.skip == nil {
+					blk.skip = make([]uint64, skipWords)
+				}
+				blk.skip[c>>6] |= 1 << (uint(c) & 63)
+			} else {
+				seen[h] = append(seen[h], int32(b))
+			}
+		}
+	}
+}
+
+// laneClassUse returns, per lane, the set of cone classes (as a bitset)
+// that contain at least one fault from the given per-lane fault lists —
+// the only classes the block-skip analysis needs to consider.
+func laneClassUse(ci *netlist.ConeInfo, faults []Fault, laneFaults [][][]ID) [][]uint64 {
+	words := (ci.NumClasses() + 63) / 64
+	out := make([][]uint64, 0)
+	var lanes int
+	for _, shard := range laneFaults {
+		if len(shard) > lanes {
+			lanes = len(shard)
+		}
+	}
+	out = make([][]uint64, lanes)
+	for i := range out {
+		out[i] = make([]uint64, words)
+	}
+	for _, shard := range laneFaults {
+		for lane, ids := range shard {
+			for _, id := range ids {
+				g := faults[id].Site.Gate
+				if g < 0 || int(g) >= ci.NumGatesIndexed() {
+					// A corrupt fault site panics inside the worker's
+					// recover during simulation; the prep stage must not
+					// crash the whole process on it.
+					continue
+				}
+				c := ci.ClassOf(g)
+				out[lane][c>>6] |= 1 << (uint(c) & 63)
+			}
+		}
+	}
+	return out
+}
+
+// coneOrdering returns the campaign's fault ids sorted by fan-out cone —
+// (first reachable output, cone class, id) — and the inverse rank per
+// id. Faults ordered this way run consecutively over overlapping gate
+// sets (warm observability memos and stamps), and the class-skip test
+// resolves whole runs of neighbours together. The ordering is a property
+// of the netlist and the fault list alone, so it is computed once per
+// campaign; when the three key components fit, they are packed into one
+// uint64 per fault and sorted without a comparison callback.
+func (c *Campaign) coneOrdering() ([]ID, []int32) {
+	c.coneOnce.Do(func() {
+		ci := c.Module.NL.Cone()
+		n := len(c.faults)
+		c.coneOrder = make([]ID, n)
+		c.coneRank = make([]int32, n)
+		key := func(id int) (fo1 uint32, cl uint32) {
+			// A corrupt site (out-of-range gate) sorts first with a zero
+			// key; it still panics inside a worker's recover when
+			// simulated, exactly as the reference engine does.
+			if g := c.faults[id].Site.Gate; g >= 0 && int(g) < ci.NumGatesIndexed() {
+				return uint32(ci.FirstOut(g) + 1), uint32(ci.ClassOf(g))
+			}
+			return 0, 0
+		}
+		if len(c.Module.NL.Outputs) < 1<<15 && ci.NumClasses() < 1<<16 && n < 1<<31 {
+			keys := make([]uint64, n)
+			for id := range c.faults {
+				fo1, cl := key(id)
+				keys[id] = uint64(fo1)<<48 | uint64(cl)<<32 | uint64(uint32(id))
+			}
+			slices.Sort(keys)
+			for i, k := range keys {
+				c.coneOrder[i] = ID(uint32(k))
+			}
+		} else {
+			for id := range c.coneOrder {
+				c.coneOrder[id] = ID(id)
+			}
+			sort.Slice(c.coneOrder, func(i, j int) bool {
+				a, b := c.coneOrder[i], c.coneOrder[j]
+				af, ac := key(int(a))
+				bf, bc := key(int(b))
+				if af != bf {
+					return af < bf
+				}
+				if ac != bc {
+					return ac < bc
+				}
+				return a < b
+			})
+		}
+		for i, id := range c.coneOrder {
+			c.coneRank[id] = int32(i)
+		}
+	})
+	return c.coneOrder, c.coneRank
+}
+
+// sortByCone orders a shard's fault ids by the campaign's cone ordering.
+// Shard lists produced by partitionByLane are already in this order, so
+// this only pays for externally supplied id lists (SimulateSubset). Order
+// within a shard does not affect results — first detections are
+// per-fault — so this is purely a locality sort.
+func (c *Campaign) sortByCone(ids []ID) {
+	_, rank := c.coneOrdering()
+	sort.Slice(ids, func(i, j int) bool { return rank[ids[i]] < rank[ids[j]] })
+}

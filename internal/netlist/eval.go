@@ -39,6 +39,18 @@ type Evaluator struct {
 	epoch  uint32
 	bucket [][]int32
 	lvls   []int32
+
+	// Per-block observability memo (see Obs), invalidated by Run via its
+	// own epoch.
+	obsVal   []uint64
+	obsStamp []uint32
+	obsEpoch uint32
+	obsChain []int32
+	isOut    []bool
+
+	// Primary-output nets marked in the current faulty epoch; lets the
+	// detect scan visit only touched outputs instead of all of them.
+	touchedOuts []int32
 }
 
 // ErrSequential reports that a combinational-only entry point was handed
@@ -52,14 +64,21 @@ func NewEvaluator(nl *Netlist) (*Evaluator, error) {
 	if nl.NumDFFs() > 0 {
 		return nil, fmt.Errorf("netlist: NewEvaluator on %s: %w", nl.Name, ErrSequential)
 	}
-	return &Evaluator{
-		nl:     nl,
-		good:   make([]uint64, len(nl.Gates)),
-		faulty: make([]uint64, len(nl.Gates)),
-		stamp:  make([]uint32, len(nl.Gates)),
-		sched:  make([]uint32, len(nl.Gates)),
-		bucket: make([][]int32, nl.maxLvl+1),
-	}, nil
+	e := &Evaluator{
+		nl:       nl,
+		good:     make([]uint64, len(nl.Gates)),
+		faulty:   make([]uint64, len(nl.Gates)),
+		stamp:    make([]uint32, len(nl.Gates)),
+		sched:    make([]uint32, len(nl.Gates)),
+		bucket:   make([][]int32, nl.maxLvl+1),
+		obsVal:   make([]uint64, len(nl.Gates)),
+		obsStamp: make([]uint32, len(nl.Gates)),
+		isOut:    make([]bool, len(nl.Gates)),
+	}
+	for _, o := range nl.Outputs {
+		e.isOut[o] = true
+	}
+	return e, nil
 }
 
 // Netlist returns the circuit under evaluation.
@@ -100,6 +119,13 @@ func (e *Evaluator) Run(inputs []uint64) error {
 	if len(inputs) != len(e.nl.Inputs) {
 		return fmt.Errorf("netlist: Run got %d input vectors, circuit %s has %d inputs",
 			len(inputs), e.nl.Name, len(e.nl.Inputs))
+	}
+	e.obsEpoch++
+	if e.obsEpoch == 0 { // uint32 wrap: drop every memoized mask for real
+		for i := range e.obsStamp {
+			e.obsStamp[i] = 0
+		}
+		e.obsEpoch = 1
 	}
 	for i, net := range e.nl.Inputs {
 		e.good[net] = inputs[i]
@@ -146,12 +172,15 @@ func (e *Evaluator) get(net int32) uint64 {
 func (e *Evaluator) mark(net int32, val uint64) {
 	if e.stamp[net] != e.epoch {
 		e.stamp[net] = e.epoch
+		if e.isOut[net] {
+			e.touchedOuts = append(e.touchedOuts, net)
+		}
 		for _, c := range e.nl.fanout[net] {
 			if e.sched[c] != e.epoch {
 				e.sched[c] = e.epoch
 				l := e.nl.level[c]
 				if len(e.bucket[l]) == 0 {
-					e.lvls = append(e.lvls, l)
+					e.pushLvl(l)
 				}
 				e.bucket[l] = append(e.bucket[l], c)
 			}
@@ -160,29 +189,81 @@ func (e *Evaluator) mark(net int32, val uint64) {
 	e.faulty[net] = val
 }
 
-// evalFaultyGate computes gate id under the current faulty values, forcing
-// pin forcedPin (if >= 0) to forcedVal.
-func (e *Evaluator) evalFaultyGate(id int32, forcedPin int8, forcedVal uint64) uint64 {
+// evalFaulty computes gate id under the current faulty values. A single
+// switch with direct operand reads: this is the innermost call of every
+// cone propagation, so it avoids the generic arity loop and scratch
+// array of the gateFn path.
+func (e *Evaluator) evalFaulty(id int32) uint64 {
 	g := &e.nl.Gates[id]
 	switch g.Kind {
-	case KInput, KConst0, KConst1:
-		return e.get(id)
+	case KBuf:
+		return e.get(g.In[0])
+	case KNot:
+		return ^e.get(g.In[0])
+	case KAnd:
+		return e.get(g.In[0]) & e.get(g.In[1])
+	case KOr:
+		return e.get(g.In[0]) | e.get(g.In[1])
+	case KXor:
+		return e.get(g.In[0]) ^ e.get(g.In[1])
+	case KNand:
+		return ^(e.get(g.In[0]) & e.get(g.In[1]))
+	case KNor:
+		return ^(e.get(g.In[0]) | e.get(g.In[1]))
+	case KXnor:
+		return ^(e.get(g.In[0]) ^ e.get(g.In[1]))
+	case KMux:
+		s := e.get(g.In[0])
+		return (s & e.get(g.In[2])) | (^s & e.get(g.In[1]))
 	}
+	return e.get(id) // KInput, KConst0, KConst1: sources keep their value
+}
+
+// SiteDelta returns the packed mask of patterns on which the stuck-at
+// fault's site output differs from the fault-free value of the last Run —
+// the local activation of the fault. Gate functions are bitwise, so a bit
+// that is zero here stays zero on every downstream net: SiteDelta == 0
+// proves FaultDetect would return 0 without propagating anything, and the
+// detection mask is always a bitwise subset of the site delta.
+func (e *Evaluator) SiteDelta(f FaultSite) uint64 {
+	var sa uint64
+	if f.SA1 {
+		sa = ^uint64(0)
+	}
+	if f.Pin < 0 {
+		return sa ^ e.good[f.Gate]
+	}
+	// Evaluate the gate under good inputs with the faulty pin forced. This
+	// deliberately bypasses get(): outside an epoch it would read stale
+	// faulty values from the previous FaultDetect.
+	g := &e.nl.Gates[f.Gate]
 	var v [3]uint64
 	for p := 0; p < g.NumIn(); p++ {
-		if int8(p) == forcedPin {
-			v[p] = forcedVal
+		if int8(p) == f.Pin {
+			v[p] = sa
 		} else {
-			v[p] = e.get(g.In[p])
+			v[p] = e.good[g.In[p]]
 		}
 	}
-	return gateFn(g.Kind, v[0], v[1], v[2])
+	return gateFn(g.Kind, v[0], v[1], v[2]) ^ e.good[f.Gate]
 }
 
 // FaultDetect evaluates the circuit with the given stuck-at fault against
 // the pattern block loaded by the last Run. It returns a packed mask with
 // bit i set when pattern i produces a primary-output discrepancy.
 func (e *Evaluator) FaultDetect(f FaultSite) uint64 {
+	return e.FaultDetectDelta(f, e.SiteDelta(f))
+}
+
+// FaultDetectDelta is FaultDetect with the fault site's local delta
+// (SiteDelta, possibly masked down to the valid patterns of a partial
+// block) already in hand: it propagates the difference through the fan-out
+// cone and returns the detection mask, a bitwise subset of delta. A zero
+// delta returns 0 immediately without consuming an epoch.
+func (e *Evaluator) FaultDetectDelta(f FaultSite, delta uint64) uint64 {
+	if delta == 0 {
+		return 0
+	}
 	e.epoch++
 	if e.epoch == 0 { // uint32 wrap: clear stamps once every 2^32 faults
 		for i := range e.stamp {
@@ -192,40 +273,19 @@ func (e *Evaluator) FaultDetect(f FaultSite) uint64 {
 		e.epoch = 1
 	}
 	e.lvls = e.lvls[:0]
+	e.touchedOuts = e.touchedOuts[:0]
+	e.mark(f.Gate, e.good[f.Gate]^delta)
 
-	var sa uint64
-	if f.SA1 {
-		sa = ^uint64(0)
-	}
-	if f.Pin < 0 {
-		if sa != e.good[f.Gate] {
-			e.mark(f.Gate, sa)
-		}
-	} else {
-		v := e.evalFaultyGate(f.Gate, f.Pin, sa)
-		if v != e.good[f.Gate] {
-			e.mark(f.Gate, v)
-		}
-	}
-
-	// Propagate level by level. Levels only ever grow, so a simple index
-	// walk over the recorded levels in ascending order is sound; new levels
-	// are appended and the slice re-sorted cheaply via insertion position.
-	for i := 0; i < len(e.lvls); i++ {
-		// Find the smallest unprocessed level (few levels are touched, so a
-		// linear scan is cheap and avoids a heap).
-		minJ := i
-		for j := i + 1; j < len(e.lvls); j++ {
-			if e.lvls[j] < e.lvls[minJ] {
-				minJ = j
-			}
-		}
-		e.lvls[i], e.lvls[minJ] = e.lvls[minJ], e.lvls[i]
-		l := e.lvls[i]
+	// Propagate level by level. mark() pushes a level onto the e.lvls
+	// min-heap when its bucket first becomes non-empty; consumers always
+	// sit at strictly higher levels, so popping the minimum processes each
+	// touched level exactly once and a drained bucket never regrows.
+	for len(e.lvls) > 0 {
+		l := e.popLvl()
 		gates := e.bucket[l]
-		for k := 0; k < len(gates); k++ { // bucket may grow? no: same level never regrows
+		for k := 0; k < len(gates); k++ {
 			id := gates[k]
-			v := e.evalFaultyGate(id, -1, 0)
+			v := e.evalFaulty(id)
 			if v != e.good[id] {
 				e.mark(id, v)
 			} else if e.stamp[id] == e.epoch {
@@ -236,13 +296,117 @@ func (e *Evaluator) FaultDetect(f FaultSite) uint64 {
 		e.bucket[l] = gates[:0]
 	}
 
+	// Only outputs actually marked this epoch can differ; a marked output
+	// that converged back to good contributes zero either way.
 	var detect uint64
-	for _, out := range e.nl.Outputs {
-		if e.stamp[out] == e.epoch {
-			detect |= e.faulty[out] ^ e.good[out]
-		}
+	for _, out := range e.touchedOuts {
+		detect |= e.faulty[out] ^ e.good[out]
 	}
 	return detect
+}
+
+// Obs returns the packed observability mask of a gate's output net for
+// the block loaded by the last Run: bit s is set when flipping the net
+// on pattern s alone produces a primary-output discrepancy. Gate
+// functions are bitwise, so the 64 patterns are independent and the
+// detection mask of any single-site fault factors exactly:
+//
+//	FaultDetectDelta(f, delta) == delta & Obs(f.Gate)
+//
+// bit s of the detection depends only on whether the site flipped on
+// pattern s (delta bit s) and on whether a flip there reaches an output
+// on pattern s (Obs bit s).
+//
+// Masks are memoized per Run block. A net with a single consuming pin
+// inherits the consumer's mask filtered by the consumer's local
+// flip-sensitivity — exact, because the flip reaches the consumer
+// through that one edge and every side input holds its fault-free
+// value — so whole fanout-free chains resolve with one gate evaluation
+// per link. A fanout stem's mask is computed once by propagating an
+// all-ones flip through its cone and is then shared by every fault in
+// the fanout-free region feeding it.
+func (e *Evaluator) Obs(gate int32) uint64 {
+	g := gate
+	for e.obsStamp[g] != e.obsEpoch {
+		fo := e.nl.fanout[g]
+		if len(fo) == 1 {
+			e.obsChain = append(e.obsChain, g)
+			g = fo[0]
+			continue
+		}
+		var v uint64
+		if len(fo) > 1 { // fanout stem: one explicit cone propagation
+			v = e.FaultDetectDelta(FaultSite{Gate: g, Pin: -1}, ^uint64(0))
+		} else if e.isOut[g] { // pure sink: observable iff a primary output
+			v = ^uint64(0)
+		}
+		e.obsVal[g], e.obsStamp[g] = v, e.obsEpoch
+	}
+	obs := e.obsVal[g]
+	for i := len(e.obsChain) - 1; i >= 0; i-- {
+		gi := e.obsChain[i]
+		obs &= e.sensFlip(gi, e.nl.fanout[gi][0])
+		if e.isOut[gi] { // directly observed, whatever happens downstream
+			obs = ^uint64(0)
+		}
+		e.obsVal[gi], e.obsStamp[gi] = obs, e.obsEpoch
+	}
+	e.obsChain = e.obsChain[:0]
+	return e.obsVal[gate]
+}
+
+// sensFlip returns the mask of patterns on which gate c's fault-free
+// output flips when net from flips, every other input held at its
+// fault-free value. Pins are matched by net, so a net feeding several
+// pins of c flips all of them together, exactly as a real flip would.
+func (e *Evaluator) sensFlip(from, c int32) uint64 {
+	g := &e.nl.Gates[c]
+	var v [3]uint64
+	for p := 0; p < g.NumIn(); p++ {
+		v[p] = e.good[g.In[p]]
+		if g.In[p] == from {
+			v[p] = ^v[p]
+		}
+	}
+	return gateFn(g.Kind, v[0], v[1], v[2]) ^ e.good[c]
+}
+
+// pushLvl inserts a level into the e.lvls min-heap.
+func (e *Evaluator) pushLvl(l int32) {
+	e.lvls = append(e.lvls, l)
+	i := len(e.lvls) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if e.lvls[p] <= e.lvls[i] {
+			break
+		}
+		e.lvls[p], e.lvls[i] = e.lvls[i], e.lvls[p]
+		i = p
+	}
+}
+
+// popLvl removes and returns the smallest level from the e.lvls min-heap.
+func (e *Evaluator) popLvl() int32 {
+	top := e.lvls[0]
+	n := len(e.lvls) - 1
+	e.lvls[0] = e.lvls[n]
+	e.lvls = e.lvls[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && e.lvls[c+1] < e.lvls[c] {
+			c++
+		}
+		if e.lvls[i] <= e.lvls[c] {
+			break
+		}
+		e.lvls[i], e.lvls[c] = e.lvls[c], e.lvls[i]
+		i = c
+	}
+	return top
 }
 
 // EvalOnce evaluates the fault-free circuit on a single pattern given as

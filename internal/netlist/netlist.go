@@ -11,6 +11,7 @@ package netlist
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Kind enumerates the supported cell types, a small subset of a standard
@@ -55,17 +56,20 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
-// arity returns the required fan-in count of a kind, or -1 if any.
+// arityTab holds arity+1 per kind so the zero value flags unknown kinds.
+var arityTab = [NumKinds]int8{
+	KInput: 1, KConst0: 1, KConst1: 1,
+	KBuf: 2, KNot: 2, KDFF: 2,
+	KAnd: 3, KOr: 3, KXor: 3, KNand: 3, KNor: 3, KXnor: 3,
+	KMux: 4,
+}
+
+// arity returns the required fan-in count of a kind, or -1 if unknown.
+// A table lookup rather than a switch: this sits on the fault
+// simulator's hottest paths (SiteDelta and faulty gate evaluation).
 func arity(k Kind) int {
-	switch k {
-	case KInput, KConst0, KConst1:
-		return 0
-	case KBuf, KNot, KDFF:
-		return 1
-	case KAnd, KOr, KXor, KNand, KNor, KXnor:
-		return 2
-	case KMux:
-		return 3
+	if int(k) < len(arityTab) {
+		return int(arityTab[k]) - 1
 	}
 	return -1
 }
@@ -96,6 +100,9 @@ type Netlist struct {
 
 	groups  []string
 	gateGrp []uint16
+
+	coneOnce sync.Once // lazily built cone metadata (see cone.go)
+	cone     *ConeInfo
 }
 
 // Groups returns the functional group names declared during construction

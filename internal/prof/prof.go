@@ -1,0 +1,49 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into the
+// CLIs, so engine work (the optimized fault simulator above all) can be
+// profiled in production runs without a test harness.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into path and returns the stop function the
+// caller must defer. An empty path is a no-op.
+func Start(path string) (func(), error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("prof: creating cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("prof: starting cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap dumps an allocation profile to path at call time (after a
+// GC, so live objects are accurate). An empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: creating mem profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("prof: writing mem profile: %w", err)
+	}
+	return nil
+}

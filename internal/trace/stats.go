@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"gpustl/internal/fault"
 	"gpustl/internal/gpu"
 	"gpustl/internal/isa"
 )
@@ -22,6 +23,17 @@ type OpStats struct {
 	ThreadOps [isa.NumOpcodes]uint64
 	// Stores counts observable writes.
 	Stores uint64
+	// Engine accumulates the fault-simulation engine's counters across
+	// the campaign's runs (fed via RecordEngine from each Report.Stats),
+	// so the report shows optimization effectiveness — dedup hit-rate,
+	// prescreen-skip ratio — next to the instruction mix.
+	Engine fault.SimStats
+}
+
+// RecordEngine folds one fault-simulation run's counters into the
+// report's engine block.
+func (s *OpStats) RecordEngine(st fault.SimStats) {
+	s.Engine.Add(st)
 }
 
 // Decode implements gpu.Monitor.
@@ -93,6 +105,13 @@ func (s *OpStats) String() string {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "  %-6s %8d decodes %10d thread-ops\n",
 			r.op, s.Decodes[r.op], s.ThreadOps[r.op])
+	}
+	if e := s.Engine; e.TotalPatterns > 0 || e.FaultEvals > 0 {
+		fmt.Fprintf(&b, "engine: %d patterns (%d unique), %d blocks, %d fault evals\n",
+			e.TotalPatterns, e.UniquePatterns, e.Blocks, e.FaultEvals)
+		fmt.Fprintf(&b, "  dedup hit-rate    %6.2f%%\n", 100*e.DedupHitRate())
+		fmt.Fprintf(&b, "  prescreen-skipped %6.2f%%\n", 100*e.PrescreenSkipRatio())
+		fmt.Fprintf(&b, "  cone-skipped      %6.2f%%\n", 100*e.ConeSkipRatio())
 	}
 	return b.String()
 }
