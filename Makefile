@@ -20,7 +20,7 @@ lint:
 # honest against corrupt bytes without the cost of a long fuzzing
 # session.
 .PHONY: verify
-verify: test lint
+verify: test lint chaos-smoke
 	go test -race ./...
 	go test -race -run 'TestRegistryConcurrent' -count=1 ./internal/obs
 	go test -run 'TestCrashRecovery|TestTornFinalRecord|TestFlippedCRCByte' -count=1 ./internal/run
@@ -30,6 +30,24 @@ verify: test lint
 	go test -fuzz '^FuzzReadSTL$$' -fuzztime 10s -run '^$$' ./internal/stl
 	go test -fuzz '^FuzzDecodeRecord$$' -fuzztime 10s -run '^$$' ./internal/journal
 	go test -fuzz '^FuzzRead$$' -fuzztime 10s -run '^$$' ./internal/vcde
+	go test -fuzz '^FuzzShardReply$$' -fuzztime 10s -run '^$$' ./internal/dist
+
+# Chaos soak: every canonical fault schedule (torn journal writes,
+# mid-commit crashes, stage panics, lossy wire, Byzantine worker,
+# heartbeat flaps) runs concurrently against whole compaction
+# campaigns, each asserted byte-identical to a fault-free reference
+# and the Byzantine worker quarantined. chaos is the full 30s soak;
+# chaos-smoke is the short CI version under the race detector.
+.PHONY: chaos
+chaos:
+	go run ./cmd/chaossoak -duration 30s
+
+# -iters bounds the smoke by work, not wall-clock: every schedule
+# completes two campaigns (however slow the race-instrumented build
+# is), with -duration only as a hard cap.
+.PHONY: chaos-smoke
+chaos-smoke:
+	go run -race ./cmd/chaossoak -duration 120s -iters 2
 
 # Benchmarks. The JSON streams land in BENCH_dist.json (distributed
 # simulation + coordinator stats), BENCH_journal.json (per-record

@@ -1,0 +1,96 @@
+// Command chaossoak runs the chaos soak: every canonical fault schedule
+// (torn journal writes, mid-commit crashes, stage panics, a lossy wire,
+// a Byzantine worker, dying heartbeats) concurrently against whole
+// compaction campaigns for -duration, asserting every campaign's
+// compacted STL is byte-identical to a fault-free reference run and
+// that the Byzantine worker is quarantined. Exits non-zero on the
+// first divergence. This is `make chaos`; `make chaos-smoke` is the
+// same binary, shorter and under the race detector.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"gpustl/internal/chaos"
+	"gpustl/internal/obs"
+)
+
+func main() {
+	var (
+		duration = flag.Duration("duration", 30*time.Second, "how long to soak")
+		seed     = flag.Int64("seed", 1, "base seed for failpoint fates and coordinator jitter")
+		iters    = flag.Int("iters", 0, "campaigns per schedule (0 = as many as fit in -duration)")
+		verbose  = flag.Bool("v", false, "log every crash, restart and campaign")
+	)
+	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, "chaossoak", slog.LevelInfo, false)
+
+	h := chaos.NewHarness(*seed)
+	h.Metrics = obs.NewRegistry()
+	if *verbose {
+		h.Logf = func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		}
+	}
+
+	schedules := chaos.Schedules()
+	logger.Info("soak starting", "schedules", len(schedules), "duration", *duration, "seed", *seed)
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	start := time.Now()
+	results, err := h.Soak(ctx, schedules, *iters)
+	elapsed := time.Since(start)
+
+	failed := false
+	total := 0
+	for _, r := range results {
+		total += r.Campaigns
+		if r.Err != nil {
+			failed = true
+			logger.Error("schedule failed", "schedule", r.Schedule, "err", r.Err)
+			continue
+		}
+		if r.Campaigns == 0 {
+			failed = true
+			logger.Error("schedule completed no campaign", "schedule", r.Schedule)
+			continue
+		}
+		logger.Info("schedule ok",
+			"schedule", r.Schedule, "campaigns", r.Campaigns,
+			"crashes", r.Crashes, "restarts", r.Restarts, "banned", r.Banned)
+	}
+	if err != nil {
+		failed = true
+	}
+
+	// The Byzantine evidence trail: quarantine must be visible in the
+	// gpustl_* metrics, not just in the harness's own accounting.
+	snap := h.Metrics.Snapshot()
+	var names []string
+	for name := range snap.Counters {
+		if strings.Contains(name, "byzantine") || strings.Contains(name, "quarantin") ||
+			strings.Contains(name, "verif") || strings.Contains(name, "requeued") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		logger.Info("metric", "name", name, "value", snap.Counters[name])
+	}
+	if snap.Counters["gpustl_dist_quarantined_workers_total"] == 0 {
+		failed = true
+		logger.Error("no quarantine recorded in gpustl_* metrics")
+	}
+
+	logger.Info("soak finished", "campaigns", total, "elapsed", elapsed.Round(time.Millisecond))
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -8,9 +8,9 @@
 //	           [-instr] [-baseline] [-load FILE.json] [-save DIR]
 //	           [-checkpoint DIR] [-stage-timeout D] [-fctol PTS]
 //	           [-max-ptp-retries N] [-fsck]
-//	           [-workers-addr HOST:PORT,HOST:PORT,...]
+//	           [-workers-addr HOST:PORT,HOST:PORT,...] [-verify-frac F]
 //	           [-trace-out FILE.jsonl] [-metrics-out FILE.json] [-log-json]
-//	           [-cpuprofile FILE] [-memprofile FILE]
+//	           [-cpuprofile FILE] [-memprofile FILE] [-failpoints SPEC]
 //
 // With -load, the PTPs are read from a saved STL file (see -save and the
 // gpustl.WriteSTL format) instead of being generated.
@@ -20,6 +20,13 @@
 // by contract; a worker that crashes, straggles or corrupts replies is
 // retried, hedged or declared dead, and a PTP whose campaign still
 // cannot complete reverts to its original form while the run continues.
+// With -verify-frac F, that fraction of shards is re-executed on a
+// second worker and settled by checksum vote: a worker returning
+// plausible-but-wrong results (Byzantine) is outvoted, quarantined and
+// blacklisted for the rest of the run (see docs/ROBUSTNESS.md).
+//
+// With -failpoints, named fault-injection sites are armed for chaos
+// drills (same spec syntax as stlworker; see internal/failpoint).
 //
 // The compaction runs under the resilience layer: a PTP that fails (or
 // whose compacted form loses more than -fctol points of fault coverage)
@@ -65,6 +72,7 @@ import (
 	"time"
 
 	"gpustl"
+	"gpustl/internal/failpoint"
 	"gpustl/internal/obs"
 	"gpustl/internal/prof"
 )
@@ -100,9 +108,18 @@ func main() {
 		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		verifyFrac = flag.Float64("verify-frac", 0, "fraction of shards re-executed on a second worker and settled by checksum vote (Byzantine tolerance; 0 = trust, 1 = verify all)")
+		failpoints = flag.String("failpoints", "", "arm fault-injection sites: name=action[|p=|after=|times=|seed=],... (chaos drills)")
 	)
 	flag.Parse()
 	logger = obs.NewLogger(os.Stderr, "stlcompact", slog.LevelInfo, *logJSON)
+
+	if *failpoints != "" {
+		if err := failpoint.EnableSpec(*failpoints); err != nil {
+			fatalf("bad -failpoints: %v", err)
+		}
+		logger.Info("failpoints armed", "names", failpoint.Armed())
+	}
 
 	stopCPU, err := prof.Start(*cpuProf)
 	if err != nil {
@@ -221,8 +238,9 @@ func main() {
 		}
 		var err error
 		co, err = gpustl.NewDistCoordinator(gpustl.DistOptions{
-			Logf:    obs.Logf(logger, slog.LevelInfo),
-			Metrics: metrics,
+			Logf:           obs.Logf(logger, slog.LevelInfo),
+			Metrics:        metrics,
+			VerifyFraction: *verifyFrac,
 		}, transports...)
 		if err != nil {
 			fatalf("%v", err)

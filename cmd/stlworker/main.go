@@ -13,6 +13,16 @@
 // coordinator retries, hedges and redistributes shards — so daemons can
 // be added, restarted or killed mid-run.
 //
+// On SIGTERM/SIGINT the worker drains gracefully: in-flight shards
+// finish, new ones are rejected with 503 + X-Gpustl-Draining (the
+// coordinator redistributes them without charging a failure), health
+// checks go unhealthy, and then the process exits. A second signal
+// aborts immediately.
+//
+// With -failpoints, named fault-injection sites are armed at startup
+// (same spec syntax as stlcompact; see internal/failpoint) — the knob
+// chaos drills use to make a live worker lie, stall or drop replies.
+//
 // With -metrics-addr, a second listener serves the operator endpoints:
 // /metrics (Prometheus text: shards served, faults/patterns/detections,
 // service latency histogram), /debug/vars (expvar JSON) and
@@ -31,6 +41,7 @@ import (
 	"time"
 
 	"gpustl"
+	"gpustl/internal/failpoint"
 	"gpustl/internal/obs"
 )
 
@@ -40,10 +51,19 @@ func main() {
 		name        = flag.String("name", "", "worker name in replies and logs (default: host:listen)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		failpoints  = flag.String("failpoints", "", "arm fault-injection sites: name=action[|p=|after=|times=|seed=],... (chaos drills)")
 	)
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr, "stlworker", slog.LevelInfo, *logJSON)
+
+	if *failpoints != "" {
+		if err := failpoint.EnableSpec(*failpoints); err != nil {
+			logger.Error("bad -failpoints", "err", err)
+			os.Exit(2)
+		}
+		logger.Info("failpoints armed", "names", failpoint.Armed())
+	}
 
 	if *name == "" {
 		host, err := os.Hostname()
@@ -54,9 +74,10 @@ func main() {
 	}
 
 	reg := gpustl.NewMetricsRegistry()
+	handler := gpustl.NewWorkerHandlerMetrics(*name, obs.Logf(logger, slog.LevelInfo), reg)
 	srv := &http.Server{
 		Addr:    *listen,
-		Handler: gpustl.NewWorkerHandlerMetrics(*name, obs.Logf(logger, slog.LevelInfo), reg),
+		Handler: handler,
 	}
 
 	var msrv *http.Server
@@ -73,8 +94,11 @@ func main() {
 		logger.Info("metrics listening", "addr", *metricsAddr)
 	}
 
-	// SIGINT/SIGTERM drain in-flight shards and exit cleanly; the
-	// coordinator's heartbeats notice the death and redistribute.
+	// SIGINT/SIGTERM start a graceful drain: in-flight shards finish,
+	// new ones get 503 + X-Gpustl-Draining (the coordinator retries
+	// them elsewhere without charging a failure), health checks go
+	// unhealthy so heartbeats steer new work away, then the listeners
+	// shut down. A second signal kills the process immediately.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -88,7 +112,17 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 	}
-	logger.Info("shutting down")
+	logger.Info("draining: finishing in-flight shards, rejecting new ones")
+	handler.StartDrain()
+	stop()
+	drained := make(chan struct{})
+	go func() { handler.DrainWait(); close(drained) }()
+	select {
+	case <-drained:
+		logger.Info("drained")
+	case <-time.After(30 * time.Second):
+		logger.Error("drain timed out after 30s; shutting down anyway")
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if msrv != nil {

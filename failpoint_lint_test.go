@@ -1,0 +1,92 @@
+package gpustl
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"gpustl/internal/chaos"
+	"gpustl/internal/failpoint"
+)
+
+// TestEveryFailpointIsTested lints the failpoint registry: every name
+// registered by the packages this module links together must be
+// referenced by at least one _test.go file somewhere in the repo. A
+// failpoint nobody arms in a test is a fault path nobody has ever
+// exercised — exactly the blind spot the registry exists to remove.
+//
+// (The failpoint package's own test-only names — "test.*"/"bench.*",
+// registered from its _test.go files — exist only in that package's
+// test binary and are invisible here, so this registry snapshot is
+// exactly the production site list.)
+func TestEveryFailpointIsTested(t *testing.T) {
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate repo root")
+	}
+	root := filepath.Dir(self)
+
+	var tests []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, "_test.go") && path != self {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			tests = append(tests, string(b))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tests) == 0 {
+		t.Fatal("no _test.go files found under the repo root")
+	}
+
+	names := failpoint.Names()
+	if len(names) == 0 {
+		t.Fatal("no failpoints registered — did the import graph change?")
+	}
+	for _, name := range names {
+		quoted := `"` + name + `"`
+		found := false
+		for _, src := range tests {
+			if strings.Contains(src, quoted) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("failpoint %s is registered but no _test.go references %s", name, quoted)
+		}
+	}
+}
+
+// TestChaosSchedulesCoverEverySite: the canonical soak set must arm
+// every registered failpoint — a site missing from every schedule
+// never runs under `make chaos`.
+func TestChaosSchedulesCoverEverySite(t *testing.T) {
+	armed := map[string]bool{}
+	for _, s := range chaos.Schedules() {
+		for name := range s.Failpoints {
+			armed[name] = true
+		}
+	}
+	for _, name := range failpoint.Names() {
+		if !armed[name] {
+			t.Errorf("failpoint %s is not armed by any canonical chaos schedule", name)
+		}
+	}
+}

@@ -461,9 +461,14 @@ func NewWorkerHandler(name string, logf func(format string, args ...any)) http.H
 	return dist.NewHandler(name, logf)
 }
 
+// WorkerHandler is the worker daemon's handler with graceful-drain
+// controls (StartDrain / DrainWait) for clean SIGTERM shutdown.
+type WorkerHandler = dist.WorkerHandler
+
 // NewWorkerHandlerMetrics is NewWorkerHandler with worker-side shard
-// telemetry recorded into the given registry.
-func NewWorkerHandlerMetrics(name string, logf func(format string, args ...any), m *MetricsRegistry) http.Handler {
+// telemetry recorded into the given registry, returned as the concrete
+// drainable handler.
+func NewWorkerHandlerMetrics(name string, logf func(format string, args ...any), m *MetricsRegistry) *WorkerHandler {
 	return dist.NewHandlerMetrics(name, logf, m)
 }
 

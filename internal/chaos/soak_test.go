@@ -1,0 +1,201 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"gpustl/internal/failpoint"
+	"gpustl/internal/obs"
+)
+
+// TestSchedulesAreDisjointAndRegistered: the canonical schedule set
+// must arm only registered failpoint names, with no name owned by two
+// schedules (Soak runs them concurrently against one global registry).
+func TestSchedulesAreDisjointAndRegistered(t *testing.T) {
+	registered := map[string]bool{}
+	for _, n := range failpoint.Names() {
+		registered[n] = true
+	}
+	owner := map[string]string{}
+	for _, s := range Schedules() {
+		if len(s.Failpoints) == 0 {
+			t.Errorf("schedule %s arms nothing", s.Name)
+		}
+		for name := range s.Failpoints {
+			if !registered[name] {
+				t.Errorf("schedule %s arms unregistered failpoint %s", s.Name, name)
+			}
+			if prev, ok := owner[name]; ok {
+				t.Errorf("failpoint %s armed by both %s and %s", name, prev, s.Name)
+			}
+			owner[name] = s.Name
+		}
+	}
+}
+
+// TestSoakEachSchedule runs every canonical schedule for two campaigns,
+// one schedule at a time, so a failure names its scenario directly.
+func TestSoakEachSchedule(t *testing.T) {
+	defer failpoint.Reset()
+	for _, s := range Schedules() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			h := NewHarness(1)
+			h.Logf = t.Logf
+			h.Metrics = obs.NewRegistry()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			res := h.SoakSchedule(ctx, s, 2)
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			if res.Campaigns != 2 {
+				t.Fatalf("completed %d campaigns, want 2", res.Campaigns)
+			}
+			if s.ExpectQuarantine {
+				if res.Banned == 0 {
+					t.Fatal("byzantine schedule never banned a worker")
+				}
+				snap := h.Metrics.Snapshot()
+				if snap.Counters["gpustl_dist_quarantined_workers_total"] == 0 {
+					t.Error("quarantine not visible in metrics")
+				}
+				if snap.Counters["gpustl_dist_byzantine_replies_total"] == 0 {
+					t.Error("byzantine replies not visible in metrics")
+				}
+			}
+		})
+	}
+}
+
+// TestSoakConcurrentSchedules is the in-tree slice of `make chaos`: all
+// canonical schedules at once — journal faults, commit crashes, stage
+// panics and three worker-fleet scenarios firing concurrently — one
+// campaign each, every output byte-identical to the reference.
+func TestSoakConcurrentSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped in -short mode")
+	}
+	defer failpoint.Reset()
+	h := NewHarness(2)
+	h.Logf = t.Logf
+	h.Metrics = obs.NewRegistry()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	results, err := h.Soak(ctx, Schedules(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Campaigns != 1 {
+			t.Errorf("%s: %d campaigns, want 1", r.Schedule, r.Campaigns)
+		}
+	}
+}
+
+// TestEquivalenceMatrix is the chaos-seeded equivalence matrix from the
+// issue: journal/commit crash-points × dist fault schedules × worker
+// counts, every cell asserting the compacted STL byte-matches the
+// fault-free reference. Cells run sequentially — each owns the whole
+// registry — so crash-points here may overlap schedule names freely.
+func TestEquivalenceMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix: skipped in -short mode")
+	}
+	defer failpoint.Reset()
+
+	crashPoints := []struct {
+		name string
+		fps  map[string]failpoint.Config
+	}{
+		{"clean", nil},
+		{"journal-short-write", map[string]failpoint.Config{
+			"journal.append.write": {Kind: failpoint.KindShortWrite, Times: 2, Seed: 101},
+		}},
+		{"journal-sync-error", map[string]failpoint.Config{
+			"journal.append.sync": {Kind: failpoint.KindError, Times: 1, Seed: 102},
+		}},
+		{"precommit-crash", map[string]failpoint.Config{
+			"run.precommit.crash": {Kind: failpoint.KindError, Times: 2, Seed: 103},
+		}},
+		{"postcommit-crash", map[string]failpoint.Config{
+			"run.postcommit.crash": {Kind: failpoint.KindError, Times: 2, Seed: 104},
+		}},
+		{"stage-panic", map[string]failpoint.Config{
+			"run.stage.panic": {Kind: failpoint.KindPanic, Times: 2, Seed: 105},
+		}},
+	}
+	distFaults := []struct {
+		name    string
+		fps     map[string]failpoint.Config
+		workers []int
+		verify  float64
+		expectQ bool
+		faultyW int
+	}{
+		{name: "local", workers: []int{0}},
+		{name: "wire", workers: []int{2, 4}, faultyW: 1, fps: map[string]failpoint.Config{
+			"dist.reply.drop":      {Kind: failpoint.KindDrop, Prob: 0.25, Seed: 201},
+			"dist.reply.delay":     {Kind: failpoint.KindDelay, Delay: 2 * time.Millisecond, Prob: 0.25, Seed: 202},
+			"dist.transport.error": {Kind: failpoint.KindError, Prob: 0.2, Seed: 203},
+		}},
+		{name: "byzantine", workers: []int{3, 4}, faultyW: 1, verify: 1, expectQ: true,
+			fps: map[string]failpoint.Config{
+				"dist.reply.byzantine": {Kind: failpoint.KindCorrupt, Prob: 1, Seed: 204},
+			}},
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	h := NewHarness(3)
+	for _, cp := range crashPoints {
+		for _, df := range distFaults {
+			for _, w := range df.workers {
+				name := fmt.Sprintf("%s/%s/workers=%d", cp.name, df.name, w)
+				t.Run(name, func(t *testing.T) {
+					fps := map[string]failpoint.Config{}
+					for k, v := range cp.fps {
+						fps[k] = v
+					}
+					for k, v := range df.fps {
+						fps[k] = v
+					}
+					s := Schedule{
+						Name:             name,
+						Failpoints:       fps,
+						Workers:          w,
+						FaultyWorkers:    df.faultyW,
+						VerifyFraction:   df.verify,
+						ExpectQuarantine: df.expectQ,
+						MaxPTPRetries:    3,
+					}
+					res := h.SoakSchedule(ctx, s, 1)
+					if res.Err != nil {
+						t.Fatal(res.Err)
+					}
+					if res.Campaigns != 1 {
+						t.Fatalf("completed %d campaigns, want 1", res.Campaigns)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRunCampaignDetectsRealDivergence: a harness whose reference bytes
+// are wrong must fail the campaign, not absorb it — the byte comparison
+// is the assertion everything else hangs on.
+func TestRunCampaignDetectsRealDivergence(t *testing.T) {
+	h := NewHarness(4)
+	if _, err := h.Reference(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	h.ref = append([]byte("corrupted"), h.ref...)
+	var res Result
+	err := h.RunCampaign(context.Background(), Schedule{Name: "divergence"}, &res)
+	if err == nil {
+		t.Fatal("campaign matched a corrupted reference")
+	}
+}

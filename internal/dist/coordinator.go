@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -49,6 +51,21 @@ type Options struct {
 	// shards than workers keeps everyone busy and bounds the work lost
 	// to any single failure.
 	Shards int
+	// VerifyFraction selects what fraction of shards is re-executed on a
+	// second worker and settled by checksum vote (Byzantine tolerance):
+	// 0 trusts every reply (default), 1 verifies everything. Selection
+	// is a deterministic hash of (Seed, shard), so the same run verifies
+	// the same shards. Verified shards cost one extra execution; a
+	// checksum mismatch escalates to a third worker and majority vote,
+	// and outvoted workers accumulate strikes toward quarantine.
+	VerifyFraction float64
+	// QuarantineAfter is how many outvoted (Byzantine) replies a worker
+	// may produce before it is quarantined: banned for the rest of this
+	// run AND every later Run on the same Coordinator, its in-flight
+	// shards redistributed, and every shard it settled *unverified*
+	// requeued (default 1 — a single proven lie is disqualifying,
+	// mirroring the poison-PTP quarantine).
+	QuarantineAfter int
 	// Seed drives backoff jitter (results never depend on it).
 	Seed int64
 	// Logf receives coordinator progress lines (nil = silent).
@@ -87,6 +104,15 @@ func (o Options) withDefaults(numWorkers int) Options {
 	if o.Shards <= 0 {
 		o.Shards = 2 * numWorkers
 	}
+	if o.VerifyFraction < 0 {
+		o.VerifyFraction = 0
+	}
+	if o.VerifyFraction > 1 {
+		o.VerifyFraction = 1
+	}
+	if o.QuarantineAfter <= 0 {
+		o.QuarantineAfter = 1
+	}
 	return o
 }
 
@@ -106,6 +132,16 @@ type Stats struct {
 	HedgeWins          int // hedged duplicate settled the shard first
 	HedgeLosses        int // attempts canceled because the sibling won
 	Preempted          int // attempts canceled by a dead-worker declaration
+
+	// Byzantine verification accounting.
+	VerifiedShards     int // shards settled by a checksum majority
+	VerifyDispatches   int // extra executions dispatched for verification
+	VerifyMismatches   int // checksum votes where replies disagreed
+	VerifySkipped      int // verify shards settled unverified (no second worker)
+	ByzantineReplies   int // valid-looking replies outvoted by the majority
+	QuarantinedWorkers int // workers banned for Byzantine replies this run
+	RequeuedShards     int // settled shards re-run after their worker was quarantined
+	UnavailableReplies int // dispatches bounced by a draining worker (redistributed)
 }
 
 // Result is the outcome of one distributed campaign run.
@@ -140,9 +176,16 @@ func (r *Result) Degraded() bool { return r.FailedShards > 0 }
 // Coordinator shards fault campaigns across a fixed set of workers.
 // It is safe for sequential reuse across many Run calls (one per PTP
 // and FC evaluation); each run spins up its own heartbeats and state.
+// The Byzantine blacklist is the exception: a worker quarantined in one
+// run stays banned for every later run on the same coordinator — a
+// proven liar does not get a second chance just because the next PTP
+// started.
 type Coordinator struct {
 	opt        Options
 	transports []Transport
+
+	mu     sync.Mutex
+	banned map[string]bool
 }
 
 // New creates a coordinator over the given worker transports.
@@ -150,7 +193,36 @@ func New(opt Options, transports ...Transport) (*Coordinator, error) {
 	if len(transports) == 0 {
 		return nil, errors.New("dist: coordinator needs at least one worker transport")
 	}
-	return &Coordinator{opt: opt.withDefaults(len(transports)), transports: transports}, nil
+	return &Coordinator{
+		opt:        opt.withDefaults(len(transports)),
+		transports: transports,
+		banned:     map[string]bool{},
+	}, nil
+}
+
+// Banned returns the names of workers quarantined for Byzantine
+// replies, sorted.
+func (c *Coordinator) Banned() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.banned))
+	for n := range c.banned {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (c *Coordinator) ban(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.banned[name] = true
+}
+
+func (c *Coordinator) isBanned(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.banned[name]
 }
 
 // Close closes every transport.
@@ -175,8 +247,9 @@ func (c *Coordinator) logf(format string, args ...any) {
 // genuine failure (counts toward MaxAttempts) from its own preemptions
 // (immediate redistribution, no penalty).
 var (
-	errLostRace   = errors.New("dist: hedged race lost")
-	errWorkerDown = errors.New("dist: worker declared dead")
+	errLostRace    = errors.New("dist: hedged race lost")
+	errWorkerDown  = errors.New("dist: worker declared dead")
+	errQuarantined = errors.New("dist: worker quarantined for byzantine replies")
 )
 
 // Run distributes the campaign's remaining faults across the workers
@@ -192,6 +265,16 @@ func (c *Coordinator) Run(ctx context.Context, camp *fault.Campaign, stream []fa
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	usable := 0
+	for _, t := range c.transports {
+		if !c.isBanned(t.Name()) {
+			usable++
+		}
+	}
+	if usable == 0 {
+		return nil, fmt.Errorf("dist: every worker is quarantined for byzantine replies (%s)",
+			strings.Join(c.Banned(), ", "))
 	}
 	if opt.RecordActivations {
 		rep, err := camp.SimulateCtx(ctx, stream, opt)
@@ -310,6 +393,10 @@ type worker struct {
 	t        Transport
 	alive    bool
 	inflight int
+	// strikes counts this run's outvoted replies; quarantined marks the
+	// worker banned (never picked, never revived by heartbeats).
+	strikes     int
+	quarantined bool
 }
 
 type dispatch struct {
@@ -342,6 +429,25 @@ type shardState struct {
 	dets   []Detection
 	stats  fault.SimStats
 	errs   []string
+
+	// Byzantine verification state. verify marks the shard as selected
+	// for re-execution on a second worker; replies accumulates the valid
+	// replies cast as checksum votes, replied the workers that cast
+	// them (never asked twice); by is the worker whose reply settled the
+	// shard, verified whether a checksum majority backed it.
+	verify   bool
+	verified bool
+	by       string
+	replies  []vote
+	replied  map[string]bool
+}
+
+// vote is one valid reply held for a checksum vote on a verify shard.
+type vote struct {
+	w   *worker
+	d   *dispatch
+	res *ShardResult
+	sum string
 }
 
 type runLoop struct {
@@ -384,8 +490,17 @@ func newRunLoop(c *Coordinator, ctx context.Context, camp *fault.Campaign, order
 	}
 	for _, t := range c.transports {
 		w := &worker{t: t, alive: true}
+		if c.isBanned(t.Name()) {
+			// Quarantined in an earlier run on this coordinator: present
+			// but never picked, never pinged, never revived.
+			w.alive, w.quarantined = false, true
+		}
 		rl.workers = append(rl.workers, w)
-		rl.workerUpGauge(w, 1)
+		if w.alive {
+			rl.workerUpGauge(w, 1)
+		} else {
+			rl.workerUpGauge(w, 0)
+		}
 	}
 	all := camp.Faults()
 	for i, ids := range parts {
@@ -397,6 +512,8 @@ func newRunLoop(c *Coordinator, ctx context.Context, camp *fault.Campaign, order
 			id: i, ids: ids, faults: fs,
 			inflight: map[int]*dispatch{},
 			tried:    map[string]bool{},
+			verify:   rl.verifySelected(i),
+			replied:  map[string]bool{},
 		})
 	}
 	rl.remaining = len(rl.shards)
@@ -407,8 +524,37 @@ func newRunLoop(c *Coordinator, ctx context.Context, camp *fault.Campaign, order
 
 // run drives the event loop to completion (every shard done or failed)
 // or parent-context cancellation.
+// verifySelected decides whether shard id is re-executed for
+// verification: a deterministic hash of (Seed, shard) against
+// VerifyFraction, so the same seed verifies the same shards regardless
+// of scheduling order.
+func (rl *runLoop) verifySelected(id int) bool {
+	f := rl.opt.VerifyFraction
+	if f <= 0 || len(rl.workers) < 2 {
+		return false
+	}
+	if f >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d:%d", rl.opt.Seed, id)
+	// FNV of a short string leaves the high bits poorly mixed (adjacent
+	// shard ids would all select identically); run the sum through a
+	// 64-bit avalanche finalizer before thresholding.
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return float64(x)/float64(math.MaxUint64) < f
+}
+
 func (rl *runLoop) run() error {
 	for _, w := range rl.workers {
+		if w.quarantined {
+			continue
+		}
 		rl.wg.Add(1)
 		go rl.heartbeat(w)
 	}
@@ -515,7 +661,9 @@ func (rl *runLoop) heartbeat(w *worker) {
 
 // pickWorker chooses an alive worker for a shard: one the shard has not
 // tried yet when possible ("retry on a different worker"), least loaded
-// as the tie-break, never one that already has this shard in flight.
+// as the tie-break, never one that already has this shard in flight —
+// and for verify shards, never one whose reply is already a cast vote
+// (independent re-execution is the whole point).
 func (rl *runLoop) pickWorker(s *shardState) *worker {
 	busy := map[string]bool{}
 	for _, d := range s.inflight {
@@ -524,7 +672,7 @@ func (rl *runLoop) pickWorker(s *shardState) *worker {
 	var best *worker
 	bestFresh := false
 	for _, w := range rl.workers {
-		if !w.alive || busy[w.t.Name()] {
+		if !w.alive || busy[w.t.Name()] || s.replied[w.t.Name()] {
 			continue
 		}
 		fresh := !s.tried[w.t.Name()]
@@ -624,34 +772,56 @@ func (rl *runLoop) onResult(d *dispatch, res *ShardResult, err error) {
 		}
 	}
 	if err == nil {
-		s.done = true
-		s.dets = res.Detections
-		s.stats = res.Stats
-		rl.remaining--
-		if d.hedged {
-			rl.stats.HedgeWins++
+		// The reply's own checksum catches accidental corruption in
+		// flight (a lying worker sums its lie consistently; the vote
+		// below exists for that).
+		if verr := res.VerifyChecksum(); verr != nil {
+			rl.stats.InvalidReplies++
+			rl.co.logf("dist: shard %d attempt %d on %s: rejecting reply: %v",
+				s.id, d.attempt, d.w.t.Name(), verr)
+			err = verr
 		}
+	}
+	if err == nil {
 		rl.opt.Metrics.Histogram(
 			fmt.Sprintf("gpustl_dist_shard_seconds{worker=%q}", d.w.t.Name()),
 			obs.DefLatencyBuckets()).Observe(time.Since(d.started).Seconds())
-		// Cancel racing siblings, attributing each as a hedge loss NOW:
-		// the run can end before a canceled loser reports back, so
-		// attribution tied to its reply would silently drop the reason.
-		for _, other := range s.inflight {
-			other.cancel(errLostRace)
-			rl.stats.HedgeLosses++
+		if s.verify {
+			rl.onVerifyReply(s, d, res)
+		} else {
+			rl.settle(s, d, res)
 		}
 		return
 	}
 	switch cause := context.Cause(d.ctx); {
 	case errors.Is(cause, errLostRace):
-		return // shard settled by the sibling; nothing to do
-	case errors.Is(cause, errWorkerDown):
+		// Normally the shard settled (handled above). Reaching here
+		// means the settle was undone — the shard was requeued after its
+		// worker's quarantine — and this canceled loser may be the last
+		// in-flight attempt, so restart the shard if nothing else is.
+		if len(s.inflight) == 0 {
+			rl.dispatchOrPark(s)
+		}
+		return
+	case errors.Is(cause, errWorkerDown), errors.Is(cause, errQuarantined):
 		if len(s.inflight) > 0 {
 			return // the sibling attempt is still racing
 		}
 		rl.stats.Redispatches++
 		rl.dispatchOrPark(s)
+		return
+	}
+	if errors.Is(err, ErrUnavailable) {
+		// A draining worker bounced the shard: redistribution, not
+		// failure. Back off one base interval — with a single worker
+		// mid-drain an immediate retry would spin.
+		rl.stats.UnavailableReplies++
+		rl.stats.Redispatches++
+		rl.co.logf("dist: shard %d attempt %d: worker %s draining, redistributing",
+			s.id, d.attempt, d.w.t.Name())
+		if len(s.inflight) == 0 {
+			rl.afterFunc(rl.opt.BaseBackoff, event{kind: evRetry, s: s})
+		}
 		return
 	}
 	s.failures++
@@ -670,6 +840,152 @@ func (rl *runLoop) onResult(d *dispatch, res *ShardResult, err error) {
 	}
 	jittered := time.Duration(float64(backoff) * (0.5 + rl.rng.Float64()))
 	rl.afterFunc(jittered, event{kind: evRetry, s: s})
+}
+
+// settle marks the shard done with the given accepted reply and cancels
+// racing siblings, attributing each as a hedge loss NOW: the run can end
+// before a canceled loser reports back, so attribution tied to its
+// reply would silently drop the reason.
+func (rl *runLoop) settle(s *shardState, d *dispatch, res *ShardResult) {
+	s.done = true
+	s.dets = res.Detections
+	s.stats = res.Stats
+	s.by = d.w.t.Name()
+	rl.remaining--
+	if d.hedged {
+		rl.stats.HedgeWins++
+	}
+	for _, other := range s.inflight {
+		other.cancel(errLostRace)
+		rl.stats.HedgeLosses++
+	}
+}
+
+// onVerifyReply folds one valid reply into a verify shard's checksum
+// vote. The shard settles when two workers agree; a disagreement
+// escalates to a third worker; outvoted workers take a strike toward
+// quarantine. When no second worker exists the shard settles unverified
+// — availability beats verification, and a later quarantine of the
+// settling worker requeues exactly these shards.
+func (rl *runLoop) onVerifyReply(s *shardState, d *dispatch, res *ShardResult) {
+	name := d.w.t.Name()
+	if s.replied[name] {
+		// Same worker answering twice for a verify shard (a hedge pair
+		// landed on it before verification started): not an independent
+		// vote, ignore the extra reply.
+		rl.stats.DuplicateReplies++
+		return
+	}
+	s.replied[name] = true
+	s.replies = append(s.replies, vote{w: d.w, d: d, res: res, sum: ChecksumDetections(res.Detections)})
+
+	counts := map[string]int{}
+	for _, v := range s.replies {
+		counts[v.sum]++
+	}
+	for sum, n := range counts {
+		if n < 2 {
+			continue
+		}
+		// Majority: settle with an agreeing reply, strike every
+		// dissenter — its reply was valid and plausible but provably
+		// wrong, the Byzantine signature.
+		for _, v := range s.replies {
+			if v.sum == sum {
+				s.verified = true
+				rl.stats.VerifiedShards++
+				rl.settle(s, v.d, v.res)
+				break
+			}
+		}
+		for _, v := range s.replies {
+			if v.sum != sum {
+				rl.stats.ByzantineReplies++
+				rl.strike(v.w, s.id)
+			}
+		}
+		return
+	}
+	if len(s.replies) >= 3 {
+		// Three workers, three answers: no majority is reachable and
+		// nothing distinguishes liar from victim. Fail the shard; the
+		// campaign degrades to FC bounds rather than guessing.
+		s.errs = append(s.errs, fmt.Sprintf("checksum vote: %d replies, all disagree", len(s.replies)))
+		rl.co.logf("dist: shard %d: checksum vote unresolvable (%d distinct answers)", s.id, len(counts))
+		rl.fail(s)
+		return
+	}
+	if len(s.replies) == 2 {
+		rl.stats.VerifyMismatches++
+		rl.co.logf("dist: shard %d: checksum mismatch between %s and %s, asking a third worker",
+			s.id, s.replies[0].w.t.Name(), s.replies[1].w.t.Name())
+	}
+	if len(s.inflight) > 0 {
+		return // an attempt on another worker is already racing; its reply will vote
+	}
+	if rl.dispatch(s) {
+		rl.stats.VerifyDispatches++
+		return
+	}
+	// No distinct worker available to cast the next vote.
+	if len(s.replies) == 1 {
+		rl.stats.VerifySkipped++
+		rl.co.logf("dist: shard %d: no second worker for verification, settling unverified", s.id)
+		rl.settle(s, d, res)
+		return
+	}
+	s.errs = append(s.errs, "checksum vote tie with no third worker available")
+	rl.fail(s)
+}
+
+// strike charges a worker with one proven-wrong reply and quarantines
+// it at the Options.QuarantineAfter threshold.
+func (rl *runLoop) strike(w *worker, shard int) {
+	w.strikes++
+	rl.co.logf("dist: worker %s: byzantine reply on shard %d (strike %d of %d)",
+		w.t.Name(), shard, w.strikes, rl.opt.QuarantineAfter)
+	if w.strikes >= rl.opt.QuarantineAfter && !w.quarantined {
+		rl.quarantine(w)
+	}
+}
+
+// quarantine bans a worker for Byzantine replies: out of rotation for
+// this run and every later one on the coordinator, its in-flight
+// dispatches canceled, and — the critical part — every shard it settled
+// WITHOUT verification is requeued, because nothing vouches for those
+// results anymore. Shards it settled under a checksum majority stand:
+// another worker agreed.
+func (rl *runLoop) quarantine(w *worker) {
+	w.quarantined = true
+	w.alive = false
+	rl.co.ban(w.t.Name())
+	rl.stats.QuarantinedWorkers++
+	rl.workerUpGauge(w, 0)
+	rl.opt.Metrics.Gauge(fmt.Sprintf("gpustl_dist_worker_quarantined{worker=%q}", w.t.Name())).Set(1)
+	rl.co.logf("dist: worker %s: QUARANTINED after %d byzantine replies", w.t.Name(), w.strikes)
+	for _, s := range rl.shards {
+		for _, d := range s.inflight {
+			if d.w == w {
+				d.cancel(errQuarantined)
+				rl.stats.Preempted++
+			}
+		}
+	}
+	for _, s := range rl.shards {
+		if s.done && !s.verified && s.by == w.t.Name() {
+			s.done = false
+			s.by = ""
+			s.dets, s.stats = nil, fault.SimStats{}
+			s.replies = nil
+			s.replied = map[string]bool{}
+			rl.remaining++
+			rl.stats.RequeuedShards++
+			rl.co.logf("dist: shard %d: settled by quarantined worker %s, requeueing", s.id, w.t.Name())
+			if len(s.inflight) == 0 {
+				rl.dispatchOrPark(s)
+			}
+		}
+	}
 }
 
 func (rl *runLoop) onHedge(s *shardState, attempt int) {
@@ -708,8 +1024,8 @@ func (rl *runLoop) onWorkerDown(w *worker) {
 }
 
 func (rl *runLoop) onWorkerUp(w *worker) {
-	if w.alive {
-		return
+	if w.alive || w.quarantined {
+		return // a quarantined worker answering pings stays banned
 	}
 	w.alive = true
 	rl.stats.WorkerRevivals++
@@ -851,6 +1167,14 @@ func (rl *runLoop) recordStats(res *Result) {
 		{"gpustl_dist_worker_deaths_total", st.WorkerDeaths},
 		{"gpustl_dist_worker_revivals_total", st.WorkerRevivals},
 		{"gpustl_dist_failed_shards_total", res.FailedShards},
+		{"gpustl_dist_verified_shards_total", st.VerifiedShards},
+		{"gpustl_dist_verify_dispatches_total", st.VerifyDispatches},
+		{"gpustl_dist_verify_mismatches_total", st.VerifyMismatches},
+		{"gpustl_dist_verify_skipped_total", st.VerifySkipped},
+		{"gpustl_dist_byzantine_replies_total", st.ByzantineReplies},
+		{"gpustl_dist_quarantined_workers_total", st.QuarantinedWorkers},
+		{"gpustl_dist_requeued_shards_total", st.RequeuedShards},
+		{"gpustl_dist_unavailable_replies_total", st.UnavailableReplies},
 	} {
 		m.Counter(c.name).Add(uint64(c.n))
 	}

@@ -35,6 +35,8 @@
 package dist
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 
@@ -80,6 +82,40 @@ type ShardResult struct {
 	// Result.SimStats, but never bases correctness decisions on them, so
 	// Validate leaves them unchecked.
 	Stats fault.SimStats `json:"stats"`
+	// Checksum is the content checksum of Detections
+	// (ChecksumDetections). It catches accidental in-flight corruption
+	// cheaply; it does NOT authenticate the worker — a Byzantine worker
+	// checksums its own lie consistently, which is exactly why the
+	// coordinator's verification re-executes shards on a second worker
+	// and votes on these sums. Empty means a legacy worker; the
+	// coordinator accepts but cannot cross-check such replies.
+	Checksum string `json:"checksum,omitempty"`
+}
+
+// ChecksumDetections computes the canonical content checksum of a
+// detection list: sha256 over one "fault:pattern:cc" line per detection
+// in reply order. Two honest workers simulating the same shard produce
+// identical detection lists (the engine is deterministic), so their
+// sums match; any divergence is corruption or a lie.
+func ChecksumDetections(dets []Detection) string {
+	h := sha256.New()
+	for _, d := range dets {
+		fmt.Fprintf(h, "%d:%d:%d\n", d.Fault, d.Pattern, d.CC)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// VerifyChecksum recomputes the reply's content checksum and compares
+// it to the one the worker sent. An empty checksum (legacy worker) is
+// accepted without a check.
+func (res *ShardResult) VerifyChecksum() error {
+	if res.Checksum == "" {
+		return nil
+	}
+	if got := ChecksumDetections(res.Detections); got != res.Checksum {
+		return fmt.Errorf("dist: reply checksum mismatch: payload sums to %s, reply claims %s", got, res.Checksum)
+	}
+	return nil
 }
 
 // Validate cross-checks a reply against the request it claims to answer.

@@ -1,0 +1,180 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gpustl/internal/failpoint"
+)
+
+// The dist failpoint sites, threaded through the transport wrapper
+// below. All are message-shaped: they decide the fate of one shard
+// round trip.
+var (
+	// dist.reply.delay stalls a reply (straggler worker; exercises
+	// hedging and deadlines).
+	fpReplyDelay = failpoint.New("dist.reply.delay")
+	// dist.reply.drop loses a computed reply (network eats the response;
+	// the work was done, the coordinator never hears).
+	fpReplyDrop = failpoint.New("dist.reply.drop")
+	// dist.reply.dup answers with a stale copy of an earlier reply
+	// (misdirected or replayed response; the shard/attempt echo is
+	// wrong, so validation must catch it).
+	fpReplyDup = failpoint.New("dist.reply.dup")
+	// dist.reply.reorder delivers replies out of order by swapping the
+	// current reply with a held earlier one.
+	fpReplyReorder = failpoint.New("dist.reply.reorder")
+	// dist.reply.byzantine makes the worker lie plausibly: the reply
+	// passes validation and carries a consistent checksum, but its
+	// detections are wrong. Only re-execution and voting can catch it.
+	fpReplyByzantine = failpoint.New("dist.reply.byzantine")
+	// dist.transport.error fails the round trip outright (connection
+	// refused, TLS error, ...).
+	fpTransportErr = failpoint.New("dist.transport.error")
+	// dist.ping.error fails heartbeat probes (exercises dead-worker
+	// declaration and revival).
+	fpPingErr = failpoint.New("dist.ping.error")
+)
+
+// faultTransport decorates a Transport with the dist failpoint sites.
+type faultTransport struct {
+	inner Transport
+	allow map[string]bool
+
+	mu    sync.Mutex
+	stale *ShardResult // last reply seen, for dup/reorder
+	held  *ShardResult // reply held back by an armed reorder
+}
+
+// WithFailpoints wraps t with the dist.* failpoint sites. With no names
+// the wrapper evaluates every site; naming a subset restricts this
+// wrapper to those failpoints, so a chaos schedule can arm
+// dist.reply.byzantine globally while only one worker's transport acts
+// on it. Disarmed sites cost one atomic load per call.
+func WithFailpoints(t Transport, names ...string) Transport {
+	ft := &faultTransport{inner: t}
+	if len(names) > 0 {
+		ft.allow = make(map[string]bool, len(names))
+		for _, n := range names {
+			ft.allow[n] = true
+		}
+	}
+	return ft
+}
+
+func (ft *faultTransport) allowed(fp *failpoint.Failpoint) bool {
+	return ft.allow == nil || ft.allow[fp.Name()]
+}
+
+// eval gates a failpoint through this wrapper's allow-list before
+// advancing its trigger state, so a restricted wrapper leaves the
+// shared counters of other wrappers' failpoints untouched.
+func (ft *faultTransport) eval(fp *failpoint.Failpoint) (failpoint.Outcome, bool) {
+	if !ft.allowed(fp) {
+		return failpoint.Outcome{}, false
+	}
+	return fp.Eval()
+}
+
+func (ft *faultTransport) Name() string { return ft.inner.Name() }
+func (ft *faultTransport) Close() error { return ft.inner.Close() }
+
+func (ft *faultTransport) Ping(ctx context.Context) error {
+	if out, ok := ft.eval(fpPingErr); ok {
+		return out.Err
+	}
+	return ft.inner.Ping(ctx)
+}
+
+func (ft *faultTransport) Simulate(ctx context.Context, req *ShardRequest) (*ShardResult, error) {
+	if out, ok := ft.eval(fpTransportErr); ok {
+		return nil, out.Err
+	}
+	if out, ok := ft.eval(fpReplyDelay); ok {
+		select {
+		case <-time.After(out.Delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	res, err := ft.inner.Simulate(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if out, ok := ft.eval(fpReplyByzantine); ok {
+		byzantineMutate(res, req, out.Bit)
+	}
+	ft.mu.Lock()
+	prev := ft.stale
+	ft.stale = res
+	ft.mu.Unlock()
+	if out, ok := ft.eval(fpReplyDrop); ok {
+		return nil, fmt.Errorf("%s: reply lost in flight", out.Msg)
+	}
+	if _, ok := ft.eval(fpReplyDup); ok && prev != nil && prev != res {
+		// Replay an earlier reply verbatim: its shard/attempt echo is
+		// stale, so coordinator validation must reject it.
+		return prev, nil
+	}
+	if _, ok := ft.eval(fpReplyReorder); ok {
+		ft.mu.Lock()
+		swapped := ft.held
+		ft.held = res
+		ft.mu.Unlock()
+		if swapped != nil {
+			return swapped, nil
+		}
+		return res, nil // nothing held yet; start the swap chain
+	}
+	return res, nil
+}
+
+// byzantineMutate turns an honest reply into a plausible lie: the
+// mutated detections still pass Validate (indices in range, CCs
+// matching the stream, sorted, no duplicates) and the reply's checksum
+// is recomputed so it is self-consistent — a Byzantine worker checksums
+// what it actually sends. variant (a seeded random int from the
+// failpoint) picks the lie deterministically.
+func byzantineMutate(res *ShardResult, req *ShardRequest, variant int) {
+	if variant < 0 {
+		variant = -variant
+	}
+	detected := make(map[int32]bool, len(res.Detections))
+	for _, d := range res.Detections {
+		detected[d.Fault] = true
+	}
+	// Prefer claiming a detection for a fault the simulation did not
+	// detect (inflates coverage — the dangerous direction: compaction
+	// would drop instructions that are actually needed); fall back to
+	// suppressing a real detection.
+	var undetected []int32
+	for i := range req.Faults {
+		if !detected[int32(i)] {
+			undetected = append(undetected, int32(i))
+		}
+	}
+	switch {
+	case len(undetected) > 0 && len(req.Stream) > 0:
+		f := undetected[variant%len(undetected)]
+		p := int32(variant % len(req.Stream))
+		res.Detections = append(res.Detections, Detection{
+			Fault: f, Pattern: p, CC: req.Stream[p].CC,
+		})
+		sort.Slice(res.Detections, func(i, j int) bool {
+			a, b := res.Detections[i], res.Detections[j]
+			if a.Pattern != b.Pattern {
+				return a.Pattern < b.Pattern
+			}
+			return a.Fault < b.Fault
+		})
+	case len(res.Detections) > 0:
+		i := variant % len(res.Detections)
+		res.Detections = append(res.Detections[:i], res.Detections[i+1:]...)
+	default:
+		return // nothing to lie about
+	}
+	res.Checksum = ChecksumDetections(res.Detections)
+}

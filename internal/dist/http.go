@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpustl/internal/obs"
@@ -18,6 +21,16 @@ const (
 	simulatePath = "/simulate"
 	healthPath   = "/healthz"
 )
+
+// drainingHeader marks a worker's 503 as "draining, retry elsewhere"
+// rather than a failure: the worker received SIGTERM and is finishing
+// its in-flight shards.
+const drainingHeader = "X-Gpustl-Draining"
+
+// ErrUnavailable marks a dispatch rejected by a draining worker. The
+// coordinator redistributes the shard without charging a failed attempt
+// — a clean shutdown is scheduling, not an error.
+var ErrUnavailable = errors.New("dist: worker draining, shard not accepted")
 
 // MaxReplyBytes caps how much of a worker's /simulate reply the client
 // will read. A shard result is detections over at most a few thousand
@@ -68,6 +81,9 @@ func (t *HTTP) Simulate(ctx context.Context, req *ShardRequest) (*ShardResult, e
 	defer hres.Body.Close()
 	if hres.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(hres.Body, 4096))
+		if hres.StatusCode == http.StatusServiceUnavailable && hres.Header.Get(drainingHeader) != "" {
+			return nil, fmt.Errorf("dist: worker %s: %w", t.base, ErrUnavailable)
+		}
 		return nil, fmt.Errorf("dist: worker %s: HTTP %d: %s",
 			t.base, hres.StatusCode, strings.TrimSpace(string(msg)))
 	}
@@ -113,7 +129,34 @@ func (t *HTTP) Close() error {
 	return nil
 }
 
-// NewHandler returns the worker daemon's http.Handler: POST /simulate
+// WorkerHandler is the worker daemon's http.Handler, with the graceful
+// drain machinery cmd/stlworker drives on SIGTERM: StartDrain makes the
+// worker reject new shards with a retryable 503 (the coordinator
+// redistributes them without charging a failure) and answer heartbeats
+// unhealthy (so it stops being picked), while in-flight shards run to
+// completion; DrainWait blocks until the last one has been served.
+type WorkerHandler struct {
+	mux      *http.ServeMux
+	draining atomic.Bool
+	inflight sync.WaitGroup
+}
+
+// ServeHTTP implements http.Handler.
+func (h *WorkerHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// StartDrain flips the worker into draining mode: new shards are
+// rejected retryably, heartbeats answer unhealthy, in-flight shards
+// keep running.
+func (h *WorkerHandler) StartDrain() { h.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (h *WorkerHandler) Draining() bool { return h.draining.Load() }
+
+// DrainWait blocks until every in-flight shard accepted before
+// StartDrain has been served.
+func (h *WorkerHandler) DrainWait() { h.inflight.Wait() }
+
+// NewHandler returns the worker daemon's handler: POST /simulate
 // executes a shard on an in-process Local executor (honoring the
 // request's context, so a coordinator-side cancel aborts the
 // simulation), GET /healthz answers heartbeats. logf (nil = silent)
@@ -126,20 +169,36 @@ func NewHandler(name string, logf func(format string, args ...any)) http.Handler
 // counters (served, failed, canceled, faults, patterns, detections) and
 // a service-latency histogram land in m (nil disables recording), ready
 // to be exposed through the daemon's -metrics-addr endpoint.
-func NewHandlerMetrics(name string, logf func(format string, args ...any), m *obs.Registry) http.Handler {
+func NewHandlerMetrics(name string, logf func(format string, args ...any), m *obs.Registry) *WorkerHandler {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	exec := NewLocal(name)
-	mux := http.NewServeMux()
-	mux.HandleFunc(healthPath, func(w http.ResponseWriter, r *http.Request) {
+	// The executor carries the worker-side failpoint sites (reply
+	// corruption, Byzantine mutation, delays): one atomic load each when
+	// disarmed, so production workers pay nothing.
+	exec := WithFailpoints(NewLocal(name))
+	h := &WorkerHandler{mux: http.NewServeMux()}
+	h.mux.HandleFunc(healthPath, func(w http.ResponseWriter, r *http.Request) {
 		m.Counter("gpustl_worker_pings_total").Inc()
+		if h.draining.Load() {
+			w.Header().Set(drainingHeader, "1")
+			http.Error(w, "worker draining", http.StatusServiceUnavailable)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"worker\":%q}\n", name)
 	})
-	mux.HandleFunc(simulatePath, func(w http.ResponseWriter, r *http.Request) {
+	h.mux.HandleFunc(simulatePath, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		h.inflight.Add(1)
+		defer h.inflight.Done()
+		if h.draining.Load() {
+			m.Counter("gpustl_worker_shards_rejected_total").Inc()
+			w.Header().Set(drainingHeader, "1")
+			http.Error(w, "worker draining, shard not accepted", http.StatusServiceUnavailable)
 			return
 		}
 		var req ShardRequest
@@ -178,5 +237,5 @@ func NewHandlerMetrics(name string, logf func(format string, args ...any), m *ob
 			logf("shard %d attempt %d: writing reply: %v", req.Shard, req.Attempt, err)
 		}
 	})
-	return mux
+	return h
 }

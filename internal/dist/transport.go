@@ -89,6 +89,7 @@ func (l *Local) Simulate(ctx context.Context, req *ShardRequest) (*ShardResult, 
 	for i, d := range dets {
 		res.Detections[i] = Detection{Fault: int32(d.Fault), Pattern: d.Pattern, CC: d.CC}
 	}
+	res.Checksum = ChecksumDetections(res.Detections)
 	return res, nil
 }
 

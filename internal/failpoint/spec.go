@@ -1,0 +1,150 @@
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// EnableSpec arms failpoints from a human-writable spec string, the
+// format the -failpoints CLI flags accept. Entries are comma-separated:
+//
+//	name=action[|mod=value|...]
+//
+// Actions (parenthesized argument optional unless noted):
+//
+//	error[(msg)]    return an error; msg "ENOSPC" injects syscall.ENOSPC
+//	delay(dur)      sleep a time.ParseDuration duration (required)
+//	panic[(msg)]    panic
+//	short[(bytes)]  torn write keeping the first bytes bytes
+//	corrupt[(bit)]  flip payload bit (default: seeded random bit)
+//	drop            compute, then lose the reply
+//	dup             answer with a stale earlier reply
+//	reorder         deliver replies out of order
+//
+// Modifiers: p=<float> firing probability, after=<int> skip the first
+// N evaluations, times=<int> cap firings, seed=<int> RNG seed.
+//
+// Example:
+//
+//	journal.append.sync=error(ENOSPC)|p=0.1|seed=7,dist.reply.drop=drop|times=3
+func EnableSpec(spec string) error {
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(entry, "=")
+		if !ok {
+			return fmt.Errorf("failpoint: spec entry %q: want name=action", entry)
+		}
+		cfg, err := ParseConfig(rest)
+		if err != nil {
+			return fmt.Errorf("failpoint: spec entry %q: %w", entry, err)
+		}
+		if err := Enable(strings.TrimSpace(name), cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseConfig parses the action[|mod=value...] part of a spec entry.
+func ParseConfig(s string) (Config, error) {
+	parts := strings.Split(s, "|")
+	cfg, err := parseAction(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return Config{}, err
+	}
+	for _, mod := range parts[1:] {
+		key, val, ok := strings.Cut(strings.TrimSpace(mod), "=")
+		if !ok {
+			return Config{}, fmt.Errorf("modifier %q: want key=value", mod)
+		}
+		switch key {
+		case "p":
+			if cfg.Prob, err = strconv.ParseFloat(val, 64); err != nil {
+				return Config{}, fmt.Errorf("modifier p=%q: %v", val, err)
+			}
+		case "after":
+			if cfg.After, err = strconv.Atoi(val); err != nil {
+				return Config{}, fmt.Errorf("modifier after=%q: %v", val, err)
+			}
+		case "times":
+			if cfg.Times, err = strconv.Atoi(val); err != nil {
+				return Config{}, fmt.Errorf("modifier times=%q: %v", val, err)
+			}
+		case "seed":
+			if cfg.Seed, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Config{}, fmt.Errorf("modifier seed=%q: %v", val, err)
+			}
+		default:
+			return Config{}, fmt.Errorf("unknown modifier %q", key)
+		}
+	}
+	return cfg, nil
+}
+
+// parseAction parses "kind" or "kind(arg)".
+func parseAction(s string) (Config, error) {
+	kind, arg := s, ""
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return Config{}, fmt.Errorf("action %q: unclosed argument", s)
+		}
+		kind, arg = s[:i], s[i+1:len(s)-1]
+	}
+	cfg := Config{Bit: -1}
+	switch kind {
+	case "error":
+		cfg.Kind = KindError
+		if arg == "ENOSPC" {
+			cfg.Err = syscall.ENOSPC
+		} else if arg != "" {
+			cfg.Err = errors.New(arg)
+		}
+	case "delay":
+		cfg.Kind = KindDelay
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return Config{}, fmt.Errorf("action delay: %v", err)
+		}
+		cfg.Delay = d
+	case "panic":
+		cfg.Kind = KindPanic
+		cfg.Msg = arg
+	case "short":
+		cfg.Kind = KindShortWrite
+		if arg != "" {
+			n, err := strconv.Atoi(arg)
+			if err != nil {
+				return Config{}, fmt.Errorf("action short: %v", err)
+			}
+			cfg.Bytes = n
+		}
+	case "corrupt":
+		cfg.Kind = KindCorrupt
+		if arg != "" {
+			bit, err := strconv.Atoi(arg)
+			if err != nil {
+				return Config{}, fmt.Errorf("action corrupt: %v", err)
+			}
+			cfg.Bit = bit
+		}
+	case "drop":
+		cfg.Kind = KindDrop
+	case "dup":
+		cfg.Kind = KindDuplicate
+	case "reorder":
+		cfg.Kind = KindReorder
+	default:
+		return Config{}, fmt.Errorf("unknown action %q", kind)
+	}
+	if arg != "" && (cfg.Kind == KindDrop || cfg.Kind == KindDuplicate || cfg.Kind == KindReorder) {
+		return Config{}, fmt.Errorf("action %q takes no argument", kind)
+	}
+	return cfg, nil
+}

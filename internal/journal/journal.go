@@ -21,6 +21,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
+
+	"gpustl/internal/failpoint"
 )
 
 // castagnoli is the CRC32C polynomial table (the same polynomial
@@ -29,6 +32,53 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrCRC marks a record whose stored CRC32C does not match its content.
 var ErrCRC = errors.New("CRC32C mismatch")
+
+// ErrDiskFull marks an append that failed because the filesystem is out
+// of space (ENOSPC) or quota (EDQUOT). Callers should treat it as an
+// environmental condition — pause or fail the campaign — rather than
+// journal corruption: the tail has already been healed when Append
+// returns it.
+var ErrDiskFull = errors.New("journal: disk full")
+
+// ErrShortWrite marks an append where the kernel accepted fewer bytes
+// than the record needs (a torn write observed at write time rather than
+// at recovery). Like ErrDiskFull it is surfaced distinctly — previously
+// such a tail was only discovered on the next Scan and misreported as a
+// CRC torn-tail — and the partial bytes are truncated away before Append
+// returns.
+var ErrShortWrite = errors.New("journal: short write")
+
+// Failpoints on the append path. journal.append.write intercepts the
+// record write (error / torn short write / bit corruption); it fires
+// before bytes reach the kernel so torn and corrupt payloads really
+// land on disk. journal.append.sync injects fsync failures (e.g.
+// error(ENOSPC): data accepted into the page cache, no room to flush).
+var (
+	fpAppendWrite = failpoint.New("journal.append.write")
+	fpAppendSync  = failpoint.New("journal.append.sync")
+)
+
+// isDiskFull reports whether err is an out-of-space condition.
+func isDiskFull(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT)
+}
+
+// classifyWriteErr maps a raw write error (and byte count) to the
+// journal's distinct error kinds.
+func classifyWriteErr(err error, wrote, want int) error {
+	switch {
+	case err != nil && isDiskFull(err):
+		return fmt.Errorf("%w (wrote %d of %d bytes): %v", ErrDiskFull, wrote, want, err)
+	case err != nil && errors.Is(err, io.ErrShortWrite):
+		return fmt.Errorf("%w (wrote %d of %d bytes)", ErrShortWrite, wrote, want)
+	case err != nil:
+		return err
+	case wrote < want:
+		return fmt.Errorf("%w (wrote %d of %d bytes)", ErrShortWrite, wrote, want)
+	default:
+		return nil
+	}
+}
 
 // Record is one journal entry: a monotonically increasing sequence
 // number (starting at 1), a caller-defined type tag, the CRC32C of
@@ -174,6 +224,11 @@ type Journal struct {
 	f    *os.File
 	path string
 	seq  uint64
+	// off is the byte offset of the clean end of the journal: just past
+	// the last fully acknowledged record. Failed appends truncate back
+	// to it so a write-time error never leaves a torn tail for the next
+	// Scan to misreport as corruption.
+	off int64
 }
 
 // Open scans the journal at path (creating it if absent), truncates any
@@ -213,7 +268,7 @@ func Open(path string) (*Journal, *Replay, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	return &Journal{f: f, path: path, seq: uint64(len(rp.Records))}, rp, nil
+	return &Journal{f: f, path: path, seq: uint64(len(rp.Records)), off: rp.GoodSize}, rp, nil
 }
 
 // Seq returns the sequence number of the last appended record (0 when
@@ -224,22 +279,67 @@ func (j *Journal) Seq() uint64 { return j.seq }
 func (j *Journal) Path() string { return j.path }
 
 // Append frames body as the next record, writes it, and fsyncs the file
-// before returning the record's sequence number. On error the in-memory
-// sequence number is not advanced; the on-disk tail (if partially
-// written) is exactly the torn-record case recovery handles.
+// before returning the record's sequence number. Failures are surfaced
+// distinctly — ErrDiskFull for ENOSPC/EDQUOT, ErrShortWrite for a torn
+// write observed at write time — and in both cases the partial tail is
+// truncated back to the last acknowledged record before Append returns,
+// so the caller may retry the same record and a concurrent crash still
+// recovers a clean journal. The in-memory sequence number advances only
+// on full success.
 func (j *Journal) Append(typ string, body any) (uint64, error) {
 	line, err := EncodeRecord(j.seq+1, typ, body)
 	if err != nil {
 		return 0, err
 	}
-	if _, err := j.f.Write(line); err != nil {
-		return 0, fmt.Errorf("journal: appending to %s: %w", j.path, err)
+	// The write failpoint decides what reaches the kernel: the full
+	// line, a torn prefix (plus an error), or a bit-flipped copy.
+	toWrite, injected := fpAppendWrite.InjectWrite(line)
+	n, werr := j.f.Write(toWrite)
+	if werr == nil && injected != nil {
+		// Injected torn write: the prefix landed, now surface the error
+		// the real kernel would have returned.
+		werr = injected
 	}
-	if err := j.f.Sync(); err != nil {
-		return 0, fmt.Errorf("journal: syncing %s: %w", j.path, err)
+	if cerr := classifyWriteErr(werr, n, len(line)); cerr != nil {
+		if herr := j.truncateTail(); herr != nil {
+			return 0, fmt.Errorf("journal: appending to %s: %w (and healing tail failed: %v)", j.path, cerr, herr)
+		}
+		return 0, fmt.Errorf("journal: appending to %s: %w", j.path, cerr)
+	}
+	serr := fpAppendSync.Inject()
+	if serr == nil {
+		serr = j.f.Sync()
+	}
+	if serr != nil {
+		// The record may or may not be durable; drop it so the journal
+		// stays a clean prefix of acknowledged records. Record bodies
+		// are deterministic, so a retry rewrites identical content.
+		if isDiskFull(serr) {
+			serr = fmt.Errorf("%w: %v", ErrDiskFull, serr)
+		}
+		if herr := j.truncateTail(); herr != nil {
+			return 0, fmt.Errorf("journal: syncing %s: %w (and healing tail failed: %v)", j.path, serr, herr)
+		}
+		return 0, fmt.Errorf("journal: syncing %s: %w", j.path, serr)
 	}
 	j.seq++
+	j.off += int64(len(toWrite))
 	return j.seq, nil
+}
+
+// truncateTail durably discards any partially written record, restoring
+// the file to the last acknowledged offset. Truncate does not move the
+// file offset, so it must seek back explicitly or the next append would
+// leave a hole of zero bytes.
+func (j *Journal) truncateTail() error {
+	if err := j.f.Truncate(j.off); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	_, err := j.f.Seek(j.off, io.SeekStart)
+	return err
 }
 
 // Close closes the journal file.

@@ -11,11 +11,27 @@ import (
 
 	"gpustl/internal/circuits"
 	"gpustl/internal/core"
+	"gpustl/internal/failpoint"
 	"gpustl/internal/fault"
 	"gpustl/internal/gpu"
 	"gpustl/internal/obs"
 	"gpustl/internal/report"
 	"gpustl/internal/stl"
+)
+
+// Failpoints on the runner's failure surfaces. run.stage.panic fires
+// inside pipeline stage transitions, but never at or past the commit
+// stage: a crash there quarantines the PTP without retry (committed
+// drops make re-running unsound), which would change the output — the
+// site exists to exercise the retry path, not to force divergence.
+// run.precommit.crash and run.postcommit.crash bracket the journal
+// append of a finished PTP, the two halves of the crash-consistency
+// contract: before the append a resume redoes the PTP, after it a
+// resume skips it, and either way the final report is identical.
+var (
+	fpStagePanic      = failpoint.New("run.stage.panic")
+	fpPrecommitCrash  = failpoint.New("run.precommit.crash")
+	fpPostcommitCrash = failpoint.New("run.postcommit.crash")
 )
 
 // Status classifies the outcome of one PTP.
@@ -346,12 +362,25 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 
 		ck.Entries = append(ck.Entries, e)
 		if clog != nil {
+			// Crash-consistency brackets around the commit: a crash (or
+			// injected error) before the append loses the entry — a
+			// resume redoes this PTP; after it the entry is durable — a
+			// resume skips it. Entries are deterministic, so both paths
+			// converge on the same report.
+			if err := fpPrecommitCrash.Inject(); err != nil {
+				ptpSpan.End()
+				return rep, err
+			}
 			// The journal append (fsync'd) is real wall-clock work; give
 			// it its own stage span so trace totals stay honest.
 			ckSpan := opts.Tracer.Start(ptpSpan, obs.KindStage, "checkpoint")
 			err := clog.appendOutcome(e)
 			ckSpan.End()
 			if err != nil {
+				ptpSpan.End()
+				return rep, err
+			}
+			if err := fpPostcommitCrash.Inject(); err != nil {
 				ptpSpan.End()
 				return rep, err
 			}
@@ -483,6 +512,13 @@ func compactOne(ctx context.Context, c *core.Compactor, p *stl.PTP,
 		stageSpan = opts.Tracer.Start(ptpSpan, obs.KindStage, string(s))
 		if watchdog != nil {
 			watchdog.Reset(opts.StageTimeout)
+		}
+		if !core.CommitStage(s) {
+			// Gated to pre-commit stages: a crash here is retried by the
+			// quarantine policy without touching committed state.
+			if err := fpStagePanic.Inject(); err != nil {
+				return err
+			}
 		}
 		if opts.StageHook != nil {
 			return opts.StageHook(p.Name, s)
