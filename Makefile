@@ -20,7 +20,7 @@ lint:
 # honest against corrupt bytes without the cost of a long fuzzing
 # session.
 .PHONY: verify
-verify: test lint chaos-smoke
+verify: test lint chaos-smoke chaos-overload
 	go test -race ./...
 	go test -race -run 'TestRegistryConcurrent' -count=1 ./internal/obs
 	go test -run 'TestCrashRecovery|TestTornFinalRecord|TestFlippedCRCByte' -count=1 ./internal/run
@@ -49,6 +49,15 @@ chaos:
 chaos-smoke:
 	go run -race ./cmd/chaossoak -duration 120s -iters 2
 
+# Overload smoke: just the overload schedule (3× load against an
+# admission pool sized for one, brownout worker, injected admission
+# faults), two rounds under the race detector. Each round admits and
+# byte-verifies three campaigns and asserts at least one deterministic
+# shed plus the retry-budget inequality.
+.PHONY: chaos-overload
+chaos-overload:
+	go run -race ./cmd/chaossoak -schedule overload -duration 120s -iters 2
+
 # Benchmarks. The JSON streams land in BENCH_dist.json (distributed
 # simulation + coordinator stats), BENCH_journal.json (per-record
 # fsync append cost, journal replay), BENCH_obs.json (telemetry
@@ -63,11 +72,20 @@ bench:
 	go test -bench 'BenchmarkObs' -benchtime 1000x -run '^$$' -json ./internal/obs | tee BENCH_obs.json
 	go test -bench 'BenchmarkSimulateSP(Metrics)?$$' -benchtime 3x -run '^$$' -json ./internal/fault | tee -a BENCH_obs.json
 	go test -bench $(FAULT_BENCHES) -benchtime 10x -count=3 -run '^$$' -json . | tee BENCH_fault.json
+	go test -bench $(OVERLOAD_BENCHES) -benchtime 10x -run '^$$' -json . | tee BENCH_overload.json
+	go test -bench 'BenchmarkAdmission|BenchmarkRetryBudget|BenchmarkBreaker' -benchtime 1000x -run '^$$' -json ./internal/overload | tee -a BENCH_overload.json
 	go test -bench . -benchtime 1x -run '^$$' ./internal/...
 
 # The engine benchmarks guarded against regression, and the committed
 # baseline they are compared to.
 FAULT_BENCHES = 'BenchmarkFaultSimulation$$|BenchmarkTableI$$'
+
+# The overload pair: the fault-sim benchmark with and without the
+# unlimited admission/deadline plumbing. BENCH_overload.json also
+# carries the shed-latency and admission micro-benchmarks from
+# internal/overload; TestOverloadPlumbingOverhead asserts the <1%
+# disarmed-overhead bound in plain `go test`.
+OVERLOAD_BENCHES = 'BenchmarkFaultSimulation(Overload)?$$'
 
 # bench-compare reruns the guarded engine benchmarks and fails if any
 # is more than 15% slower (ns/op) than the committed BENCH_fault.json
@@ -79,6 +97,10 @@ bench-compare:
 	go run ./cmd/benchdiff -old BENCH_fault.json -new .bench_new.json \
 		-bench $(FAULT_BENCHES) -threshold 15
 	rm -f .bench_new.json
+	go test -bench $(OVERLOAD_BENCHES) -benchtime 10x -run '^$$' -json . > .bench_new_overload.json
+	go run ./cmd/benchdiff -old BENCH_overload.json -new .bench_new_overload.json \
+		-bench $(OVERLOAD_BENCHES) -threshold 15
+	rm -f .bench_new_overload.json
 
 # bench-smoke is the CI version of bench-compare: one short run of the
 # fault-simulation benchmark through the same diff pipeline, with a

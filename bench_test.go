@@ -14,6 +14,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 )
 
 var (
@@ -296,4 +297,118 @@ func BenchmarkDistSimulation(b *testing.B) {
 	}
 	b.ReportMetric(float64(shards)/float64(b.N), "shards/op")
 	b.ReportMetric(float64(dispatches)/float64(b.N), "dispatches/op")
+}
+
+// overloadPlumbing is exactly the per-campaign work the resilient
+// runner adds for overload protection when no limits are configured: a
+// deadline check on the context, the campaign cost estimate, and an
+// acquire/release round-trip on a nil admission pool. The benchmarks
+// and the overhead test below share it so they measure the same code.
+func overloadPlumbing(ctx context.Context, pool *AdmissionPool, progLen int) error {
+	if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+		return context.DeadlineExceeded
+	}
+	cost := int64(progLen)
+	release, err := pool.Acquire(ctx, cost)
+	if err != nil {
+		return err
+	}
+	release()
+	return nil
+}
+
+// BenchmarkFaultSimulationOverload is BenchmarkFaultSimulation with the
+// unlimited overload plumbing wrapped around every campaign — the
+// "no limits configured" configuration every run uses by default.
+// Paired with BenchmarkFaultSimulation in BENCH_overload.json it keeps
+// the admission + deadline cost visible to benchdiff;
+// TestOverloadPlumbingOverhead asserts the pair differ by <1%.
+func BenchmarkFaultSimulationOverload(b *testing.B) {
+	mod, err := BuildModule(ModuleDU)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ptp := GenerateIMM(300, 1)
+	col := NewTraceCollector(ModuleDU)
+	col.LiteRows = true
+	g, err := NewGPU(DefaultGPUConfig(), col)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := g.Run(Kernel{
+		Prog: ptp.Prog, Blocks: 1, ThreadsPerBlock: 32,
+		GlobalBase: ptp.Data.Base, GlobalData: ptp.Data.Words,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	faults := AllFaults(mod)
+	var pool *AdmissionPool // nil: no limits configured
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := overloadPlumbing(ctx, pool, len(ptp.Prog)); err != nil {
+			b.Fatal(err)
+		}
+		camp := NewFaultCampaign(mod, faults)
+		camp.Simulate(col.Patterns, SimOptions{})
+	}
+}
+
+// TestOverloadPlumbingOverhead asserts the acceptance bound directly:
+// the admission checks and deadline plumbing cost <1% of one fault
+// simulation when no limits are configured. The plumbing is measured
+// in isolation (nanoseconds) against a timed simulation (milliseconds),
+// so the bound holds by orders of magnitude and the test is immune to
+// run-to-run variance of the heavy simulation itself.
+func TestOverloadPlumbingOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	mod, err := BuildModule(ModuleDU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptp := GenerateIMM(300, 1)
+	col := NewTraceCollector(ModuleDU)
+	col.LiteRows = true
+	g, err := NewGPU(DefaultGPUConfig(), col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(Kernel{
+		Prog: ptp.Prog, Blocks: 1, ThreadsPerBlock: 32,
+		GlobalBase: ptp.Data.Base, GlobalData: ptp.Data.Words,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	faults := AllFaults(mod)
+
+	// Fastest of three simulations: the denominator.
+	simTime := time.Duration(1<<62 - 1)
+	for i := 0; i < 3; i++ {
+		camp := NewFaultCampaign(mod, faults)
+		start := time.Now()
+		camp.Simulate(col.Patterns, SimOptions{})
+		if d := time.Since(start); d < simTime {
+			simTime = d
+		}
+	}
+
+	// Amortized plumbing cost: the numerator.
+	var pool *AdmissionPool
+	ctx := context.Background()
+	const iters = 100_000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := overloadPlumbing(ctx, pool, len(ptp.Prog)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perOp := time.Since(start) / iters
+
+	if perOp*100 >= simTime {
+		t.Fatalf("overload plumbing %v per campaign is not <1%% of a %v fault simulation", perOp, simTime)
+	}
+	t.Logf("plumbing %v/campaign vs simulation %v (%.4f%%)",
+		perOp, simTime, 100*float64(perOp)/float64(simTime))
 }

@@ -1,11 +1,16 @@
 // Command chaossoak runs the chaos soak: every canonical fault schedule
 // (torn journal writes, mid-commit crashes, stage panics, a lossy wire,
-// a Byzantine worker, dying heartbeats) concurrently against whole
-// compaction campaigns for -duration, asserting every campaign's
-// compacted STL is byte-identical to a fault-free reference run and
-// that the Byzantine worker is quarantined. Exits non-zero on the
-// first divergence. This is `make chaos`; `make chaos-smoke` is the
-// same binary, shorter and under the race detector.
+// a Byzantine worker, dying heartbeats, an overload storm) concurrently
+// against whole compaction campaigns for -duration, asserting every
+// campaign's compacted STL is byte-identical to a fault-free reference
+// run and that the Byzantine worker is quarantined. Exits non-zero if
+// ANY schedule diverged, however many others passed. A failing schedule
+// logs a "repro" line carrying the seed, iteration and the exact
+// -failpoints spec that reproduces it; replay it with
+// `chaossoak -schedule NAME -seed S -iters 1` (or arm the printed spec
+// on stlcompact/stlworker directly). This is `make chaos`;
+// `make chaos-smoke` is the same binary, shorter and under the race
+// detector; `make chaos-overload` soaks only the overload schedule.
 package main
 
 import (
@@ -27,6 +32,7 @@ func main() {
 		duration = flag.Duration("duration", 30*time.Second, "how long to soak")
 		seed     = flag.Int64("seed", 1, "base seed for failpoint fates and coordinator jitter")
 		iters    = flag.Int("iters", 0, "campaigns per schedule (0 = as many as fit in -duration)")
+		only     = flag.String("schedule", "", "run only this named schedule (repro of a reported failure)")
 		verbose  = flag.Bool("v", false, "log every crash, restart and campaign")
 	)
 	flag.Parse()
@@ -41,6 +47,19 @@ func main() {
 	}
 
 	schedules := chaos.Schedules()
+	if *only != "" {
+		kept := schedules[:0]
+		for _, s := range schedules {
+			if s.Name == *only {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			logger.Error("unknown schedule", "schedule", *only)
+			os.Exit(2)
+		}
+		schedules = kept
+	}
 	logger.Info("soak starting", "schedules", len(schedules), "duration", *duration, "seed", *seed)
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
@@ -48,13 +67,34 @@ func main() {
 	results, err := h.Soak(ctx, schedules, *iters)
 	elapsed := time.Since(start)
 
+	byName := make(map[string]chaos.Schedule, len(schedules))
+	for _, s := range schedules {
+		byName[s.Name] = s
+	}
+	// failed latches: a schedule that broke early keeps the exit code
+	// non-zero no matter how many later (or concurrent) schedules pass.
 	failed := false
 	total := 0
+	quarantineRan := false // a quarantine-expecting schedule completed campaigns
 	for _, r := range results {
 		total += r.Campaigns
+		if s, ok := byName[r.Schedule]; ok && s.ExpectQuarantine && r.Campaigns > 0 {
+			quarantineRan = true
+		}
 		if r.Err != nil {
 			failed = true
-			logger.Error("schedule failed", "schedule", r.Schedule, "err", r.Err)
+			logger.Error("schedule failed", "schedule", r.Schedule,
+				"campaigns_before_failure", r.Campaigns, "err", r.Err)
+			// Everything needed to reproduce the failing campaign
+			// standalone: the harness seed plus the exact -failpoints
+			// arming (including the failing iteration's seed offset).
+			if s, ok := byName[r.Schedule]; ok {
+				logger.Error("repro",
+					"schedule", r.Schedule,
+					"seed", *seed,
+					"iteration", r.Iter,
+					"failpoints", s.Spec(r.Iter))
+			}
 			continue
 		}
 		if r.Campaigns == 0 {
@@ -64,19 +104,24 @@ func main() {
 		}
 		logger.Info("schedule ok",
 			"schedule", r.Schedule, "campaigns", r.Campaigns,
-			"crashes", r.Crashes, "restarts", r.Restarts, "banned", r.Banned)
+			"crashes", r.Crashes, "restarts", r.Restarts, "banned", r.Banned,
+			"admitted", r.Admitted, "shed", r.Shed)
 	}
 	if err != nil {
 		failed = true
 	}
 
 	// The Byzantine evidence trail: quarantine must be visible in the
-	// gpustl_* metrics, not just in the harness's own accounting.
+	// gpustl_* metrics, not just in the harness's own accounting. Only
+	// meaningful when a quarantine-expecting schedule actually completed
+	// a campaign — a short -duration that starved it is not a soak bug
+	// (zero campaigns is already flagged above).
 	snap := h.Metrics.Snapshot()
 	var names []string
 	for name := range snap.Counters {
 		if strings.Contains(name, "byzantine") || strings.Contains(name, "quarantin") ||
-			strings.Contains(name, "verif") || strings.Contains(name, "requeued") {
+			strings.Contains(name, "verif") || strings.Contains(name, "requeued") ||
+			strings.Contains(name, "overload") {
 			names = append(names, name)
 		}
 	}
@@ -84,7 +129,7 @@ func main() {
 	for _, name := range names {
 		logger.Info("metric", "name", name, "value", snap.Counters[name])
 	}
-	if snap.Counters["gpustl_dist_quarantined_workers_total"] == 0 {
+	if quarantineRan && snap.Counters["gpustl_dist_quarantined_workers_total"] == 0 {
 		failed = true
 		logger.Error("no quarantine recorded in gpustl_* metrics")
 	}

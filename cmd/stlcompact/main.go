@@ -7,8 +7,10 @@
 //	stlcompact -target DU|SP|SFU [-n N] [-seed S] [-faults K] [-reverse]
 //	           [-instr] [-baseline] [-load FILE.json] [-save DIR]
 //	           [-checkpoint DIR] [-stage-timeout D] [-fctol PTS]
-//	           [-max-ptp-retries N] [-fsck]
+//	           [-max-ptp-retries N] [-fsck] [-deadline D]
 //	           [-workers-addr HOST:PORT,HOST:PORT,...] [-verify-frac F]
+//	           [-retry-budget F] [-retry-burst N]
+//	           [-breaker-threshold N] [-breaker-open D]
 //	           [-trace-out FILE.jsonl] [-metrics-out FILE.json] [-log-json]
 //	           [-cpuprofile FILE] [-memprofile FILE] [-failpoints SPEC]
 //
@@ -27,6 +29,18 @@
 //
 // With -failpoints, named fault-injection sites are armed for chaos
 // drills (same spec syntax as stlworker; see internal/failpoint).
+//
+// With -deadline, the whole campaign is bounded: the deadline
+// propagates through every tier down to the workers (X-Gpustl-Deadline
+// header), so nothing burns cycles once time is up, and a checkpointed
+// campaign that hits it resumes on the next invocation. The overload
+// knobs bound distributed retry behavior: -retry-budget caps retries to
+// a fraction of dispatches (plus a -retry-burst bank), and
+// -breaker-threshold consecutive failures open a per-worker circuit
+// breaker for -breaker-open (see docs/ROBUSTNESS.md, "Overload &
+// degradation"). A campaign stopped by overload or deadline exits with
+// a "transient" note — re-run with the same -checkpoint to resume; the
+// journal holds everything finished.
 //
 // The compaction runs under the resilience layer: a PTP that fails (or
 // whose compacted form loses more than -fctol points of fault coverage)
@@ -110,6 +124,11 @@ func main() {
 		memProf    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		verifyFrac = flag.Float64("verify-frac", 0, "fraction of shards re-executed on a second worker and settled by checksum vote (Byzantine tolerance; 0 = trust, 1 = verify all)")
 		failpoints = flag.String("failpoints", "", "arm fault-injection sites: name=action[|p=|after=|times=|seed=],... (chaos drills)")
+		deadline   = flag.Duration("deadline", 0, "whole-campaign deadline, propagated down to workers (0 = none)")
+		retryBud   = flag.Float64("retry-budget", 0, "distributed retries earned per dispatch (0 = default 0.1, negative = unlimited)")
+		retryBurst = flag.Int("retry-burst", 0, "banked retry tokens before the budget bites (0 = default 64)")
+		brkThresh  = flag.Int("breaker-threshold", 0, "consecutive failures opening a per-worker circuit breaker (0 = default 5, negative = off)")
+		brkOpen    = flag.Duration("breaker-open", 0, "breaker cool-down before a half-open probe (0 = default 2s)")
 	)
 	flag.Parse()
 	logger = obs.NewLogger(os.Stderr, "stlcompact", slog.LevelInfo, *logJSON)
@@ -238,9 +257,13 @@ func main() {
 		}
 		var err error
 		co, err = gpustl.NewDistCoordinator(gpustl.DistOptions{
-			Logf:           obs.Logf(logger, slog.LevelInfo),
-			Metrics:        metrics,
-			VerifyFraction: *verifyFrac,
+			Logf:             obs.Logf(logger, slog.LevelInfo),
+			Metrics:          metrics,
+			VerifyFraction:   *verifyFrac,
+			RetryBudget:      *retryBud,
+			RetryBurst:       *retryBurst,
+			BreakerThreshold: *brkThresh,
+			BreakerOpenFor:   *brkOpen,
 		}, transports...)
 		if err != nil {
 			fatalf("%v", err)
@@ -252,7 +275,7 @@ func main() {
 	code := runCompaction(ctx, kind, mod, faults, ptps, runFlags{
 		reverse: *reverse, instrG: *instrG, baseline: *baseline,
 		saveDir: *saveDir, ckDir: *ckDir, stageTO: *stageTO, fcTol: *fcTol,
-		retries: *retries, sim: sim,
+		retries: *retries, sim: sim, deadline: *deadline,
 		metrics: metrics, traceOut: *traceOut, metricsOut: *metricsOut,
 	})
 	if co != nil {
@@ -266,6 +289,7 @@ type runFlags struct {
 	reverse, instrG, baseline bool
 	saveDir, ckDir            string
 	stageTO                   time.Duration
+	deadline                  time.Duration
 	fcTol                     float64
 	retries                   int
 	sim                       gpustl.FaultSimulator
@@ -347,6 +371,7 @@ func runCompaction(ctx context.Context, kind gpustl.ModuleKind, mod *gpustl.Modu
 		gpustl.RunnerOptions{
 			CheckpointDir: fl.ckDir,
 			StageTimeout:  fl.stageTO,
+			Deadline:      fl.deadline,
 			FCTolerance:   fl.fcTol,
 			MaxPTPRetries: fl.retries,
 			Logf:          obs.Logf(logger, slog.LevelInfo),
@@ -364,6 +389,9 @@ func runCompaction(ctx context.Context, kind gpustl.ModuleKind, mod *gpustl.Modu
 		// A canceled or failed run still produced outcomes for every
 		// finished PTP; report them and exit non-zero after flushing.
 		logger.Error("run stopped", "err", err)
+		if gpustl.IsTransientFailure(err) && fl.ckDir != "" {
+			logger.Info("failure is transient (overload/deadline); re-run with the same -checkpoint to resume")
+		}
 		exit = 1
 	}
 	flushTelemetry(fl, tracer)

@@ -7,11 +7,24 @@
 // Usage:
 //
 //	stlworker -listen :9123 [-name NAME] [-metrics-addr :9124] [-log-json]
+//	          [-max-concurrent N] [-max-queue N] [-max-inflight-bytes B]
+//	          [-retry-after D]
 //
 // Point stlcompact's -workers-addr at one or more daemons to
 // distribute the campaign. Workers are stateless — the
 // coordinator retries, hedges and redistributes shards — so daemons can
 // be added, restarted or killed mid-run.
+//
+// With -max-concurrent, at most N shards simulate at once and up to
+// -max-queue more wait in a bounded accept queue; with
+// -max-inflight-bytes, admitted request bodies are capped by summed
+// size. A shard past either bound is bounced immediately with 429 +
+// Retry-After (-retry-after tunes the hint) — backpressure, not
+// failure: the coordinator reroutes it without charging an attempt.
+// /livez answers liveness (always OK while the process serves HTTP);
+// /readyz answers readiness (503 while draining or saturated). A
+// saturated worker is not-ready but live — orchestrators should stop
+// routing to it, never kill it.
 //
 // On SIGTERM/SIGINT the worker drains gracefully: in-flight shards
 // finish, new ones are rejected with 503 + X-Gpustl-Draining (the
@@ -52,6 +65,10 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		failpoints  = flag.String("failpoints", "", "arm fault-injection sites: name=action[|p=|after=|times=|seed=],... (chaos drills)")
+		maxConc     = flag.Int("max-concurrent", 0, "max shards simulating at once (0 = unlimited)")
+		maxQueue    = flag.Int("max-queue", 0, "bounded accept queue beyond -max-concurrent; past it shards bounce with 429")
+		maxBytes    = flag.Int64("max-inflight-bytes", 0, "cap summed request-body bytes of admitted shards (0 = unlimited)")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 bounces (whole seconds)")
 	)
 	flag.Parse()
 
@@ -74,7 +91,19 @@ func main() {
 	}
 
 	reg := gpustl.NewMetricsRegistry()
-	handler := gpustl.NewWorkerHandlerMetrics(*name, obs.Logf(logger, slog.LevelInfo), reg)
+	handler := gpustl.NewWorkerHandlerOptions(*name, gpustl.WorkerServiceOptions{
+		MaxConcurrent:    *maxConc,
+		MaxQueue:         *maxQueue,
+		MaxInflightBytes: *maxBytes,
+		RetryAfter:       *retryAfter,
+		Metrics:          reg,
+		Logf:             obs.Logf(logger, slog.LevelInfo),
+	})
+	if *maxConc > 0 || *maxBytes > 0 {
+		logger.Info("backpressure armed",
+			"max_concurrent", *maxConc, "max_queue", *maxQueue,
+			"max_inflight_bytes", *maxBytes, "retry_after", *retryAfter)
+	}
 	srv := &http.Server{
 		Addr:    *listen,
 		Handler: handler,

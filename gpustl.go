@@ -48,6 +48,7 @@ import (
 	"gpustl/internal/journal"
 	"gpustl/internal/netlist"
 	"gpustl/internal/obs"
+	"gpustl/internal/overload"
 	"gpustl/internal/ptpgen"
 	"gpustl/internal/run"
 	"gpustl/internal/signature"
@@ -471,6 +472,58 @@ type WorkerHandler = dist.WorkerHandler
 func NewWorkerHandlerMetrics(name string, logf func(format string, args ...any), m *MetricsRegistry) *WorkerHandler {
 	return dist.NewHandlerMetrics(name, logf, m)
 }
+
+// WorkerServiceOptions tunes the worker daemon's backpressure: bounded
+// concurrency and accept queue, in-flight request-byte accounting, and
+// the Retry-After hint sent with 429 bounces. The zero value disables
+// every limit.
+type WorkerServiceOptions = dist.WorkerOptions
+
+// NewWorkerHandlerOptions is the fully tunable worker handler
+// constructor: telemetry plus WorkerServiceOptions backpressure. A
+// saturated worker answers 429 + Retry-After (the coordinator reroutes
+// without charging a failure), reports not-ready on /readyz, and stays
+// alive on /livez.
+func NewWorkerHandlerOptions(name string, o WorkerServiceOptions) *WorkerHandler {
+	return dist.NewHandlerOptions(name, o)
+}
+
+// ---------------------------------------------------------------------------
+// Overload resilience: admission control, retry budgets, breakers.
+
+// ErrOverloaded marks work shed by admission control rather than
+// attempted: a fast, explicit refusal that left no partial artifact.
+// Retry later (or resume a checkpointed campaign) once load eases.
+var ErrOverloaded = overload.ErrOverloaded
+
+// AdmissionPool is a weighted semaphore with a bounded FIFO wait queue
+// and deadline-aware shedding — the campaign-level admission gate. Wire
+// one into RunnerOptions.Admission and/or DistOptions.Admission; a nil
+// pool admits everything instantly.
+type AdmissionPool = overload.Admission
+
+// AdmissionPoolOptions configures an AdmissionPool.
+type AdmissionPoolOptions = overload.AdmissionOptions
+
+// NewAdmissionPool creates an admission pool bounding the summed cost
+// of concurrently admitted campaigns.
+func NewAdmissionPool(o AdmissionPoolOptions) *AdmissionPool {
+	return overload.NewAdmission(o)
+}
+
+// EstimateCampaignCost estimates one campaign's admission cost from its
+// shape (gates × lanes × PTPs × pattern words). Costs are proportional
+// across campaigns, not absolute bytes.
+func EstimateCampaignCost(gates, lanes, ptps, patternWords int) int64 {
+	return overload.CampaignCost(gates, lanes, ptps, patternWords)
+}
+
+// IsTransientFailure reports whether a campaign error is environmental
+// and retry-worthy — an overload shed, an expired deadline or
+// cancellation, a full disk — rather than corruption or a logic error.
+// A transient failure on a checkpointed campaign means "re-run to
+// resume", never "quarantine" or "fsck".
+func IsTransientFailure(err error) bool { return journal.IsTransient(err) }
 
 // ---------------------------------------------------------------------------
 // Observability: metrics registry, span tracing, structured logging.

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -56,6 +57,10 @@ type Schedule struct {
 	ExpectQuarantine bool
 	// MaxPTPRetries for the resilient runner (crash-class PTP retries).
 	MaxPTPRetries int
+	// Overload switches the schedule to the overload round (see
+	// RunOverloadRound): three campaigns offered against an admission
+	// pool sized for one, instead of RunCampaign's single campaign.
+	Overload bool
 }
 
 // distNames returns the schedule's armed dist.* failpoint names — the
@@ -70,6 +75,25 @@ func (s Schedule) distNames() []string {
 	return names
 }
 
+// Spec renders the schedule's failpoint arming for iteration iter as
+// the comma-separated `-failpoints` spec string stlcompact, stlworker
+// and chaossoak accept — the exact line that reproduces a failing
+// campaign standalone (arm includes the per-iteration seed offset).
+func (s Schedule) Spec(iter int) string {
+	names := make([]string, 0, len(s.Failpoints))
+	for n := range s.Failpoints {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	entries := make([]string, 0, len(names))
+	for _, n := range names {
+		cfg := s.Failpoints[n]
+		cfg.Seed += int64(iter) * 7919
+		entries = append(entries, n+"="+cfg.Spec())
+	}
+	return strings.Join(entries, ",")
+}
+
 // Result is one schedule's soak outcome.
 type Result struct {
 	Schedule  string
@@ -77,7 +101,12 @@ type Result struct {
 	Crashes   int // Run aborts (injected journal/commit errors) resumed from checkpoint
 	Restarts  int // campaigns wiped and redone after injected-quarantine divergence
 	Banned    int // workers quarantined across all campaigns
-	Err       error
+	Admitted  int // overload rounds: campaigns admitted and completed
+	Shed      int // overload rounds: ErrOverloaded refusals (forced + injected)
+	// Iter is the schedule iteration running when Err was set (its seed
+	// offset is what Spec(Iter) reproduces); meaningless when Err is nil.
+	Iter int
+	Err  error
 }
 
 // Harness owns the reference workload: a small DU-class STL library
@@ -338,11 +367,16 @@ func (h *Harness) SoakSchedule(ctx context.Context, s Schedule, iters int) Resul
 		if ctx.Err() != nil {
 			break
 		}
+		res.Iter = i
 		if err := s.arm(i); err != nil {
 			res.Err = err
 			break
 		}
-		if err := h.RunCampaign(ctx, s, &res); err != nil {
+		round := h.RunCampaign
+		if s.Overload {
+			round = h.RunOverloadRound
+		}
+		if err := round(ctx, s, &res); err != nil {
 			if ctx.Err() != nil {
 				break // deadline hit mid-campaign: not a failure
 			}
@@ -394,10 +428,11 @@ func (h *Harness) Soak(ctx context.Context, schedules []Schedule, iters int) ([]
 	return results, firstErr
 }
 
-// Schedules is the canonical soak set: six concurrent schedules with
+// Schedules is the canonical soak set: seven concurrent schedules with
 // disjoint failpoint names covering every registered site — journal
 // torn writes and disk-full, commit-bracket crashes, stage panics, a
-// lossy wire, a Byzantine liar, and a worker whose heartbeats die.
+// lossy wire, a Byzantine liar, a worker whose heartbeats die, and a
+// 3×-load overload storm against a saturated admission pool.
 func Schedules() []Schedule {
 	return []Schedule{
 		{
@@ -452,6 +487,26 @@ func Schedules() []Schedule {
 			FaultyWorkers: 1,
 			Failpoints: map[string]failpoint.Config{
 				"dist.ping.error": {Kind: failpoint.KindError, Times: 4, Seed: 61},
+			},
+		},
+		{
+			Name:          "overload",
+			Workers:       3,
+			FaultyWorkers: 1,
+			Overload:      true,
+			Failpoints: map[string]failpoint.Config{
+				// After: 1 — the round's own saturating hold evaluates the
+				// site first and must pass; the injected shed then lands on
+				// a real campaign's admission check, which must retry it.
+				"overload.admit.shed": {Kind: failpoint.KindError, After: 1, Times: 1, Seed: 71},
+				// A sluggish admission decision on the first few campaigns
+				// must not change any outcome.
+				"overload.admit.delay": {Kind: failpoint.KindDelay, Delay: 2 * time.Millisecond, Times: 8, Seed: 72},
+				// Brownout worker: its first three shards bounce with
+				// 429-equivalent busy replies (Delay doubles as the
+				// Retry-After hint); the coordinator must reroute them
+				// without charging failures or retry budget.
+				"dist.reply.busy": {Kind: failpoint.KindError, Delay: time.Millisecond, Times: 3, Seed: 73},
 			},
 		},
 	}

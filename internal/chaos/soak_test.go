@@ -3,6 +3,7 @@ package chaos
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -197,5 +198,63 @@ func TestRunCampaignDetectsRealDivergence(t *testing.T) {
 	err := h.RunCampaign(context.Background(), Schedule{Name: "divergence"}, &res)
 	if err == nil {
 		t.Fatal("campaign matched a corrupted reference")
+	}
+}
+
+// TestOverloadRoundCounts pins down the overload round's bookkeeping:
+// one round admits and completes all three campaigns, and sheds at
+// least twice — the deterministic queue-full refusal of campaign C plus
+// the injected overload.admit.shed that lands on campaign B.
+func TestOverloadRoundCounts(t *testing.T) {
+	var overloadSched *Schedule
+	for _, s := range Schedules() {
+		if s.Overload {
+			s := s
+			overloadSched = &s
+			break
+		}
+	}
+	if overloadSched == nil {
+		t.Fatal("no overload schedule in Schedules()")
+	}
+	h := NewHarness(99)
+	res := h.SoakSchedule(context.Background(), *overloadSched, 1)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Campaigns != 1 {
+		t.Fatalf("rounds = %d, want 1", res.Campaigns)
+	}
+	if res.Admitted != 3 {
+		t.Fatalf("admitted = %d, want 3 (every offered campaign must complete)", res.Admitted)
+	}
+	if res.Shed < 2 {
+		t.Fatalf("shed = %d, want >= 2 (forced queue-full + injected)", res.Shed)
+	}
+	if res.Restarts != 0 {
+		t.Fatalf("restarts = %d; overload must never degrade a campaign", res.Restarts)
+	}
+}
+
+// TestScheduleSpecRoundTrips: every canonical schedule's printed repro
+// spec must re-arm the same configs (including the per-iteration seed
+// offset) through the same EnableSpec path the CLIs use.
+func TestScheduleSpecRoundTrips(t *testing.T) {
+	for _, s := range Schedules() {
+		for _, iter := range []int{0, 3} {
+			spec := s.Spec(iter)
+			if err := failpoint.EnableSpec(spec); err != nil {
+				t.Fatalf("schedule %s iter %d: spec %q does not re-arm: %v", s.Name, iter, spec, err)
+			}
+			s.disarm()
+			for name, cfg := range s.Failpoints {
+				want := cfg
+				want.Seed += int64(iter) * 7919
+				entry := name + "=" + want.Spec()
+				if !strings.Contains(spec, entry) {
+					t.Fatalf("schedule %s iter %d: spec %q missing entry %q", s.Name, iter, spec, entry)
+				}
+			}
+		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"gpustl/internal/circuits"
 	"gpustl/internal/fault"
 	"gpustl/internal/obs"
+	"gpustl/internal/overload"
 )
 
 // Options tunes the coordinator's robustness machinery. The zero value
@@ -66,6 +67,36 @@ type Options struct {
 	// requeued (default 1 — a single proven lie is disqualifying,
 	// mirroring the poison-PTP quarantine).
 	QuarantineAfter int
+	// RetryBudget bounds genuine-failure retries to this fraction of
+	// dispatches, with RetryBurst tokens banked for cold-start bursts
+	// (token bucket; defaults 0.1 and 64). The bucket is shared across
+	// every Run on the coordinator, so a sick fleet cannot be melted by
+	// a sustained retry storm no matter how many campaigns are offered:
+	// once the budget is spent, a shard that would retry fails fast and
+	// the campaign degrades to FC bounds instead. A negative RetryBudget
+	// disables budgeting (unbounded retries up to MaxAttempts, the
+	// pre-overload behavior). Coordinator-initiated redispatches —
+	// hedges, drain/busy bounces, dead-worker redistributions — never
+	// consume budget; only failure-driven retries do.
+	RetryBudget float64
+	RetryBurst  int
+	// BreakerThreshold consecutive genuine failures trip a worker's
+	// circuit breaker open for BreakerOpenFor (with seeded jitter), after
+	// which a single half-open probe decides recovery (defaults 5, 2s).
+	// Breaker state persists across Runs on the same coordinator, like
+	// the Byzantine ban list; unlike it, an open breaker heals. A
+	// negative BreakerThreshold disables breakers.
+	BreakerThreshold int
+	BreakerOpenFor   time.Duration
+	// Admission, if non-nil, gates each Run behind the given admission
+	// pool: the run's estimated simulation weight (remaining faults ×
+	// stream patterns) must be admitted before any shard is dispatched,
+	// and ErrOverloaded is returned — fast, with nothing dispatched —
+	// when the pool sheds it. Share one pool across coordinators to
+	// bound a whole process's in-flight simulation bytes. Do not gate a
+	// Run with a pool its caller already holds a slot on (self-deadlock
+	// at capacity).
+	Admission *overload.Admission
 	// Seed drives backoff jitter (results never depend on it).
 	Seed int64
 	// Logf receives coordinator progress lines (nil = silent).
@@ -113,6 +144,18 @@ func (o Options) withDefaults(numWorkers int) Options {
 	if o.QuarantineAfter <= 0 {
 		o.QuarantineAfter = 1
 	}
+	if o.RetryBudget == 0 {
+		o.RetryBudget = 0.1
+	}
+	if o.RetryBurst <= 0 {
+		o.RetryBurst = 64
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerOpenFor <= 0 {
+		o.BreakerOpenFor = 2 * time.Second
+	}
 	return o
 }
 
@@ -142,6 +185,11 @@ type Stats struct {
 	QuarantinedWorkers int // workers banned for Byzantine replies this run
 	RequeuedShards     int // settled shards re-run after their worker was quarantined
 	UnavailableReplies int // dispatches bounced by a draining worker (redistributed)
+
+	// Overload accounting.
+	BusyReplies  int // dispatches bounced by a saturated worker (429; rerouted, no charge)
+	RetryDenied  int // retries refused by the retry budget (shard failed fast)
+	BreakerOpens int // circuit-breaker trips during this run
 }
 
 // Result is the outcome of one distributed campaign run.
@@ -183,6 +231,8 @@ func (r *Result) Degraded() bool { return r.FailedShards > 0 }
 type Coordinator struct {
 	opt        Options
 	transports []Transport
+	budget     *overload.RetryBudget
+	breakers   map[string]*overload.Breaker
 
 	mu     sync.Mutex
 	banned map[string]bool
@@ -193,11 +243,29 @@ func New(opt Options, transports ...Transport) (*Coordinator, error) {
 	if len(transports) == 0 {
 		return nil, errors.New("dist: coordinator needs at least one worker transport")
 	}
-	return &Coordinator{
-		opt:        opt.withDefaults(len(transports)),
+	opt = opt.withDefaults(len(transports))
+	c := &Coordinator{
+		opt:        opt,
 		transports: transports,
-		banned:     map[string]bool{},
-	}, nil
+		budget:     overload.NewRetryBudget(opt.RetryBudget, opt.RetryBurst, opt.Metrics),
+		breakers:   map[string]*overload.Breaker{},
+	}
+	if opt.BreakerThreshold > 0 {
+		for _, t := range transports {
+			// Seed each worker's jitter from the coordinator seed and the
+			// worker name, so a restarted coordinator reproduces the same
+			// probe schedule and no two workers probe in lockstep.
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%d:%s", opt.Seed, t.Name())
+			c.breakers[t.Name()] = overload.NewBreaker(overload.BreakerOptions{
+				FailureThreshold: opt.BreakerThreshold,
+				OpenFor:          opt.BreakerOpenFor,
+				Seed:             int64(h.Sum64()),
+			})
+		}
+	}
+	c.banned = map[string]bool{}
+	return c, nil
 }
 
 // Banned returns the names of workers quarantined for Byzantine
@@ -302,6 +370,24 @@ func (c *Coordinator) Run(ctx context.Context, camp *fault.Campaign, stream []fa
 		return &Result{Report: BuildReport(ordered, nil), FCLower: cov, FCUpper: cov}, nil
 	}
 
+	// Admission gate: the run's weight is remaining faults × stream
+	// patterns, the same proportional simulation-bytes estimate
+	// overload.CampaignCost uses. A shed returns ErrOverloaded with
+	// nothing dispatched. Nil Admission admits instantly.
+	nf := 0
+	for _, p := range parts {
+		nf += len(p)
+	}
+	npat := len(ordered)
+	if npat == 0 {
+		npat = 1
+	}
+	release, aerr := c.opt.Admission.Acquire(ctx, int64(nf)*int64(npat))
+	if aerr != nil {
+		return nil, fmt.Errorf("dist: campaign run shed by admission control: %w", aerr)
+	}
+	defer release()
+
 	rl := newRunLoop(c, ctx, camp, ordered, parts)
 	defer rl.shutdown()
 	if err := rl.run(); err != nil {
@@ -397,6 +483,9 @@ type worker struct {
 	// worker banned (never picked, never revived by heartbeats).
 	strikes     int
 	quarantined bool
+	// breaker is the worker's circuit breaker, shared across Runs on the
+	// coordinator (nil when disabled — nil-safe, permanently closed).
+	breaker *overload.Breaker
 }
 
 type dispatch struct {
@@ -472,6 +561,7 @@ type runLoop struct {
 	remaining   int
 	strandArmed bool
 	stats       Stats
+	opensStart  uint64 // breaker trips before this run, for Stats delta
 }
 
 func newRunLoop(c *Coordinator, ctx context.Context, camp *fault.Campaign, ordered []fault.TimedPattern, parts [][]fault.ID) *runLoop {
@@ -489,7 +579,8 @@ func newRunLoop(c *Coordinator, ctx context.Context, camp *fault.Campaign, order
 			time.Duration(len(ordered))*c.opt.ShardPatternTimeout,
 	}
 	for _, t := range c.transports {
-		w := &worker{t: t, alive: true}
+		w := &worker{t: t, alive: true, breaker: c.breakers[t.Name()]}
+		rl.opensStart += w.breaker.Opens()
 		if c.isBanned(t.Name()) {
 			// Quarantined in an earlier run on this coordinator: present
 			// but never picked, never pinged, never revived.
@@ -675,6 +766,12 @@ func (rl *runLoop) pickWorker(s *shardState) *worker {
 		if !w.alive || busy[w.t.Name()] || s.replied[w.t.Name()] {
 			continue
 		}
+		// Ready is non-consuming: scanning ten candidates must not burn
+		// ten half-open probe slots. The winner claims its slot via
+		// Acquire in dispatch.
+		if !w.breaker.Ready() {
+			continue
+		}
 		fresh := !s.tried[w.t.Name()]
 		switch {
 		case best == nil,
@@ -693,6 +790,12 @@ func (rl *runLoop) dispatch(s *shardState) bool {
 	if w == nil {
 		return false
 	}
+	if !w.breaker.Acquire() {
+		// The probe slot vanished between Ready and Acquire (possible
+		// only through a racing OnCancel); treat as no worker available.
+		return false
+	}
+	rl.co.budget.OnRequest()
 	attempt := s.seq
 	s.seq++
 	req := &ShardRequest{
@@ -736,6 +839,25 @@ func (rl *runLoop) dispatchOrPark(s *shardState) {
 		s.parked = true
 		rl.pending = append(rl.pending, s)
 	}
+	// Parked shards are normally revived by evWorkerUp. A worker held
+	// back only by its breaker never goes through the heartbeat
+	// down/up cycle, so arm a retry for when the cool-down may have
+	// elapsed (bounded poll at base-backoff granularity).
+	if rl.breakerBlocked() {
+		rl.afterFunc(rl.opt.BaseBackoff, event{kind: evRetry, s: s})
+	}
+}
+
+// breakerBlocked reports whether some alive worker is currently
+// ineligible only because of its circuit breaker — capacity that will
+// come back without a heartbeat transition.
+func (rl *runLoop) breakerBlocked() bool {
+	for _, w := range rl.workers {
+		if w.alive && !w.breaker.Ready() {
+			return true
+		}
+	}
+	return false
 }
 
 func (rl *runLoop) onResult(d *dispatch, res *ShardResult, err error) {
@@ -746,8 +868,9 @@ func (rl *runLoop) onResult(d *dispatch, res *ShardResult, err error) {
 		if err == nil {
 			// A duplicated reply for a settled shard: the hedge loser
 			// finishing anyway, or chaos replaying. Counted once, merged
-			// never.
+			// never — but still evidence the worker is healthy.
 			rl.stats.DuplicateReplies++
+			d.w.breaker.OnSuccess()
 			return
 		}
 		// The attempt erred after the shard settled. A canceled hedge
@@ -757,7 +880,12 @@ func (rl *runLoop) onResult(d *dispatch, res *ShardResult, err error) {
 		// a log line, but the shard's outcome no longer depends on it.
 		switch cause := context.Cause(d.ctx); {
 		case errors.Is(cause, errLostRace), errors.Is(cause, errWorkerDown):
+			d.w.breaker.OnCancel()
+		case errors.Is(err, ErrBusy), errors.Is(err, ErrUnavailable):
+			// Backpressure bounces carry no health verdict.
+			d.w.breaker.OnCancel()
 		default:
+			d.w.breaker.OnFailure()
 			rl.co.logf("dist: shard %d attempt %d on %s: late failure after settle: %v",
 				s.id, d.attempt, d.w.t.Name(), err)
 		}
@@ -783,6 +911,7 @@ func (rl *runLoop) onResult(d *dispatch, res *ShardResult, err error) {
 		}
 	}
 	if err == nil {
+		d.w.breaker.OnSuccess()
 		rl.opt.Metrics.Histogram(
 			fmt.Sprintf("gpustl_dist_shard_seconds{worker=%q}", d.w.t.Name()),
 			obs.DefLatencyBuckets()).Observe(time.Since(d.started).Seconds())
@@ -799,11 +928,13 @@ func (rl *runLoop) onResult(d *dispatch, res *ShardResult, err error) {
 		// means the settle was undone — the shard was requeued after its
 		// worker's quarantine — and this canceled loser may be the last
 		// in-flight attempt, so restart the shard if nothing else is.
+		d.w.breaker.OnCancel()
 		if len(s.inflight) == 0 {
 			rl.dispatchOrPark(s)
 		}
 		return
 	case errors.Is(cause, errWorkerDown), errors.Is(cause, errQuarantined):
+		d.w.breaker.OnCancel()
 		if len(s.inflight) > 0 {
 			return // the sibling attempt is still racing
 		}
@@ -815,6 +946,7 @@ func (rl *runLoop) onResult(d *dispatch, res *ShardResult, err error) {
 		// A draining worker bounced the shard: redistribution, not
 		// failure. Back off one base interval — with a single worker
 		// mid-drain an immediate retry would spin.
+		d.w.breaker.OnCancel()
 		rl.stats.UnavailableReplies++
 		rl.stats.Redispatches++
 		rl.co.logf("dist: shard %d attempt %d: worker %s draining, redistributing",
@@ -824,12 +956,44 @@ func (rl *runLoop) onResult(d *dispatch, res *ShardResult, err error) {
 		}
 		return
 	}
+	if errors.Is(err, ErrBusy) {
+		// A saturated worker pushed back (429 + Retry-After):
+		// backpressure, not failure — same contract as the drain path.
+		// Reroute after the worker's own hint (or one base interval),
+		// with no failure charge, no breaker charge, no retry budget.
+		d.w.breaker.OnCancel()
+		rl.stats.BusyReplies++
+		rl.stats.Redispatches++
+		delay := rl.opt.BaseBackoff
+		var be *BusyError
+		if errors.As(err, &be) && be.After > 0 {
+			delay = be.After
+		}
+		rl.co.logf("dist: shard %d attempt %d: worker %s saturated, rerouting after %v",
+			s.id, d.attempt, d.w.t.Name(), delay)
+		if len(s.inflight) == 0 {
+			rl.afterFunc(delay, event{kind: evRetry, s: s})
+		}
+		return
+	}
 	s.failures++
+	d.w.breaker.OnFailure()
 	s.errs = append(s.errs, fmt.Sprintf("attempt %d on %s: %v", d.attempt, d.w.t.Name(), err))
 	if len(s.inflight) > 0 {
 		return // a hedge is still in flight; it may yet win
 	}
 	if s.failures >= rl.opt.MaxAttempts {
+		rl.fail(s)
+		return
+	}
+	if !rl.co.budget.Allow() {
+		// The fleet-wide retry budget is spent: retrying now would feed
+		// a retry storm against a sick fleet. Fail the shard fast; the
+		// campaign degrades to FC bounds instead of melting the workers.
+		rl.stats.RetryDenied++
+		s.errs = append(s.errs, "retry denied: coordinator retry budget exhausted")
+		rl.co.logf("dist: shard %d: retry budget exhausted after %d failures, failing fast",
+			s.id, s.failures)
 		rl.fail(s)
 		return
 	}
@@ -1113,6 +1277,11 @@ func (rl *runLoop) finish(camp *fault.Campaign, ordered []fault.TimedPattern, op
 		shardErrs = append(shardErrs, fmt.Sprintf("shard %d (%d faults): %s",
 			s.id, len(s.ids), strings.Join(s.errs, "; ")))
 	}
+	var opens uint64
+	for _, w := range rl.workers {
+		opens += w.breaker.Opens()
+	}
+	rl.stats.BreakerOpens = int(opens - rl.opensStart)
 	if !opt.NoDrop {
 		if err := camp.RestoreDetected(detIDs); err != nil {
 			return nil, err
@@ -1175,8 +1344,26 @@ func (rl *runLoop) recordStats(res *Result) {
 		{"gpustl_dist_quarantined_workers_total", st.QuarantinedWorkers},
 		{"gpustl_dist_requeued_shards_total", st.RequeuedShards},
 		{"gpustl_dist_unavailable_replies_total", st.UnavailableReplies},
+		{"gpustl_dist_busy_replies_total", st.BusyReplies},
+		{"gpustl_dist_retry_denied_total", st.RetryDenied},
+		{"gpustl_dist_breaker_opens_total", st.BreakerOpens},
 	} {
 		m.Counter(c.name).Add(uint64(c.n))
+	}
+	// Breaker-state gauges: 0 closed, 0.5 half-open, 1 open — scrapes
+	// see at a glance which workers are being routed around.
+	for _, w := range rl.workers {
+		if w.breaker == nil {
+			continue
+		}
+		v := 0.0
+		switch w.breaker.State() {
+		case overload.BreakerOpen:
+			v = 1
+		case overload.BreakerHalfOpen:
+			v = 0.5
+		}
+		m.Gauge(fmt.Sprintf("gpustl_dist_breaker_state{worker=%q}", w.t.Name())).Set(v)
 	}
 	if res.Degraded() {
 		m.Counter("gpustl_dist_degraded_runs_total").Inc()

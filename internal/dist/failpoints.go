@@ -31,6 +31,10 @@ var (
 	// passes validation and carries a consistent checksum, but its
 	// detections are wrong. Only re-execution and voting can catch it.
 	fpReplyByzantine = failpoint.New("dist.reply.byzantine")
+	// dist.reply.busy bounces the dispatch as a saturated worker would
+	// (429 + Retry-After): a brownout. The coordinator must reroute with
+	// no failure charge; Config.Delay doubles as the Retry-After hint.
+	fpReplyBusy = failpoint.New("dist.reply.busy")
 	// dist.transport.error fails the round trip outright (connection
 	// refused, TLS error, ...).
 	fpTransportErr = failpoint.New("dist.transport.error")
@@ -90,6 +94,10 @@ func (ft *faultTransport) Ping(ctx context.Context) error {
 }
 
 func (ft *faultTransport) Simulate(ctx context.Context, req *ShardRequest) (*ShardResult, error) {
+	if out, ok := ft.eval(fpReplyBusy); ok {
+		// Bounce before any work, exactly like a real saturated worker.
+		return nil, &BusyError{Worker: ft.inner.Name(), After: out.Delay}
+	}
 	if out, ok := ft.eval(fpTransportErr); ok {
 		return nil, out.Err
 	}

@@ -8,18 +8,26 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gpustl/internal/obs"
+	"gpustl/internal/overload"
 )
 
-// Wire paths of the worker daemon.
+// Wire paths of the worker daemon. /healthz is the heartbeat the
+// coordinator pings (unhealthy only while draining, for back-compat);
+// /livez and /readyz are the orchestrator-facing split: liveness says
+// "don't kill me", readiness says "don't route to me" — a draining or
+// saturated worker is not-ready but very much alive.
 const (
 	simulatePath = "/simulate"
 	healthPath   = "/healthz"
+	livezPath    = "/livez"
+	readyzPath   = "/readyz"
 )
 
 // drainingHeader marks a worker's 503 as "draining, retry elsewhere"
@@ -27,10 +35,36 @@ const (
 // its in-flight shards.
 const drainingHeader = "X-Gpustl-Draining"
 
+// deadlineHeader carries the dispatch context's deadline to the worker
+// as unix nanoseconds, so a worker never burns cycles simulating a
+// shard whose campaign already timed out: an expired deadline is
+// rejected with 504 before any work, and an unexpired one bounds the
+// worker-side simulation even if the client's cancel never arrives.
+const deadlineHeader = "X-Gpustl-Deadline"
+
 // ErrUnavailable marks a dispatch rejected by a draining worker. The
 // coordinator redistributes the shard without charging a failed attempt
 // — a clean shutdown is scheduling, not an error.
 var ErrUnavailable = errors.New("dist: worker draining, shard not accepted")
+
+// ErrBusy marks a dispatch rejected by a saturated worker (HTTP 429):
+// backpressure, not failure. The coordinator reroutes the shard without
+// charging a failed attempt, honoring the worker's Retry-After hint.
+var ErrBusy = errors.New("dist: worker saturated, shard not accepted")
+
+// BusyError is the concrete 429 bounce, carrying the worker's
+// Retry-After hint. errors.Is(err, ErrBusy) matches it.
+type BusyError struct {
+	Worker string
+	After  time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("dist: worker %s saturated, retry after %v", e.Worker, e.After)
+}
+
+// Is makes every BusyError match the ErrBusy sentinel.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
 
 // MaxReplyBytes caps how much of a worker's /simulate reply the client
 // will read. A shard result is detections over at most a few thousand
@@ -74,6 +108,11 @@ func (t *HTTP) Simulate(ctx context.Context, req *ShardRequest) (*ShardResult, e
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if dl, ok := ctx.Deadline(); ok {
+		// Propagate the dispatch deadline so the worker can refuse or
+		// bound work on an already-expired campaign.
+		hreq.Header.Set(deadlineHeader, strconv.FormatInt(dl.UnixNano(), 10))
+	}
 	hres, err := t.client.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("dist: worker %s: %w", t.base, err)
@@ -83,6 +122,13 @@ func (t *HTTP) Simulate(ctx context.Context, req *ShardRequest) (*ShardResult, e
 		msg, _ := io.ReadAll(io.LimitReader(hres.Body, 4096))
 		if hres.StatusCode == http.StatusServiceUnavailable && hres.Header.Get(drainingHeader) != "" {
 			return nil, fmt.Errorf("dist: worker %s: %w", t.base, ErrUnavailable)
+		}
+		if hres.StatusCode == http.StatusTooManyRequests {
+			after := time.Duration(0)
+			if s, perr := strconv.Atoi(strings.TrimSpace(hres.Header.Get("Retry-After"))); perr == nil && s >= 0 {
+				after = time.Duration(s) * time.Second
+			}
+			return nil, &BusyError{Worker: t.base, After: after}
 		}
 		return nil, fmt.Errorf("dist: worker %s: HTTP %d: %s",
 			t.base, hres.StatusCode, strings.TrimSpace(string(msg)))
@@ -129,16 +175,43 @@ func (t *HTTP) Close() error {
 	return nil
 }
 
+// WorkerOptions tunes the worker daemon's backpressure. The zero value
+// disables every limit (accept everything, the pre-overload behavior).
+type WorkerOptions struct {
+	// MaxConcurrent bounds shards executing simultaneously; MaxQueue
+	// more may wait for a slot (the bounded accept queue). A shard
+	// arriving past both is answered 429 + Retry-After immediately.
+	MaxConcurrent int
+	MaxQueue      int
+	// MaxInflightBytes bounds the summed request body bytes of admitted
+	// shards — per-request memory accounting, so a burst of huge shard
+	// requests cannot OOM the worker. Requests without a Content-Length
+	// are charged one byte.
+	MaxInflightBytes int64
+	// RetryAfter is the hint sent with 429 replies (default 1s; HTTP
+	// Retry-After has whole-second granularity).
+	RetryAfter time.Duration
+	// Metrics receives worker-side telemetry (nil disables).
+	Metrics *obs.Registry
+	// Logf receives one line per shard served (nil = silent).
+	Logf func(format string, args ...any)
+}
+
 // WorkerHandler is the worker daemon's http.Handler, with the graceful
 // drain machinery cmd/stlworker drives on SIGTERM: StartDrain makes the
 // worker reject new shards with a retryable 503 (the coordinator
 // redistributes them without charging a failure) and answer heartbeats
 // unhealthy (so it stops being picked), while in-flight shards run to
 // completion; DrainWait blocks until the last one has been served.
+// With WorkerOptions limits it also pushes back under load: a saturated
+// worker answers 429 + Retry-After, stays live on /livez, and reports
+// not-ready on /readyz.
 type WorkerHandler struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 	inflight sync.WaitGroup
+	slots    *overload.Admission // nil = unlimited concurrency
+	bytes    *overload.Admission // nil = unlimited in-flight bytes
 }
 
 // ServeHTTP implements http.Handler.
@@ -156,6 +229,21 @@ func (h *WorkerHandler) Draining() bool { return h.draining.Load() }
 // StartDrain has been served.
 func (h *WorkerHandler) DrainWait() { h.inflight.Wait() }
 
+// Ready reports whether the worker should receive new shards: not
+// draining and (when limited) not saturated past its accept queue.
+// /readyz serves this; /healthz deliberately does not consider
+// saturation — a heartbeat that declared a busy worker dead would
+// cancel the very shards it is busy computing.
+func (h *WorkerHandler) Ready() bool {
+	if h.draining.Load() {
+		return false
+	}
+	if h.slots != nil && h.slots.QueueLen() > 0 {
+		return false
+	}
+	return true
+}
+
 // NewHandler returns the worker daemon's handler: POST /simulate
 // executes a shard on an in-process Local executor (honoring the
 // request's context, so a coordinator-side cancel aborts the
@@ -170,14 +258,46 @@ func NewHandler(name string, logf func(format string, args ...any)) http.Handler
 // a service-latency histogram land in m (nil disables recording), ready
 // to be exposed through the daemon's -metrics-addr endpoint.
 func NewHandlerMetrics(name string, logf func(format string, args ...any), m *obs.Registry) *WorkerHandler {
+	return NewHandlerOptions(name, WorkerOptions{Metrics: m, Logf: logf})
+}
+
+// NewHandlerOptions is the fully tunable constructor: NewHandlerMetrics
+// plus the WorkerOptions backpressure limits.
+func NewHandlerOptions(name string, o WorkerOptions) *WorkerHandler {
+	logf := o.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
+	}
+	m := o.Metrics
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
 	}
 	// The executor carries the worker-side failpoint sites (reply
 	// corruption, Byzantine mutation, delays): one atomic load each when
 	// disarmed, so production workers pay nothing.
 	exec := WithFailpoints(NewLocal(name))
 	h := &WorkerHandler{mux: http.NewServeMux()}
+	if o.MaxConcurrent > 0 {
+		h.slots = overload.NewAdmission(overload.AdmissionOptions{
+			Capacity: int64(o.MaxConcurrent), MaxQueue: o.MaxQueue,
+			Metrics: m, Name: "worker_slots",
+		})
+	}
+	if o.MaxInflightBytes > 0 {
+		h.bytes = overload.NewAdmission(overload.AdmissionOptions{
+			Capacity: o.MaxInflightBytes,
+			Metrics:  m, Name: "worker_bytes",
+		})
+	}
+	busy := func(w http.ResponseWriter, why string) {
+		m.Counter("gpustl_worker_busy_replies_total").Inc()
+		secs := int(o.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, "worker saturated ("+why+"), shard not accepted", http.StatusTooManyRequests)
+	}
 	h.mux.HandleFunc(healthPath, func(w http.ResponseWriter, r *http.Request) {
 		m.Counter("gpustl_worker_pings_total").Inc()
 		if h.draining.Load() {
@@ -187,6 +307,25 @@ func NewHandlerMetrics(name string, logf func(format string, args ...any), m *ob
 		}
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"worker\":%q}\n", name)
+	})
+	h.mux.HandleFunc(livezPath, func(w http.ResponseWriter, r *http.Request) {
+		// Live as long as the process serves HTTP — draining and
+		// saturation are routing concerns, not reasons to be killed.
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"worker\":%q,\"live\":true}\n", name)
+	})
+	h.mux.HandleFunc(readyzPath, func(w http.ResponseWriter, r *http.Request) {
+		if !h.Ready() {
+			why := "saturated"
+			if h.draining.Load() {
+				why = "draining"
+				w.Header().Set(drainingHeader, "1")
+			}
+			http.Error(w, "worker not ready: "+why, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"worker\":%q,\"ready\":true}\n", name)
 	})
 	h.mux.HandleFunc(simulatePath, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -201,6 +340,44 @@ func NewHandlerMetrics(name string, logf func(format string, args ...any), m *ob
 			http.Error(w, "worker draining, shard not accepted", http.StatusServiceUnavailable)
 			return
 		}
+		// Memory accounting first — it never queues, so an oversized
+		// burst bounces in microseconds — then the concurrency slot,
+		// which may wait briefly in the bounded accept queue.
+		cost := r.ContentLength
+		if cost < 1 {
+			cost = 1
+		}
+		relBytes, ok := h.bytes.TryAcquire(cost)
+		if !ok {
+			busy(w, "in-flight bytes")
+			return
+		}
+		defer relBytes()
+		relSlot, err := h.slots.Acquire(r.Context(), 1)
+		if err != nil {
+			busy(w, "accept queue full")
+			return
+		}
+		defer relSlot()
+		ctx := r.Context()
+		if v := r.Header.Get(deadlineHeader); v != "" {
+			ns, perr := strconv.ParseInt(v, 10, 64)
+			if perr != nil {
+				m.Counter("gpustl_worker_bad_requests_total").Inc()
+				http.Error(w, "bad "+deadlineHeader+" header", http.StatusBadRequest)
+				return
+			}
+			dl := time.Unix(0, ns)
+			if !time.Now().Before(dl) {
+				// The campaign already timed out: refuse before any work.
+				m.Counter("gpustl_worker_expired_total").Inc()
+				http.Error(w, "shard deadline already expired", http.StatusGatewayTimeout)
+				return
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, dl)
+			defer cancel()
+		}
 		var req ShardRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			m.Counter("gpustl_worker_bad_requests_total").Inc()
@@ -208,16 +385,21 @@ func NewHandlerMetrics(name string, logf func(format string, args ...any), m *ob
 			return
 		}
 		start := time.Now()
-		res, err := exec.Simulate(r.Context(), &req)
+		res, err := exec.Simulate(ctx, &req)
 		if err != nil {
 			logf("shard %d attempt %d: %v", req.Shard, req.Attempt, err)
 			status := http.StatusInternalServerError
-			if r.Context().Err() != nil {
+			switch {
+			case r.Context().Err() != nil:
 				// The coordinator canceled (hedge lost, deadline, worker
 				// declared dead): the reply will not be read anyway.
 				status = http.StatusServiceUnavailable
 				m.Counter("gpustl_worker_shards_canceled_total").Inc()
-			} else {
+			case ctx.Err() != nil:
+				// The propagated campaign deadline expired mid-shard.
+				status = http.StatusGatewayTimeout
+				m.Counter("gpustl_worker_expired_total").Inc()
+			default:
 				m.Counter("gpustl_worker_shard_errors_total").Inc()
 			}
 			http.Error(w, err.Error(), status)

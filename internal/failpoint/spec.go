@@ -26,7 +26,9 @@ import (
 //	reorder         deliver replies out of order
 //
 // Modifiers: p=<float> firing probability, after=<int> skip the first
-// N evaluations, times=<int> cap firings, seed=<int> RNG seed.
+// N evaluations, times=<int> cap firings, seed=<int> RNG seed,
+// delay=<dur> attach a duration to a non-delay action (e.g. the
+// Retry-After hint an injected busy reply carries).
 //
 // Example:
 //
@@ -80,6 +82,10 @@ func ParseConfig(s string) (Config, error) {
 		case "seed":
 			if cfg.Seed, err = strconv.ParseInt(val, 10, 64); err != nil {
 				return Config{}, fmt.Errorf("modifier seed=%q: %v", val, err)
+			}
+		case "delay":
+			if cfg.Delay, err = time.ParseDuration(val); err != nil {
+				return Config{}, fmt.Errorf("modifier delay=%q: %v", val, err)
 			}
 		default:
 			return Config{}, fmt.Errorf("unknown modifier %q", key)
@@ -147,4 +153,63 @@ func parseAction(s string) (Config, error) {
 		return Config{}, fmt.Errorf("action %q takes no argument", kind)
 	}
 	return cfg, nil
+}
+
+// Spec renders the Config as the action[|mod=value...] fragment
+// ParseConfig accepts, so a failing chaos schedule can print the exact
+// `-failpoints` arming that reproduces it standalone. Error messages
+// containing the spec delimiters (comma, pipe, parens) do not
+// round-trip; everything the canonical schedules arm does.
+func (c Config) Spec() string {
+	var b strings.Builder
+	switch c.Kind {
+	case KindError:
+		b.WriteString("error")
+		if errors.Is(c.Err, syscall.ENOSPC) {
+			b.WriteString("(ENOSPC)")
+		} else if c.Err != nil {
+			fmt.Fprintf(&b, "(%s)", c.Err)
+		}
+	case KindDelay:
+		fmt.Fprintf(&b, "delay(%s)", c.Delay)
+	case KindPanic:
+		b.WriteString("panic")
+		if c.Msg != "" {
+			fmt.Fprintf(&b, "(%s)", c.Msg)
+		}
+	case KindShortWrite:
+		b.WriteString("short")
+		if c.Bytes > 0 {
+			fmt.Fprintf(&b, "(%d)", c.Bytes)
+		}
+	case KindCorrupt:
+		b.WriteString("corrupt")
+		if c.Bit >= 0 {
+			fmt.Fprintf(&b, "(%d)", c.Bit)
+		}
+	case KindDrop:
+		b.WriteString("drop")
+	case KindDuplicate:
+		b.WriteString("dup")
+	case KindReorder:
+		b.WriteString("reorder")
+	default:
+		return ""
+	}
+	if c.Prob > 0 {
+		fmt.Fprintf(&b, "|p=%g", c.Prob)
+	}
+	if c.After > 0 {
+		fmt.Fprintf(&b, "|after=%d", c.After)
+	}
+	if c.Times > 0 {
+		fmt.Fprintf(&b, "|times=%d", c.Times)
+	}
+	if c.Seed != 0 {
+		fmt.Fprintf(&b, "|seed=%d", c.Seed)
+	}
+	if c.Delay > 0 && c.Kind != KindDelay {
+		fmt.Fprintf(&b, "|delay=%s", c.Delay)
+	}
+	return b.String()
 }

@@ -1,0 +1,29 @@
+package journal
+
+import (
+	"context"
+	"errors"
+)
+
+// IsTransient reports whether err is an environmental, retry-worthy
+// condition — an overload shed, an expired deadline or cancellation, a
+// full disk — rather than journal corruption or a logic error. The
+// distinction drives how callers react to a failed campaign step: a
+// transient failure before a record committed means "resume and retry
+// later" (the journal is a clean prefix of valid records, nothing needs
+// quarantining or fsck), while CRC mismatches, torn records and other
+// errors mean the bytes themselves are suspect.
+//
+// Overload sheds are recognized structurally, by a Transient() bool
+// method on any error in the chain (overload.ErrOverloaded carries
+// one): this package sits below internal/overload and must not import
+// it. Wrapped errors are unwrapped via errors.Is/errors.As.
+func IsTransient(err error) bool {
+	var te interface{ Transient() bool }
+	if errors.As(err, &te) && te.Transient() {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, ErrDiskFull)
+}

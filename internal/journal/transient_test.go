@@ -1,0 +1,40 @@
+package journal_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"gpustl/internal/journal"
+	"gpustl/internal/overload"
+)
+
+// External test package: journal itself must not import overload (obs
+// sits between them), but the test proves the structural Transient()
+// classification still recognizes the real sentinel.
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"overload shed", overload.ErrOverloaded, true},
+		{"wrapped overload shed", fmt.Errorf("run: campaign shed: %w", overload.ErrOverloaded), true},
+		{"deadline", context.DeadlineExceeded, true},
+		{"canceled", context.Canceled, true},
+		{"disk full", journal.ErrDiskFull, true},
+		{"wrapped disk full", fmt.Errorf("append: %w", journal.ErrDiskFull), true},
+		{"crc mismatch", journal.ErrCRC, false},
+		{"short write", journal.ErrShortWrite, false},
+		{"plain error", errors.New("stage exploded"), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := journal.IsTransient(tc.err); got != tc.want {
+				t.Fatalf("IsTransient(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}

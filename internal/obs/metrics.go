@@ -124,6 +124,10 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 // latencies in this system.
 func DefLatencyBuckets() []float64 { return ExpBuckets(100e-6, 2, 21) }
 
+// DefQueueBuckets spans 10µs to ~40s: admission queue waits and shed
+// decisions, which must resolve much faster than the work they gate.
+func DefQueueBuckets() []float64 { return ExpBuckets(10e-6, 2, 22) }
+
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {

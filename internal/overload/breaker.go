@@ -1,0 +1,240 @@
+package overload
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: healthy, all traffic flows.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: tripped, all traffic routes around the backend until
+	// the cool-down elapses.
+	BreakerOpen
+	// BreakerHalfOpen: cool-down elapsed, exactly one probe may test the
+	// backend; its fate decides closed vs open again.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerOptions configures a Breaker.
+type BreakerOptions struct {
+	// FailureThreshold is the consecutive-failure count that trips the
+	// breaker open. Default 5.
+	FailureThreshold int
+	// OpenFor is the base cool-down after tripping. Default 5s.
+	OpenFor time.Duration
+	// JitterFrac spreads each cool-down uniformly over
+	// [OpenFor, OpenFor*(1+JitterFrac)] so a fleet of breakers tripped by
+	// one incident doesn't probe the recovering backend in lockstep.
+	// Default 0.5; negative disables jitter.
+	JitterFrac float64
+	// Seed drives the jitter RNG — same seed, same probe schedule.
+	Seed int64
+	// Clock defaults to SystemClock.
+	Clock Clock
+}
+
+// Breaker is a per-backend circuit breaker. The coordinator consults
+// Ready while *scanning* candidate workers — non-consuming, so looking
+// at ten breakers doesn't burn ten probes — and calls Acquire only on
+// the worker it actually dispatches to, which in half-open claims the
+// single probe slot. OnSuccess/OnFailure feed results back.
+//
+// A nil *Breaker is permanently closed: always ready, never trips.
+type Breaker struct {
+	threshold int
+	openFor   time.Duration
+	jitter    float64
+	clock     Clock
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	state   BreakerState
+	fails   int       // consecutive failures while closed
+	until   time.Time // open cool-down expiry
+	probing bool      // half-open probe slot claimed
+	opens   uint64
+}
+
+// NewBreaker creates a closed breaker.
+func NewBreaker(o BreakerOptions) *Breaker {
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 5
+	}
+	if o.OpenFor <= 0 {
+		o.OpenFor = 5 * time.Second
+	}
+	if o.JitterFrac == 0 {
+		o.JitterFrac = 0.5
+	}
+	if o.JitterFrac < 0 {
+		o.JitterFrac = 0
+	}
+	if o.Clock == nil {
+		o.Clock = SystemClock()
+	}
+	return &Breaker{
+		threshold: o.FailureThreshold,
+		openFor:   o.OpenFor,
+		jitter:    o.JitterFrac,
+		clock:     o.Clock,
+		rng:       rand.New(rand.NewSource(o.Seed)),
+	}
+}
+
+// Ready reports whether the backend may receive work right now, without
+// claiming anything: closed ⇒ true; open ⇒ true only once the cool-down
+// has elapsed (the breaker moves to half-open); half-open ⇒ true only
+// while the probe slot is unclaimed.
+func (b *Breaker) Ready() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tickLocked()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		return !b.probing
+	}
+	return false
+}
+
+// Acquire claims the right to dispatch: identical to Ready except that
+// in half-open it also takes the single probe slot, so concurrent
+// dispatchers can't flood a barely recovered backend.
+func (b *Breaker) Acquire() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tickLocked()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// tickLocked advances open → half-open when the cool-down has elapsed.
+func (b *Breaker) tickLocked() {
+	if b.state == BreakerOpen && !b.clock.Now().Before(b.until) {
+		b.state = BreakerHalfOpen
+		b.probing = false
+	}
+}
+
+// OnSuccess records a successful call: it resets the consecutive
+// failure count, and a successful half-open probe closes the breaker.
+func (b *Breaker) OnSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tickLocked()
+	b.fails = 0
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerClosed
+		b.probing = false
+	}
+}
+
+// OnCancel returns a claimed half-open probe slot without a verdict:
+// the dispatch was preempted (hedge lost, worker declared dead, a
+// backpressure bounce) before the backend could prove anything, so the
+// next dispatcher may probe instead. No state change in any other
+// state. A dispatch admitted while still closed may race a later
+// half-open probe here and free its slot early — a brief second probe,
+// never a flood.
+func (b *Breaker) OnCancel() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tickLocked()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// OnFailure records a failed call. While closed, the threshold'th
+// consecutive failure trips the breaker; a failed half-open probe
+// reopens it for a fresh (re-jittered) cool-down.
+func (b *Breaker) OnFailure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tickLocked()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.openLocked()
+		}
+	case BreakerHalfOpen:
+		b.openLocked()
+	}
+}
+
+func (b *Breaker) openLocked() {
+	b.state = BreakerOpen
+	b.fails = 0
+	b.probing = false
+	b.opens++
+	d := b.openFor
+	if b.jitter > 0 {
+		d += time.Duration(b.rng.Float64() * b.jitter * float64(b.openFor))
+	}
+	b.until = b.clock.Now().Add(d)
+}
+
+// State returns the breaker's current position (BreakerClosed on nil),
+// advancing open → half-open if the cool-down has elapsed.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tickLocked()
+	return b.state
+}
+
+// Opens returns how many times the breaker has tripped (0 on nil).
+func (b *Breaker) Opens() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,66 @@
+package overload
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// FakeClock is a manually advanced Clock for deterministic tests.
+// After-channels fire when Advance moves the clock past their due
+// time, in due-time order.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []fakeTimer
+}
+
+type fakeTimer struct {
+	due time.Time
+	ch  chan time.Time
+}
+
+// NewFakeClock creates a FakeClock starting at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the fake current time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that fires once the clock has been Advanced
+// to or past d from now.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	due := c.now.Add(d)
+	if d <= 0 {
+		ch <- due
+		return ch
+	}
+	c.timers = append(c.timers, fakeTimer{due: due, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d, firing every timer whose due
+// time is reached, earliest first.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	sort.SliceStable(c.timers, func(i, j int) bool { return c.timers[i].due.Before(c.timers[j].due) })
+	kept := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.due.After(c.now) {
+			t.ch <- t.due
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	c.timers = kept
+}

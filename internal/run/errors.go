@@ -8,6 +8,7 @@
 package run
 
 import (
+	"errors"
 	"fmt"
 
 	"gpustl/internal/core"
@@ -27,6 +28,12 @@ const (
 	FailPanic FailKind = "panic"
 	// FailTimeout: the per-stage watchdog canceled a stalled stage.
 	FailTimeout FailKind = "timeout"
+	// FailOverload: the stage was shed by overload protection (admission
+	// control refused a campaign, a retry budget ran dry). The PTP itself
+	// is healthy — the cluster's state caused the failure — so this kind
+	// is retried like a crash, but exhausting retries aborts the campaign
+	// instead of quarantining: a resume retries the PTP once load eases.
+	FailOverload FailKind = "overload"
 )
 
 // StageError attributes a compaction failure to the pipeline stage that
@@ -46,9 +53,19 @@ func (e *StageError) Error() string {
 // Unwrap exposes the cause for errors.Is/As.
 func (e *StageError) Unwrap() error { return e.Err }
 
-// Retryable reports whether the failure is a crash-class event — a
-// panic or a watchdog timeout — that the quarantine policy may retry.
-// Ordinary stage errors are deterministic and are not retried.
+// failKindOf extracts err's FailKind (FailError when err carries no
+// StageError).
+func failKindOf(err error) FailKind {
+	var se *StageError
+	if errors.As(err, &se) {
+		return se.Kind
+	}
+	return FailError
+}
+
+// Retryable reports whether the failure is a crash-class or
+// overload-class event that the quarantine policy may retry. Ordinary
+// stage errors are deterministic and are not retried.
 func (e *StageError) Retryable() bool {
-	return e.Kind == FailPanic || e.Kind == FailTimeout
+	return e.Kind == FailPanic || e.Kind == FailTimeout || e.Kind == FailOverload
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -15,6 +16,7 @@ import (
 	"gpustl/internal/fault"
 	"gpustl/internal/gpu"
 	"gpustl/internal/obs"
+	"gpustl/internal/overload"
 	"gpustl/internal/report"
 	"gpustl/internal/stl"
 )
@@ -66,6 +68,19 @@ type Options struct {
 	// CRC-protected), and a later run over the same inputs resumes
 	// after the last journaled PTP. Empty disables persistence.
 	CheckpointDir string
+	// Deadline bounds the whole campaign: Run derives its context with
+	// this timeout, and the deadline propagates through the fault
+	// simulator down to distributed workers (X-Gpustl-Deadline), so no
+	// tier burns cycles on a campaign that already timed out. A run that
+	// hits the deadline behaves exactly like a canceled one: finished
+	// PTPs are journaled, a resume picks up after them. 0 disables.
+	Deadline time.Duration
+	// Admission, when set, gates the campaign through an overload
+	// admission pool: Run acquires len of the library's programs worth of
+	// cost before creating the checkpoint directory or any artifact, so a
+	// shed campaign leaves no partial state — it fails fast with
+	// ErrOverloaded and nothing to clean up. A nil pool admits instantly.
+	Admission *overload.Admission
 	// StageTimeout bounds each pipeline stage of each PTP; a stage that
 	// exceeds it is canceled and the PTP falls to the quarantine
 	// policy. 0 disables the watchdog.
@@ -207,6 +222,22 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 	if err != nil {
 		return nil, err
 	}
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
+	// Admission comes before MkdirAll and the journal open: a shed
+	// campaign must leave no artifact at all, only a fast ErrOverloaded.
+	var cost int64
+	for _, p := range lib.PTPs {
+		cost += int64(len(p.Prog))
+	}
+	release, aerr := opts.Admission.Acquire(ctx, cost)
+	if aerr != nil {
+		return nil, fmt.Errorf("run: campaign shed by admission control: %w", aerr)
+	}
+	defer release()
 	rep := &Report{Compacted: &stl.STL{}}
 	ck := &Checkpoint{Version: CheckpointVersion, ConfigHash: hash}
 	var clog *campaignLog
@@ -320,6 +351,17 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 				ptpSpan.Annotate("canceled", "true")
 				ptpSpan.End()
 				return rep, cerr
+			case cerr != nil && failKindOf(cerr) == FailOverload:
+				// Overload is the cluster's state, not this PTP's fault:
+				// journaling a quarantine would poison a healthy PTP.
+				// Abort the campaign instead — everything finished so far
+				// is journaled, and a resume retries this PTP when load
+				// has eased.
+				ptpSpan.Annotate("overloaded", "true")
+				ptpSpan.End()
+				opts.Metrics.Counter("gpustl_run_overload_aborts_total").Inc()
+				return rep, fmt.Errorf("run: PTP %s shed by overload protection after %d attempt(s); resume retries it: %w",
+					p.Name, attempts, cerr)
 			case cerr != nil:
 				se, _ := cerr.(*StageError)
 				e.Stage = string(stage)
@@ -533,7 +575,12 @@ func compactOne(ctx context.Context, c *core.Compactor, p *stl.PTP,
 			kind = FailPanic
 		}
 		if err != nil {
-			if kind == FailError && cctx.Err() != nil && ctx.Err() == nil {
+			switch {
+			case errors.Is(err, overload.ErrOverloaded):
+				// Overload protection (admission shed, retry budget dry)
+				// refused the work: environmental, not this PTP's fault.
+				kind = FailOverload
+			case kind == FailError && cctx.Err() != nil && ctx.Err() == nil:
 				// Only the watchdog cancels the derived context while
 				// the parent is still alive.
 				kind = FailTimeout
