@@ -20,7 +20,7 @@ lint:
 # honest against corrupt bytes without the cost of a long fuzzing
 # session.
 .PHONY: verify
-verify: test lint chaos-smoke chaos-overload
+verify: test lint chaos-smoke chaos-overload chaos-server
 	go test -race ./...
 	go test -race -run 'TestRegistryConcurrent' -count=1 ./internal/obs
 	go test -run 'TestCrashRecovery|TestTornFinalRecord|TestFlippedCRCByte' -count=1 ./internal/run
@@ -57,6 +57,18 @@ chaos-smoke:
 .PHONY: chaos-overload
 chaos-overload:
 	go run -race ./cmd/chaossoak -schedule overload -duration 120s -iters 2
+
+# Control-plane smoke: just the server schedule under the race
+# detector. Each round submits campaigns across two tenants to an
+# in-process stlserver, kills it at journaled cut points (injected
+# append failures, lease loss, one deliberate kill) and restarts it
+# until every campaign is done with artifacts byte-identical to the
+# fault-free reference; resubmitted content must come from the
+# verified result cache, and a corrupt-injected cache entry must be a
+# detected miss that re-simulates — never served bytes.
+.PHONY: chaos-server
+chaos-server:
+	go run -race ./cmd/chaossoak -schedule server -duration 180s -iters 4
 
 # Benchmarks. The JSON streams land in BENCH_dist.json (distributed
 # simulation + coordinator stats), BENCH_journal.json (per-record

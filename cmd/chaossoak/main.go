@@ -1,9 +1,10 @@
 // Command chaossoak runs the chaos soak: every canonical fault schedule
 // (torn journal writes, mid-commit crashes, stage panics, a lossy wire,
-// a Byzantine worker, dying heartbeats, an overload storm) concurrently
-// against whole compaction campaigns for -duration, asserting every
-// campaign's compacted STL is byte-identical to a fault-free reference
-// run and that the Byzantine worker is quarantined. Exits non-zero if
+// a Byzantine worker, dying heartbeats, an overload storm, a control
+// plane killed at journaled cut points) concurrently against whole
+// compaction campaigns for -duration, asserting every campaign's
+// compacted STL is byte-identical to a fault-free reference run and
+// that the Byzantine worker is quarantined. Exits non-zero if
 // ANY schedule diverged, however many others passed. A failing schedule
 // logs a "repro" line carrying the seed, iteration and the exact
 // -failpoints spec that reproduces it; replay it with
@@ -121,7 +122,8 @@ func main() {
 	for name := range snap.Counters {
 		if strings.Contains(name, "byzantine") || strings.Contains(name, "quarantin") ||
 			strings.Contains(name, "verif") || strings.Contains(name, "requeued") ||
-			strings.Contains(name, "overload") {
+			strings.Contains(name, "overload") || strings.Contains(name, "server_cache") ||
+			strings.Contains(name, "adopted") || strings.Contains(name, "lease") {
 			names = append(names, name)
 		}
 	}

@@ -22,9 +22,11 @@
 // Retry-After (-retry-after tunes the hint) — backpressure, not
 // failure: the coordinator reroutes it without charging an attempt.
 // /livez answers liveness (always OK while the process serves HTTP);
-// /readyz answers readiness (503 while draining or saturated). A
-// saturated worker is not-ready but live — orchestrators should stop
-// routing to it, never kill it.
+// /readyz answers readiness (503 while draining or saturated), and
+// both statuses carry a JSON body with the worker's queue depth,
+// in-flight shard count and draining flag. A saturated worker is
+// not-ready but live — orchestrators should stop routing to it, never
+// kill it.
 //
 // On SIGTERM/SIGINT the worker drains gracefully: in-flight shards
 // finish, new ones are rejected with 503 + X-Gpustl-Draining (the

@@ -1,0 +1,264 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"gpustl/internal/server"
+)
+
+// Control-plane chaos: the server round kills a live stlserver control
+// plane at journaled cut points and asserts the crash-only contract.
+//
+// One round:
+//
+//  1. starts an in-process server.Server on a fresh state dir with
+//     aggressive lease timing, under the schedule's armed failpoints —
+//     server.journal.append (append failures are fail-stop, so each
+//     fire is a kill at a journaled cut point), server.lease.expire
+//     (a suppressed heartbeat renewal is lease loss, also fail-stop)
+//     and server.cache.corrupt (one artifact is corrupted as written);
+//  2. submits three campaigns of the harness workload across two
+//     tenants, retrying submissions through crashes exactly like a
+//     real client whose reply was lost;
+//  3. kills the server once deliberately as soon as a campaign is
+//     running, then keeps restarting it (same holder, same state dir)
+//     after every crash until all campaigns reach done — each restart
+//     replays the queue journal, re-adopts the orphans, and resumes
+//     their run WALs (no finished PTP is simulated twice);
+//  4. asserts every campaign's artifact is byte-identical to the
+//     fault-free reference, repairing a corrupt-injected cache entry
+//     through the designed path: a verified miss and a re-simulation,
+//     never served rot;
+//  5. resubmits the completed content under fresh ids until one is
+//     served from the verified result cache, and asserts the
+//     cache-hit metric moved.
+type serverRound struct {
+	h   *Harness
+	s   Schedule
+	res *Result
+	ctx context.Context
+
+	dir    string
+	srv    *server.Server
+	runErr chan error
+
+	crashes int
+}
+
+// RunServerRound is the Schedule.Server round entry point.
+func (h *Harness) RunServerRound(ctx context.Context, s Schedule, res *Result) error {
+	ref, err := h.Reference(ctx)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "chaossoak-server-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	r := &serverRound{h: h, s: s, res: res, ctx: ctx, dir: dir}
+	r.start()
+	defer func() {
+		// Reap whatever incarnation is live so no executor outlives the
+		// round (the journal must have exactly one writer).
+		r.srv.Kill()
+		<-r.runErr
+	}()
+
+	lib, _, err := h.env()
+	if err != nil {
+		return err
+	}
+	libBytes, err := stlBytes(lib)
+	if err != nil {
+		return err
+	}
+	fcTol := 5.0
+	spec := func(tenant string) *server.Spec {
+		return &server.Spec{Tenant: tenant, STL: libBytes, Faults: h.Sample, FCTol: &fcTol}
+	}
+
+	// Three campaigns, two tenants, one content hash: concurrent
+	// executions of the same configuration must converge on one cache
+	// entry and identical bytes.
+	type camp struct{ id, tenant string }
+	campaigns := []camp{
+		{fmt.Sprintf("i%d-a0", res.Iter), "tenant-a"},
+		{fmt.Sprintf("i%d-a1", res.Iter), "tenant-a"},
+		{fmt.Sprintf("i%d-b0", res.Iter), "tenant-b"},
+	}
+	for _, c := range campaigns {
+		if err := r.submit(c.id, spec(c.tenant)); err != nil {
+			return err
+		}
+	}
+
+	// The deterministic kill: as soon as any campaign is running, die.
+	if err := r.waitState(campaigns[0].id, func(v server.CampaignView) bool {
+		return v.State == server.StateRunning || v.State.Terminal()
+	}); err != nil {
+		return err
+	}
+	r.h.logf("chaos: %s: deliberate kill at first running campaign", r.s.Name)
+	r.srv.Kill()
+
+	// Drive everything to done, restarting through every crash.
+	for _, c := range campaigns {
+		if err := r.waitState(c.id, func(v server.CampaignView) bool { return v.State.Terminal() }); err != nil {
+			return err
+		}
+		v, ok := r.srv.Get(c.id)
+		if !ok || v.State != server.StateDone {
+			return fmt.Errorf("chaos: %s: campaign %s ended %s (%s), want done", r.s.Name, c.id, v.State, v.Error)
+		}
+	}
+
+	// Resubmit the same content under fresh ids until one comes from
+	// the verified cache. A corrupt-injected entry costs exactly one
+	// extra re-simulation (the repair), so three tries are plenty.
+	hit := false
+	for k := 0; k < 3 && !hit; k++ {
+		id := fmt.Sprintf("i%d-r%d", res.Iter, k)
+		if err := r.submit(id, spec("tenant-a")); err != nil {
+			return err
+		}
+		if err := r.waitState(id, func(v server.CampaignView) bool { return v.State.Terminal() }); err != nil {
+			return err
+		}
+		v, _ := r.srv.Get(id)
+		if v.State != server.StateDone {
+			return fmt.Errorf("chaos: %s: resubmission %s ended %s (%s)", r.s.Name, id, v.State, v.Error)
+		}
+		hit = v.FromCache
+	}
+	if !hit {
+		return fmt.Errorf("chaos: %s: no resubmission was served from the result cache", r.s.Name)
+	}
+	if m := r.h.Metrics; m != nil {
+		if m.Counter("gpustl_server_cache_hits_total").Value() == 0 {
+			return fmt.Errorf("chaos: %s: cache served a hit but the hit counter is zero", r.s.Name)
+		}
+	}
+
+	// Every campaign's artifact must now read back verified and
+	// byte-identical to the fault-free reference (the repair loop above
+	// already re-simulated past any corrupt-injected entry).
+	for _, c := range campaigns {
+		got, err := r.result(c.id)
+		if err != nil {
+			return fmt.Errorf("chaos: %s: campaign %s artifact: %w", r.s.Name, c.id, err)
+		}
+		if !bytes.Equal(got, ref) {
+			return fmt.Errorf("chaos: %s: campaign %s artifact is %d bytes differing from the %d-byte fault-free reference",
+				r.s.Name, c.id, len(got), len(ref))
+		}
+	}
+	return nil
+}
+
+// start launches a fresh server incarnation on the round's state dir.
+// The holder name is constant, so a restart re-acquires its own lease
+// immediately instead of waiting out the TTL.
+func (r *serverRound) start() {
+	r.srv = server.New(server.Options{
+		StateDir:       r.dir,
+		Holder:         "chaos-" + r.s.Name,
+		MaxActive:      2,
+		HeartbeatEvery: 20 * time.Millisecond,
+		LeaseTTL:       80 * time.Millisecond,
+		DrainGrace:     2 * time.Second,
+		SimWorkers:     4,
+		Metrics:        r.h.Metrics,
+		Logf:           r.h.Logf,
+	})
+	r.runErr = make(chan error, 1)
+	srv := r.srv
+	go func() { r.runErr <- srv.Run(r.ctx) }()
+}
+
+// alive restarts the server if its current incarnation has died,
+// charging one crash against the budget. It returns only with a live
+// (possibly not-yet-ready) incarnation, or an error past MaxCrashes.
+func (r *serverRound) alive() error {
+	select {
+	case err := <-r.runErr:
+		r.crashes++
+		r.res.Crashes++
+		if r.crashes > r.h.MaxCrashes {
+			return fmt.Errorf("chaos: %s: server still crashing after %d restarts: %w", r.s.Name, r.crashes, err)
+		}
+		r.h.logf("chaos: %s: server crash %d (%v); restarting", r.s.Name, r.crashes, err)
+		r.start()
+	default:
+	}
+	return nil
+}
+
+// submit retries until the campaign is accepted, riding through
+// crashes and not-ready windows like a real client re-sending a lost
+// request — idempotent by campaign id.
+func (r *serverRound) submit(id string, sp *server.Spec) error {
+	for {
+		if err := r.ctx.Err(); err != nil {
+			return err
+		}
+		if err := r.alive(); err != nil {
+			return err
+		}
+		_, err := r.srv.Submit(id, sp)
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, server.ErrSpecConflict):
+			return err // a real bug: ids are unique per iteration
+		default:
+			// Not ready yet, crashed mid-append, or over quota: wait a
+			// beat and resubmit. Idempotency makes the retry safe.
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// waitState polls one campaign until pred holds, restarting the server
+// through crashes.
+func (r *serverRound) waitState(id string, pred func(server.CampaignView) bool) error {
+	for {
+		if err := r.ctx.Err(); err != nil {
+			return err
+		}
+		if err := r.alive(); err != nil {
+			return err
+		}
+		if r.srv.Ready() {
+			if v, ok := r.srv.Get(id); ok && pred(v) {
+				return nil
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// result fetches a campaign's verified artifact, restarting through
+// crashes (reads hit the cache, but a crash can land between poll and
+// read).
+func (r *serverRound) result(id string) ([]byte, error) {
+	for {
+		if err := r.ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := r.alive(); err != nil {
+			return nil, err
+		}
+		if !r.srv.Ready() {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		return r.srv.Result(id)
+	}
+}

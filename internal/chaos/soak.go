@@ -61,6 +61,10 @@ type Schedule struct {
 	// RunOverloadRound): three campaigns offered against an admission
 	// pool sized for one, instead of RunCampaign's single campaign.
 	Overload bool
+	// Server switches the schedule to the control-plane round (see
+	// RunServerRound): campaigns submitted to an in-process stlserver
+	// that is killed and restarted at journaled cut points.
+	Server bool
 }
 
 // distNames returns the schedule's armed dist.* failpoint names — the
@@ -376,6 +380,9 @@ func (h *Harness) SoakSchedule(ctx context.Context, s Schedule, iters int) Resul
 		if s.Overload {
 			round = h.RunOverloadRound
 		}
+		if s.Server {
+			round = h.RunServerRound
+		}
 		if err := round(ctx, s, &res); err != nil {
 			if ctx.Err() != nil {
 				break // deadline hit mid-campaign: not a failure
@@ -428,11 +435,12 @@ func (h *Harness) Soak(ctx context.Context, schedules []Schedule, iters int) ([]
 	return results, firstErr
 }
 
-// Schedules is the canonical soak set: seven concurrent schedules with
+// Schedules is the canonical soak set: eight concurrent schedules with
 // disjoint failpoint names covering every registered site — journal
 // torn writes and disk-full, commit-bracket crashes, stage panics, a
-// lossy wire, a Byzantine liar, a worker whose heartbeats die, and a
-// 3×-load overload storm against a saturated admission pool.
+// lossy wire, a Byzantine liar, a worker whose heartbeats die, a
+// 3×-load overload storm against a saturated admission pool, and a
+// control plane killed and restarted at journaled cut points.
 func Schedules() []Schedule {
 	return []Schedule{
 		{
@@ -507,6 +515,24 @@ func Schedules() []Schedule {
 				// Retry-After hint); the coordinator must reroute them
 				// without charging failures or retry budget.
 				"dist.reply.busy": {Kind: failpoint.KindError, Delay: time.Millisecond, Times: 3, Seed: 73},
+			},
+		},
+		{
+			Name:   "server",
+			Server: true,
+			Failpoints: map[string]failpoint.Config{
+				// A failed queue-journal append is fail-stop: each fire
+				// kills the control plane at a journaled cut point. Prob
+				// spreads the two kills across the round's many appends
+				// (submits, leases, heartbeat renewals, terminal records).
+				"server.journal.append": {Kind: failpoint.KindError, Prob: 0.05, Times: 2, Seed: 81},
+				// One suppressed heartbeat renewal = lease loss = another
+				// fail-stop kill, a few heartbeats in.
+				"server.lease.expire": {Kind: failpoint.KindError, After: 2, Times: 1, Seed: 82},
+				// One result-cache artifact is silently corrupted as
+				// written; reads must detect it (checksum mismatch), log a
+				// miss and re-simulate — never serve the rot.
+				"server.cache.corrupt": {Kind: failpoint.KindCorrupt, Times: 1, Seed: 83},
 			},
 		},
 	}

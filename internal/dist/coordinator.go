@@ -332,7 +332,9 @@ func (c *Coordinator) Run(ctx context.Context, camp *fault.Campaign, stream []fa
 		return nil, fmt.Errorf("dist: campaign unusable: %w", err)
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		// Surface the cause (admission shed, campaign deadline, stage
+		// watchdog) rather than the bare Canceled sentinel.
+		return nil, context.Cause(ctx)
 	}
 	usable := 0
 	for _, t := range c.transports {
@@ -657,7 +659,7 @@ func (rl *runLoop) run() error {
 		select {
 		case <-rl.ctx.Done():
 			return fmt.Errorf("dist: campaign canceled with %d of %d shards unfinished: %w",
-				rl.remaining, len(rl.shards), rl.ctx.Err())
+				rl.remaining, len(rl.shards), context.Cause(rl.ctx))
 		case ev := <-rl.events:
 			rl.handle(ev)
 			rl.checkStranded()

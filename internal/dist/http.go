@@ -210,9 +210,24 @@ type WorkerHandler struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 	inflight sync.WaitGroup
-	slots    *overload.Admission // nil = unlimited concurrency
-	bytes    *overload.Admission // nil = unlimited in-flight bytes
+	// executing counts shards past admission and actually simulating —
+	// the in_flight number /readyz reports.
+	executing atomic.Int64
+	slots     *overload.Admission // nil = unlimited concurrency
+	bytes     *overload.Admission // nil = unlimited in-flight bytes
 }
+
+// QueueDepth reports shards waiting in the bounded accept queue (0
+// when the worker runs unlimited).
+func (h *WorkerHandler) QueueDepth() int {
+	if h.slots == nil {
+		return 0
+	}
+	return h.slots.QueueLen()
+}
+
+// Executing reports shards currently simulating.
+func (h *WorkerHandler) Executing() int { return int(h.executing.Load()) }
 
 // ServeHTTP implements http.Handler.
 func (h *WorkerHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
@@ -315,17 +330,31 @@ func NewHandlerOptions(name string, o WorkerOptions) *WorkerHandler {
 		fmt.Fprintf(w, "{\"worker\":%q,\"live\":true}\n", name)
 	})
 	h.mux.HandleFunc(readyzPath, func(w http.ResponseWriter, r *http.Request) {
-		if !h.Ready() {
-			why := "saturated"
+		// Both the 200 and the 503 carry the same JSON body — queue
+		// depth, in-flight count, draining flag — so orchestrators and
+		// humans get the whole routing picture either way.
+		ready := h.Ready()
+		reason := ""
+		if !ready {
+			reason = "saturated"
 			if h.draining.Load() {
-				why = "draining"
+				reason = "draining"
 				w.Header().Set(drainingHeader, "1")
 			}
-			http.Error(w, "worker not ready: "+why, http.StatusServiceUnavailable)
-			return
 		}
+		body, _ := json.Marshal(struct {
+			Worker     string `json:"worker"`
+			Ready      bool   `json:"ready"`
+			Draining   bool   `json:"draining"`
+			QueueDepth int    `json:"queue_depth"`
+			InFlight   int    `json:"in_flight"`
+			Reason     string `json:"reason,omitempty"`
+		}{name, ready, h.draining.Load(), h.QueueDepth(), h.Executing(), reason})
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"worker\":%q,\"ready\":true}\n", name)
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		w.Write(append(body, '\n'))
 	})
 	h.mux.HandleFunc(simulatePath, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -384,6 +413,8 @@ func NewHandlerOptions(name string, o WorkerOptions) *WorkerHandler {
 			http.Error(w, fmt.Sprintf("bad shard request: %v", err), http.StatusBadRequest)
 			return
 		}
+		h.executing.Add(1)
+		defer h.executing.Add(-1)
 		start := time.Now()
 		res, err := exec.Simulate(ctx, &req)
 		if err != nil {

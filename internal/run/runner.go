@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"gpustl/internal/circuits"
@@ -223,8 +224,14 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 		return nil, err
 	}
 	if opts.Deadline > 0 {
+		// WithTimeoutCause: when the deadline fires, context.Cause names
+		// the campaign deadline instead of a bare DeadlineExceeded, and
+		// every abort path below reports it.
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		// The cause wraps DeadlineExceeded so errors.Is classification
+		// (and journal.IsTransient) still see the sentinel.
+		ctx, cancel = context.WithTimeoutCause(ctx, opts.Deadline,
+			fmt.Errorf("run: campaign deadline %s exceeded: %w", opts.Deadline, context.DeadlineExceeded))
 		defer cancel()
 	}
 	// Admission comes before MkdirAll and the journal open: a shed
@@ -319,9 +326,11 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 
 		if err := ctx.Err(); err != nil {
 			// Canceled between PTPs: the journal already holds every
-			// finished entry, so just surface the partial report.
+			// finished entry, so just surface the partial report. The
+			// cause (admission shed, campaign deadline, client cancel)
+			// beats the bare Canceled/DeadlineExceeded sentinel.
 			return rep, fmt.Errorf("run: canceled after %d of %d PTPs: %w",
-				i, len(lib.PTPs), err)
+				i, len(lib.PTPs), context.Cause(ctx))
 		}
 
 		e := Entry{Index: i, Name: p.Name, OrigSize: len(p.Prog)}
@@ -350,6 +359,10 @@ func Run(ctx context.Context, cfg gpu.Config, ms *core.ModuleSet, lib *stl.STL,
 				// finished, so do not journal it — a resume redoes it.
 				ptpSpan.Annotate("canceled", "true")
 				ptpSpan.End()
+				if cause := context.Cause(ctx); cause != nil &&
+					!errors.Is(cause, context.Canceled) && !errors.Is(cerr, cause) {
+					return rep, fmt.Errorf("%w (campaign aborted: %v)", cerr, cause)
+				}
 				return rep, cerr
 			case cerr != nil && failKindOf(cerr) == FailOverload:
 				// Overload is the cluster's state, not this PTP's fault:
@@ -528,8 +541,13 @@ func compactWithRetry(ctx context.Context, c *core.Compactor, p *stl.PTP,
 func compactOne(ctx context.Context, c *core.Compactor, p *stl.PTP,
 	opts Options, ptpSpan *obs.Span) (res *core.Result, stage core.Stage, err error) {
 
-	cctx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	cctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	// curStage mirrors stage for the watchdog's cause message: the timer
+	// fires on its own goroutine, so it must not read the plain local.
+	var curStage atomic.Value
+	curStage.Store(core.StagePartition)
 
 	// Stage spans are contiguous: each stage span ends exactly when the
 	// next stage is entered (and the last when the attempt returns), so
@@ -543,13 +561,17 @@ func compactOne(ctx context.Context, c *core.Compactor, p *stl.PTP,
 	// stage dies within microseconds of the timer firing.
 	var watchdog *time.Timer
 	if opts.StageTimeout > 0 {
-		watchdog = time.AfterFunc(opts.StageTimeout, cancel)
+		watchdog = time.AfterFunc(opts.StageTimeout, func() {
+			cancel(fmt.Errorf("run: deadline exceeded at stage %s (watchdog %s)",
+				curStage.Load(), opts.StageTimeout))
+		})
 		defer watchdog.Stop()
 	}
 
 	stage = core.StagePartition
 	onStage := func(s core.Stage) error {
 		stage = s
+		curStage.Store(s)
 		stageSpan.End()
 		stageSpan = opts.Tracer.Start(ptpSpan, obs.KindStage, string(s))
 		if watchdog != nil {
@@ -582,8 +604,12 @@ func compactOne(ctx context.Context, c *core.Compactor, p *stl.PTP,
 				kind = FailOverload
 			case kind == FailError && cctx.Err() != nil && ctx.Err() == nil:
 				// Only the watchdog cancels the derived context while
-				// the parent is still alive.
+				// the parent is still alive. Its cause names the stage
+				// that overran — report that, not "context canceled".
 				kind = FailTimeout
+				if cause := context.Cause(cctx); cause != nil && !errors.Is(cause, context.Canceled) {
+					err = cause
+				}
 			}
 			res = nil
 			err = &StageError{Stage: stage, PTP: p.Name, Kind: kind, Err: err}
