@@ -18,11 +18,13 @@ lint:
 # of the codebase (the obs registry gets an explicit high-contention
 # race run); the fuzz smoke keeps the journal/STL/assembly parsers
 # honest against corrupt bytes without the cost of a long fuzzing
-# session.
+# session. The explicit metrics-lint pass scrapes a live server's
+# /metrics and fails on any Prometheus text-format hygiene problem.
 .PHONY: verify
 verify: test lint chaos-smoke chaos-overload chaos-server
 	go test -race ./...
 	go test -race -run 'TestRegistryConcurrent' -count=1 ./internal/obs
+	go test -run 'TestMetricsLint' -count=1 .
 	go test -run 'TestCrashRecovery|TestTornFinalRecord|TestFlippedCRCByte' -count=1 ./internal/run
 	go test -fuzz '^FuzzAssemble$$' -fuzztime 10s -run '^$$' ./internal/asm
 	go test -fuzz '^FuzzDecode$$' -fuzztime 10s -run '^$$' ./internal/isa

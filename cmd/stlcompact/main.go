@@ -246,6 +246,13 @@ func main() {
 	}
 
 	metrics := gpustl.NewMetricsRegistry()
+	obs.RegisterBuildInfo(metrics, "stlcompact")
+	// One tracer for the whole process so the coordinator's shard spans
+	// land in the same file (and trace) as the campaign/PTP/stage spans.
+	var tracer *gpustl.SpanTracer
+	if *traceOut != "" {
+		tracer = gpustl.NewSpanTracer(*traceOut)
+	}
 	var sim gpustl.FaultSimulator
 	var co *gpustl.DistCoordinator
 	if *workers != "" {
@@ -259,6 +266,7 @@ func main() {
 		co, err = gpustl.NewDistCoordinator(gpustl.DistOptions{
 			Logf:             obs.Logf(logger, slog.LevelInfo),
 			Metrics:          metrics,
+			Tracer:           tracer,
 			VerifyFraction:   *verifyFrac,
 			RetryBudget:      *retryBud,
 			RetryBurst:       *retryBurst,
@@ -276,7 +284,7 @@ func main() {
 		reverse: *reverse, instrG: *instrG, baseline: *baseline,
 		saveDir: *saveDir, ckDir: *ckDir, stageTO: *stageTO, fcTol: *fcTol,
 		retries: *retries, sim: sim, deadline: *deadline,
-		metrics: metrics, traceOut: *traceOut, metricsOut: *metricsOut,
+		metrics: metrics, tracer: tracer, traceOut: *traceOut, metricsOut: *metricsOut,
 	})
 	if co != nil {
 		co.Close()
@@ -295,6 +303,7 @@ type runFlags struct {
 	sim                       gpustl.FaultSimulator
 
 	metrics              *gpustl.MetricsRegistry
+	tracer               *gpustl.SpanTracer
 	traceOut, metricsOut string
 }
 
@@ -362,10 +371,7 @@ func runCompaction(ctx context.Context, kind gpustl.ModuleKind, mod *gpustl.Modu
 	fmt.Printf("compacting %d PTP(s) for %v (%d faults, %d gates x %d lanes)\n\n",
 		len(ptps), kind, len(faults), mod.NL.NumGates(), mod.Lanes)
 
-	var tracer *gpustl.SpanTracer
-	if fl.traceOut != "" {
-		tracer = gpustl.NewSpanTracer(fl.traceOut)
-	}
+	tracer := fl.tracer
 	prog := newProgress(os.Stderr, len(ptps))
 	rep, err := gpustl.CompactWholeSTLResilient(ctx, cfg, ms, lib, copt,
 		gpustl.RunnerOptions{

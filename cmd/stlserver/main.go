@@ -9,7 +9,8 @@
 //	          [-workers-addr HOST:PORT,...] [-max-active N]
 //	          [-tenant-quota N] [-heartbeat D] [-lease-ttl D]
 //	          [-drain-grace D] [-sim-workers N] [-stage-timeout D]
-//	          [-metrics-addr ADDR] [-log-json] [-failpoints SPEC]
+//	          [-metrics-addr ADDR] [-trace-out FILE] [-trace-max-bytes N]
+//	          [-trace-keep N] [-log-json] [-failpoints SPEC]
 //
 // The API:
 //
@@ -18,6 +19,7 @@
 //	GET  /api/v1/campaigns/{id}          campaign state
 //	POST /api/v1/campaigns/{id}/cancel   request cancellation
 //	GET  /api/v1/campaigns/{id}/results  the compacted STL (verified)
+//	GET  /v1/usage                       per-tenant usage accounting
 //	GET  /livez, /readyz                 health (readyz carries queue JSON)
 //
 // Everything durable lives under -state: the campaign queue journal
@@ -72,7 +74,11 @@ func main() {
 		simWorkers  = flag.Int("sim-workers", 4, "per-campaign fault-simulation parallelism")
 		stageTO     = flag.Duration("stage-timeout", 0, "per-stage watchdog timeout per PTP (0 = off)")
 		verifyFrac  = flag.Float64("verify-frac", 0, "fraction of shards re-executed for Byzantine verification (fleet mode)")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/slo and /debug/pprof on this address (empty = off)")
+		traceOut    = flag.String("trace-out", "", "write span trace JSONL here (campaign executions, shards); merge with stltrace")
+		traceMaxB   = flag.Int64("trace-max-bytes", 64<<20, "rotate the trace file past this size (0 = unbounded)")
+		traceKeep   = flag.Int("trace-keep", 2, "rotated trace files kept (trace.1 .. trace.N)")
+		sloLatency  = flag.Duration("slo-campaign-latency", 5*time.Minute, "campaign latency SLO threshold: 99% of campaigns should finish within this")
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		failpoints  = flag.String("failpoints", "", "arm fault-injection sites: name=action[|p=|after=|times=|seed=],... (chaos drills)")
 	)
@@ -99,6 +105,27 @@ func main() {
 	}
 
 	reg := gpustl.NewMetricsRegistry()
+	obs.RegisterBuildInfo(reg, "stlserver")
+	usage := obs.NewUsageMeter(reg)
+
+	// The tracer records campaign execution spans (remote children of
+	// the submitting client's span when the submit carried trace
+	// context) plus the coordinator's per-shard spans. Size-bounded:
+	// rotated past -trace-max-bytes, keeping -trace-keep old files.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracerOptions(*traceOut, obs.TracerOptions{
+			MaxBytes: *traceMaxB, KeepFiles: *traceKeep,
+		})
+	}
+	flushTrace := func() {
+		if tracer == nil {
+			return
+		}
+		if err := tracer.Flush(); err != nil {
+			logger.Error("trace flush failed", "path", *traceOut, "err", err)
+		}
+	}
 
 	// The fleet factory: shared HTTP transports, one Coordinator per
 	// campaign execution. Coordinators are sequential-use; transports
@@ -117,6 +144,7 @@ func main() {
 			return gpustl.NewDistCoordinator(gpustl.DistOptions{
 				Logf:           logf,
 				Metrics:        reg,
+				Tracer:         tracer,
 				VerifyFraction: *verifyFrac,
 			}, transports...)
 		}
@@ -135,13 +163,36 @@ func main() {
 		StageTimeout:   *stageTO,
 		Fleet:          fleet,
 		Metrics:        reg,
+		Tracer:         tracer,
+		Usage:          usage,
 		Logf:           obs.Logf(logger, slog.LevelInfo),
+	})
+
+	// The SLO engine tracks the control plane's three objectives and
+	// publishes gpustl_slo_* burn-rate gauges plus the /debug/slo page.
+	// Bad/total functions read the registry directly; the engine samples
+	// them on a fixed cadence so multi-window burn rates are comparable.
+	rejected := obs.CounterSeriesValue(reg, "gpustl_server_submit_rejected_total")
+	submitted := obs.CounterSeriesValue(reg, "gpustl_server_campaigns_submitted_total")
+	mismatches := obs.CounterSeriesValue(reg, "gpustl_dist_verify_mismatches_total")
+	verifyDispatches := obs.CounterSeriesValue(reg, "gpustl_dist_verify_dispatches_total")
+	slo := obs.NewSLOEngine(reg, []obs.SLO{
+		obs.LatencySLO(reg, "campaign-latency", "gpustl_server_campaign_seconds",
+			(*sloLatency).Seconds(), 0.99,
+			fmt.Sprintf("99%% of campaigns finish within %s", *sloLatency)),
+		obs.RatioSLO("submit-shed", 0.99,
+			rejected,
+			func() float64 { return submitted() + rejected() },
+			"99% of submits admitted (not shed by tenant quota)"),
+		obs.RatioSLO("verify-mismatch", 0.999,
+			mismatches, verifyDispatches,
+			"99.9% of Byzantine verification re-executions agree"),
 	})
 
 	hsrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
 	var msrv *http.Server
 	if *metricsAddr != "" {
-		msrv = &http.Server{Addr: *metricsAddr, Handler: gpustl.NewDebugMux(reg, "gpustl_server")}
+		msrv = &http.Server{Addr: *metricsAddr, Handler: obs.NewDebugMuxSLO(reg, "gpustl_server", slo)}
 		go func() {
 			if err := msrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Error("metrics listener failed", "addr", *metricsAddr, "err", err)
@@ -154,6 +205,28 @@ func main() {
 	// (stop() restores default handling) kills the process.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Background telemetry: the SLO engine samples its objectives every
+	// 10s; the tracer flushes every 15s so a kill -9 loses at most that
+	// much span history. Both stop with ctx; the final flush below
+	// covers the drain path.
+	bgCtx, bgStop := context.WithCancel(context.Background())
+	defer bgStop()
+	go slo.Run(bgCtx, 10*time.Second)
+	if tracer != nil {
+		go func() {
+			tick := time.NewTicker(15 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-bgCtx.Done():
+					return
+				case <-tick.C:
+					flushTrace()
+				}
+			}
+		}()
+	}
 
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- hsrv.ListenAndServe() }()
@@ -186,6 +259,14 @@ func main() {
 			logger.Info("drained")
 		}
 	}
+
+	// Final span flush on every exit path — notably the SIGTERM drain,
+	// where campaigns that finished during the grace period ended spans
+	// after the last periodic flush. Without this the tail of the trace
+	// (often the interesting part: what was slow enough to still be
+	// running at drain time) never reaches disk.
+	bgStop()
+	flushTrace()
 
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -8,7 +8,13 @@
 //
 //	stlworker -listen :9123 [-name NAME] [-metrics-addr :9124] [-log-json]
 //	          [-max-concurrent N] [-max-queue N] [-max-inflight-bytes B]
-//	          [-retry-after D]
+//	          [-retry-after D] [-trace-out FILE] [-trace-max-bytes N]
+//	          [-trace-keep N]
+//
+// With -trace-out, shard executions whose requests carry X-Gpustl-Trace
+// context are recorded as remote child spans of the submitting
+// campaign's trace; merge the file with the server's and coordinator's
+// via stltrace for the cross-process waterfall.
 //
 // Point stlcompact's -workers-addr at one or more daemons to
 // distribute the campaign. Workers are stateless — the
@@ -71,6 +77,9 @@ func main() {
 		maxQueue    = flag.Int("max-queue", 0, "bounded accept queue beyond -max-concurrent; past it shards bounce with 429")
 		maxBytes    = flag.Int64("max-inflight-bytes", 0, "cap summed request-body bytes of admitted shards (0 = unlimited)")
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 bounces (whole seconds)")
+		traceOut    = flag.String("trace-out", "", "write span trace JSONL here (remote shard spans); merge with stltrace")
+		traceMaxB   = flag.Int64("trace-max-bytes", 64<<20, "rotate the trace file past this size (0 = unbounded)")
+		traceKeep   = flag.Int("trace-keep", 2, "rotated trace files kept (trace.1 .. trace.N)")
 	)
 	flag.Parse()
 
@@ -93,12 +102,28 @@ func main() {
 	}
 
 	reg := gpustl.NewMetricsRegistry()
+	obs.RegisterBuildInfo(reg, "stlworker")
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracerOptions(*traceOut, obs.TracerOptions{
+			MaxBytes: *traceMaxB, KeepFiles: *traceKeep,
+		})
+	}
+	flushTrace := func() {
+		if tracer == nil {
+			return
+		}
+		if err := tracer.Flush(); err != nil {
+			logger.Error("trace flush failed", "path", *traceOut, "err", err)
+		}
+	}
 	handler := gpustl.NewWorkerHandlerOptions(*name, gpustl.WorkerServiceOptions{
 		MaxConcurrent:    *maxConc,
 		MaxQueue:         *maxQueue,
 		MaxInflightBytes: *maxBytes,
 		RetryAfter:       *retryAfter,
 		Metrics:          reg,
+		Tracer:           tracer,
 		Logf:             obs.Logf(logger, slog.LevelInfo),
 	})
 	if *maxConc > 0 || *maxBytes > 0 {
@@ -137,9 +162,28 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("worker listening", "name", *name, "addr", *listen)
 
+	// Periodic span flush so a hard kill loses at most 15s of shard
+	// spans; the post-drain flush below writes the tail.
+	flushDone := make(chan struct{})
+	if tracer != nil {
+		go func() {
+			tick := time.NewTicker(15 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-flushDone:
+					return
+				case <-tick.C:
+					flushTrace()
+				}
+			}
+		}()
+	}
+
 	select {
 	case err := <-errc:
 		logger.Error("listener failed", "err", err)
+		flushTrace()
 		os.Exit(1)
 	case <-ctx.Done():
 	}
@@ -154,6 +198,10 @@ func main() {
 	case <-time.After(30 * time.Second):
 		logger.Error("drain timed out after 30s; shutting down anyway")
 	}
+	// Flush after the drain: the in-flight shards that just finished
+	// ended their spans after the last periodic flush.
+	close(flushDone)
+	flushTrace()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if msrv != nil {

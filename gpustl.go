@@ -34,6 +34,7 @@ package gpustl
 import (
 	"context"
 	"net/http"
+	"time"
 
 	"gpustl/internal/asm"
 	"gpustl/internal/atpg"
@@ -566,17 +567,109 @@ type TraceSummary = obs.TraceSummary
 // NewSpanTracer creates a tracer whose Flush writes path.
 func NewSpanTracer(path string) *SpanTracer { return obs.NewTracer(path) }
 
+// SpanTracerOptions bounds a tracer's on-disk footprint: past MaxBytes
+// the flushed file rotates (path.1 .. path.KeepFiles).
+type SpanTracerOptions = obs.TracerOptions
+
+// NewSpanTracerOptions creates a size-bounded, rotating tracer.
+func NewSpanTracerOptions(path string, o SpanTracerOptions) *SpanTracer {
+	return obs.NewTracerOptions(path, o)
+}
+
+// TraceContextHeader is the HTTP header carrying trace context between
+// processes (`traceid-spanid-flags`, hex). Submits to stlserver and
+// shard requests to stlworker both propagate it.
+const TraceContextHeader = obs.TraceHeader
+
+// TraceSpanContext is the propagated identity of one span — enough for
+// a remote process to open child spans in the same campaign trace.
+type TraceSpanContext = obs.SpanContext
+
+// ParseTraceContext parses the TraceContextHeader wire format.
+func ParseTraceContext(s string) (TraceSpanContext, error) { return obs.ParseTraceHeader(s) }
+
 // ReadTraceFile parses a JSONL trace written by SpanTracer.Flush.
 func ReadTraceFile(path string) ([]TraceEvent, error) { return obs.ReadTraceFile(path) }
 
 // SummarizeTrace folds trace events into the per-stage summary.
 func SummarizeTrace(events []TraceEvent) *TraceSummary { return obs.Summarize(events) }
 
+// ProcessTrace is one process's trace file, named for the merge.
+type ProcessTrace = obs.ProcessTrace
+
+// MergedTrace is the fleet-wide view of one or more campaigns: every
+// process's spans on one skew-corrected clock, linked into span trees
+// via the propagated trace context. cmd/stltrace is a thin CLI over it.
+type MergedTrace = obs.MergedTrace
+
+// TraceCriticalPath decomposes one merged campaign's wall-clock into
+// queue-wait / transport / simulate / verify / journal / orchestration
+// self-time; the categories tile the wall exactly.
+type TraceCriticalPath = obs.CriticalPathSummary
+
+// MergeTraces merges per-process traces onto one corrected timeline,
+// estimating per-process clock skew from RPC send/recv span pairs.
+func MergeTraces(procs []ProcessTrace) (*MergedTrace, error) { return obs.MergeTraces(procs) }
+
+// UsageMeter accumulates per-tenant consumption (campaigns, fault
+// blocks, worker-seconds, cache hits/misses, journal bytes) as
+// tenant-labeled counters; stlserver exposes it at GET /v1/usage.
+type UsageMeter = obs.UsageMeter
+
+// TenantUsage is one tenant's accumulated consumption snapshot.
+type TenantUsage = obs.TenantUsage
+
+// NewUsageMeter creates a usage meter recording into reg.
+func NewUsageMeter(reg *MetricsRegistry) *UsageMeter { return obs.NewUsageMeter(reg) }
+
+// SLO is one service-level objective: an objective ratio plus bad/total
+// event counters read from the registry.
+type SLO = obs.SLO
+
+// SLOEngine samples SLOs on a fixed cadence and derives multi-window
+// burn rates, published as gpustl_slo_* gauges and /debug/slo.
+type SLOEngine = obs.SLOEngine
+
+// SLOStatus is one objective's current burn-rate picture.
+type SLOStatus = obs.SLOStatus
+
+// NewSLOEngine creates an engine over the given objectives; windows
+// default to 5m/30m/1h/6h.
+func NewSLOEngine(reg *MetricsRegistry, slos []SLO, windows ...time.Duration) *SLOEngine {
+	return obs.NewSLOEngine(reg, slos, windows...)
+}
+
+// LatencySLO builds an SLO over a latency histogram: good events are
+// observations at or under threshold seconds.
+var LatencySLO = obs.LatencySLO
+
+// RatioSLO builds an SLO from explicit bad/total counter readers.
+var RatioSLO = obs.RatioSLO
+
+// RegisterBuildInfo publishes the gpustl_build_info gauge (component,
+// version, Go version) every daemon exposes.
+var RegisterBuildInfo = obs.RegisterBuildInfo
+
+// MetricsLintProblem is one finding of LintMetricsText.
+type MetricsLintProblem = obs.LintProblem
+
+// LintMetricsText checks Prometheus text-format output for the
+// promlint-style defects the repo's own exporters must not have.
+var LintMetricsText = obs.LintPrometheusText
+
 // NewDebugMux builds the operator endpoint a daemon serves on its
 // metrics address: /metrics (Prometheus text), /debug/vars (expvar) and
 // /debug/pprof/*.
 func NewDebugMux(reg *MetricsRegistry, publishName string) *http.ServeMux {
 	return obs.NewDebugMux(reg, publishName)
+}
+
+// NewDebugMuxSLO is NewDebugMux plus the SLO engine's /debug/slo page
+// and burn-rate gauges; /metrics also answers OpenMetrics (with
+// histogram exemplars linking buckets to trace IDs) when the scraper
+// asks for it via Accept.
+func NewDebugMuxSLO(reg *MetricsRegistry, publishName string, slo *SLOEngine) *http.ServeMux {
+	return obs.NewDebugMuxSLO(reg, publishName, slo)
 }
 
 // BaselineCompactor is the iterative prior-work method (one fault

@@ -105,6 +105,12 @@ type Options struct {
 	// gauges, shard latency histograms, and counters mirroring Stats.
 	// nil disables metric recording.
 	Metrics *obs.Registry
+	// Tracer, when set, records one client-side shard span per dispatch
+	// (parented on whatever span the caller's context carries — the
+	// runner's PTP span) and propagates its context to HTTP workers via
+	// the X-Gpustl-Trace header, so remote shard executions land in the
+	// submitting campaign's trace.
+	Tracer *obs.Tracer
 }
 
 func (o Options) withDefaults(numWorkers int) Options {
@@ -499,6 +505,7 @@ type dispatch struct {
 	cancel  context.CancelCauseFunc
 	hedged  bool // dispatched as a duplicate while a sibling was in flight
 	started time.Time
+	span    *obs.Span // client-side shard span (nil when untraced)
 }
 
 // shardState walks pending → dispatched (1–2 in-flight attempts) →
@@ -814,6 +821,19 @@ func (rl *runLoop) dispatch(s *shardState) bool {
 		shard: s.id, attempt: attempt, w: w, req: req, ctx: tctx, cancel: cancelCause,
 		hedged: len(s.inflight) > 0, started: time.Now(),
 	}
+	if sp := rl.opt.Tracer.Start(obs.SpanFromContext(rl.loopCtx), obs.KindShard,
+		fmt.Sprintf("shard:%d", s.id)); sp != nil {
+		sp.Annotate("side", "client")
+		sp.Annotate("worker", w.t.Name())
+		sp.Annotate("attempt", fmt.Sprintf("%d", attempt))
+		if d.hedged {
+			sp.Annotate("hedged", "true")
+		}
+		if s.verify && len(s.replies) > 0 {
+			sp.Annotate("verify", "true")
+		}
+		d.span = sp
+	}
 	s.inflight[attempt] = d
 	s.tried[w.t.Name()] = true
 	w.inflight++
@@ -822,7 +842,11 @@ func (rl *runLoop) dispatch(s *shardState) bool {
 	go func() {
 		defer rl.wg.Done()
 		defer tcancel()
-		res, err := w.t.Simulate(tctx, req)
+		res, err := w.t.Simulate(obs.ContextWithSpan(tctx, d.span), req)
+		if err != nil {
+			d.span.Annotate("error", err.Error())
+		}
+		d.span.End()
 		rl.send(event{kind: evResult, d: d, res: res, err: err})
 	}()
 	if rl.opt.HedgeFraction > 0 && len(s.inflight) == 1 {
@@ -914,9 +938,15 @@ func (rl *runLoop) onResult(d *dispatch, res *ShardResult, err error) {
 	}
 	if err == nil {
 		d.w.breaker.OnSuccess()
+		// The exemplar pins the campaign's trace ID to the latency
+		// bucket, so a burning latency SLO links straight to a trace.
+		var traceID string
+		if d.span != nil {
+			traceID = d.span.TraceID().String()
+		}
 		rl.opt.Metrics.Histogram(
 			fmt.Sprintf("gpustl_dist_shard_seconds{worker=%q}", d.w.t.Name()),
-			obs.DefLatencyBuckets()).Observe(time.Since(d.started).Seconds())
+			obs.DefLatencyBuckets()).ObserveExemplar(time.Since(d.started).Seconds(), traceID)
 		if s.verify {
 			rl.onVerifyReply(s, d, res)
 		} else {
@@ -1308,6 +1338,11 @@ func (rl *runLoop) finish(camp *fault.Campaign, ordered []fault.TimedPattern, op
 		res.FCUpper = 100 * float64(detTotal+failedFaults) / float64(total)
 	}
 	rl.recordStats(res)
+	// Per-tenant usage attribution: the accepted shard replies' summed
+	// block counts are the fleet work this campaign consumed.
+	if u, tenant := obs.UsageFromContext(rl.loopCtx); u != nil {
+		u.AddFaultBlocks(tenant, res.SimStats.Blocks)
+	}
 	return res, nil
 }
 

@@ -113,6 +113,11 @@ func (t *HTTP) Simulate(ctx context.Context, req *ShardRequest) (*ShardResult, e
 		// bound work on an already-expired campaign.
 		hreq.Header.Set(deadlineHeader, strconv.FormatInt(dl.UnixNano(), 10))
 	}
+	if sc := obs.SpanFromContext(ctx).Context(); sc.Valid() {
+		// Propagate trace context so the worker's execution span joins
+		// the submitting campaign's trace as a remote child.
+		hreq.Header.Set(obs.TraceHeader, sc.Header())
+	}
 	hres, err := t.client.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("dist: worker %s: %w", t.base, err)
@@ -193,6 +198,10 @@ type WorkerOptions struct {
 	RetryAfter time.Duration
 	// Metrics receives worker-side telemetry (nil disables).
 	Metrics *obs.Registry
+	// Tracer, when set, opens a remote child span per shard executed
+	// under an X-Gpustl-Trace header, so worker-side simulation time is
+	// visible inside the submitting campaign's merged trace.
+	Tracer *obs.Tracer
 	// Logf receives one line per shard served (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -413,11 +422,29 @@ func NewHandlerOptions(name string, o WorkerOptions) *WorkerHandler {
 			http.Error(w, fmt.Sprintf("bad shard request: %v", err), http.StatusBadRequest)
 			return
 		}
+		var span *obs.Span
+		if v := r.Header.Get(obs.TraceHeader); v != "" && o.Tracer != nil {
+			// Join the submitting campaign's trace as a remote child of
+			// the coordinator's client-side shard span. A garbled header
+			// is ignored (counted), never fabricated into a trace.
+			if sc, perr := obs.ParseTraceHeader(v); perr == nil {
+				span = o.Tracer.StartRemote(sc, obs.KindShard,
+					fmt.Sprintf("shard-exec:%d", req.Shard))
+				span.Annotate("side", "worker")
+				span.Annotate("worker", name)
+				span.Annotate("attempt", fmt.Sprintf("%d", req.Attempt))
+				ctx = obs.ContextWithSpan(ctx, span)
+				defer span.End()
+			} else {
+				m.Counter("gpustl_worker_bad_trace_headers_total").Inc()
+			}
+		}
 		h.executing.Add(1)
 		defer h.executing.Add(-1)
 		start := time.Now()
 		res, err := exec.Simulate(ctx, &req)
 		if err != nil {
+			span.Annotate("error", err.Error())
 			logf("shard %d attempt %d: %v", req.Shard, req.Attempt, err)
 			status := http.StatusInternalServerError
 			switch {

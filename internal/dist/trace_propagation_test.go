@@ -1,0 +1,157 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpustl/internal/fault"
+	"gpustl/internal/obs"
+)
+
+// TestTracePropagationAcrossProcesses is the wire-level contract of
+// fleet tracing: a campaign span opened by the control plane must
+// reappear — as one trace — in the coordinator's client-side shard
+// spans AND in the HTTP worker's remote execution spans, linked
+// parent-to-child across the process boundary, and the three trace
+// files must merge into a single tree stltrace can decompose.
+func TestTracePropagationAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	serverTr := obs.NewTracer(filepath.Join(dir, "server.jsonl"))
+	coordTr := obs.NewTracer(filepath.Join(dir, "coord.jsonl"))
+
+	// The "worker processes": two HTTP workers, each with its own
+	// tracer, as in the server + coordinator + 2 workers deployment.
+	workerTrs := []*obs.Tracer{
+		obs.NewTracer(filepath.Join(dir, "worker1.jsonl")),
+		obs.NewTracer(filepath.Join(dir, "worker2.jsonl")),
+	}
+	var transports []Transport
+	for i, wtr := range workerTrs {
+		wh := NewHandlerOptions(fmt.Sprintf("w%d", i+1), WorkerOptions{Tracer: wtr})
+		ws := httptest.NewServer(wh)
+		defer ws.Close()
+		transports = append(transports, NewHTTP(ws.URL))
+	}
+
+	opt := fastOptions()
+	opt.Shards = 4
+	opt.Tracer = coordTr
+	co, err := New(opt, transports...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	// The "server process": the campaign root span rides the context
+	// into the coordinator, exactly as stlserver's execute() arranges.
+	root := serverTr.Start(nil, obs.KindCampaign, "execute:c1")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+
+	m := spModule(t)
+	stream := randomSPStream(rand.New(rand.NewSource(5)), m.Lanes, 256)
+	camp := newSPCampaign(t, m, 400, 9)
+	if _, err := co.Run(ctx, camp, stream, fault.SimOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	for _, tr := range append([]*obs.Tracer{serverTr, coordTr}, workerTrs...) {
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	read := func(name string) []obs.Event {
+		evs, err := obs.ReadTraceFile(filepath.Join(dir, name+".jsonl"))
+		if err != nil {
+			t.Fatalf("reading %s trace: %v", name, err)
+		}
+		return evs
+	}
+	serverEvs, coordEvs := read("server"), read("coord")
+	workerEvs := append(read("worker1"), read("worker2")...)
+	trace := root.TraceID().String()
+
+	// Coordinator: every client-side shard span joined the campaign
+	// trace and parents to the campaign root directly.
+	clientByID := map[uint64]bool{}
+	for _, ev := range coordEvs {
+		if ev.Kind != obs.KindShard {
+			continue
+		}
+		if ev.Trace != trace {
+			t.Errorf("coord span %s trace %q, want %q", ev.Name, ev.Trace, trace)
+		}
+		if ev.Attrs["side"] != "client" {
+			t.Errorf("coord span %s side %q, want client", ev.Name, ev.Attrs["side"])
+		}
+		if ev.Parent != root.ID() {
+			t.Errorf("coord span %s parent %#x, want campaign root %#x", ev.Name, ev.Parent, root.ID())
+		}
+		clientByID[ev.ID] = true
+	}
+	if len(clientByID) < 4 {
+		t.Fatalf("coordinator recorded %d shard spans, want >= 4", len(clientByID))
+	}
+
+	// Worker: every execution span is a remote child of a coordinator
+	// dispatch span, in the same trace, despite living in another
+	// tracer with no shared state.
+	workerShards := 0
+	for _, ev := range workerEvs {
+		if ev.Kind != obs.KindShard {
+			continue
+		}
+		workerShards++
+		if !ev.Remote {
+			t.Errorf("worker span %s not marked remote", ev.Name)
+		}
+		if ev.Trace != trace {
+			t.Errorf("worker span %s trace %q, want %q", ev.Name, ev.Trace, trace)
+		}
+		if !clientByID[ev.Parent] {
+			t.Errorf("worker span %s parent %#x is no coordinator dispatch span", ev.Name, ev.Parent)
+		}
+		if !strings.HasPrefix(ev.Name, "shard-exec:") || ev.Attrs["side"] != "worker" {
+			t.Errorf("worker span name/side = %s/%s", ev.Name, ev.Attrs["side"])
+		}
+	}
+	if workerShards < 4 {
+		t.Fatalf("worker recorded %d execution spans, want >= 4", workerShards)
+	}
+
+	// The three files merge into one tree whose critical path tiles the
+	// campaign wall — what stltrace prints for this fleet.
+	merged, err := obs.MergeTraces([]obs.ProcessTrace{
+		{Proc: "server", Events: serverEvs},
+		{Proc: "coord", Events: coordEvs},
+		{Proc: "worker1", Events: read("worker1")},
+		{Proc: "worker2", Events: read("worker2")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := merged.CriticalPath(trace)
+	if cp == nil {
+		t.Fatal("merged trace has no critical path for the campaign")
+	}
+	if cp.Wall <= 0 || cp.Total != cp.Wall {
+		t.Errorf("critical path Total %v != Wall %v", cp.Total, cp.Wall)
+	}
+	var simulate, transport bool
+	for _, c := range cp.Categories {
+		switch c.Category {
+		case obs.CatSimulate:
+			simulate = c.Dur > 0
+		case obs.CatTransport:
+			transport = c.Dur > 0
+		}
+	}
+	if !simulate || !transport {
+		t.Errorf("critical path missing simulate/transport time: %+v", cp.Categories)
+	}
+}

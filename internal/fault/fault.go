@@ -616,6 +616,13 @@ func (c *Campaign) SimulateCtx(ctx context.Context, stream []TimedPattern, opt S
 	c.runs++
 	c.statsMu.Unlock()
 	c.recordMetrics(opt, len(ordered), faultsIn, len(rep.Detections), runStats, time.Since(simStart))
+	// Per-tenant usage attribution (context-carried, once per run like
+	// the metrics above): only the full in-process run meters here —
+	// SimulateSubset shards report stats to their coordinator, which
+	// owns that aggregation and its metering.
+	if u, tenant := obs.UsageFromContext(ctx); u != nil {
+		u.AddFaultBlocks(tenant, runStats.Blocks)
+	}
 	return rep, nil
 }
 

@@ -61,3 +61,49 @@ func BenchmarkObsNilCounterInc(b *testing.B) {
 		c.Inc()
 	}
 }
+
+// The disarmed fleet-tracing path: every shard dispatch calls these
+// even when no tracer is configured, so they must be near-free.
+func BenchmarkObsNilTracerSpan(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(nil, KindShard, "shard")
+		_ = sp.Context()
+		sp.Annotate("side", "client")
+		sp.End()
+	}
+}
+
+func BenchmarkObsTraceHeaderRoundTrip(b *testing.B) {
+	sc := SpanContext{Trace: NewTraceID(), Span: 0xabcdef12, Flags: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := sc.Header()
+		if _, err := ParseTraceHeader(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObsHistogramObserveExemplar(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", DefLatencyBuckets())
+	tid := NewTraceID().String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ObserveExemplar(0.0042, tid)
+	}
+}
+
+func BenchmarkObsNilUsageMeter(b *testing.B) {
+	var u *UsageMeter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.AddFaultBlocks("t", 64)
+	}
+}

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo publishes the classic build-info gauge — value 1,
+// identity in the labels — so fleet rollouts are visible as label
+// transitions in metrics. Every daemon (stlserver, stlworker,
+// stlcompact) registers it at startup with its component name.
+func RegisterBuildInfo(r *Registry, component string) {
+	if r == nil {
+		return
+	}
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				version = s.Value[:12]
+			}
+		}
+	}
+	r.Gauge(fmt.Sprintf(`gpustl_build_info{component=%q,version=%q,goversion=%q}`,
+		component, version, runtime.Version())).Set(1)
+}

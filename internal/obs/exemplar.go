@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Exemplar is one concrete observation attached to a histogram bucket:
+// the value, the trace it belongs to, and when it happened. It is the
+// link from an aggregate ("p99 latency is burning the SLO") to a
+// specific campaign trace stltrace can open.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	TimeNS  int64
+}
+
+// ObserveExemplar records v like Observe and additionally attaches the
+// trace ID as the bucket's exemplar (last writer wins — operators want
+// a recent offending trace, not the first ever). The Observe hot path
+// is untouched: exemplar storage is a separate mutex-guarded slot per
+// bucket, and callers use ObserveExemplar only on per-campaign or
+// per-shard observations, never in inner loops.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.exMu.Lock()
+	if h.ex == nil {
+		h.ex = make([]Exemplar, len(h.bounds)+1)
+	}
+	h.ex[i] = Exemplar{Value: v, TraceID: traceID, TimeNS: time.Now().UnixNano()}
+	h.exMu.Unlock()
+}
+
+// exemplar returns the bucket's exemplar and whether one is set.
+func (h *Histogram) exemplar(bucket int) (Exemplar, bool) {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if h.ex == nil || bucket >= len(h.ex) || h.ex[bucket].TraceID == "" {
+		return Exemplar{}, false
+	}
+	return h.ex[bucket], true
+}
+
+// WriteOpenMetrics renders the registry in the OpenMetrics text format:
+// the same series WritePrometheus emits, plus `# {trace_id="..."}`
+// exemplars on histogram buckets and the terminating `# EOF`. The
+// classic text format cannot carry exemplars, so /metrics serves this
+// only when the scraper asks for it via Accept negotiation.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "# EOF\n")
+		return err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	var names []string
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	typed := map[string]bool{}
+	for _, name := range names {
+		base, labels := splitSeries(name)
+		switch {
+		case r.gauges[name] != nil:
+			if !typed[base] {
+				if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", base); err != nil {
+					return err
+				}
+				typed[base] = true
+			}
+			if _, err := fmt.Fprintf(w, "%s %g\n", name, r.gauges[name].Value()); err != nil {
+				return err
+			}
+		case r.hists[name] != nil:
+			if !typed[base] {
+				if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
+					return err
+				}
+				typed[base] = true
+			}
+			h := r.hists[name]
+			cum := uint64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				line := fmt.Sprintf("%s %d", bucketSeries(base, labels, fmt.Sprintf("%g", b)), cum)
+				if ex, ok := h.exemplar(i); ok {
+					line += fmt.Sprintf(" # {trace_id=%q} %g %.3f",
+						ex.TraceID, ex.Value, float64(ex.TimeNS)/1e9)
+				}
+				if _, err := fmt.Fprintln(w, line); err != nil {
+					return err
+				}
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			line := fmt.Sprintf("%s %d", bucketSeries(base, labels, "+Inf"), cum)
+			if ex, ok := h.exemplar(len(h.bounds)); ok {
+				line += fmt.Sprintf(" # {trace_id=%q} %g %.3f",
+					ex.TraceID, ex.Value, float64(ex.TimeNS)/1e9)
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %g\n", series(base+"_sum", labels), h.Sum()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", series(base+"_count", labels), h.Count()); err != nil {
+				return err
+			}
+		default:
+			// OpenMetrics declares counter metadata on the name sans
+			// _total; the sample keeps the full series name.
+			md := strings.TrimSuffix(base, "_total")
+			if !typed[md] {
+				if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", md); err != nil {
+					return err
+				}
+				typed[md] = true
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, r.counters[name].Value()); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}

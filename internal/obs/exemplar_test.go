@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestObserveExemplarAttachesTrace(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", []float64{0.1, 1})
+	tid := NewTraceID().String()
+
+	h.ObserveExemplar(0.05, tid)
+	if got := h.Count(); got != 1 {
+		t.Fatalf("exemplar observation not counted: %d", got)
+	}
+	ex, ok := h.exemplar(0)
+	if !ok || ex.TraceID != tid || ex.Value != 0.05 {
+		t.Fatalf("bucket 0 exemplar = %+v ok=%v, want trace %s value 0.05", ex, ok, tid)
+	}
+
+	// Last writer wins within a bucket.
+	tid2 := NewTraceID().String()
+	h.ObserveExemplar(0.07, tid2)
+	if ex, _ := h.exemplar(0); ex.TraceID != tid2 {
+		t.Errorf("bucket exemplar not replaced: %+v", ex)
+	}
+
+	// +Inf bucket gets its own slot.
+	h.ObserveExemplar(30, tid)
+	if ex, ok := h.exemplar(2); !ok || ex.TraceID != tid {
+		t.Errorf("+Inf exemplar = %+v ok=%v", ex, ok)
+	}
+
+	// Empty trace ID observes without attaching.
+	h.ObserveExemplar(0.5, "")
+	if _, ok := h.exemplar(1); ok {
+		t.Error("empty trace ID attached an exemplar")
+	}
+
+	// Nil histogram is a no-op.
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, tid)
+}
+
+func TestWriteOpenMetricsCarriesExemplars(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("reqs_total").Add(2)
+	reg.Gauge("depth").Set(3)
+	h := reg.Histogram("lat_seconds", []float64{0.1, 1})
+	tid := NewTraceID().String()
+	h.ObserveExemplar(0.05, tid)
+
+	var sb strings.Builder
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics output not terminated with # EOF:\n%s", out)
+	}
+	// Counter metadata drops _total; the sample keeps it.
+	if !strings.Contains(out, "# TYPE reqs counter\n") || !strings.Contains(out, "reqs_total 2\n") {
+		t.Errorf("counter rendering wrong:\n%s", out)
+	}
+	exLine := `lat_seconds_bucket{le="0.1"} 1 # {trace_id="` + tid + `"} 0.05`
+	if !strings.Contains(out, exLine) {
+		t.Errorf("bucket exemplar missing; want prefix %q in:\n%s", exLine, out)
+	}
+	// Buckets without exemplars stay plain.
+	if !strings.Contains(out, `lat_seconds_bucket{le="+Inf"} 1`+"\n") {
+		t.Errorf("+Inf bucket wrong:\n%s", out)
+	}
+
+	// Nil registry still emits a terminated document.
+	sb.Reset()
+	var nilReg *Registry
+	if err := nilReg.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "# EOF\n" {
+		t.Errorf("nil registry OpenMetrics = %q", sb.String())
+	}
+}
+
+func TestMetricsEndpointContentNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", []float64{0.1, 1})
+	tid := NewTraceID().String()
+	h.ObserveExemplar(0.05, tid)
+	mux := NewDebugMuxSLO(reg, "", nil)
+
+	// Default scrape: classic text format, no exemplars.
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("default content type = %q", ct)
+	}
+	if strings.Contains(rr.Body.String(), "trace_id") {
+		t.Error("classic text format leaked exemplars")
+	}
+
+	// OpenMetrics negotiation: exemplars present.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("openmetrics content type = %q", ct)
+	}
+	body := rr.Body.String()
+	if !strings.Contains(body, `trace_id="`+tid+`"`) {
+		t.Errorf("openmetrics scrape missing exemplar:\n%s", body)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Error("openmetrics scrape not terminated with # EOF")
+	}
+}

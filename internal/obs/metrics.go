@@ -107,6 +107,12 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1, last = +Inf
 	sum    atomic.Uint64   // float64 bits, CAS-accumulated
 	n      atomic.Uint64
+
+	// Exemplar storage (ObserveExemplar): one slot per bucket, written
+	// under exMu off the Observe hot path, allocated on first use so
+	// plain histograms pay only two nil words.
+	exMu sync.Mutex
+	ex   []Exemplar
 }
 
 // ExpBuckets returns n exponentially growing bucket bounds starting at

@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintProblem is one finding from LintPrometheusText.
+type LintProblem struct {
+	Metric string
+	Text   string
+}
+
+func (p LintProblem) String() string { return p.Metric + ": " + p.Text }
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// LintPrometheusText parses the classic Prometheus text exposition
+// format and applies promlint-equivalent hygiene rules, stdlib-only:
+//
+//   - metric and label names match the Prometheus data model charset,
+//     and no label starts with the reserved "__" prefix;
+//   - every sample is preceded by a # TYPE declaration, declared once;
+//   - counters end in _total, and _total is used only by counters
+//     (histogram _count/_sum/_bucket series are exempt by structure);
+//   - no metric name carries a unit the type forbids (gauge/counter
+//     named *_bucket/_count/_sum would collide with histograms);
+//   - histogram series are coherent: cumulative _bucket counts are
+//     non-decreasing in le order, an le="+Inf" bucket exists and
+//     equals _count;
+//   - no series (name + label set) appears twice;
+//   - every value parses as a float.
+//
+// The scrape-path test feeds it everything /metrics serves, so a
+// malformed series name introduced anywhere in the codebase fails CI.
+func LintPrometheusText(r io.Reader) ([]LintProblem, error) {
+	var probs []LintProblem
+	addf := func(metric, format string, args ...any) {
+		probs = append(probs, LintProblem{Metric: metric, Text: fmt.Sprintf(format, args...)})
+	}
+
+	types := map[string]string{}
+	seen := map[string]bool{}
+	// histogram bookkeeping: base -> label-set (minus le) -> buckets.
+	type histSeries struct {
+		buckets map[string]float64 // le -> value
+		count   *float64
+		sum     *float64
+	}
+	hists := map[string]map[string]*histSeries{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 4 && f[1] == "TYPE" {
+				name, typ := f[2], f[3]
+				if !metricNameRe.MatchString(name) {
+					addf(name, "invalid metric name in TYPE declaration")
+				}
+				if _, dup := types[name]; dup {
+					addf(name, "duplicate TYPE declaration")
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addf(name, "unknown metric type %q", typ)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			addf("", "line %d: %v", lineNo, err)
+			continue
+		}
+		if !metricNameRe.MatchString(name) {
+			addf(name, "invalid metric name")
+		}
+		var labelKeys []string
+		for _, kv := range labels {
+			if !labelNameRe.MatchString(kv[0]) {
+				addf(name, "invalid label name %q", kv[0])
+			}
+			if strings.HasPrefix(kv[0], "__") {
+				addf(name, "label %q uses the reserved __ prefix", kv[0])
+			}
+			labelKeys = append(labelKeys, kv[0]+"="+kv[1])
+		}
+		sort.Strings(labelKeys)
+		series := name + "{" + strings.Join(labelKeys, ",") + "}"
+		if seen[series] {
+			addf(name, "duplicate series %s", series)
+		}
+		seen[series] = true
+
+		// Resolve the declaring metric family: histogram children
+		// (_bucket/_sum/_count) belong to the base name's TYPE.
+		family, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base != name && types[base] == "histogram" {
+				family, suffix = base, sfx
+				break
+			}
+		}
+		typ, declared := types[family]
+		if !declared {
+			addf(name, "sample without a preceding TYPE declaration")
+		}
+		if typ == "counter" && !strings.HasSuffix(name, "_total") {
+			addf(name, "counter does not end in _total")
+		}
+		if strings.HasSuffix(name, "_total") && declared && typ != "counter" {
+			addf(name, "non-counter (%s) named with _total suffix", typ)
+		}
+		if typ == "histogram" && suffix == "" {
+			addf(name, "histogram sample is neither _bucket, _sum nor _count")
+		}
+
+		if typ == "histogram" && suffix != "" {
+			var le string
+			var rest []string
+			for _, kv := range labels {
+				if kv[0] == "le" {
+					le = kv[1]
+				} else {
+					rest = append(rest, kv[0]+"="+kv[1])
+				}
+			}
+			sort.Strings(rest)
+			key := strings.Join(rest, ",")
+			if hists[family] == nil {
+				hists[family] = map[string]*histSeries{}
+			}
+			hs := hists[family][key]
+			if hs == nil {
+				hs = &histSeries{buckets: map[string]float64{}}
+				hists[family][key] = hs
+			}
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					addf(name, "histogram bucket without le label")
+				} else {
+					hs.buckets[le] = value
+				}
+			case "_count":
+				v := value
+				hs.count = &v
+			case "_sum":
+				v := value
+				hs.sum = &v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return probs, fmt.Errorf("obs: lint read: %w", err)
+	}
+
+	// Cross-series histogram coherence.
+	var families []string
+	for f := range hists {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+	for _, f := range families {
+		var keys []string
+		for k := range hists[f] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			hs := hists[f][k]
+			label := f
+			if k != "" {
+				label = f + "{" + k + "}"
+			}
+			inf, hasInf := hs.buckets["+Inf"]
+			if !hasInf {
+				addf(label, "histogram without le=\"+Inf\" bucket")
+			}
+			if hs.count == nil {
+				addf(label, "histogram without _count series")
+			} else if hasInf && inf != *hs.count {
+				addf(label, "le=\"+Inf\" bucket (%g) != _count (%g)", inf, *hs.count)
+			}
+			if hs.sum == nil {
+				addf(label, "histogram without _sum series")
+			}
+			// Cumulative buckets must be non-decreasing in le order.
+			type bb struct {
+				le string
+				f  float64
+				v  float64
+			}
+			var bs []bb
+			for le, v := range hs.buckets {
+				fv, err := parseLe(le)
+				if err != nil {
+					addf(label, "unparseable le %q", le)
+					continue
+				}
+				bs = append(bs, bb{le, fv, v})
+			}
+			sort.Slice(bs, func(i, j int) bool { return bs[i].f < bs[j].f })
+			for i := 1; i < len(bs); i++ {
+				if bs[i].v < bs[i-1].v {
+					addf(label, "bucket le=%q (%g) < bucket le=%q (%g): not cumulative",
+						bs[i].le, bs[i].v, bs[i-1].le, bs[i-1].v)
+				}
+			}
+		}
+	}
+	return probs, nil
+}
+
+func parseLe(le string) (float64, error) {
+	if le == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(le, 64)
+}
+
+// parseSampleLine splits `name{k="v",...} value [timestamp]` into its
+// parts. Label values keep their unescaped text.
+func parseSampleLine(line string) (name string, labels [][2]string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		rest = rest[i+1:]
+		for {
+			rest = strings.TrimLeft(rest, " \t,")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed labels in %q", line)
+			}
+			key := strings.TrimSpace(rest[:eq])
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			for {
+				if rest == "" {
+					return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+				}
+				c := rest[0]
+				rest = rest[1:]
+				if c == '\\' && rest != "" {
+					val.WriteByte(rest[0])
+					rest = rest[1:]
+					continue
+				}
+				if c == '"' {
+					break
+				}
+				val.WriteByte(c)
+			}
+			labels = append(labels, [2]string{key, val.String()})
+		}
+	} else if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		name = rest[:i]
+		rest = rest[i:]
+	} else {
+		return "", nil, 0, fmt.Errorf("sample without value: %q", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value in %q: %v", line, err)
+	}
+	return name, labels, value, nil
+}

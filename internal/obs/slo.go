@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLO declares one service-level objective as a pair of cumulative
+// samplers: Total counts eligible events, Bad counts the ones that
+// violated the objective. Both must be monotonically non-decreasing
+// (counter semantics) — the engine differentiates them over time
+// windows, so absolute values only matter as deltas.
+type SLO struct {
+	// Name labels the gpustl_slo_* series (e.g. "campaign_latency").
+	Name string
+	// Description is shown on /debug/slo.
+	Description string
+	// Objective is the target good-event ratio in [0,1), e.g. 0.99.
+	// The error budget is 1-Objective.
+	Objective float64
+	// Bad and Total sample the cumulative bad/eligible event counts.
+	Bad, Total func() float64
+}
+
+// WindowBurn is one window's view of an SLO: the bad-event ratio over
+// the window and the burn rate — bad ratio divided by the error
+// budget. Burn 1.0 consumes exactly the budget over the window; a
+// sustained burn of 14 on the 1h window is the classic page-now
+// threshold.
+type WindowBurn struct {
+	Window   time.Duration `json:"window"`
+	Events   float64       `json:"events"`
+	BadRatio float64       `json:"bad_ratio"`
+	BurnRate float64       `json:"burn_rate"`
+}
+
+// SLOStatus is one objective's full multi-window state, the unit of
+// the /debug/slo page.
+type SLOStatus struct {
+	Name            string       `json:"name"`
+	Description     string       `json:"description"`
+	Objective       float64      `json:"objective"`
+	TotalEvents     float64      `json:"total_events"`
+	BadEvents       float64      `json:"bad_events"`
+	BudgetRemaining float64      `json:"budget_remaining"`
+	Windows         []WindowBurn `json:"windows"`
+}
+
+// DefSLOWindows are the multi-window burn-rate horizons: the short
+// windows catch fast burns, the long ones slow leaks.
+func DefSLOWindows() []time.Duration {
+	return []time.Duration{5 * time.Minute, 30 * time.Minute, time.Hour, 6 * time.Hour}
+}
+
+type sloSample struct {
+	t   time.Time
+	bad []float64
+	tot []float64
+}
+
+// SLOEngine periodically samples every declared objective, keeps a
+// time-indexed ring of the cumulative counts, and derives multi-window
+// burn rates published as gpustl_slo_* gauges on the registry plus a
+// human /debug/slo page. A nil engine is a no-op.
+type SLOEngine struct {
+	reg     *Registry
+	slos    []SLO
+	windows []time.Duration
+	now     func() time.Time
+
+	mu      sync.Mutex
+	samples []sloSample
+}
+
+// NewSLOEngine builds an engine over the given objectives. Empty
+// windows default to DefSLOWindows. Call Sample on a ticker (Run does
+// this) — the engine never samples spontaneously.
+func NewSLOEngine(reg *Registry, slos []SLO, windows ...time.Duration) *SLOEngine {
+	if len(windows) == 0 {
+		windows = DefSLOWindows()
+	}
+	sorted := append([]time.Duration(nil), windows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return &SLOEngine{reg: reg, slos: slos, windows: sorted, now: time.Now}
+}
+
+// Sample takes one observation of every objective, trims the ring to
+// the longest window, and refreshes the burn-rate gauges.
+func (e *SLOEngine) Sample() {
+	if e == nil {
+		return
+	}
+	now := e.now()
+	s := sloSample{t: now, bad: make([]float64, len(e.slos)), tot: make([]float64, len(e.slos))}
+	for i, o := range e.slos {
+		if o.Bad != nil {
+			s.bad[i] = o.Bad()
+		}
+		if o.Total != nil {
+			s.tot[i] = o.Total()
+		}
+	}
+	e.mu.Lock()
+	e.samples = append(e.samples, s)
+	horizon := now.Add(-e.windows[len(e.windows)-1] - time.Minute)
+	trim := 0
+	for trim < len(e.samples)-1 && e.samples[trim].t.Before(horizon) {
+		trim++
+	}
+	e.samples = e.samples[trim:]
+	e.mu.Unlock()
+	e.publish()
+}
+
+// Run samples every interval until ctx is done.
+func (e *SLOEngine) Run(ctx context.Context, interval time.Duration) {
+	if e == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		e.Sample()
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// windowDelta returns the bad/total deltas for slo index i over the
+// window ending at the newest sample.
+func (e *SLOEngine) windowDelta(i int, w time.Duration) (bad, tot, events float64) {
+	last := e.samples[len(e.samples)-1]
+	cut := last.t.Add(-w)
+	// Oldest sample still inside the window; if the ring is younger
+	// than the window, the first sample stands in (partial window).
+	first := e.samples[0]
+	for _, s := range e.samples {
+		if !s.t.Before(cut) {
+			first = s
+			break
+		}
+	}
+	bad = last.bad[i] - first.bad[i]
+	tot = last.tot[i] - first.tot[i]
+	if bad < 0 {
+		bad = 0 // counter reset (process restart feeding the sampler)
+	}
+	if tot < 0 {
+		tot = 0
+	}
+	return bad, tot, tot
+}
+
+func (e *SLOEngine) statusLocked() []SLOStatus {
+	out := make([]SLOStatus, 0, len(e.slos))
+	if len(e.samples) == 0 {
+		return out
+	}
+	last := e.samples[len(e.samples)-1]
+	for i, o := range e.slos {
+		st := SLOStatus{
+			Name: o.Name, Description: o.Description, Objective: o.Objective,
+			TotalEvents: last.tot[i], BadEvents: last.bad[i],
+		}
+		budget := 1 - o.Objective
+		for _, w := range e.windows {
+			bad, tot, ev := e.windowDelta(i, w)
+			wb := WindowBurn{Window: w, Events: ev}
+			if tot > 0 {
+				wb.BadRatio = bad / tot
+				if budget > 0 {
+					wb.BurnRate = wb.BadRatio / budget
+				}
+			}
+			st.Windows = append(st.Windows, wb)
+		}
+		// Budget remaining over the longest window: 1 means untouched,
+		// 0 means fully burned, negative means out of budget.
+		if n := len(st.Windows); n > 0 && budget > 0 {
+			st.BudgetRemaining = 1 - st.Windows[n-1].BadRatio/budget
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// Status returns every objective's current multi-window state.
+func (e *SLOEngine) Status() []SLOStatus {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.statusLocked()
+}
+
+// publish refreshes the gpustl_slo_* gauges from the newest sample.
+func (e *SLOEngine) publish() {
+	e.mu.Lock()
+	stats := e.statusLocked()
+	e.mu.Unlock()
+	for _, st := range stats {
+		e.reg.Gauge(fmt.Sprintf(`gpustl_slo_objective{slo=%q}`, st.Name)).Set(st.Objective)
+		e.reg.Gauge(fmt.Sprintf(`gpustl_slo_error_budget_remaining{slo=%q}`, st.Name)).Set(st.BudgetRemaining)
+		for _, wb := range st.Windows {
+			e.reg.Gauge(fmt.Sprintf(`gpustl_slo_burn_rate{slo=%q,window=%q}`, st.Name, wb.Window)).Set(wb.BurnRate)
+		}
+	}
+}
+
+// Handler serves the human-readable /debug/slo page.
+func (e *SLOEngine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if e == nil {
+			http.Error(w, "slo engine not configured", http.StatusNotFound)
+			return
+		}
+		stats := e.Status()
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, "<!doctype html><title>gpustl SLOs</title><style>body{font:14px monospace}table{border-collapse:collapse}td,th{border:1px solid #999;padding:4px 8px;text-align:right}th:first-child,td:first-child{text-align:left}.burn{color:#b00;font-weight:bold}</style>")
+		fmt.Fprintf(w, "<h1>SLO burn rates</h1>")
+		if len(stats) == 0 {
+			fmt.Fprintf(w, "<p>no samples yet</p>")
+			return
+		}
+		for _, st := range stats {
+			fmt.Fprintf(w, "<h2>%s</h2><p>%s — objective %.4g, budget remaining %.1f%%, lifetime %g/%g bad</p>",
+				html.EscapeString(st.Name), html.EscapeString(st.Description),
+				st.Objective, 100*st.BudgetRemaining, st.BadEvents, st.TotalEvents)
+			fmt.Fprintf(w, "<table><tr><th>window</th><th>events</th><th>bad ratio</th><th>burn rate</th></tr>")
+			for _, wb := range st.Windows {
+				cls := ""
+				if wb.BurnRate >= 1 {
+					cls = ` class="burn"`
+				}
+				fmt.Fprintf(w, "<tr><td>%v</td><td>%g</td><td>%.5f</td><td%s>%.2f</td></tr>",
+					wb.Window, wb.Events, wb.BadRatio, cls, wb.BurnRate)
+			}
+			fmt.Fprintf(w, "</table>")
+		}
+	})
+}
+
+// CounterSeriesValue samples one exact counter series.
+func CounterSeriesValue(reg *Registry, series string) func() float64 {
+	return func() float64 { return float64(reg.Counter(series).Value()) }
+}
+
+// CounterSumValue samples the sum of every counter series sharing a
+// base name, regardless of labels — e.g. a shed counter labeled per
+// pool.
+func CounterSumValue(reg *Registry, base string) func() float64 {
+	return func() float64 {
+		if reg == nil {
+			return 0
+		}
+		reg.mu.RLock()
+		defer reg.mu.RUnlock()
+		var sum float64
+		for name, c := range reg.counters {
+			if b, _ := splitSeries(name); b == base {
+				sum += float64(c.Value())
+			}
+		}
+		return sum
+	}
+}
+
+// LatencySLO builds an objective over an existing histogram series:
+// an observation above threshold (seconds) is a bad event. The bad
+// count is derived from the histogram's cumulative buckets — the
+// smallest bucket bound >= threshold stands in for the threshold, so
+// pick a threshold on a bucket boundary for exact accounting.
+func LatencySLO(reg *Registry, name, series string, threshold, objective float64, desc string) SLO {
+	return SLO{
+		Name: name, Description: desc, Objective: objective,
+		Total: func() float64 {
+			h := histogramSeries(reg, series)
+			if h == nil {
+				return 0
+			}
+			return float64(h.Count())
+		},
+		Bad: func() float64 {
+			h := histogramSeries(reg, series)
+			if h == nil {
+				return 0
+			}
+			// Buckets whose upper bound is <= threshold count as good;
+			// everything else (including +Inf) is bad.
+			var good uint64
+			for i, b := range h.bounds {
+				if b <= threshold {
+					good += h.counts[i].Load()
+				}
+			}
+			total := h.Count()
+			if good > total {
+				good = total
+			}
+			return float64(total - good)
+		},
+	}
+}
+
+// histogramSeries looks up an exact histogram series without creating
+// it (Registry.Histogram would need bounds).
+func histogramSeries(reg *Registry, series string) *Histogram {
+	if reg == nil {
+		return nil
+	}
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	return reg.hists[series]
+}
+
+// RatioSLO builds an objective from explicit bad/total samplers.
+func RatioSLO(name string, objective float64, bad, total func() float64, desc string) SLO {
+	return SLO{Name: name, Description: desc, Objective: objective, Bad: bad, Total: total}
+}

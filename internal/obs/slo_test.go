@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClockEngine pins the engine to a controllable clock so window
+// math is exact.
+func fakeClockEngine(reg *Registry, slos []SLO, windows ...time.Duration) (*SLOEngine, *time.Time) {
+	e := NewSLOEngine(reg, slos, windows...)
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	e.now = func() time.Time { return now }
+	return e, &now
+}
+
+func TestSLOBurnRateMath(t *testing.T) {
+	reg := NewRegistry()
+	var bad, total float64
+	slo := RatioSLO("shed", 0.99, func() float64 { return bad }, func() float64 { return total }, "submit shed rate")
+	e, now := fakeClockEngine(reg, []SLO{slo}, 5*time.Minute, time.Hour)
+
+	e.Sample() // baseline at t0
+
+	// Over the next 5 minutes: 100 events, 1 bad. Budget is 1%, so the
+	// bad ratio of 1% is a burn rate of exactly 1.0.
+	*now = now.Add(5 * time.Minute)
+	total, bad = 100, 1
+	e.Sample()
+
+	st := e.Status()
+	if len(st) != 1 {
+		t.Fatalf("got %d statuses, want 1", len(st))
+	}
+	s := st[0]
+	if s.Name != "shed" || s.Objective != 0.99 {
+		t.Fatalf("status identity wrong: %+v", s)
+	}
+	if s.TotalEvents != 100 || s.BadEvents != 1 {
+		t.Errorf("lifetime counts = %g/%g, want 1/100", s.BadEvents, s.TotalEvents)
+	}
+	if len(s.Windows) != 2 {
+		t.Fatalf("got %d windows, want 2", len(s.Windows))
+	}
+	for _, wb := range s.Windows {
+		if wb.Events != 100 {
+			t.Errorf("window %v events = %g, want 100", wb.Window, wb.Events)
+		}
+		if got := wb.BadRatio; got != 0.01 {
+			t.Errorf("window %v bad ratio = %g, want 0.01", wb.Window, got)
+		}
+		if got := wb.BurnRate; got < 0.999 || got > 1.001 {
+			t.Errorf("window %v burn rate = %g, want 1.0", wb.Window, got)
+		}
+	}
+	// Burn exactly at budget → budget remaining 0 over the longest window.
+	if s.BudgetRemaining < -0.001 || s.BudgetRemaining > 0.001 {
+		t.Errorf("budget remaining = %g, want 0", s.BudgetRemaining)
+	}
+
+	// Gauges were published.
+	if got := reg.Gauge(`gpustl_slo_objective{slo="shed"}`).Value(); got != 0.99 {
+		t.Errorf("objective gauge = %g, want 0.99", got)
+	}
+	burn := reg.Gauge(fmt.Sprintf(`gpustl_slo_burn_rate{slo=%q,window=%q}`, "shed", 5*time.Minute)).Value()
+	if burn < 0.999 || burn > 1.001 {
+		t.Errorf("burn-rate gauge = %g, want 1.0", burn)
+	}
+}
+
+func TestSLOWindowsDifferentiate(t *testing.T) {
+	// A burst of bad events long ago must fall out of the short window
+	// while still burning the long one.
+	reg := NewRegistry()
+	var bad, total float64
+	slo := RatioSLO("r", 0.9, func() float64 { return bad }, func() float64 { return total }, "")
+	e, now := fakeClockEngine(reg, []SLO{slo}, 5*time.Minute, time.Hour)
+
+	e.Sample()
+	*now = now.Add(time.Minute)
+	total, bad = 100, 50 // the burst
+	e.Sample()
+	// 30 quiet minutes: only good events.
+	for i := 0; i < 30; i++ {
+		*now = now.Add(time.Minute)
+		total += 10
+		e.Sample()
+	}
+
+	s := e.Status()[0]
+	short, long := s.Windows[0], s.Windows[1]
+	if short.Window != 5*time.Minute || long.Window != time.Hour {
+		t.Fatalf("window order wrong: %+v", s.Windows)
+	}
+	if short.BadRatio != 0 {
+		t.Errorf("short-window bad ratio = %g, want 0 (burst aged out)", short.BadRatio)
+	}
+	if long.BadRatio <= 0.1 {
+		t.Errorf("long-window bad ratio = %g, want > 0.1 (burst still inside)", long.BadRatio)
+	}
+	if long.BurnRate <= 1 {
+		t.Errorf("long-window burn rate = %g, want > 1", long.BurnRate)
+	}
+}
+
+func TestSLOCounterResetTolerated(t *testing.T) {
+	reg := NewRegistry()
+	var bad, total float64
+	slo := RatioSLO("r", 0.99, func() float64 { return bad }, func() float64 { return total }, "")
+	e, now := fakeClockEngine(reg, []SLO{slo}, 5*time.Minute)
+
+	total, bad = 1000, 10
+	e.Sample()
+	*now = now.Add(time.Minute)
+	total, bad = 5, 0 // the feeding process restarted
+	e.Sample()
+
+	s := e.Status()[0]
+	if wb := s.Windows[0]; wb.BadRatio != 0 || wb.BurnRate != 0 {
+		t.Errorf("counter reset produced ratio %g burn %g, want 0/0", wb.BadRatio, wb.BurnRate)
+	}
+}
+
+func TestLatencySLOBucketAccounting(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("req_seconds", []float64{0.1, 1, 10})
+	slo := LatencySLO(reg, "latency", "req_seconds", 1, 0.9, "p90 under 1s")
+	e, now := fakeClockEngine(reg, []SLO{slo}, 5*time.Minute)
+
+	e.Sample()
+	*now = now.Add(time.Minute)
+	for i := 0; i < 8; i++ {
+		h.Observe(0.05) // good
+	}
+	h.Observe(5)  // bad: above the 1s threshold
+	h.Observe(50) // bad: +Inf bucket
+	e.Sample()
+
+	s := e.Status()[0]
+	if s.TotalEvents != 10 || s.BadEvents != 2 {
+		t.Fatalf("latency SLO counts bad/total = %g/%g, want 2/10", s.BadEvents, s.TotalEvents)
+	}
+	wb := s.Windows[0]
+	if wb.BadRatio != 0.2 {
+		t.Errorf("bad ratio = %g, want 0.2", wb.BadRatio)
+	}
+	// 20% bad against a 10% budget: burn rate 2.
+	if wb.BurnRate < 1.999 || wb.BurnRate > 2.001 {
+		t.Errorf("burn rate = %g, want 2.0", wb.BurnRate)
+	}
+}
+
+func TestLatencySLOMissingSeries(t *testing.T) {
+	reg := NewRegistry()
+	slo := LatencySLO(reg, "latency", "absent_seconds", 1, 0.9, "")
+	if got := slo.Total(); got != 0 {
+		t.Errorf("Total on absent histogram = %g, want 0", got)
+	}
+	if got := slo.Bad(); got != 0 {
+		t.Errorf("Bad on absent histogram = %g, want 0", got)
+	}
+}
+
+func TestCounterSumValue(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`shed_total{pool="a"}`).Add(3)
+	reg.Counter(`shed_total{pool="b"}`).Add(4)
+	reg.Counter(`other_total`).Add(100)
+	if got := CounterSumValue(reg, "shed_total")(); got != 7 {
+		t.Errorf("CounterSumValue = %g, want 7", got)
+	}
+	if got := CounterSumValue(nil, "shed_total")(); got != 0 {
+		t.Errorf("CounterSumValue on nil registry = %g, want 0", got)
+	}
+}
+
+func TestSLOHandler(t *testing.T) {
+	reg := NewRegistry()
+	var bad, total float64
+	slo := RatioSLO("verify-mismatch", 0.999,
+		func() float64 { return bad }, func() float64 { return total },
+		"verified shard results disagreeing with the worker")
+	e, now := fakeClockEngine(reg, []SLO{slo}, 5*time.Minute)
+
+	// Before any sample: page renders, says so.
+	rr := httptest.NewRecorder()
+	e.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/slo", nil))
+	if !strings.Contains(rr.Body.String(), "no samples yet") {
+		t.Errorf("empty engine page missing placeholder: %s", rr.Body.String())
+	}
+
+	e.Sample()
+	*now = now.Add(time.Minute)
+	total, bad = 100, 50 // way out of budget → the burn cell goes red
+	e.Sample()
+
+	rr = httptest.NewRecorder()
+	e.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/slo", nil))
+	body := rr.Body.String()
+	for _, want := range []string{"verify-mismatch", "disagreeing", `class="burn"`, "0.999"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/slo missing %q", want)
+		}
+	}
+}
+
+func TestSLOEngineNilSafe(t *testing.T) {
+	var e *SLOEngine
+	e.Sample()
+	if st := e.Status(); st != nil {
+		t.Errorf("nil engine Status = %v, want nil", st)
+	}
+	rr := httptest.NewRecorder()
+	e.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/slo", nil))
+	if rr.Code != 404 {
+		t.Errorf("nil engine handler status = %d, want 404", rr.Code)
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"os"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"gpustl/internal/journal"
@@ -18,10 +17,15 @@ import (
 // Event is one finished (or flushed-while-open) span, one line of the
 // JSONL trace file. The hierarchy campaign -> ptp -> stage -> shard is
 // encoded through Parent IDs; StartNS is Unix nanoseconds so traces
-// from different processes line up on one clock.
+// from different processes line up on one clock (modulo the skew
+// stltrace estimates and corrects). Trace is the 128-bit campaign
+// trace ID in hex; Remote marks a span whose Parent lives in another
+// process (the server→worker RPC edges the skew estimator keys on).
 type Event struct {
 	ID     uint64            `json:"id"`
 	Parent uint64            `json:"parent,omitempty"`
+	Trace  string            `json:"trace,omitempty"`
+	Remote bool              `json:"remote,omitempty"`
 	Kind   string            `json:"kind"`
 	Name   string            `json:"name"`
 	StartN int64             `json:"start_ns"`
@@ -48,18 +52,44 @@ const (
 // trace file on disk is always a complete, parseable snapshot — never
 // a torn tail. A nil Tracer (and the nil Spans it hands out) is a
 // no-op, so callers wire tracing unconditionally.
+//
+// Span IDs are random 64-bit values (not a process-local sequence), so
+// parent references stay unambiguous when stltrace merges trace files
+// from several processes into one campaign waterfall.
 type Tracer struct {
 	path string
+	opt  TracerOptions
 
 	mu     sync.Mutex
 	events []Event
 	open   map[uint64]*Span
-	nextID atomic.Uint64
+}
+
+// TracerOptions bound a long-running daemon's trace file. With
+// MaxBytes set, a Flush whose snapshot exceeds the cap rotates the
+// ended events out to path.1 (cascading path.1 -> path.2 ... and
+// keeping at most KeepFiles rotations) and restarts the live file with
+// only the still-open spans. Zero values mean unbounded / keep 2.
+type TracerOptions struct {
+	// MaxBytes rotates the trace file when a flushed snapshot exceeds
+	// this size. 0 = never rotate (the stlcompact one-campaign default).
+	MaxBytes int64
+	// KeepFiles is how many rotated files (path.1 .. path.N) survive.
+	// 0 means 2 when rotation is enabled.
+	KeepFiles int
 }
 
 // NewTracer creates a tracer that Flush writes to path.
 func NewTracer(path string) *Tracer {
-	return &Tracer{path: path, open: map[uint64]*Span{}}
+	return NewTracerOptions(path, TracerOptions{})
+}
+
+// NewTracerOptions creates a tracer with explicit file-rotation bounds.
+func NewTracerOptions(path string, opt TracerOptions) *Tracer {
+	if opt.MaxBytes > 0 && opt.KeepFiles <= 0 {
+		opt.KeepFiles = 2
+	}
+	return &Tracer{path: path, opt: opt, open: map[uint64]*Span{}}
 }
 
 // Span is one in-flight operation. End closes it; Annotate attaches
@@ -68,6 +98,8 @@ type Span struct {
 	tr     *Tracer
 	id     uint64
 	parent uint64
+	trace  TraceID
+	remote bool
 	kind   string
 	name   string
 	start  time.Time
@@ -77,15 +109,29 @@ type Span struct {
 	ended bool
 }
 
-// Start opens a span under parent (nil = root). On a nil tracer it
-// returns nil, which is itself a valid no-op span.
+// Start opens a span under parent (nil = root). A root span mints a
+// fresh 128-bit trace ID; a child inherits its parent's, even when the
+// parent belongs to another tracer (the coordinator parenting its
+// shard spans on the runner's PTP span). On a nil tracer it returns
+// nil, which is itself a valid no-op span.
 func (t *Tracer) Start(parent *Span, kind, name string) *Span {
+	return t.StartAt(parent, kind, name, time.Now())
+}
+
+// StartAt is Start with an explicit start time, for spans whose
+// beginning is only known retroactively (the server's queue-wait span
+// covers submit -> lease, but is opened at lease time).
+func (t *Tracer) StartAt(parent *Span, kind, name string, start time.Time) *Span {
 	if t == nil {
 		return nil
 	}
-	s := &Span{tr: t, id: t.nextID.Add(1), kind: kind, name: name, start: time.Now()}
+	s := &Span{tr: t, id: newSpanID(), kind: kind, name: name, start: start}
 	if parent != nil {
 		s.parent = parent.id
+		s.trace = parent.trace
+	}
+	if s.trace.IsZero() {
+		s.trace = NewTraceID()
 	}
 	t.mu.Lock()
 	t.open[s.id] = s
@@ -144,8 +190,13 @@ func (s *Span) eventLocked(end time.Time) Event {
 			attrs[k] = v
 		}
 	}
+	var trace string
+	if !s.trace.IsZero() {
+		trace = s.trace.String()
+	}
 	return Event{
-		ID: s.id, Parent: s.parent, Kind: s.kind, Name: s.name,
+		ID: s.id, Parent: s.parent, Trace: trace, Remote: s.remote,
+		Kind: s.kind, Name: s.name,
 		StartN: s.start.UnixNano(), DurN: int64(end.Sub(s.start)), Attrs: attrs,
 	}
 }
@@ -155,6 +206,13 @@ func (s *Span) eventLocked(end time.Time) Event {
 // analyzable — as JSONL, atomically and durably (temp file, fsync,
 // rename, directory fsync). Flush can be called repeatedly; open spans
 // stay open and are finalized by their own End.
+//
+// With TracerOptions.MaxBytes set, a snapshot that exceeds the cap is
+// rotated: the full snapshot lands in path.1 (cascading older
+// rotations to path.2.. and dropping any past KeepFiles), the ended
+// events are released from memory, and the live file restarts with
+// only the still-open spans. A long-lived stlserver therefore holds
+// and writes O(MaxBytes) trace state, not one unbounded file.
 func (t *Tracer) Flush() error {
 	if t == nil {
 		return nil
@@ -176,15 +234,55 @@ func (t *Tracer) Flush() error {
 	t.mu.Unlock()
 
 	sort.Slice(openEvs, func(i, j int) bool { return openEvs[i].ID < openEvs[j].ID })
-	events = append(events, openEvs...)
+	buf, err := encodeEvents(append(events, openEvs...))
+	if err != nil {
+		return err
+	}
+	if t.opt.MaxBytes > 0 && int64(buf.Len()) > t.opt.MaxBytes {
+		return t.rotate(buf, openEvs, len(events))
+	}
+	if err := journal.WriteFileAtomic(t.path, buf.Bytes()); err != nil {
+		return fmt.Errorf("obs: writing trace %s: %w", t.path, err)
+	}
+	return nil
+}
+
+func encodeEvents(events []Event) (*bytes.Buffer, error) {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	for _, ev := range events {
 		if err := enc.Encode(ev); err != nil {
-			return fmt.Errorf("obs: encoding trace event %d: %w", ev.ID, err)
+			return nil, fmt.Errorf("obs: encoding trace event %d: %w", ev.ID, err)
 		}
 	}
-	if err := journal.WriteFileAtomic(t.path, buf.Bytes()); err != nil {
+	return &buf, nil
+}
+
+// rotate moves the oversized snapshot aside and restarts the live file
+// with only the open spans. nEnded is how many leading events of the
+// snapshot were ended at capture time; exactly those are released from
+// memory (events ended after the capture stay for the next flush).
+func (t *Tracer) rotate(full *bytes.Buffer, openEvs []Event, nEnded int) error {
+	// Cascade path.N-1 -> path.N, oldest first; the one past KeepFiles
+	// is simply overwritten by the cascade or removed.
+	os.Remove(fmt.Sprintf("%s.%d", t.path, t.opt.KeepFiles))
+	for n := t.opt.KeepFiles; n >= 2; n-- {
+		from := fmt.Sprintf("%s.%d", t.path, n-1)
+		if _, err := os.Stat(from); err == nil {
+			os.Rename(from, fmt.Sprintf("%s.%d", t.path, n))
+		}
+	}
+	if err := journal.WriteFileAtomic(t.path+".1", full.Bytes()); err != nil {
+		return fmt.Errorf("obs: rotating trace %s: %w", t.path, err)
+	}
+	t.mu.Lock()
+	t.events = append([]Event(nil), t.events[nEnded:]...)
+	t.mu.Unlock()
+	live, err := encodeEvents(openEvs)
+	if err != nil {
+		return err
+	}
+	if err := journal.WriteFileAtomic(t.path, live.Bytes()); err != nil {
 		return fmt.Errorf("obs: writing trace %s: %w", t.path, err)
 	}
 	return nil

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	randv2 "math/rand/v2"
+	"strings"
+	"time"
+)
+
+// TraceID is the 128-bit campaign trace identifier. Every span in one
+// campaign — across stlserver, the coordinator and every stlworker that
+// simulated a shard for it — carries the same TraceID, which is what
+// lets stltrace reassemble the per-process JSONL files into one
+// waterfall. The zero value means "no trace".
+type TraceID [16]byte
+
+// IsZero reports whether the trace ID is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the trace ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// TraceHeader is the HTTP header that carries trace context between
+// processes (traceparent-style: `traceid-spanid-flags`).
+const TraceHeader = "X-Gpustl-Trace"
+
+// SpanContext is the propagated identity of one span: enough for a
+// remote process to open child spans that land in the same trace.
+type SpanContext struct {
+	Trace TraceID
+	Span  uint64
+	Flags byte // bit 0: sampled
+}
+
+// Valid reports whether the context names a real span in a real trace.
+func (sc SpanContext) Valid() bool { return !sc.Trace.IsZero() && sc.Span != 0 }
+
+// Header renders the context in the X-Gpustl-Trace wire format:
+// 32 hex trace digits, 16 hex span digits, 2 hex flag digits,
+// dash-separated (e.g. "4bf9…2c01-00f067aa0ba902b7-01").
+func (sc SpanContext) Header() string {
+	var sp [8]byte
+	binary.BigEndian.PutUint64(sp[:], sc.Span)
+	return fmt.Sprintf("%s-%s-%02x", sc.Trace.String(), hex.EncodeToString(sp[:]), sc.Flags)
+}
+
+// ParseTraceHeader parses the X-Gpustl-Trace wire format back into a
+// SpanContext. It rejects malformed input rather than guessing: a
+// process that cannot parse the header proceeds untraced, it does not
+// fabricate a trace.
+func ParseTraceHeader(s string) (SpanContext, error) {
+	var sc SpanContext
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) != 3 || len(parts[0]) != 32 || len(parts[1]) != 16 || len(parts[2]) != 2 {
+		return sc, fmt.Errorf("obs: malformed trace header %q", s)
+	}
+	if _, err := hex.Decode(sc.Trace[:], []byte(parts[0])); err != nil {
+		return sc, fmt.Errorf("obs: trace header trace id: %w", err)
+	}
+	var sp [8]byte
+	if _, err := hex.Decode(sp[:], []byte(parts[1])); err != nil {
+		return sc, fmt.Errorf("obs: trace header span id: %w", err)
+	}
+	sc.Span = binary.BigEndian.Uint64(sp[:])
+	var fl [1]byte
+	if _, err := hex.Decode(fl[:], []byte(parts[2])); err != nil {
+		return sc, fmt.Errorf("obs: trace header flags: %w", err)
+	}
+	sc.Flags = fl[0]
+	if !sc.Valid() {
+		return sc, fmt.Errorf("obs: trace header %q names the zero trace or span", s)
+	}
+	return sc, nil
+}
+
+// idRand is the span/trace ID source: the process-seeded ChaCha8
+// generator from math/rand/v2. IDs must be unpredictable enough to be
+// globally unique across a fleet merge (crypto-strength is not needed,
+// speed on the span hot path is), and must never be zero — zero is the
+// "no parent / no trace" sentinel in the Event schema.
+func newSpanID() uint64 {
+	for {
+		if id := randv2.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
+// NewTraceID mints a fresh random 128-bit trace ID. It prefers
+// crypto/rand (trace IDs are minted once per campaign, off the hot
+// path) and falls back to the seeded PRNG if the kernel source fails.
+func NewTraceID() TraceID {
+	var t TraceID
+	if _, err := rand.Read(t[:]); err != nil {
+		binary.BigEndian.PutUint64(t[0:8], newSpanID())
+		binary.BigEndian.PutUint64(t[8:16], newSpanID())
+	}
+	if t.IsZero() {
+		t[15] = 1
+	}
+	return t
+}
+
+// Context returns the span's propagable identity. On a nil or untraced
+// span it returns the zero SpanContext (Valid() == false).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.trace, Span: s.id, Flags: 1}
+}
+
+// TraceID returns the trace the span belongs to (zero on nil).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.trace
+}
+
+// StartRemote opens a span whose parent lives in another process,
+// identified by a SpanContext parsed off the wire. The child joins the
+// remote trace; its event records remote="true" so the merge tool can
+// treat the parent/child pair as an RPC send/recv edge when estimating
+// clock skew. An invalid context starts a fresh root instead — a
+// garbled header must not corrupt the trace graph.
+func (t *Tracer) StartRemote(sc SpanContext, kind, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if !sc.Valid() {
+		return t.Start(nil, kind, name)
+	}
+	s := &Span{
+		tr: t, id: newSpanID(), parent: sc.Span, trace: sc.Trace,
+		remote: true, kind: kind, name: name, start: time.Now(),
+	}
+	t.mu.Lock()
+	t.open[s.id] = s
+	t.mu.Unlock()
+	return s
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying the span, so layers that only
+// see a context (the dist coordinator under core, the HTTP transport)
+// can parent their spans correctly. A nil span returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	sc := SpanContext{Trace: NewTraceID(), Span: 0x00f067aa0ba902b7, Flags: 1}
+	h := sc.Header()
+	got, err := ParseTraceHeader(h)
+	if err != nil {
+		t.Fatalf("parsing own header %q: %v", h, err)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v, want %+v", got, sc)
+	}
+}
+
+func TestParseTraceHeaderRejectsMalformed(t *testing.T) {
+	zero := SpanContext{}.Header() // well-formed hex, but names the zero trace
+	for _, bad := range []string{
+		"",
+		"not-a-trace",
+		"abcd-1234-01",
+		"4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // missing flags
+		"4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-1",    // short flags
+		"4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902bz-01",   // bad hex
+		"4bf92f3577b34da6a3ce929d0e0e473-00f067aa0ba902b7-01",    // short trace
+		"4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x", // extra part
+		zero,
+	} {
+		if _, err := ParseTraceHeader(bad); err == nil {
+			t.Errorf("ParseTraceHeader(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestSpanTraceInheritance(t *testing.T) {
+	tr := NewTracer(filepath.Join(t.TempDir(), "t.jsonl"))
+	root := tr.Start(nil, KindCampaign, "c")
+	child := tr.Start(root, KindPTP, "p")
+	if root.TraceID().IsZero() {
+		t.Fatal("root span did not mint a trace ID")
+	}
+	if child.TraceID() != root.TraceID() {
+		t.Fatalf("child trace %s != root trace %s", child.TraceID(), root.TraceID())
+	}
+	other := tr.Start(nil, KindCampaign, "c2")
+	if other.TraceID() == root.TraceID() {
+		t.Fatal("two root spans share a trace ID")
+	}
+}
+
+func TestStartRemoteJoinsTrace(t *testing.T) {
+	dir := t.TempDir()
+	server := NewTracer(filepath.Join(dir, "server.jsonl"))
+	worker := NewTracer(filepath.Join(dir, "worker.jsonl"))
+
+	parent := server.Start(nil, KindCampaign, "execute:c1")
+	// Simulate the wire: context → header → parse → remote child.
+	sc, err := ParseTraceHeader(parent.Context().Header())
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := worker.StartRemote(sc, KindShard, "shard-exec:0")
+	child.End()
+	parent.End()
+
+	if child.TraceID() != parent.TraceID() {
+		t.Fatalf("remote child trace %s != parent trace %s", child.TraceID(), parent.TraceID())
+	}
+	if err := worker.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadTraceFile(filepath.Join(dir, "worker.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d worker events, want 1", len(events))
+	}
+	ev := events[0]
+	if !ev.Remote {
+		t.Error("remote child event not marked remote")
+	}
+	if ev.Parent != parent.ID() {
+		t.Errorf("remote child parent = %#x, want %#x", ev.Parent, parent.ID())
+	}
+	if ev.Trace != parent.TraceID().String() {
+		t.Errorf("remote child trace = %s, want %s", ev.Trace, parent.TraceID())
+	}
+
+	// An invalid context must not fabricate a trace link: the span
+	// becomes a fresh root instead.
+	orphan := worker.StartRemote(SpanContext{}, KindShard, "shard-exec:1")
+	if orphan.Context().Span == 0 {
+		t.Fatal("StartRemote with invalid context returned no span")
+	}
+	if orphan.TraceID() == parent.TraceID() {
+		t.Error("invalid context joined the parent trace")
+	}
+}
+
+func TestContextSpanAndUsagePropagation(t *testing.T) {
+	tr := NewTracer(filepath.Join(t.TempDir(), "t.jsonl"))
+	s := tr.Start(nil, KindCampaign, "c")
+	ctx := ContextWithSpan(context.Background(), s)
+	if got := SpanFromContext(ctx); got != s {
+		t.Fatalf("SpanFromContext = %p, want %p", got, s)
+	}
+	if got := SpanFromContext(context.Background()); got != nil {
+		t.Fatalf("SpanFromContext on empty ctx = %p, want nil", got)
+	}
+	// Nil span leaves ctx unchanged.
+	if ctx2 := ContextWithSpan(ctx, nil); SpanFromContext(ctx2) != s {
+		t.Fatal("ContextWithSpan(nil) dropped the existing span")
+	}
+}
+
+func TestTracerRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	// Tiny cap so every flush past the first few spans rotates.
+	tr := NewTracerOptions(path, TracerOptions{MaxBytes: 2048, KeepFiles: 3})
+
+	var recent []uint64 // the last flush batch: must survive rotation
+	live := tr.Start(nil, KindCampaign, "long-running")
+	for i := 0; i < 200; i++ {
+		s := tr.Start(live, KindShard, fmt.Sprintf("shard:%d", i))
+		s.End()
+		if i >= 180 {
+			recent = append(recent, s.ID())
+		}
+		if i%20 == 19 {
+			if err := tr.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The live file must be under control (open-span snapshot plus the
+	// most recent unrotated events), and rotations must exist.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() > 4096 {
+		t.Errorf("live trace file is %d bytes; rotation did not bound it", st.Size())
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("no rotated file after overflow: %v", err)
+	}
+	if _, err := os.Stat(path + ".4"); err == nil {
+		t.Error("rotation kept more than KeepFiles files")
+	}
+
+	// Rotation keeps the newest data and discards the oldest (bounded
+	// disk is the point). Across the retained set: no ended span is
+	// duplicated, the most recent batch survives, and the open span's
+	// snapshot is in the live file.
+	found := map[uint64]int{}
+	liveHasOpen := false
+	for i, p := range []string{path, path + ".1", path + ".2", path + ".3"} {
+		events, err := ReadTraceFile(p)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("reading %s: %v", p, err)
+		}
+		for _, ev := range events {
+			if ev.ID == live.ID() {
+				if i == 0 {
+					liveHasOpen = true
+				}
+				continue // open-span snapshot may appear in several files
+			}
+			found[ev.ID]++
+		}
+	}
+	if !liveHasOpen {
+		t.Error("open span missing from the live file after rotation")
+	}
+	for id, n := range found {
+		if n > 1 {
+			t.Errorf("ended span %#x appears %d times across rotation set, want at most 1", id, n)
+		}
+	}
+	for _, id := range recent {
+		if found[id] != 1 {
+			t.Errorf("recently ended span %#x lost by rotation", id)
+		}
+	}
+
+	live.End()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerRotationDisabledByDefault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tr := NewTracer(path)
+	for i := 0; i < 500; i++ {
+		tr.Start(nil, KindStage, fmt.Sprintf("s%d", i)).End()
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".1"); err == nil {
+		t.Fatal("unbounded tracer rotated")
+	}
+	events, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 500 {
+		t.Fatalf("got %d events, want 500", len(events))
+	}
+}
+
+func TestStartAtRecordsRetroactiveStart(t *testing.T) {
+	tr := NewTracer(filepath.Join(t.TempDir(), "t.jsonl"))
+	root := tr.Start(nil, KindCampaign, "c")
+	past := time.Now().Add(-3 * time.Second)
+	qw := tr.StartAt(root, KindStage, "queue-wait", past)
+	qw.End()
+	root.End()
+	events := tr.Events()
+	for _, ev := range events {
+		if ev.Name != "queue-wait" {
+			continue
+		}
+		if got := ev.Start(); got.After(past.Add(100 * time.Millisecond)) {
+			t.Fatalf("queue-wait start %v, want ~%v", got, past)
+		}
+		if ev.Duration() < 2*time.Second {
+			t.Fatalf("queue-wait duration %v, want >= ~3s", ev.Duration())
+		}
+		return
+	}
+	t.Fatal("queue-wait event not recorded")
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// UsageMeter is the per-tenant accounting substrate: every billable
+// quantity the control plane produces — fault-blocks simulated,
+// worker-seconds consumed, result-cache hits and misses, bytes
+// journaled — accumulates in tenant-labeled counters on the shared
+// Registry (so /metrics exposes them for free) and in a tenant index
+// the GET /v1/usage endpoint snapshots. A nil *UsageMeter is a no-op,
+// like everything else in this package.
+type UsageMeter struct {
+	reg *Registry
+
+	mu      sync.Mutex
+	tenants map[string]bool
+}
+
+// NewUsageMeter creates a usage meter recording into reg.
+func NewUsageMeter(reg *Registry) *UsageMeter {
+	return &UsageMeter{reg: reg, tenants: map[string]bool{}}
+}
+
+// The usage series, all counters labeled by tenant. Worker time is
+// metered in integer milliseconds (the Counter type is integral);
+// the /v1/usage snapshot converts to float seconds.
+const (
+	usageBlocks    = "gpustl_usage_fault_blocks_total"
+	usageWorkerMS  = "gpustl_usage_worker_milliseconds_total"
+	usageCacheHit  = "gpustl_usage_cache_hits_total"
+	usageCacheMiss = "gpustl_usage_cache_misses_total"
+	usageJournal   = "gpustl_usage_journal_bytes_total"
+	usageCampaigns = "gpustl_usage_campaigns_total"
+)
+
+func (u *UsageMeter) counter(base, tenant string) *Counter {
+	if u == nil {
+		return nil
+	}
+	u.mu.Lock()
+	u.tenants[tenant] = true
+	u.mu.Unlock()
+	return u.reg.Counter(base + `{tenant="` + tenant + `"}`)
+}
+
+// AddFaultBlocks meters fault-blocks simulated on the tenant's behalf.
+func (u *UsageMeter) AddFaultBlocks(tenant string, n uint64) {
+	u.counter(usageBlocks, tenant).Add(n)
+}
+
+// AddWorkerTime meters simulation capacity consumed: wall-clock of the
+// campaign times the worker parallelism that was reserved for it.
+func (u *UsageMeter) AddWorkerTime(tenant string, d time.Duration) {
+	if d < 0 {
+		return
+	}
+	u.counter(usageWorkerMS, tenant).Add(uint64(d.Milliseconds()))
+}
+
+// AddCacheHit meters a campaign served from the verified result cache.
+func (u *UsageMeter) AddCacheHit(tenant string) { u.counter(usageCacheHit, tenant).Inc() }
+
+// AddCacheMiss meters a campaign that had to simulate.
+func (u *UsageMeter) AddCacheMiss(tenant string) { u.counter(usageCacheMiss, tenant).Inc() }
+
+// AddJournalBytes meters checkpoint/journal bytes written for the
+// tenant's campaigns.
+func (u *UsageMeter) AddJournalBytes(tenant string, n uint64) {
+	u.counter(usageJournal, tenant).Add(n)
+}
+
+// AddCampaign meters one campaign execution (cache hits included).
+func (u *UsageMeter) AddCampaign(tenant string) { u.counter(usageCampaigns, tenant).Inc() }
+
+// TenantUsage is one tenant's accumulated consumption, the unit of the
+// /v1/usage response.
+type TenantUsage struct {
+	Tenant        string  `json:"tenant"`
+	Campaigns     uint64  `json:"campaigns"`
+	FaultBlocks   uint64  `json:"fault_blocks"`
+	WorkerSeconds float64 `json:"worker_seconds"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	JournalBytes  uint64  `json:"journal_bytes"`
+}
+
+// Snapshot returns every tenant's usage, sorted by tenant name.
+func (u *UsageMeter) Snapshot() []TenantUsage {
+	if u == nil {
+		return nil
+	}
+	u.mu.Lock()
+	tenants := make([]string, 0, len(u.tenants))
+	for t := range u.tenants {
+		tenants = append(tenants, t)
+	}
+	u.mu.Unlock()
+	sort.Strings(tenants)
+
+	out := make([]TenantUsage, 0, len(tenants))
+	for _, t := range tenants {
+		label := `{tenant="` + t + `"}`
+		out = append(out, TenantUsage{
+			Tenant:        t,
+			Campaigns:     u.reg.Counter(usageCampaigns + label).Value(),
+			FaultBlocks:   u.reg.Counter(usageBlocks + label).Value(),
+			WorkerSeconds: float64(u.reg.Counter(usageWorkerMS+label).Value()) / 1e3,
+			CacheHits:     u.reg.Counter(usageCacheHit + label).Value(),
+			CacheMisses:   u.reg.Counter(usageCacheMiss + label).Value(),
+			JournalBytes:  u.reg.Counter(usageJournal + label).Value(),
+		})
+	}
+	return out
+}
+
+type usageCtxKey struct{}
+
+type usageRef struct {
+	u      *UsageMeter
+	tenant string
+}
+
+// ContextWithUsage attributes everything below this context to the
+// tenant: layers that see only a context (the dist coordinator under
+// core, the fault simulator) meter consumption against it. The server
+// injects it once per campaign execution.
+func ContextWithUsage(ctx context.Context, u *UsageMeter, tenant string) context.Context {
+	if u == nil || tenant == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, usageCtxKey{}, usageRef{u, tenant})
+}
+
+// UsageFromContext returns the attributed meter and tenant, or (nil,"").
+func UsageFromContext(ctx context.Context) (*UsageMeter, string) {
+	if ctx == nil {
+		return nil, ""
+	}
+	ref, _ := ctx.Value(usageCtxKey{}).(usageRef)
+	return ref.u, ref.tenant
+}
+
+// WriteJSON renders the snapshot as the /v1/usage response body.
+func (u *UsageMeter) WriteJSON(w io.Writer) error {
+	snap := u.Snapshot()
+	if snap == nil {
+		snap = []TenantUsage{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Tenants []TenantUsage `json:"tenants"`
+	}{snap})
+}

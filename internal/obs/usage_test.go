@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestUsageMeterSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	u := NewUsageMeter(reg)
+
+	u.AddCampaign("beta")
+	u.AddFaultBlocks("beta", 1000)
+	u.AddWorkerTime("beta", 2500*time.Millisecond)
+	u.AddCacheMiss("beta")
+	u.AddJournalBytes("beta", 4096)
+
+	u.AddCampaign("alpha")
+	u.AddCampaign("alpha")
+	u.AddCacheHit("alpha")
+	u.AddCacheMiss("alpha")
+	u.AddFaultBlocks("alpha", 7)
+
+	snap := u.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("got %d tenants, want 2", len(snap))
+	}
+	if snap[0].Tenant != "alpha" || snap[1].Tenant != "beta" {
+		t.Fatalf("snapshot not sorted by tenant: %q, %q", snap[0].Tenant, snap[1].Tenant)
+	}
+	a, b := snap[0], snap[1]
+	if a.Campaigns != 2 || a.CacheHits != 1 || a.CacheMisses != 1 || a.FaultBlocks != 7 {
+		t.Errorf("alpha usage wrong: %+v", a)
+	}
+	if b.Campaigns != 1 || b.FaultBlocks != 1000 || b.JournalBytes != 4096 {
+		t.Errorf("beta usage wrong: %+v", b)
+	}
+	if b.WorkerSeconds != 2.5 {
+		t.Errorf("beta worker seconds = %g, want 2.5", b.WorkerSeconds)
+	}
+
+	// The same numbers are visible as tenant-labeled /metrics counters.
+	if got := reg.Counter(`gpustl_usage_fault_blocks_total{tenant="beta"}`).Value(); got != 1000 {
+		t.Errorf("registry fault-block counter = %d, want 1000", got)
+	}
+}
+
+func TestUsageMeterWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	u := NewUsageMeter(reg)
+	u.AddCampaign("t1")
+
+	var sb strings.Builder
+	if err := u.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var resp struct {
+		Tenants []TenantUsage `json:"tenants"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &resp); err != nil {
+		t.Fatalf("response not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(resp.Tenants) != 1 || resp.Tenants[0].Tenant != "t1" || resp.Tenants[0].Campaigns != 1 {
+		t.Errorf("response = %+v", resp)
+	}
+
+	// A nil meter still writes a well-formed empty response (the HTTP
+	// handler calls it unconditionally).
+	sb.Reset()
+	var nilU *UsageMeter
+	if err := nilU.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Tenants == nil || len(resp.Tenants) != 0 {
+		t.Errorf("nil meter response tenants = %v, want []", resp.Tenants)
+	}
+}
+
+func TestUsageMeterNilSafe(t *testing.T) {
+	var u *UsageMeter
+	u.AddCampaign("t")
+	u.AddFaultBlocks("t", 1)
+	u.AddWorkerTime("t", time.Second)
+	u.AddCacheHit("t")
+	u.AddCacheMiss("t")
+	u.AddJournalBytes("t", 1)
+	if snap := u.Snapshot(); snap != nil {
+		t.Errorf("nil meter snapshot = %v, want nil", snap)
+	}
+}
+
+func TestUsageContextAttribution(t *testing.T) {
+	reg := NewRegistry()
+	u := NewUsageMeter(reg)
+
+	ctx := ContextWithUsage(context.Background(), u, "acme")
+	gotU, gotT := UsageFromContext(ctx)
+	if gotU != u || gotT != "acme" {
+		t.Fatalf("UsageFromContext = (%p, %q), want (%p, %q)", gotU, gotT, u, "acme")
+	}
+
+	// Meter through the context, exactly as fault.SimulateCtx does.
+	gotU.AddFaultBlocks(gotT, 42)
+	if got := u.Snapshot()[0].FaultBlocks; got != 42 {
+		t.Errorf("context-attributed fault blocks = %d, want 42", got)
+	}
+
+	// Nil meter or empty tenant must not pollute the context.
+	if mu, mt := UsageFromContext(ContextWithUsage(context.Background(), nil, "acme")); mu != nil || mt != "" {
+		t.Errorf("nil-meter context carried (%p, %q)", mu, mt)
+	}
+	if mu, mt := UsageFromContext(ContextWithUsage(context.Background(), u, "")); mu != nil || mt != "" {
+		t.Errorf("empty-tenant context carried (%p, %q)", mu, mt)
+	}
+	if mu, mt := UsageFromContext(context.Background()); mu != nil || mt != "" {
+		t.Errorf("bare context carried (%p, %q)", mu, mt)
+	}
+
+	// Negative worker time is dropped, not wrapped around.
+	u.AddWorkerTime("acme", -time.Second)
+	if got := u.Snapshot()[0].WorkerSeconds; got != 0 {
+		t.Errorf("negative worker time metered: %g", got)
+	}
+}

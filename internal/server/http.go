@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+
+	"gpustl/internal/obs"
 )
 
 // submitReq is the POST /api/v1/campaigns body.
@@ -49,6 +51,7 @@ type readyzBody struct {
 //	GET  /api/v1/campaigns/{id}          one campaign's state
 //	POST /api/v1/campaigns/{id}/cancel   request cancellation
 //	GET  /api/v1/campaigns/{id}/results  the verified compacted STL
+//	GET  /v1/usage                       per-tenant usage accounting
 //	GET  /livez                          process liveness (always 200)
 //	GET  /readyz                         readiness + queue JSON (200/503)
 //
@@ -107,6 +110,12 @@ func (s *Server) Handler() http.Handler {
 			w.Write(b)
 		}
 	})
+	mux.HandleFunc("GET /v1/usage", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.opt.Usage.WriteJSON(w); err != nil {
+			s.opt.logf("server: writing usage response: %v", err)
+		}
+	})
 	mux.HandleFunc("GET /livez", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"alive": true})
 	})
@@ -157,7 +166,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding submit body: %w", err))
 		return
 	}
-	v, err := s.Submit(req.ID, &req.Spec)
+	// Trace context rides the submit: the campaign's execution span (on
+	// this server or a crash successor) becomes a child of the client's
+	// span. A garbled header is dropped at execution time, never fatal.
+	v, err := s.SubmitTrace(req.ID, &req.Spec, r.Header.Get(obs.TraceHeader))
 	switch {
 	case errors.Is(err, ErrOverQuota):
 		// Retry-After is the lease TTL rounded up: by then either a

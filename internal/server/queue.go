@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"gpustl/internal/failpoint"
 	"gpustl/internal/journal"
@@ -75,6 +76,10 @@ type queueRec struct {
 	FromCache bool   `json:"fromCache,omitempty"`
 	Reason    string `json:"reason,omitempty"`
 	Error     string `json:"error,omitempty"`
+	// Trace is the submitting client's trace context (X-Gpustl-Trace
+	// wire format), journaled with the submit record so a campaign
+	// resumed by a successor server still lands in the original trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Campaign is the journaled state of one campaign plus the owning
@@ -95,6 +100,14 @@ type Campaign struct {
 	FromCache bool
 	Error     string
 	Requeues  int
+	// Trace is the submit-time trace context (wire format, may be "").
+	Trace string
+
+	// submitted is when this server learned of the campaign (live
+	// submit or journal replay) — the queue-wait span's start. Runtime
+	// only, never journaled: queue-wait after a restart measures from
+	// the restart, which is when waiting under this server began.
+	submitted time.Time
 
 	// detach cancels the owning executor with a cause. Non-nil only on
 	// the server currently running the campaign; never journaled.
@@ -175,6 +188,7 @@ func (q *queue) apply(seq uint64, typ string, body json.RawMessage) error {
 		q.camps[r.ID] = &Campaign{
 			ID: r.ID, Tenant: r.Tenant, SpecRaw: r.Spec,
 			SubmitSeq: seq, State: StateQueued,
+			Trace: r.Trace, submitted: time.Now(),
 		}
 		return nil
 	}

@@ -57,9 +57,12 @@ type Options struct {
 	// transports). Nil runs campaigns with the in-process simulator.
 	Fleet func() (core.FaultSimulator, error)
 	// Metrics receives gpustl_server_* series; Tracer records campaign
-	// spans; Logf gets operational notes. All nil-safe.
+	// spans; Usage meters per-tenant consumption (fault-blocks,
+	// worker-seconds, cache hits, journal bytes) for GET /v1/usage;
+	// Logf gets operational notes. All nil-safe.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	Usage   *obs.UsageMeter
 	Logf    func(format string, args ...any)
 }
 
@@ -162,6 +165,7 @@ type Server struct {
 	mRejected  *obs.Counter
 	gQueue     *obs.Gauge
 	gRunning   *obs.Gauge
+	hCampaign  *obs.Histogram
 }
 
 // New creates a Server over opts.StateDir. Nothing is opened or locked
@@ -187,6 +191,7 @@ func New(opts Options) *Server {
 		s.mRejected = m.Counter("gpustl_server_submit_rejected_total")
 		s.gQueue = m.Gauge("gpustl_server_queue_depth")
 		s.gRunning = m.Gauge("gpustl_server_campaigns_running")
+		s.hCampaign = m.Histogram("gpustl_server_campaign_seconds", obs.DefLatencyBuckets())
 	}
 	return s
 }
@@ -572,6 +577,15 @@ var (
 // the retry-after-crash contract a client needs when its first submit's
 // reply was lost. The same id with a different spec is ErrSpecConflict.
 func (s *Server) Submit(id string, sp *Spec) (CampaignView, error) {
+	return s.SubmitTrace(id, sp, "")
+}
+
+// SubmitTrace is Submit carrying the client's trace context (the
+// X-Gpustl-Trace wire format, or ""). The trace is journaled with the
+// submit record, so the campaign's execution span — on this server or
+// on a successor that adopts the campaign after a crash — is a child
+// of the submitting client's span.
+func (s *Server) SubmitTrace(id string, sp *Spec, trace string) (CampaignView, error) {
 	if !s.ready.Load() || s.draining.Load() {
 		return CampaignView{}, ErrNotAccepting
 	}
@@ -601,7 +615,7 @@ func (s *Server) Submit(id string, sp *Spec) (CampaignView, error) {
 		s.mRejected.Inc()
 		return CampaignView{}, fmt.Errorf("%w (tenant %s)", ErrOverQuota, tname)
 	}
-	if err := s.q.append(recSubmit, queueRec{ID: id, Tenant: tname, Spec: canon}); err != nil {
+	if err := s.q.append(recSubmit, queueRec{ID: id, Tenant: tname, Spec: canon, Trace: trace}); err != nil {
 		rel()
 		s.q.mu.Unlock()
 		s.crash(err)
@@ -735,6 +749,7 @@ func (s *Server) execute(id string) {
 	}
 	c.detach = cancel
 	cancelReq := c.CancelReq
+	trace, submitted := c.Trace, c.submitted
 	var sp Spec
 	err := json.Unmarshal(c.SpecRaw, &sp)
 	s.q.mu.Unlock()
@@ -750,6 +765,33 @@ func (s *Server) execute(id string) {
 		s.terminal(id, recFailed, queueRec{ID: id, Error: "decoding spec: " + err.Error()})
 		return
 	}
+	// Open the campaign's execution span. When the submit carried a
+	// trace context it becomes a remote child of the client's span — the
+	// cross-process link that puts every downstream shard simulation in
+	// the submitting campaign's trace. A retroactive queue-wait child
+	// records the time between submit (as this server learned of it) and
+	// execution start, so stltrace can tell queueing from simulating.
+	tenant := sp.tenant()
+	var execSpan *obs.Span
+	if tr := s.opt.Tracer; tr != nil {
+		if sc, perr := obs.ParseTraceHeader(trace); trace != "" && perr == nil {
+			execSpan = tr.StartRemote(sc, obs.KindCampaign, "execute:"+id)
+		} else {
+			execSpan = tr.Start(nil, obs.KindCampaign, "execute:"+id)
+		}
+		execSpan.Annotate("campaign", id)
+		execSpan.Annotate("tenant", tenant)
+		if !submitted.IsZero() {
+			tr.StartAt(execSpan, obs.KindStage, "queue-wait", submitted).End()
+		}
+		defer execSpan.End()
+		ctx = obs.ContextWithSpan(ctx, execSpan)
+	}
+	var traceStr string
+	if tid := execSpan.TraceID(); !tid.IsZero() {
+		traceStr = tid.String()
+	}
+	execStart := time.Now()
 	if cancelReq {
 		s.mCanceled.Inc()
 		s.terminal(id, recCanceled, queueRec{ID: id, Error: errCanceledByClient.Error()})
@@ -766,10 +808,16 @@ func (s *Server) execute(id string) {
 	// fleet. The artifact is already durable, so "done" is journalable
 	// immediately.
 	if _, ok := s.cache.get(env.key); ok {
+		s.opt.Usage.AddCampaign(tenant)
+		s.opt.Usage.AddCacheHit(tenant)
+		execSpan.Annotate("cache", "hit")
+		s.hCampaign.ObserveExemplar(time.Since(execStart).Seconds(), traceStr)
 		s.mDone.Inc()
 		s.terminal(id, recDone, queueRec{ID: id, CacheKey: env.key, FromCache: true})
 		return
 	}
+	s.opt.Usage.AddCampaign(tenant)
+	s.opt.Usage.AddCacheMiss(tenant)
 	s.q.mu.Lock()
 	err = s.q.append(recRunning, queueRec{ID: id, Holder: s.opt.Holder})
 	s.q.mu.Unlock()
@@ -790,6 +838,11 @@ func (s *Server) execute(id string) {
 		}
 		copt.Simulator = sim
 	}
+	// Everything below run.Run sees only a context; the usage ref lets
+	// the fault simulator and the dist coordinator meter fault-blocks
+	// against the right tenant without knowing about the server.
+	ctx = obs.ContextWithUsage(ctx, s.opt.Usage, tenant)
+	runStart := time.Now()
 	rep, err := run.Run(ctx, env.cfg, env.ms, env.lib, copt, run.Options{
 		CheckpointDir: s.runDir(id),
 		StageTimeout:  s.opt.StageTimeout,
@@ -798,8 +851,15 @@ func (s *Server) execute(id string) {
 		Logf:          s.opt.Logf,
 		Tracer:        s.opt.Tracer,
 		Metrics:       s.opt.Metrics,
+		Usage:         s.opt.Usage,
+		Tenant:        tenant,
 	})
+	// Worker-seconds are capacity reserved, not work completed: campaign
+	// wall-clock times the simulation parallelism held for it, metered
+	// whether the run succeeded or not.
+	s.opt.Usage.AddWorkerTime(tenant, time.Duration(s.opt.SimWorkers)*time.Since(runStart))
 	if err != nil {
+		execSpan.Annotate("error", err.Error())
 		s.finishErr(id, &sp, err, ctx)
 		return
 	}
@@ -814,6 +874,7 @@ func (s *Server) execute(id string) {
 		s.terminal(id, recFailed, queueRec{ID: id, Error: err.Error()})
 		return
 	}
+	s.hCampaign.ObserveExemplar(time.Since(execStart).Seconds(), traceStr)
 	s.mDone.Inc()
 	s.terminal(id, recDone, queueRec{ID: id, CacheKey: env.key})
 }

@@ -1,0 +1,191 @@
+package gpustl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gpustl/internal/obs"
+	"gpustl/internal/ptpgen"
+	"gpustl/internal/server"
+	"gpustl/internal/stl"
+)
+
+// TestMetricsLint is the scrape-path hygiene gate: it runs a real
+// campaign through an in-process stlserver wired exactly like the
+// daemon (metrics, tracer, usage meter, SLO engine, build info), then
+// feeds everything /metrics serves through the Prometheus text-format
+// linter. A malformed series name or incoherent histogram introduced
+// anywhere in the codebase fails here, not in production Prometheus.
+//
+// The same run doubles as the end-to-end observability check: the
+// submitted X-Gpustl-Trace context must reappear in the server's
+// trace file, and /v1/usage must bill the campaign to its tenant.
+func TestMetricsLint(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg, "stlserver")
+	usage := obs.NewUsageMeter(reg)
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	tracer := obs.NewTracer(tracePath)
+
+	srv := server.New(server.Options{
+		StateDir:       filepath.Join(dir, "state"),
+		Holder:         "lint-test",
+		MaxActive:      2,
+		HeartbeatEvery: 10 * time.Millisecond,
+		LeaseTTL:       200 * time.Millisecond,
+		DrainGrace:     5 * time.Second,
+		SimWorkers:     2,
+		Metrics:        reg,
+		Tracer:         tracer,
+		Usage:          usage,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+	defer func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(20 * time.Second):
+			t.Error("server did not stop")
+		}
+	}()
+	for deadline := time.Now().Add(10 * time.Second); !srv.Ready(); {
+		if time.Now().After(deadline) {
+			t.Fatal("server not ready after 10s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	slo := obs.NewSLOEngine(reg, []obs.SLO{
+		obs.LatencySLO(reg, "campaign-latency", "gpustl_server_campaign_seconds", 300, 0.99, "campaigns under 5m"),
+		obs.RatioSLO("submit-shed", 0.99,
+			obs.CounterSeriesValue(reg, "gpustl_server_submit_rejected_total"),
+			obs.CounterSeriesValue(reg, "gpustl_server_campaigns_submitted_total"),
+			"submissions not shed"),
+	})
+	h := srv.Handler()
+
+	// Submit a small campaign with a propagated trace context, the way
+	// a traced CLI client would.
+	lib := &stl.STL{PTPs: []*stl.PTP{ptpgen.IMM(6, 11), ptpgen.MEM(6, 12)}}
+	var libBuf bytes.Buffer
+	if err := stl.WriteSTL(&libBuf, lib); err != nil {
+		t.Fatal(err)
+	}
+	fc := 5.0
+	body, err := json.Marshal(map[string]any{
+		"id": "lint-c1",
+		"spec": &server.Spec{
+			STL: libBuf.Bytes(), Faults: 300, FCTol: &fc, Tenant: "acme",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := obs.SpanContext{Trace: obs.NewTraceID(), Span: 0xabcdef12, Flags: 1}
+	req := httptest.NewRequest("POST", "/api/v1/campaigns", bytes.NewReader(body))
+	req.Header.Set(obs.TraceHeader, sc.Header())
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusAccepted && rr.Code != http.StatusOK {
+		t.Fatalf("submit status %d: %s", rr.Code, rr.Body.String())
+	}
+	for deadline := time.Now().Add(60 * time.Second); ; {
+		v, ok := srv.Get("lint-c1")
+		if ok && v.State.Terminal() {
+			if v.State != server.StateDone {
+				t.Fatalf("campaign ended %s: %s", v.State, v.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("campaign not terminal after 60s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	slo.Sample()
+
+	// Scrape through the same mux the daemon serves and lint the result.
+	mux := obs.NewDebugMuxSLO(reg, "", slo)
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	probs, err := obs.LintPrometheusText(rr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probs {
+		t.Errorf("lint: %s", p)
+	}
+
+	// The scrape must carry the fleet-observability families this run
+	// exercised; their absence means the wiring regressed silently.
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	scrape := rr.Body.String()
+	for _, want := range []string{
+		`gpustl_build_info{`,
+		`gpustl_usage_campaigns_total{tenant="acme"}`,
+		`gpustl_usage_fault_blocks_total{tenant="acme"}`,
+		`gpustl_slo_burn_rate{`,
+		"gpustl_server_campaign_seconds_bucket",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	// Usage accounting reached the API.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/usage", nil))
+	var ur struct {
+		Tenants []obs.TenantUsage `json:"tenants"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &ur); err != nil {
+		t.Fatalf("usage response: %v\n%s", err, rr.Body.String())
+	}
+	var acme *obs.TenantUsage
+	for i := range ur.Tenants {
+		if ur.Tenants[i].Tenant == "acme" {
+			acme = &ur.Tenants[i]
+		}
+	}
+	if acme == nil || acme.Campaigns != 1 || acme.FaultBlocks == 0 {
+		t.Fatalf("tenant acme not billed: %+v", ur.Tenants)
+	}
+
+	// The propagated trace context made it into the server's trace file:
+	// the execute span joined the client's trace remotely and a
+	// queue-wait child was recorded.
+	if err := tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadTraceFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joined, queueWait bool
+	for _, ev := range events {
+		if ev.Trace == sc.Trace.String() {
+			joined = true
+			if ev.Name == "queue-wait" {
+				queueWait = true
+			}
+		}
+	}
+	if !joined {
+		t.Errorf("no server span joined the submitted trace %s", sc.Trace)
+	}
+	if !queueWait {
+		t.Error("no queue-wait span recorded for the traced campaign")
+	}
+}
