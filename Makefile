@@ -33,6 +33,7 @@ verify: test lint chaos-smoke chaos-overload chaos-server
 	go test -fuzz '^FuzzDecodeRecord$$' -fuzztime 10s -run '^$$' ./internal/journal
 	go test -fuzz '^FuzzRead$$' -fuzztime 10s -run '^$$' ./internal/vcde
 	go test -fuzz '^FuzzShardReply$$' -fuzztime 10s -run '^$$' ./internal/dist
+	go test -fuzz '^FuzzWideBlockEquiv$$' -fuzztime 10s -run '^$$' ./internal/fault
 
 # Chaos soak: every canonical fault schedule (torn journal writes,
 # mid-commit crashes, stage panics, lossy wire, Byzantine worker,
@@ -86,6 +87,7 @@ bench:
 	go test -bench 'BenchmarkObs' -benchtime 1000x -run '^$$' -json ./internal/obs | tee BENCH_obs.json
 	go test -bench 'BenchmarkSimulateSP(Metrics)?$$' -benchtime 3x -run '^$$' -json ./internal/fault | tee -a BENCH_obs.json
 	go test -bench $(FAULT_BENCHES) -benchtime 10x -count=3 -run '^$$' -json . | tee BENCH_fault.json
+	go test -bench $(EVAL_BENCHES) -benchtime 100x -count=3 -run '^$$' -json ./internal/netlist | tee BENCH_eval.json
 	go test -bench $(OVERLOAD_BENCHES) -benchtime 10x -run '^$$' -json . | tee BENCH_overload.json
 	go test -bench 'BenchmarkAdmission|BenchmarkRetryBudget|BenchmarkBreaker' -benchtime 1000x -run '^$$' -json ./internal/overload | tee -a BENCH_overload.json
 	go test -bench . -benchtime 1x -run '^$$' ./internal/...
@@ -93,6 +95,10 @@ bench:
 # The engine benchmarks guarded against regression, and the committed
 # baseline they are compared to.
 FAULT_BENCHES = 'BenchmarkFaultSimulation$$|BenchmarkTableI$$'
+
+# The levelized-plan evaluator sweeps, scalar and wide (BENCH_eval.json):
+# the per-block cost of the SoA plan at W = 1/4/8/16.
+EVAL_BENCHES = 'BenchmarkEvalRun$$|BenchmarkEvalRunWide/'
 
 # The overload pair: the fault-sim benchmark with and without the
 # unlimited admission/deadline plumbing. BENCH_overload.json also
@@ -111,6 +117,10 @@ bench-compare:
 	go run ./cmd/benchdiff -old BENCH_fault.json -new .bench_new.json \
 		-bench $(FAULT_BENCHES) -threshold 15
 	rm -f .bench_new.json
+	go test -bench $(EVAL_BENCHES) -benchtime 100x -count=3 -run '^$$' -json ./internal/netlist > .bench_new_eval.json
+	go run ./cmd/benchdiff -old BENCH_eval.json -new .bench_new_eval.json \
+		-bench $(EVAL_BENCHES) -threshold 15
+	rm -f .bench_new_eval.json
 	go test -bench $(OVERLOAD_BENCHES) -benchtime 10x -run '^$$' -json . > .bench_new_overload.json
 	go run ./cmd/benchdiff -old BENCH_overload.json -new .bench_new_overload.json \
 		-bench $(OVERLOAD_BENCHES) -threshold 15
@@ -127,3 +137,14 @@ bench-smoke:
 	go run ./cmd/benchdiff -old BENCH_fault.json -new .bench_smoke.json \
 		-bench 'BenchmarkFaultSimulation$$' -threshold 400
 	rm -f .bench_smoke.json
+	# Width pinning: the same benchmark at W=1 and W=8 (GPUSTL_BLOCK_WORDS
+	# overrides the auto width) — catches a regression that only one side
+	# of the scalar/wide split would see.
+	GPUSTL_BLOCK_WORDS=1 go test -bench 'BenchmarkFaultSimulation$$' -benchtime 2x -run '^$$' -json . > .bench_smoke_w1.json
+	go run ./cmd/benchdiff -old BENCH_fault.json -new .bench_smoke_w1.json \
+		-bench 'BenchmarkFaultSimulation$$' -threshold 900
+	rm -f .bench_smoke_w1.json
+	GPUSTL_BLOCK_WORDS=8 go test -bench 'BenchmarkFaultSimulation$$' -benchtime 2x -run '^$$' -json . > .bench_smoke_w8.json
+	go run ./cmd/benchdiff -old BENCH_fault.json -new .bench_smoke_w8.json \
+		-bench 'BenchmarkFaultSimulation$$' -threshold 400
+	rm -f .bench_smoke_w8.json

@@ -12,6 +12,7 @@ package gpustl
 import (
 	"context"
 	"os"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -22,6 +23,18 @@ var (
 	benchEnv     *Env
 	benchEnvErr  error
 )
+
+// benchBlockWords reads the GPUSTL_BLOCK_WORDS override for the
+// fault-simulation benchmarks: CI pins the same benchmark at W=1 and W=8
+// to watch both sides of the scalar/wide split. Empty or invalid = 0
+// (auto width).
+func benchBlockWords() int {
+	n, err := strconv.Atoi(os.Getenv("GPUSTL_BLOCK_WORDS"))
+	if err != nil || n < 0 || n > 16 {
+		return 0
+	}
+	return n
+}
 
 func env(b *testing.B) *Env {
 	b.Helper()
@@ -246,7 +259,7 @@ func BenchmarkFaultSimulation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		camp := NewFaultCampaign(mod, faults)
-		camp.Simulate(col.Patterns, SimOptions{})
+		camp.Simulate(col.Patterns, SimOptions{BlockWords: benchBlockWords()})
 	}
 }
 
@@ -350,7 +363,7 @@ func BenchmarkFaultSimulationOverload(b *testing.B) {
 			b.Fatal(err)
 		}
 		camp := NewFaultCampaign(mod, faults)
-		camp.Simulate(col.Patterns, SimOptions{})
+		camp.Simulate(col.Patterns, SimOptions{BlockWords: benchBlockWords()})
 	}
 }
 
@@ -388,7 +401,7 @@ func TestOverloadPlumbingOverhead(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		camp := NewFaultCampaign(mod, faults)
 		start := time.Now()
-		camp.Simulate(col.Patterns, SimOptions{})
+		camp.Simulate(col.Patterns, SimOptions{BlockWords: benchBlockWords()})
 		if d := time.Since(start); d < simTime {
 			simTime = d
 		}

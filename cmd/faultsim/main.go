@@ -36,6 +36,7 @@ func main() {
 		reverse = flag.Bool("reverse", false, "apply patterns in reverse order")
 		top     = flag.Int("top", 10, "print the K most effective patterns")
 		workers = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
+		blockW  = flag.Int("block-words", 0, "block width in 64-pattern words (0 = auto, max 16)")
 		logJSON = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -92,8 +93,9 @@ func main() {
 
 	camp := gpustl.NewFaultCampaign(mod, faults)
 	rep, err := camp.SimulateCtx(ctx, patterns, gpustl.SimOptions{
-		Reverse: *reverse,
-		Workers: *workers,
+		Reverse:    *reverse,
+		Workers:    *workers,
+		BlockWords: *blockW,
 	})
 	if err != nil {
 		fatal(err)

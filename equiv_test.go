@@ -6,12 +6,13 @@ import (
 
 // TestEngineEquivalenceOnExamplePTPs is the end-to-end equivalence
 // harness the optimized fault-simulation engine is held to: for every
-// example PTP of the paper's STL (IMM, MEM, CNTRL, TPGEN, RAND, SFU_IMM),
-// the optimized engine must produce a Report with byte-identical
-// Detections — same fault, same first-detecting pattern index, same
-// clock cycle — and identical per-group coverage as the NoOptimize
-// reference engine. SFU_IMM is additionally checked with Reverse
-// ordering, the way the paper applies it.
+// example PTP of the paper's STL (IMM, MEM, CNTRL, TPGEN, RAND, SFU_IMM)
+// and every block width W ∈ {auto, 1, 4, 8, 16}, the optimized engine
+// must produce a Report with byte-identical Detections — same fault,
+// same first-detecting pattern index, same clock cycle — and identical
+// per-group coverage as the NoOptimize reference engine. SFU_IMM is
+// additionally checked with Reverse ordering, the way the paper
+// applies it.
 func TestEngineEquivalenceOnExamplePTPs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds the full experiment environment")
@@ -20,6 +21,7 @@ func TestEngineEquivalenceOnExamplePTPs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	widths := []int{0, 1, 4, 8, 16}
 	for _, ptp := range e.PTPs() {
 		opts := []SimOptions{{}}
 		if ptp.Name == "SFU_IMM" {
@@ -38,33 +40,36 @@ func TestEngineEquivalenceOnExamplePTPs(t *testing.T) {
 				mod := e.ModuleOf(ptp)
 				faults := e.FaultsOf(ptp)
 
-				run := func(noOpt bool) (*FaultSimReport, []GroupCoverage) {
+				run := func(noOpt bool, w int) (*FaultSimReport, []GroupCoverage) {
 					camp := NewFaultCampaign(mod, faults)
 					o := opt
 					o.NoOptimize = noOpt
+					o.BlockWords = w
 					rep := camp.Simulate(col.Patterns, o)
 					return rep, camp.CoverageByGroup()
 				}
-				ref, refCov := run(true)
-				got, gotCov := run(false)
+				ref, refCov := run(true, 0)
+				for _, w := range widths {
+					got, gotCov := run(false, w)
 
-				if len(ref.Detections) != len(got.Detections) {
-					t.Fatalf("detection counts differ: reference %d, optimized %d",
-						len(ref.Detections), len(got.Detections))
-				}
-				for i := range ref.Detections {
-					if ref.Detections[i] != got.Detections[i] {
-						t.Fatalf("detection %d differs: reference %+v, optimized %+v",
-							i, ref.Detections[i], got.Detections[i])
+					if len(ref.Detections) != len(got.Detections) {
+						t.Fatalf("w=%d: detection counts differ: reference %d, optimized %d",
+							w, len(ref.Detections), len(got.Detections))
 					}
-				}
-				if len(refCov) != len(gotCov) {
-					t.Fatalf("group counts differ: %d vs %d", len(refCov), len(gotCov))
-				}
-				for i := range refCov {
-					if refCov[i] != gotCov[i] {
-						t.Fatalf("group %d coverage differs: reference %+v, optimized %+v",
-							i, refCov[i], gotCov[i])
+					for i := range ref.Detections {
+						if ref.Detections[i] != got.Detections[i] {
+							t.Fatalf("w=%d: detection %d differs: reference %+v, optimized %+v",
+								w, i, ref.Detections[i], got.Detections[i])
+						}
+					}
+					if len(refCov) != len(gotCov) {
+						t.Fatalf("w=%d: group counts differ: %d vs %d", w, len(refCov), len(gotCov))
+					}
+					for i := range refCov {
+						if refCov[i] != gotCov[i] {
+							t.Fatalf("w=%d: group %d coverage differs: reference %+v, optimized %+v",
+								w, i, refCov[i], gotCov[i])
+						}
 					}
 				}
 			})

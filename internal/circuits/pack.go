@@ -20,6 +20,25 @@ func PackPatterns(pats []Pattern, dst []uint64) {
 	}
 }
 
+// PackPatternsAt is PackPatterns for one 64-pattern word of a stride-w
+// input block: input i's packed word lands in dst[i*w+word], with the
+// other words of each input row left untouched. dst holds w words per
+// input; nin is the number of module inputs packed.
+func PackPatternsAt(pats []Pattern, dst []uint64, nin, w, word int) {
+	var t [2][64]uint64
+	for s := range pats {
+		t[0][63-s] = pats[s].W[0]
+		t[1][63-s] = pats[s].W[1]
+	}
+	transpose64(&t[0])
+	if nin > 64 {
+		transpose64(&t[1])
+	}
+	for i := 0; i < nin; i++ {
+		dst[i*w+word] = t[i>>6][63-i&63]
+	}
+}
+
 // transpose64 transposes a 64×64 bit matrix in place, under the matrix
 // convention where row r's leftmost column is bit 63: afterwards row
 // 63-b bit 63-r holds what row r bit b held. Classic recursive

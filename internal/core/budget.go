@@ -58,9 +58,10 @@ func (c *Compactor) CompactToBudget(p *stl.PTP, budgetCC uint64) (*Result, error
 	}
 
 	rep, err := c.simulate(ctx, c.Campaign, col.Patterns, fault.SimOptions{
-		Reverse: c.Opt.ReversePatterns,
-		NoDrop:  c.Opt.KeepCampaign,
-		Workers: c.Opt.Workers,
+		Reverse:    c.Opt.ReversePatterns,
+		NoDrop:     c.Opt.KeepCampaign,
+		Workers:    c.Opt.Workers,
+		BlockWords: c.Opt.BlockWords,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: fault simulation of %s: %w", p.Name, err)

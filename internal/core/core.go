@@ -67,6 +67,10 @@ type Options struct {
 	// Workers parallelizes the fault simulations across this many
 	// goroutines (0/1 = serial). Results are identical at any setting.
 	Workers int
+	// BlockWords sets the fault simulator's block width in 64-pattern
+	// machine words (fault.SimOptions.BlockWords): 0 auto-selects from
+	// the pattern stream. Results are byte-identical at any width.
+	BlockWords int
 	// Simulator, when non-nil, executes every fault simulation (the
 	// stage-3 run and the standalone FC evaluations) instead of the
 	// in-process engine — e.g. a dist.Coordinator spreading shards over
@@ -211,7 +215,7 @@ func (c *Compactor) evaluateFC(ctx context.Context, p *stl.PTP, patterns []fault
 		}
 	}
 	fc := fault.NewCampaignWithFaults(c.Module, c.Campaign.Faults())
-	if _, err := c.simulate(ctx, fc, stream, fault.SimOptions{Workers: c.Opt.Workers, Metrics: c.Opt.Metrics}); err != nil {
+	if _, err := c.simulate(ctx, fc, stream, fault.SimOptions{Workers: c.Opt.Workers, BlockWords: c.Opt.BlockWords, Metrics: c.Opt.Metrics}); err != nil {
 		return 0, fmt.Errorf("core: FC evaluation of %s: %w", p.Name, err)
 	}
 	return fc.Coverage(), nil
@@ -302,10 +306,11 @@ func (c *Compactor) CompactPTPCtx(ctx context.Context, p *stl.PTP, onStage func(
 		return nil, err
 	}
 	rep, err := c.simulate(ctx, c.Campaign, col.Patterns, fault.SimOptions{
-		Reverse: c.Opt.ReversePatterns,
-		NoDrop:  c.Opt.KeepCampaign,
-		Workers: c.Opt.Workers,
-		Metrics: c.Opt.Metrics,
+		Reverse:    c.Opt.ReversePatterns,
+		NoDrop:     c.Opt.KeepCampaign,
+		Workers:    c.Opt.Workers,
+		BlockWords: c.Opt.BlockWords,
+		Metrics:    c.Opt.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: fault simulation of %s: %w", p.Name, err)

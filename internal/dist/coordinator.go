@@ -236,6 +236,7 @@ func (r *Result) Degraded() bool { return r.FailedShards > 0 }
 // started.
 type Coordinator struct {
 	opt        Options
+	autoShards bool // Shards was defaulted, not requested: sizing may shrink it
 	transports []Transport
 	budget     *overload.RetryBudget
 	breakers   map[string]*overload.Breaker
@@ -249,9 +250,11 @@ func New(opt Options, transports ...Transport) (*Coordinator, error) {
 	if len(transports) == 0 {
 		return nil, errors.New("dist: coordinator needs at least one worker transport")
 	}
+	autoShards := opt.Shards <= 0
 	opt = opt.withDefaults(len(transports))
 	c := &Coordinator{
 		opt:        opt,
+		autoShards: autoShards,
 		transports: transports,
 		budget:     overload.NewRetryBudget(opt.RetryBudget, opt.RetryBurst, opt.Metrics),
 		breakers:   map[string]*overload.Breaker{},
@@ -372,7 +375,20 @@ func (c *Coordinator) Run(ctx context.Context, camp *fault.Campaign, stream []fa
 		}
 	}
 
-	parts := camp.PartitionRemaining(c.opt.Shards)
+	// Wide blocks amortize each 64×W-pattern sweep over a shard's whole
+	// fault list, so shards below a few hundred faults waste most of the
+	// width. Cap the shard count to keep at least 256×W faults per shard
+	// at the width the stream auto-selects.
+	shards := c.opt.Shards
+	if minFaults := 256 * fault.AutoBlockWords(len(ordered)); c.autoShards && minFaults > 0 {
+		if rem := camp.Total() - camp.Detected(); rem/minFaults < shards {
+			shards = rem / minFaults
+			if shards < 1 {
+				shards = 1
+			}
+		}
+	}
+	parts := camp.PartitionRemaining(shards)
 	if len(parts) == 0 {
 		cov := camp.Coverage()
 		return &Result{Report: BuildReport(ordered, nil), FCLower: cov, FCUpper: cov}, nil
@@ -1427,4 +1443,7 @@ func (rl *runLoop) recordStats(res *Result) {
 	}
 	m.Gauge("gpustl_faultsim_dedup_hit_rate").Set(ss.DedupHitRate())
 	m.Gauge("gpustl_faultsim_prescreen_skip_ratio").Set(ss.PrescreenSkipRatio())
+	m.Gauge("gpustl_faultsim_block_words").Set(float64(ss.BlockWords))
+	m.Gauge("gpustl_faultsim_plan_levels").Set(float64(ss.PlanLevels))
+	m.Gauge("gpustl_faultsim_plan_runs").Set(float64(ss.PlanRuns))
 }

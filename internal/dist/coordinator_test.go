@@ -58,7 +58,11 @@ func fastOptions() Options {
 		MaxBackoff:        50 * time.Millisecond,
 		HeartbeatInterval: 20 * time.Millisecond,
 		HeartbeatMisses:   2,
-		Seed:              1,
+		// Explicit so the block-width-aware shard sizing (which only
+		// shrinks defaulted counts) never folds these small test
+		// campaigns into one shard — the tests exercise scheduling.
+		Shards: 4,
+		Seed:   1,
 	}
 }
 

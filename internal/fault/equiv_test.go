@@ -46,6 +46,15 @@ func TestOptimizedMatchesReference(t *testing.T) {
 		{"sp_reverse", spModule, SimOptions{Reverse: true}},
 		{"sp_workers4", spModule, SimOptions{Workers: 4}},
 		{"sp_reverse_workers3", spModule, SimOptions{Reverse: true, Workers: 3}},
+		// Every supported block width, serial and sharded: detections must
+		// be byte-identical to the scalar reference at any W.
+		{"du_w1", duModule, SimOptions{BlockWords: 1}},
+		{"du_w4", duModule, SimOptions{BlockWords: 4}},
+		{"du_w8", duModule, SimOptions{BlockWords: 8}},
+		{"du_w16", duModule, SimOptions{BlockWords: 16}},
+		{"sp_w4", spModule, SimOptions{BlockWords: 4}},
+		{"sp_w8_workers4", spModule, SimOptions{BlockWords: 8, Workers: 4}},
+		{"sp_w16_reverse", spModule, SimOptions{BlockWords: 16, Reverse: true}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -63,6 +72,7 @@ func TestOptimizedMatchesReference(t *testing.T) {
 				c.SampleFaults(1500, 11)
 				opt := tc.opt
 				opt.NoOptimize = noOpt
+				opt.Warnf = t.Logf // reference runs ignore BlockWords with a warning
 				rep, err := c.SimulateCtx(context.Background(), stream, opt)
 				if err != nil {
 					t.Fatal(err)

@@ -22,7 +22,6 @@ import (
 	"math/bits"
 	"math/rand"
 	"runtime"
-	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -133,11 +132,6 @@ type Campaign struct {
 
 	ev      *netlist.Evaluator
 	initErr error // deferred constructor error (e.g. sequential module)
-
-	// evPool recycles evaluator scratch (good/faulty/stamp arrays) across
-	// parallel shards and SimulateSubset calls, so repeated runs on one
-	// campaign allocate no per-worker evaluators after warm-up.
-	evPool sync.Pool
 
 	// stats accumulates engine counters across this campaign's SimulateCtx
 	// runs (the per-campaign dictionary effectiveness view); guarded by
@@ -370,6 +364,16 @@ type SimOptions struct {
 	// per-pattern activation counters must see every original pattern,
 	// which dedup would fold away.
 	NoOptimize bool
+	// BlockWords sets the evaluator block width in 64-pattern machine
+	// words: each good-circuit sweep covers 64×BlockWords patterns, with
+	// stride-BlockWords value arrays throughout the engine. 0 (the
+	// default) auto-selects from the deduplicated stream length
+	// (AutoBlockWords); values outside [0, netlist.MaxBlockWords] are
+	// rejected with an error. Detections are byte-identical at every
+	// width — bit order equals stream order, so first detections cannot
+	// move. The naive reference engine (NoOptimize/RecordActivations) is
+	// always scalar and ignores this knob with a warning.
+	BlockWords int
 	// Workers runs the fault-serial loop on this many goroutines, each
 	// with its own evaluator over a shard of the fault list. Results are
 	// bit-identical to the serial run (first detections are per-fault).
@@ -506,9 +510,17 @@ func (c *Campaign) SimulateCtx(ctx context.Context, stream []TimedPattern, opt S
 	// RecordActivations needs every original pattern walked (dedup would
 	// fold the activation counters), so it rides the reference engine.
 	naive := opt.NoOptimize || opt.RecordActivations
+	if opt.BlockWords < 0 || opt.BlockWords > netlist.MaxBlockWords {
+		return nil, fmt.Errorf("fault: SimOptions.BlockWords = %d outside [0, %d] (0 = auto)",
+			opt.BlockWords, netlist.MaxBlockWords)
+	}
+	blockW := 1
 	var runStats SimStats
 	var lanes []laneStream
 	if naive {
+		if opt.BlockWords > 1 {
+			opt.warnf("fault: the NoOptimize/RecordActivations reference engine is scalar; ignoring BlockWords=%d", opt.BlockWords)
+		}
 		for _, idxs := range laneIdx {
 			runStats.TotalPatterns += uint64(len(idxs))
 		}
@@ -517,12 +529,17 @@ func (c *Campaign) SimulateCtx(ctx context.Context, stream []TimedPattern, opt S
 		// Dedup and pack the stimulus once, shared read-only by every
 		// shard; the cone index is built here, before forking workers.
 		ci := c.Module.NL.Cone()
-		lanes = buildLaneStreams(c.Module.NL, ordered, laneIdx, laneClassUse(ci, c.faults, shards))
+		lanes, blockW = buildLaneStreams(c.Module.NL, ordered, laneIdx,
+			laneClassUse(ci, c.faults, shards), opt.BlockWords)
 		for _, ls := range lanes {
 			runStats.TotalPatterns += uint64(ls.total)
 			runStats.UniquePatterns += uint64(ls.unique)
 		}
 	}
+	plan := c.Module.NL.Plan()
+	runStats.BlockWords = uint64(blockW)
+	runStats.PlanLevels = uint64(plan.NumLevels())
+	runStats.PlanRuns = uint64(plan.NumRuns())
 
 	// Run the shards. Every worker recovers its own panics: the first
 	// error or panic cancels the remaining workers and is surfaced to the
@@ -551,7 +568,19 @@ func (c *Campaign) SimulateCtx(ctx context.Context, stream []TimedPattern, opt S
 					fail(fmt.Errorf("fault: simulation panicked: %v", v))
 				}
 			}()
-			sr, err := runShard(shards[0], c.ev, rep.ActivatedPerPattern)
+			// The campaign's resident serial evaluator is scalar; a wide
+			// run borrows a width-matched one from the pool instead.
+			ev := c.ev
+			if blockW != 1 {
+				var err error
+				ev, err = c.getEvaluatorW(blockW)
+				if err != nil {
+					fail(err)
+					return
+				}
+				defer c.putEvaluator(ev)
+			}
+			sr, err := runShard(shards[0], ev, rep.ActivatedPerPattern)
 			if err != nil {
 				fail(err)
 				return
@@ -569,7 +598,7 @@ func (c *Campaign) SimulateCtx(ctx context.Context, stream []TimedPattern, opt S
 						fail(fmt.Errorf("fault: simulation worker %d panicked: %v", w, v))
 					}
 				}()
-				ev, err := c.getEvaluator()
+				ev, err := c.getEvaluatorW(blockW)
 				if err != nil {
 					fail(err)
 					return
@@ -635,19 +664,24 @@ func (c *Campaign) Stats() SimStats {
 	return c.stats
 }
 
-// getEvaluator takes a pooled evaluator or builds a fresh one.
+// getEvaluator takes a pooled scalar evaluator or builds a fresh one.
 func (c *Campaign) getEvaluator() (*netlist.Evaluator, error) {
-	if v := c.evPool.Get(); v != nil {
-		return v.(*netlist.Evaluator), nil
-	}
-	return netlist.NewEvaluator(c.Module.NL)
+	return c.getEvaluatorW(1)
 }
 
-// putEvaluator returns a worker's evaluator to the pool. The campaign's
-// own serial evaluator never enters the pool.
+// getEvaluatorW takes an evaluator of the requested block width from the
+// netlist's per-width pool (or builds a fresh one). Pooling at the
+// netlist level means the wide scratch arrays survive campaign churn —
+// a new campaign over the same circuit starts warm.
+func (c *Campaign) getEvaluatorW(w int) (*netlist.Evaluator, error) {
+	return c.Module.NL.AcquireEvaluator(w)
+}
+
+// putEvaluator returns a worker's evaluator to the netlist pool. The
+// campaign's own serial evaluator never enters the pool.
 func (c *Campaign) putEvaluator(ev *netlist.Evaluator) {
 	if ev != nil && ev != c.ev {
-		c.evPool.Put(ev)
+		c.Module.NL.ReleaseEvaluator(ev)
 	}
 }
 
@@ -683,6 +717,12 @@ func (c *Campaign) recordMetrics(opt SimOptions, patterns, faultsIn, dropped int
 	m.Gauge("gpustl_fault_dedup_hit_ratio").Set(stats.DedupHitRate())
 	m.Gauge("gpustl_fault_prescreen_skip_ratio").Set(stats.PrescreenSkipRatio())
 	m.Gauge("gpustl_fault_cone_skip_ratio").Set(stats.ConeSkipRatio())
+	// Evaluator shape: the chosen block width and the compiled plan's
+	// level/run structure, so dashboards can attribute throughput shifts
+	// to width selection rather than guessing from pattern counts.
+	m.Gauge("gpustl_fault_block_words").Set(float64(stats.BlockWords))
+	m.Gauge("gpustl_fault_plan_levels").Set(float64(stats.PlanLevels))
+	m.Gauge("gpustl_fault_plan_runs").Set(float64(stats.PlanRuns))
 }
 
 // shardResult carries one worker's detections, to be merged serially.
@@ -810,13 +850,18 @@ func (c *Campaign) SimulateSubsetStats(ctx context.Context, stream []TimedPatter
 		laneIdx[p.Lane] = append(laneIdx[p.Lane], int32(i))
 	}
 	ci := c.Module.NL.Cone()
-	lanes := buildLaneStreams(c.Module.NL, stream, laneIdx, laneClassUse(ci, c.faults, [][][]ID{laneFaults}))
+	lanes, blockW := buildLaneStreams(c.Module.NL, stream, laneIdx,
+		laneClassUse(ci, c.faults, [][][]ID{laneFaults}), 0)
 	var stats SimStats
 	for _, ls := range lanes {
 		stats.TotalPatterns += uint64(ls.total)
 		stats.UniquePatterns += uint64(ls.unique)
 	}
-	ev, err := c.getEvaluator()
+	plan := c.Module.NL.Plan()
+	stats.BlockWords = uint64(blockW)
+	stats.PlanLevels = uint64(plan.NumLevels())
+	stats.PlanRuns = uint64(plan.NumRuns())
+	ev, err := c.getEvaluatorW(blockW)
 	if err != nil {
 		return nil, SimStats{}, err
 	}
@@ -953,6 +998,9 @@ func (c *Campaign) simulateShard(ctx context.Context, ordered []TimedPattern, la
 func (c *Campaign) simulateShardOpt(ctx context.Context, ordered []TimedPattern, lanes []laneStream,
 	laneFaults [][]ID, ev *netlist.Evaluator) (*shardResult, error) {
 
+	if ev.BlockWords() > 1 {
+		return c.simulateShardOptWide(ctx, ordered, lanes, laneFaults, ev)
+	}
 	sr := &shardResult{perPattern: make([]int32, len(ordered))}
 	ci := c.Module.NL.Cone()
 
@@ -960,11 +1008,7 @@ func (c *Campaign) simulateShardOpt(ctx context.Context, ordered []TimedPattern,
 	// hoisted into parallel arrays, compacted together as faults drop, so
 	// the inner loop touches only sequential memory. Sized once to the
 	// largest lane and reused.
-	var (
-		ids     []ID
-		sites   []netlist.FaultSite
-		classes []int32
-	)
+	var walk []walkFault
 	for lane := range lanes {
 		ls := &lanes[lane]
 		remaining := laneFaults[lane]
@@ -972,24 +1016,8 @@ func (c *Campaign) simulateShardOpt(ctx context.Context, ordered []TimedPattern,
 			continue
 		}
 		c.sortByCone(remaining)
-		if cap(ids) < len(remaining) {
-			ids = make([]ID, len(remaining))
-			sites = make([]netlist.FaultSite, len(remaining))
-			classes = make([]int32, len(remaining))
-		}
-		n := len(remaining)
-		ids = ids[:n]
-		sites = sites[:n]
-		classes = classes[:n]
-		for i, id := range remaining {
-			ids[i] = id
-			sites[i] = c.faults[id].Site
-			cl := int32(0)
-			if g := sites[i].Gate; g >= 0 && int(g) < ci.NumGatesIndexed() {
-				cl = ci.ClassOf(g)
-			}
-			classes[i] = cl
-		}
+		walk = c.buildWalk(walk, remaining, ci)
+		n := len(walk)
 		for b := range ls.blocks {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -999,6 +1027,7 @@ func (c *Campaign) simulateShardOpt(ctx context.Context, ordered []TimedPattern,
 				return nil, err
 			}
 			sr.stats.Blocks++
+			sr.stats.FaultEvals += uint64(n)
 			mask := ^uint64(0)
 			if nv := len(blk.gidx); nv < 64 {
 				mask = 1<<uint(nv) - 1
@@ -1006,26 +1035,26 @@ func (c *Campaign) simulateShardOpt(ctx context.Context, ordered []TimedPattern,
 
 			w := 0
 			for i := 0; i < n; i++ {
-				sr.stats.FaultEvals++
+				f := &walk[i]
 				if blk.skip != nil {
-					if cl := classes[i]; blk.skip[cl>>6]>>(uint(cl)&63)&1 == 1 {
+					if cl := f.class; blk.skip[cl>>6]>>(uint(cl)&63)&1 == 1 {
 						sr.stats.ConeSkips++
-						ids[w], sites[w], classes[w] = ids[i], sites[i], classes[i]
+						walk[w] = *f
 						w++
 						continue
 					}
 				}
-				delta := ev.SiteDelta(sites[i]) & mask
+				delta := ev.SiteOpDeltaAt(f.op, 0) & mask
 				if delta == 0 {
 					sr.stats.PrescreenSkips++
-					ids[w], sites[w], classes[w] = ids[i], sites[i], classes[i]
+					walk[w] = *f
 					w++
 					continue
 				}
 				sr.stats.Propagations++
-				det := delta & ev.Obs(sites[i].Gate)
+				det := delta & ev.Obs(f.gate)
 				if det == 0 {
-					ids[w], sites[w], classes[w] = ids[i], sites[i], classes[i]
+					walk[w] = *f
 					w++
 					continue
 				}
@@ -1033,10 +1062,152 @@ func (c *Campaign) simulateShardOpt(ctx context.Context, ordered []TimedPattern,
 				gi := blk.gidx[first]
 				sr.perPattern[gi]++
 				sr.detections = append(sr.detections, Detection{
-					Fault: ids[i], Pattern: gi, CC: ordered[gi].CC,
+					Fault: f.id, Pattern: gi, CC: ordered[gi].CC,
 				})
 			}
 			n = w
+			walk = walk[:n]
+			if n == 0 {
+				break
+			}
+		}
+	}
+	return sr, nil
+}
+
+// walkFault is one live fault of a shard walk: its id with the site's
+// compiled activation op, gate (the observability lookup key) and cone
+// class (the class-skip key) hoisted into one contiguous record, so the
+// inner loop touches sequential memory and dropping a fault is a single
+// struct copy.
+type walkFault struct {
+	id    ID
+	gate  int32
+	class int32
+	op    netlist.SiteOp
+}
+
+// walkBufPool recycles walk buffers across shards and campaigns.
+var walkBufPool sync.Pool
+
+// buildWalk fills dst (reusing its capacity) with the walk records of a
+// shard's remaining faults, in the order given.
+func (c *Campaign) buildWalk(dst []walkFault, remaining []ID, ci *netlist.ConeInfo) []walkFault {
+	if cap(dst) < len(remaining) {
+		dst = make([]walkFault, 0, len(remaining))
+	}
+	dst = dst[:0]
+	for _, id := range remaining {
+		site := c.faults[id].Site
+		cl := int32(0)
+		if g := site.Gate; g >= 0 && int(g) < ci.NumGatesIndexed() {
+			cl = ci.ClassOf(g)
+		}
+		dst = append(dst, walkFault{
+			id:    id,
+			gate:  site.Gate,
+			class: cl,
+			op:    netlist.CompileSiteOp(c.Module.NL, site),
+		})
+	}
+	return dst
+}
+
+// simulateShardOptWide is simulateShardOpt for block widths above one
+// word. The per-visit work stays word-granular on purpose: the visit
+// scans the block's 64-pattern words in order, computing the one-word
+// site delta (SiteDeltaAt) and, only when it is non-zero, ANDing it with
+// the one-word memoized observability (ObsAt), stopping at the first
+// word that detects. Word order equals stream order, so the earliest set
+// bit at any width names the same unique pattern the scalar walk would —
+// and a fault that dies in its first active word pays one word of work,
+// not W, which is what makes wide blocks a win on real streams where
+// most faults drop almost immediately. The per-visit skip logic and
+// stats accounting mirror the scalar loop exactly: a visit whose delta
+// is zero across every valid word is a prescreen skip, anything else is
+// one propagation.
+func (c *Campaign) simulateShardOptWide(ctx context.Context, ordered []TimedPattern, lanes []laneStream,
+	laneFaults [][]ID, ev *netlist.Evaluator) (*shardResult, error) {
+
+	sr := &shardResult{perPattern: make([]int32, len(ordered))}
+	ci := c.Module.NL.Cone()
+	w := ev.BlockWords()
+
+	// The walk buffer is the shard's largest allocation (one entry per
+	// undetected fault, rewritten per lane); recycle it across campaigns.
+	walk, _ := walkBufPool.Get().([]walkFault)
+	defer func() { walkBufPool.Put(walk[:0]) }() //nolint:staticcheck // slice header boxing is fine here
+	mask := make([]uint64, w) // valid-pattern mask of the current block
+	for lane := range lanes {
+		ls := &lanes[lane]
+		remaining := laneFaults[lane]
+		if len(ls.blocks) == 0 || len(remaining) == 0 {
+			continue
+		}
+		c.sortByCone(remaining)
+		walk = c.buildWalk(walk, remaining, ci)
+		n := len(walk)
+		for b := range ls.blocks {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			blk := &ls.blocks[b]
+			if err := ev.Run(blk.inputs); err != nil {
+				return nil, err
+			}
+			sr.stats.Blocks++
+			sr.stats.FaultEvals += uint64(n)
+			nv := len(blk.gidx)
+			words := w // valid words; words-1 may be partial
+			for j := range mask {
+				mask[j] = ^uint64(0)
+			}
+			if nv < 64*w {
+				words = (nv + 63) / 64
+				if rem := nv % 64; rem > 0 {
+					mask[words-1] = 1<<uint(rem) - 1
+				}
+			}
+
+			kept := 0
+			for i := 0; i < n; i++ {
+				f := &walk[i]
+				if blk.skip != nil {
+					if cl := f.class; blk.skip[cl>>6]>>(uint(cl)&63)&1 == 1 {
+						sr.stats.ConeSkips++
+						walk[kept] = *f
+						kept++
+						continue
+					}
+				}
+				j0, d0 := ev.SiteOpFirstActive(f.op, mask, words)
+				if j0 < 0 {
+					sr.stats.PrescreenSkips++
+					walk[kept] = *f
+					kept++
+					continue
+				}
+				sr.stats.Propagations++
+				obs := ev.ObsW(f.gate)
+				first := -1
+				if x := d0 & obs[j0]; x != 0 {
+					first = j0*64 + bits.TrailingZeros64(x)
+				} else if j, x := ev.SiteOpDetectFrom(f.op, mask, obs, j0+1, words); j >= 0 {
+					first = j*64 + bits.TrailingZeros64(x)
+				}
+				if first < 0 {
+					walk[kept] = *f
+					kept++
+					continue
+				}
+				gi := blk.gidx[first]
+				sr.perPattern[gi]++
+				sr.detections = append(sr.detections, Detection{
+					Fault: f.id, Pattern: gi, CC: ordered[gi].CC,
+				})
+			}
+			n = kept
+			walk = walk[:n]
 			if n == 0 {
 				break
 			}
@@ -1066,13 +1237,24 @@ func sortDetections(dets []Detection, stream []TimedPattern) {
 	if len(dets) < 2 {
 		return
 	}
+	// Faults are non-negative small ints: pack (pattern, fault) into the
+	// fewest bits the largest fault id needs, so the radix sort's
+	// digit-skip drops the unused high bytes.
+	maxF := ID(0)
+	for _, d := range dets {
+		if d.Fault > maxF {
+			maxF = d.Fault
+		}
+	}
+	fBits := uint(bits.Len(uint(maxF)))
 	keys := make([]uint64, len(dets))
 	for i, d := range dets {
-		keys[i] = uint64(uint32(d.Pattern))<<32 | uint64(uint32(d.Fault))
+		keys[i] = uint64(uint32(d.Pattern))<<fBits | uint64(uint32(d.Fault))
 	}
-	slices.Sort(keys)
+	radixSortUint64(keys)
+	fMask := uint64(1)<<fBits - 1
 	for i, k := range keys {
-		p := int32(k >> 32)
-		dets[i] = Detection{Fault: ID(uint32(k)), Pattern: p, CC: stream[p].CC}
+		p := int32(k >> fBits)
+		dets[i] = Detection{Fault: ID(uint32(k & fMask)), Pattern: p, CC: stream[p].CC}
 	}
 }

@@ -18,8 +18,21 @@ import (
 // all shards (a fault×block visit is counted exactly once, under exactly
 // one of the three outcomes or as a drop-hit propagation).
 type SimStats struct {
-	// Blocks is the number of 64-pattern good-circuit evaluations run.
+	// Blocks is the number of pattern-block good-circuit evaluations run
+	// (64×BlockWords patterns each).
 	Blocks uint64 `json:"blocks"`
+	// BlockWords is the evaluator block width of the run, in 64-pattern
+	// machine words: each good-circuit sweep covers 64×BlockWords
+	// patterns. Merging takes the maximum, so a campaign's cumulative
+	// stats report the widest width any of its runs used; the naive
+	// engine is always scalar (1).
+	BlockWords uint64 `json:"block_words,omitempty"`
+	// PlanLevels and PlanRuns describe the netlist's compiled SoA
+	// evaluation plan: how many logic levels hold planned gates and how
+	// many contiguous (level, kind) gate runs the sweep walks. Properties
+	// of the circuit, not of the run; merged by maximum like BlockWords.
+	PlanLevels uint64 `json:"plan_levels,omitempty"`
+	PlanRuns   uint64 `json:"plan_runs,omitempty"`
 	// TotalPatterns is the stream length fed to the run (after lane
 	// filtering), including duplicates.
 	TotalPatterns uint64 `json:"total_patterns"`
@@ -43,9 +56,14 @@ type SimStats struct {
 	Propagations uint64 `json:"propagations"`
 }
 
-// Add accumulates o into s.
+// Add accumulates o into s. Work counters sum; the configuration-like
+// fields (block width, plan shape) merge by maximum, so shard stats
+// (which leave them zero) never erase the run-level values.
 func (s *SimStats) Add(o SimStats) {
 	s.Blocks += o.Blocks
+	s.BlockWords = max(s.BlockWords, o.BlockWords)
+	s.PlanLevels = max(s.PlanLevels, o.PlanLevels)
+	s.PlanRuns = max(s.PlanRuns, o.PlanRuns)
 	s.TotalPatterns += o.TotalPatterns
 	s.UniquePatterns += o.UniquePatterns
 	s.FaultEvals += o.FaultEvals
@@ -94,7 +112,11 @@ func (s SimStats) String() string {
 	fmt.Fprintf(&b, "fault-sim engine stats\n")
 	fmt.Fprintf(&b, "  patterns    total %12d  unique %12d  dedup hit-rate %6.2f%%\n",
 		s.TotalPatterns, s.UniquePatterns, 100*s.DedupHitRate())
-	fmt.Fprintf(&b, "  blocks      %12d\n", s.Blocks)
+	fmt.Fprintf(&b, "  blocks      %12d  (%d patterns / sweep, %d-word blocks)\n",
+		s.Blocks, 64*max(s.BlockWords, 1), max(s.BlockWords, 1))
+	if s.PlanRuns > 0 {
+		fmt.Fprintf(&b, "  eval plan   %12d levels  %6d kind-runs\n", s.PlanLevels, s.PlanRuns)
+	}
 	fmt.Fprintf(&b, "  fault evals %12d\n", s.FaultEvals)
 	fmt.Fprintf(&b, "    cone-skipped      %12d  %6.2f%%\n", s.ConeSkips, pct(s.ConeSkips))
 	fmt.Fprintf(&b, "    prescreen-skipped %12d  %6.2f%%\n", s.PrescreenSkips, pct(s.PrescreenSkips))

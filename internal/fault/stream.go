@@ -8,14 +8,34 @@ import (
 	"gpustl/internal/netlist"
 )
 
-// blockStim is the precomputed stimulus of one 64-pattern block of a
-// lane's deduplicated stream: the packed input vectors Evaluator.Run
+// AutoBlockWords picks the evaluator block width, in 64-pattern machine
+// words, for a run whose largest per-lane deduplicated stream holds the
+// given number of patterns: the narrowest width of the supported sweep
+// set {1, 4, 8, 16} whose single block still covers the stream. Wider
+// blocks amortize the per-fault visit cost (site delta, observability
+// memo, skip bookkeeping) over more patterns, but cost proportionally
+// more per good-circuit sweep — so there is no point going wider than
+// the stream.
+func AutoBlockWords(patterns int) int {
+	switch {
+	case patterns <= 64:
+		return 1
+	case patterns <= 4*64:
+		return 4
+	case patterns <= 8*64:
+		return 8
+	}
+	return netlist.MaxBlockWords
+}
+
+// blockStim is the precomputed stimulus of one block (64×W patterns) of
+// a lane's deduplicated stream: the packed input vectors Evaluator.Run
 // consumes, the global stream index of each slot's earliest original
 // occurrence, and the per-cone-class skip set. Blocks are built once per
 // run and shared read-only across shards, hoisting the per-shard input
 // clearing and re-packing out of the hot loop entirely.
 type blockStim struct {
-	inputs []uint64 // one packed word per primary input
+	inputs []uint64 // W packed words per primary input, input-major
 	gidx   []int32  // first-occurrence global stream index per slot
 	// skip is a bitset over cone-equivalence classes: bit c set when this
 	// block's projection onto class c's detection support is identical to
@@ -45,24 +65,36 @@ type laneStream struct {
 // classUsed[lane] restricts the block-level skip analysis to cone
 // classes that actually contain undetected faults in that lane; nil
 // analyses every class.
+//
+// reqWords fixes the block width in 64-pattern words; 0 lets
+// AutoBlockWords pick it from the largest per-lane unique stream (which
+// is why dedup runs as a first phase, before any packing). The chosen
+// width is returned alongside the streams so the caller can build
+// matching evaluators.
 func buildLaneStreams(nl *netlist.Netlist, ordered []TimedPattern, laneIdx [][]int32,
-	classUsed [][]uint64) []laneStream {
+	classUsed [][]uint64, reqWords int) ([]laneStream, int) {
 
 	numIn := len(nl.Inputs)
 	lanes := make([]laneStream, len(laneIdx))
-	var (
-		table []int32            // open-addressed dictionary: slot -> keys index
-		keys  []circuits.Pattern // unique patterns, first-occurrence order
-		pats  [64]circuits.Pattern
-	)
+
+	// Phase 1: per-lane dedup into first-occurrence-ordered unique lists.
+	// The dictionary is per lane. An exact-match open-addressed table
+	// (power-of-two, ≤50% load) replaces map[Pattern]struct{}: the hash
+	// only picks buckets, equality is the comparison of the packed
+	// words, so dedup is exact either way — just without per-insert
+	// hashing and bucket bookkeeping overhead.
+	type uniqStream struct {
+		pats []circuits.Pattern
+		gidx []int32
+	}
+	uniq := make([]uniqStream, len(laneIdx))
+	var table []int32 // open-addressed dictionary: slot -> pats index
+	maxUnique := 0
 	for lane, idxs := range laneIdx {
-		ls := &lanes[lane]
-		ls.total = len(idxs)
-		// The dictionary is per lane. An exact-match open-addressed table
-		// (power-of-two, ≤50% load) replaces map[Pattern]struct{}: the hash
-		// only picks buckets, equality is the comparison of the packed
-		// words, so dedup is exact either way — just without per-insert
-		// hashing and bucket bookkeeping overhead.
+		lanes[lane].total = len(idxs)
+		if len(idxs) == 0 {
+			continue
+		}
 		need := 2
 		for need < 2*len(idxs) {
 			need <<= 1
@@ -75,12 +107,9 @@ func buildLaneStreams(nl *netlist.Netlist, ordered []TimedPattern, laneIdx [][]i
 			tbl[i] = -1
 		}
 		hmask := uint64(need - 1)
-		if cap(keys) < len(idxs) {
-			keys = make([]circuits.Pattern, 0, len(idxs))
-		}
-		keys = keys[:0]
-		ls.blocks = make([]blockStim, 0, (len(idxs)+63)/64)
-		var cur *blockStim
+		u := &uniq[lane]
+		u.pats = make([]circuits.Pattern, 0, len(idxs))
+		u.gidx = make([]int32, 0, len(idxs))
 		for _, gi := range idxs {
 			p := ordered[gi].Pat
 			h := hashPattern(p) & hmask
@@ -88,11 +117,10 @@ func buildLaneStreams(nl *netlist.Netlist, ordered []TimedPattern, laneIdx [][]i
 			for {
 				j := tbl[h]
 				if j < 0 {
-					tbl[h] = int32(len(keys))
-					keys = append(keys, p)
+					tbl[h] = int32(len(u.pats))
 					break
 				}
-				if keys[j] == p {
+				if u.pats[j] == p {
 					dup = true
 					break
 				}
@@ -101,31 +129,55 @@ func buildLaneStreams(nl *netlist.Netlist, ordered []TimedPattern, laneIdx [][]i
 			if dup {
 				continue
 			}
-			if cur == nil {
-				ls.blocks = append(ls.blocks, blockStim{
-					inputs: make([]uint64, numIn),
-					gidx:   make([]int32, 0, 64),
-				})
-				cur = &ls.blocks[len(ls.blocks)-1]
-			}
-			pats[len(cur.gidx)] = p
-			cur.gidx = append(cur.gidx, gi)
-			ls.unique++
-			if len(cur.gidx) == 64 {
-				circuits.PackPatterns(pats[:], cur.inputs)
-				cur = nil
-			}
+			u.pats = append(u.pats, p)
+			u.gidx = append(u.gidx, gi)
 		}
-		if cur != nil {
-			circuits.PackPatterns(pats[:len(cur.gidx)], cur.inputs)
+		lanes[lane].unique = len(u.pats)
+		if len(u.pats) > maxUnique {
+			maxUnique = len(u.pats)
+		}
+	}
+
+	w := reqWords
+	if w <= 0 {
+		w = AutoBlockWords(maxUnique)
+	}
+
+	// Phase 2: pack each lane's unique stream into 64×w-pattern blocks,
+	// one 64-pattern transpose per word. Bit order equals stream order —
+	// pattern s of a block sits at word s/64, bit s%64 — so the earliest
+	// set bit of any detection mask is the earliest unique pattern at
+	// every width.
+	bp := 64 * w
+	for lane := range lanes {
+		u, ls := &uniq[lane], &lanes[lane]
+		if len(u.pats) == 0 {
+			continue
+		}
+		ls.blocks = make([]blockStim, 0, (len(u.pats)+bp-1)/bp)
+		for base := 0; base < len(u.pats); base += bp {
+			end := base + bp
+			if end > len(u.pats) {
+				end = len(u.pats)
+			}
+			blk := blockStim{
+				inputs: make([]uint64, numIn*w),
+				gidx:   u.gidx[base:end:end],
+			}
+			for word := 0; base+word*64 < end; word++ {
+				lo := base + word*64
+				hi := min(lo+64, end)
+				circuits.PackPatternsAt(u.pats[lo:hi], blk.inputs, numIn, w, word)
+			}
+			ls.blocks = append(ls.blocks, blk)
 		}
 		var used []uint64
 		if classUsed != nil {
 			used = classUsed[lane]
 		}
-		buildClassSkips(nl.Cone(), numIn, ls, used)
+		buildClassSkips(nl.Cone(), numIn, ls, used, w)
 	}
-	return lanes
+	return lanes, w
 }
 
 // hashPattern mixes a pattern's packed words into a table-bucket hash.
@@ -143,10 +195,12 @@ func hashPattern(p circuits.Pattern) uint64 {
 // block's stimulus projected onto the class's detection support already
 // occurred in an earlier block of the lane. Matching is hash-bucketed
 // with exact word comparison, so a hash collision can never produce an
-// unsound skip. Every block except the last holds a full 64 valid
-// patterns, so an earlier matching block's (zero) detection mask covers
-// all patterns the current block can present.
-func buildClassSkips(ci *netlist.ConeInfo, numIn int, ls *laneStream, used []uint64) {
+// unsound skip. Projections compare all w words of each support input;
+// only the last block of a lane can be partial, so an earlier matching
+// block is always full and its (zero) detection mask covers every
+// pattern the current block can present — a partial block's zero-padded
+// tail matching means the earlier block really held those values too.
+func buildClassSkips(ci *netlist.ConeInfo, numIn int, ls *laneStream, used []uint64, w int) {
 	if len(ls.blocks) < 2 {
 		return
 	}
@@ -182,16 +236,23 @@ func buildClassSkips(ci *netlist.ConeInfo, numIn int, ls *laneStream, used []uin
 			blk := &ls.blocks[b]
 			h := uint64(14695981039346656037)
 			for _, idx := range ins {
-				h ^= blk.inputs[idx]
-				h *= 1099511628211
+				for j := int(idx) * w; j < (int(idx)+1)*w; j++ {
+					h ^= blk.inputs[j]
+					h *= 1099511628211
+				}
 			}
 			dup := false
 			for _, pb := range seen[h] {
 				prev := ls.blocks[pb].inputs
 				same := true
 				for _, idx := range ins {
-					if blk.inputs[idx] != prev[idx] {
-						same = false
+					for j := int(idx) * w; j < (int(idx)+1)*w; j++ {
+						if blk.inputs[j] != prev[j] {
+							same = false
+							break
+						}
+					}
+					if !same {
 						break
 					}
 				}
@@ -269,15 +330,29 @@ func (c *Campaign) coneOrdering() ([]ID, []int32) {
 			}
 			return 0, 0
 		}
-		if len(c.Module.NL.Outputs) < 1<<15 && ci.NumClasses() < 1<<16 && n < 1<<31 {
-			keys := make([]uint64, n)
-			for id := range c.faults {
-				fo1, cl := key(id)
-				keys[id] = uint64(fo1)<<48 | uint64(cl)<<32 | uint64(uint32(id))
+		nOut1 := len(c.Module.NL.Outputs) + 1
+		base := ci.NumClasses() + 1
+		if nPairs := nOut1 * base; nPairs <= 1<<21 && n < 1<<31 {
+			// The (fo1, class) pair space is tiny next to the fault list, so
+			// a stable two-pass counting sort replaces any comparison sort:
+			// ids scatter in ascending order, which is exactly the
+			// (first output, class, id) order the engine wants.
+			pair := make([]int32, n)
+			count := make([]int32, nPairs+1)
+			for id, f := range c.faults {
+				var p int32
+				if g := f.Site.Gate; g >= 0 && int(g) < ci.NumGatesIndexed() {
+					p = (ci.FirstOut(g)+1)*int32(base) + ci.ClassOf(g)
+				}
+				pair[id] = p
+				count[p+1]++
 			}
-			slices.Sort(keys)
-			for i, k := range keys {
-				c.coneOrder[i] = ID(uint32(k))
+			for i := 1; i < len(count); i++ {
+				count[i] += count[i-1]
+			}
+			for id, p := range pair {
+				c.coneOrder[count[p]] = ID(id)
+				count[p]++
 			}
 		} else {
 			for id := range c.coneOrder {
@@ -301,6 +376,44 @@ func (c *Campaign) coneOrdering() ([]ID, []int32) {
 		}
 	})
 	return c.coneOrder, c.coneRank
+}
+
+// radixSortUint64 sorts keys ascending with an LSD byte radix sort.
+// Passes whose digit is constant across all keys are skipped, so keys
+// that only use their low bytes pay only for those bytes. The engine
+// sorts packed multi-thousand-key slices on every run (cone ordering,
+// detection report), where the O(n) passes beat a comparison sort by
+// roughly an order of magnitude; tiny inputs fall back to slices.Sort.
+func radixSortUint64(keys []uint64) {
+	n := len(keys)
+	if n < 128 {
+		slices.Sort(keys)
+		return
+	}
+	src, dst := keys, make([]uint64, n)
+	for shift := uint(0); shift < 64; shift += 8 {
+		var count [256]int
+		for _, k := range src {
+			count[k>>shift&0xff]++
+		}
+		if count[src[0]>>shift&0xff] == n {
+			continue
+		}
+		sum := 0
+		for i, cnt := range count {
+			count[i] = sum
+			sum += cnt
+		}
+		for _, k := range src {
+			d := k >> shift & 0xff
+			dst[count[d]] = k
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
 }
 
 // sortByCone orders a shard's fault ids by the campaign's cone ordering.

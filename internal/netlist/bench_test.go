@@ -1,0 +1,48 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchCircuit is the shared workload of the evaluator benchmarks: one
+// random 3000-gate DAG, reused across widths so ns/op is comparable
+// between BenchmarkEvalRun and every BenchmarkEvalRunWide width.
+func benchCircuit(b *testing.B) *Netlist {
+	b.Helper()
+	return randomCircuit(b, rand.New(rand.NewSource(7)), 96, 3000)
+}
+
+func benchEvalRun(b *testing.B, w int) {
+	nl := benchCircuit(b)
+	ev, err := NewEvaluatorWide(nl, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	in := make([]uint64, len(nl.Inputs)*w)
+	for i := range in {
+		in[i] = r.Uint64()
+	}
+	b.SetBytes(int64(len(nl.Gates) * w * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ev.Run(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(64*w), "patterns/block")
+}
+
+// BenchmarkEvalRun sweeps one 64-pattern block through the compiled
+// levelized SoA plan (W = 1).
+func BenchmarkEvalRun(b *testing.B) { benchEvalRun(b, 1) }
+
+// BenchmarkEvalRunWide sweeps wide blocks (W words = 64×W patterns per
+// sweep) through the same plan; per-pattern throughput should rise with
+// W until the value arrays fall out of cache.
+func BenchmarkEvalRunWide(b *testing.B) {
+	b.Run("w4", func(b *testing.B) { benchEvalRun(b, 4) })
+	b.Run("w8", func(b *testing.B) { benchEvalRun(b, 8) })
+	b.Run("w16", func(b *testing.B) { benchEvalRun(b, 16) })
+}

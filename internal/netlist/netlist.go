@@ -103,6 +103,19 @@ type Netlist struct {
 
 	coneOnce sync.Once // lazily built cone metadata (see cone.go)
 	cone     *ConeInfo
+
+	planOnce sync.Once // lazily compiled SoA evaluation plan (see plan.go)
+	plan     *EvalPlan
+
+	stemOnce  sync.Once // lazily built static stem cones (see stemcone.go)
+	stemCones []StemCone
+
+	// evPool recycles evaluators per block width (index w-1). The
+	// expensive part of an evaluator is its width-strided scratch —
+	// good/faulty/observability arrays, megabytes at the widest setting —
+	// and that outlives any single simulation campaign over the circuit,
+	// so the pool lives here rather than with any one caller.
+	evPool [MaxBlockWords]sync.Pool
 }
 
 // Groups returns the functional group names declared during construction

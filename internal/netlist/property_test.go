@@ -146,3 +146,68 @@ func TestRandomCircuitsLevelInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestPackInputsWideRoundTrip is the transpose round-trip property of the
+// wide input packer: for every block width, packing word-level pattern
+// values and then reading each (pattern, bit) back out of the stride-W
+// rows must reproduce the original words exactly — PackInputsWide is a
+// pure bit transpose, never lossy, at any W.
+func TestPackInputsWideRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		for trial := 0; trial < 20; trial++ {
+			width := 1 + r.Intn(64)
+			busStart := r.Intn(8)
+			nIn := busStart + width + r.Intn(4)
+			nPat := 1 + r.Intn(64*w)
+			words := make([]uint64, nPat)
+			var widthMask uint64 = ^uint64(0)
+			if width < 64 {
+				widthMask = 1<<uint(width) - 1
+			}
+			for p := range words {
+				words[p] = r.Uint64() & widthMask
+			}
+
+			dst := make([]uint64, nIn*w)
+			PackInputsWide(dst, w, busStart, width, words)
+
+			// Unpack: bit p%64 of word p/64 of row busStart+i is bit i of
+			// pattern p.
+			for p, want := range words {
+				var got uint64
+				for i := 0; i < width; i++ {
+					got |= dst[(busStart+i)*w+p/64] >> uint(p%64) & 1 << uint(i)
+				}
+				if got != want {
+					t.Fatalf("w=%d trial=%d pattern %d: unpacked %#x, want %#x",
+						w, trial, p, got, want)
+				}
+			}
+
+			// Rows outside the bus stay untouched.
+			for n := 0; n < busStart; n++ {
+				for j := 0; j < w; j++ {
+					if dst[n*w+j] != 0 {
+						t.Fatalf("w=%d trial=%d: row %d below busStart dirtied", w, trial, n)
+					}
+				}
+			}
+
+			// Packing the same patterns as W=1 chunks must agree word for
+			// word with the wide layout (the chunked form PackInputsU64
+			// callers use).
+			for wd := 0; wd*64 < nPat; wd++ {
+				lo, hi := wd*64, min(nPat, (wd+1)*64)
+				chunk := make([]uint64, nIn)
+				PackInputsU64(chunk, busStart, width, words[lo:hi])
+				for n := 0; n < nIn; n++ {
+					if chunk[n] != dst[n*w+wd] {
+						t.Fatalf("w=%d trial=%d word %d net %d: chunked %#x wide %#x",
+							w, trial, wd, n, chunk[n], dst[n*w+wd])
+					}
+				}
+			}
+		}
+	}
+}

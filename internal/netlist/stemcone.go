@@ -1,0 +1,298 @@
+package netlist
+
+// StemCone is the static downstream cone of one fanout stem, compiled to
+// a flat op list in non-decreasing level order (so a single forward pass
+// evaluates producers before consumers), plus the primary-output nets the
+// stem reaches — including the stem itself when it is an output.
+//
+// The wide observability fill flips a stem to the complement of its
+// fault-free row across a whole block (64×W patterns). Such a flip
+// diverges essentially the entire cone — across hundreds of patterns
+// some pattern sensitizes almost every path — so an event-driven walk
+// re-discovers the same static cone every block while paying scheduling
+// (stamps, fan-out scans, level buckets) per gate per fill. Evaluating
+// the precompiled op list instead makes the fill a flat loop whose only
+// per-gate work is the gate function itself.
+//
+// Each op's operand slots are resolved at build time: an operand inside
+// the cone (or the stem itself) reads the faulty half of the evaluator's
+// combined good|faulty buffer, anything else reads the good half. That
+// removes the per-operand stamp check (a data-dependent load) the
+// event-driven walk needs to decide which copy holds the operand.
+type StemCone struct {
+	Ops  []ConeOp // compiled cone in level order; nil when over budget
+	Outs []int32  // reachable primary-output nets (stem included when an output)
+}
+
+// ConeOp is one compiled cone gate: Kind selects the gate function and
+// Dst/A/B/C are row slots into the evaluator's combined buffer — slot s
+// addresses words s*w .. s*w+w-1, with slots below len(Gates) in the good
+// half and slots offset by len(Gates) in the faulty half. Dst always
+// points at the faulty half.
+type ConeOp struct {
+	Dst, A, B, C int32
+	Kind         uint8
+}
+
+// Compiled cone op kinds, mirroring the combinational gate kinds a cone
+// can contain (sources have no input pins, so they never appear in a
+// fan-out cone).
+const (
+	copBuf uint8 = iota
+	copNot
+	copAnd
+	copOr
+	copXor
+	copNand
+	copNor
+	copXnor
+	copMux
+)
+
+// stemConeBudget bounds the total number of cone ops cached per netlist.
+// Stems past the budget keep nil lists and the observability fill falls
+// back to the event-driven walk for them.
+const stemConeBudget = 1 << 23
+
+// StemCones returns the per-gate static cone cache, indexed by gate id;
+// non-stem gates (fanout below two) hold empty entries. Built once per
+// netlist on first use and immutable afterwards, so it is safe to share
+// across evaluators and goroutines.
+func (n *Netlist) StemCones() []StemCone {
+	n.stemOnce.Do(func() { n.stemCones = buildStemCones(n) })
+	return n.stemCones
+}
+
+func buildStemCones(n *Netlist) []StemCone {
+	ng := len(n.Gates)
+	cones := make([]StemCone, ng)
+
+	isOut := make([]bool, ng)
+	for _, o := range n.Outputs {
+		isOut[o] = true
+	}
+
+	// Gates that reach no primary output can never influence an
+	// observability row; leaving them out of the lists skips their
+	// evaluation on every fill. Their consumers are equally unreachable,
+	// so no retained gate ever reads a dropped gate's row.
+	reach := n.Cone().firstOut
+
+	// Per-stem reachability with epoch-stamped visits; level buckets are
+	// reused across stems to emit each cone in level order without a sort.
+	seen := make([]uint32, ng)
+	epoch := uint32(0)
+	buckets := make([][]int32, n.maxLvl+1)
+	queue := make([]int32, 0, 256)
+	budget := stemConeBudget
+
+	for g := int32(0); g < int32(ng); g++ {
+		if len(n.fanout[g]) < 2 {
+			continue
+		}
+		epoch++
+		queue = queue[:0]
+		seen[g] = epoch
+		total := 0
+		for _, c := range n.fanout[g] {
+			if seen[c] != epoch && reach[c] >= 0 {
+				seen[c] = epoch
+				queue = append(queue, c)
+			}
+		}
+		for qi := 0; qi < len(queue); qi++ {
+			id := queue[qi]
+			l := n.level[id]
+			buckets[l] = append(buckets[l], id)
+			total++
+			for _, c := range n.fanout[id] {
+				if seen[c] != epoch && reach[c] >= 0 {
+					seen[c] = epoch
+					queue = append(queue, c)
+				}
+			}
+		}
+		if total > budget {
+			for l := range buckets {
+				buckets[l] = buckets[l][:0]
+			}
+			continue // over budget: this stem falls back to the event walk
+		}
+		budget -= total
+		sc := &cones[g]
+		sc.Ops = make([]ConeOp, 0, total)
+		for l := range buckets {
+			for _, id := range buckets[l] {
+				sc.Ops = append(sc.Ops, compileConeOp(n, seen, epoch, id))
+				if isOut[id] {
+					sc.Outs = append(sc.Outs, id)
+				}
+			}
+			buckets[l] = buckets[l][:0]
+		}
+		if isOut[g] {
+			sc.Outs = append(sc.Outs, g)
+		}
+	}
+	return cones
+}
+
+// compileConeOp resolves gate id into a ConeOp for the stem whose cone
+// membership is marked in seen with the given epoch: member operands
+// (including the stem) read the faulty half, everything else the good
+// half. Operands always sit at strictly lower levels than their consumer,
+// so member operands are written before any op reads them.
+func compileConeOp(n *Netlist, seen []uint32, epoch uint32, id int32) ConeOp {
+	ng := int32(len(n.Gates))
+	slot := func(net int32) int32 {
+		if seen[net] == epoch {
+			return ng + net
+		}
+		return net
+	}
+	g := &n.Gates[id]
+	op := ConeOp{Dst: ng + id}
+	switch g.Kind {
+	case KBuf:
+		op.Kind, op.A = copBuf, slot(g.In[0])
+	case KNot:
+		op.Kind, op.A = copNot, slot(g.In[0])
+	case KAnd:
+		op.Kind, op.A, op.B = copAnd, slot(g.In[0]), slot(g.In[1])
+	case KOr:
+		op.Kind, op.A, op.B = copOr, slot(g.In[0]), slot(g.In[1])
+	case KXor:
+		op.Kind, op.A, op.B = copXor, slot(g.In[0]), slot(g.In[1])
+	case KNand:
+		op.Kind, op.A, op.B = copNand, slot(g.In[0]), slot(g.In[1])
+	case KNor:
+		op.Kind, op.A, op.B = copNor, slot(g.In[0]), slot(g.In[1])
+	case KXnor:
+		op.Kind, op.A, op.B = copXnor, slot(g.In[0]), slot(g.In[1])
+	case KMux:
+		op.Kind = copMux
+		op.A, op.B, op.C = slot(g.In[0]), slot(g.In[1]), slot(g.In[2])
+	default:
+		// Sources have no fan-in and can never be enqueued as a consumer;
+		// keep a harmless self-copy so an unexpected kind stays a no-op.
+		op.Kind, op.A = copBuf, id
+	}
+	return op
+}
+
+// evalConeOps runs a compiled cone against the evaluator's combined
+// good|faulty buffer at width w. evalConeOps16 is the same loop with the
+// dominant width fixed so every word loop has a constant trip count and
+// no bounds checks.
+func evalConeOps(gf []uint64, ops []ConeOp, w int) {
+	for i := range ops {
+		op := &ops[i]
+		dst := gf[int(op.Dst)*w : int(op.Dst)*w+w]
+		a := gf[int(op.A)*w:]
+		a = a[:len(dst)]
+		switch op.Kind {
+		case copBuf:
+			copy(dst, a)
+		case copNot:
+			for j := range dst {
+				dst[j] = ^a[j]
+			}
+		case copAnd:
+			b := gf[int(op.B)*w:]
+			b = b[:len(dst)]
+			for j := range dst {
+				dst[j] = a[j] & b[j]
+			}
+		case copOr:
+			b := gf[int(op.B)*w:]
+			b = b[:len(dst)]
+			for j := range dst {
+				dst[j] = a[j] | b[j]
+			}
+		case copXor:
+			b := gf[int(op.B)*w:]
+			b = b[:len(dst)]
+			for j := range dst {
+				dst[j] = a[j] ^ b[j]
+			}
+		case copNand:
+			b := gf[int(op.B)*w:]
+			b = b[:len(dst)]
+			for j := range dst {
+				dst[j] = ^(a[j] & b[j])
+			}
+		case copNor:
+			b := gf[int(op.B)*w:]
+			b = b[:len(dst)]
+			for j := range dst {
+				dst[j] = ^(a[j] | b[j])
+			}
+		case copXnor:
+			b := gf[int(op.B)*w:]
+			b = b[:len(dst)]
+			for j := range dst {
+				dst[j] = ^(a[j] ^ b[j])
+			}
+		case copMux:
+			b := gf[int(op.B)*w:]
+			b = b[:len(dst)]
+			c := gf[int(op.C)*w:]
+			c = c[:len(dst)]
+			for j := range dst {
+				dst[j] = (a[j] & c[j]) | (^a[j] & b[j])
+			}
+		}
+	}
+}
+
+func evalConeOps16(gf []uint64, ops []ConeOp) {
+	for i := range ops {
+		op := &ops[i]
+		dst := (*[16]uint64)(gf[int(op.Dst)*16:])
+		a := (*[16]uint64)(gf[int(op.A)*16:])
+		switch op.Kind {
+		case copBuf:
+			*dst = *a
+		case copNot:
+			for j := range dst {
+				dst[j] = ^a[j]
+			}
+		case copAnd:
+			b := (*[16]uint64)(gf[int(op.B)*16:])
+			for j := range dst {
+				dst[j] = a[j] & b[j]
+			}
+		case copOr:
+			b := (*[16]uint64)(gf[int(op.B)*16:])
+			for j := range dst {
+				dst[j] = a[j] | b[j]
+			}
+		case copXor:
+			b := (*[16]uint64)(gf[int(op.B)*16:])
+			for j := range dst {
+				dst[j] = a[j] ^ b[j]
+			}
+		case copNand:
+			b := (*[16]uint64)(gf[int(op.B)*16:])
+			for j := range dst {
+				dst[j] = ^(a[j] & b[j])
+			}
+		case copNor:
+			b := (*[16]uint64)(gf[int(op.B)*16:])
+			for j := range dst {
+				dst[j] = ^(a[j] | b[j])
+			}
+		case copXnor:
+			b := (*[16]uint64)(gf[int(op.B)*16:])
+			for j := range dst {
+				dst[j] = ^(a[j] ^ b[j])
+			}
+		case copMux:
+			b := (*[16]uint64)(gf[int(op.B)*16:])
+			c := (*[16]uint64)(gf[int(op.C)*16:])
+			for j := range dst {
+				dst[j] = (a[j] & c[j]) | (^a[j] & b[j])
+			}
+		}
+	}
+}

@@ -112,6 +112,14 @@ func (s *OpStats) String() string {
 		fmt.Fprintf(&b, "  dedup hit-rate    %6.2f%%\n", 100*e.DedupHitRate())
 		fmt.Fprintf(&b, "  prescreen-skipped %6.2f%%\n", 100*e.PrescreenSkipRatio())
 		fmt.Fprintf(&b, "  cone-skipped      %6.2f%%\n", 100*e.ConeSkipRatio())
+		if e.BlockWords > 0 {
+			fmt.Fprintf(&b, "  block width       %d words (%d patterns/block)\n",
+				e.BlockWords, 64*e.BlockWords)
+		}
+		if e.PlanRuns > 0 {
+			fmt.Fprintf(&b, "  eval plan         %d levels, %d kind-runs\n",
+				e.PlanLevels, e.PlanRuns)
+		}
 	}
 	return b.String()
 }
